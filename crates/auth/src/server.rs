@@ -1,0 +1,129 @@
+//! Network-facing authentication server.
+//!
+//! Binds an [`AuthService`] to a Portals endpoint and serves the
+//! `GetCred` / `VerifyCred` / `RevokeCred` RPCs.
+
+use std::sync::Arc;
+
+use lwfs_portals::{spawn_service, Endpoint, Network, Service, ServiceHandle};
+use lwfs_proto::{ProcessId, ReplyBody, Request, RequestBody};
+
+use crate::service::AuthService;
+
+/// The RPC adapter for [`AuthService`].
+pub struct AuthServer {
+    service: Arc<AuthService>,
+}
+
+impl AuthServer {
+    /// Spawn an authentication server at `id` on `net`.
+    ///
+    /// Returns the service handle and a shared reference to the logic (for
+    /// in-process inspection by tests and by the authorization service).
+    pub fn spawn(net: &Network, id: ProcessId, service: AuthService) -> (ServiceHandle, Arc<AuthService>) {
+        let service = Arc::new(service);
+        let handle = spawn_service(net, id, AuthServer { service: Arc::clone(&service) });
+        (handle, service)
+    }
+}
+
+impl Service for AuthServer {
+    fn handle(&mut self, _ep: &Endpoint, req: &Request) -> ReplyBody {
+        match &req.body {
+            RequestBody::GetCred { mechanism_token } => {
+                match self.service.get_cred(mechanism_token) {
+                    Ok(cred) => ReplyBody::Cred(cred),
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::VerifyCred { cred } => match self.service.verify(cred) {
+                Ok(principal) => ReplyBody::CredOk { principal },
+                Err(e) => ReplyBody::Err(e),
+            },
+            RequestBody::RevokeCred { cred } => match self.service.revoke(cred) {
+                Ok(()) => ReplyBody::CredRevoked,
+                Err(e) => ReplyBody::Err(e),
+            },
+            RequestBody::Ping => ReplyBody::Pong,
+            other => ReplyBody::Err(lwfs_proto::Error::Malformed(format!(
+                "authentication service cannot handle {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::mechanism::MockKerberos;
+    use crate::service::AuthConfig;
+    use lwfs_portals::RpcClient;
+    use lwfs_proto::{Error, PrincipalId};
+
+    fn boot() -> (Network, ServiceHandle, Arc<MockKerberos>) {
+        let net = Network::default();
+        let kdc = Arc::new(MockKerberos::new("TEST", 5));
+        kdc.add_user("alice", "pw", PrincipalId(1));
+        let svc = AuthService::new(
+            AuthConfig::default(),
+            Arc::clone(&kdc) as Arc<dyn crate::mechanism::AuthMechanism>,
+            Arc::new(ManualClock::new()),
+        );
+        let (handle, _svc) = AuthServer::spawn(&net, ProcessId::new(100, 0), svc);
+        (net, handle, kdc)
+    }
+
+    #[test]
+    fn rpc_get_verify_revoke_cycle() {
+        let (net, handle, kdc) = boot();
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let cred = match client
+            .call(handle.id(), RequestBody::GetCred { mechanism_token: ticket })
+            .unwrap()
+        {
+            ReplyBody::Cred(c) => c,
+            other => panic!("unexpected reply {other:?}"),
+        };
+
+        let verified = client.call(handle.id(), RequestBody::VerifyCred { cred }).unwrap();
+        assert_eq!(verified, ReplyBody::CredOk { principal: PrincipalId(1) });
+
+        assert_eq!(
+            client.call(handle.id(), RequestBody::RevokeCred { cred }).unwrap(),
+            ReplyBody::CredRevoked
+        );
+        assert_eq!(
+            client.call(handle.id(), RequestBody::VerifyCred { cred }).unwrap_err(),
+            Error::CredentialRevoked
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bad_token_over_rpc() {
+        let (net, handle, _kdc) = boot();
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        let err = client
+            .call(handle.id(), RequestBody::GetCred { mechanism_token: b"junk".to_vec() })
+            .unwrap_err();
+        assert_eq!(err, Error::BadCredential);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn wrong_request_kind_is_rejected() {
+        let (net, handle, _kdc) = boot();
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        let err = client
+            .call(handle.id(), RequestBody::NameLookup { path: "/x".into() })
+            .unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)));
+        handle.shutdown();
+    }
+}

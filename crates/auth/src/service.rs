@@ -1,0 +1,294 @@
+//! The authentication service logic (transport-independent).
+//!
+//! [`AuthService`] is pure state + operations; [`crate::server::AuthServer`]
+//! wires it to the Portals substrate. Splitting the two keeps every
+//! security decision unit-testable without threads.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use lwfs_proto::security::siphash::MacKey;
+use lwfs_proto::{
+    Credential, CredentialBody, Error, Lifetime, PrincipalId, Result, Signature,
+};
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::mechanism::AuthMechanism;
+
+/// Configuration for an authentication service instance.
+pub struct AuthConfig {
+    /// MAC key seed; a fresh instance should use a fresh seed.
+    pub key_seed: u64,
+    /// This instance's epoch. Restarting with a new epoch invalidates all
+    /// outstanding credentials ("transient" property, §3.1.2).
+    pub epoch: u64,
+    /// Default credential lifetime in protocol nanoseconds.
+    pub credential_ttl: u64,
+}
+
+impl Default for AuthConfig {
+    fn default() -> Self {
+        Self {
+            key_seed: 0xA117_53ED,
+            epoch: 1,
+            // 8 hours: a long application run re-authenticates rarely.
+            credential_ttl: 8 * 3600 * 1_000_000_000,
+        }
+    }
+}
+
+/// Counters for the verification paths (reported by experiments).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AuthStats {
+    pub issued: u64,
+    pub verified_ok: u64,
+    pub verified_fail: u64,
+    pub revoked: u64,
+}
+
+/// The authentication service.
+pub struct AuthService {
+    key: MacKey,
+    epoch: u64,
+    ttl: u64,
+    mechanism: Arc<dyn AuthMechanism>,
+    clock: Arc<dyn Clock>,
+    state: Mutex<AuthState>,
+}
+
+#[derive(Default)]
+struct AuthState {
+    next_serial: u64,
+    /// Tombstones for revoked credentials, by serial.
+    revoked: HashSet<u64>,
+    stats: AuthStats,
+}
+
+impl AuthService {
+    pub fn new(
+        config: AuthConfig,
+        mechanism: Arc<dyn AuthMechanism>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self {
+            key: MacKey::new(config.key_seed, config.key_seed.rotate_right(23) ^ 0xA0_7A11),
+            epoch: config.epoch,
+            ttl: config.credential_ttl,
+            mechanism,
+            clock,
+            state: Mutex::new(AuthState::default()),
+        }
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn stats(&self) -> AuthStats {
+        self.state.lock().stats
+    }
+
+    fn sign(&self, body: &CredentialBody) -> Signature {
+        use lwfs_proto::Encode as _;
+        Signature(self.key.mac(&body.to_bytes()))
+    }
+
+    /// Exchange a mechanism token for a credential (the `GetCred` RPC).
+    pub fn get_cred(&self, mechanism_token: &[u8]) -> Result<Credential> {
+        let principal = self
+            .mechanism
+            .verify_token(mechanism_token)
+            .map_err(|_| Error::BadCredential)?;
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let serial = st.next_serial;
+        st.next_serial += 1;
+        st.stats.issued += 1;
+        let body = CredentialBody {
+            principal,
+            issuer_epoch: self.epoch,
+            lifetime: Lifetime::starting_at(now, self.ttl),
+            serial,
+        };
+        Ok(Credential { body, sig: self.sign(&body) })
+    }
+
+    /// Verify a credential (the `VerifyCred` RPC, and the call the
+    /// authorization service makes in Figure 4-a step 2).
+    pub fn verify(&self, cred: &Credential) -> Result<PrincipalId> {
+        let mut st = self.state.lock();
+        let fail = |st: &mut AuthState, e: Error| {
+            st.stats.verified_fail += 1;
+            Err(e)
+        };
+        if cred.body.issuer_epoch != self.epoch {
+            return fail(&mut st, Error::BadCredential);
+        }
+        if self.sign(&cred.body) != cred.sig {
+            return fail(&mut st, Error::BadCredential);
+        }
+        if st.revoked.contains(&cred.body.serial) {
+            return fail(&mut st, Error::CredentialRevoked);
+        }
+        if !cred.body.lifetime.valid_at(self.clock.now()) {
+            return fail(&mut st, Error::CredentialExpired);
+        }
+        st.stats.verified_ok += 1;
+        Ok(cred.body.principal)
+    }
+
+    /// Revoke a credential. Only a holder of the (genuine) credential may
+    /// revoke it — verifying the signature first prevents a denial-of-
+    /// service by serial guessing.
+    pub fn revoke(&self, cred: &Credential) -> Result<()> {
+        if cred.body.issuer_epoch != self.epoch || self.sign(&cred.body) != cred.sig {
+            return Err(Error::BadCredential);
+        }
+        let mut st = self.state.lock();
+        st.revoked.insert(cred.body.serial);
+        st.stats.revoked += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::mechanism::MockKerberos;
+
+    fn service() -> (AuthService, Arc<MockKerberos>, ManualClock) {
+        let kdc = Arc::new(MockKerberos::new("TEST", 1));
+        kdc.add_user("alice", "pw", PrincipalId(1));
+        kdc.add_user("bob", "pw", PrincipalId(2));
+        let clock = ManualClock::new();
+        let svc = AuthService::new(
+            AuthConfig { credential_ttl: 1_000, ..Default::default() },
+            Arc::clone(&kdc) as Arc<dyn AuthMechanism>,
+            Arc::new(clock.clone()),
+        );
+        (svc, kdc, clock)
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let cred = svc.get_cred(&ticket).unwrap();
+        assert_eq!(cred.principal(), PrincipalId(1));
+        assert_eq!(svc.verify(&cred).unwrap(), PrincipalId(1));
+        assert_eq!(svc.stats().issued, 1);
+        assert_eq!(svc.stats().verified_ok, 1);
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        let (svc, _kdc, _clock) = service();
+        assert_eq!(svc.get_cred(b"garbage").unwrap_err(), Error::BadCredential);
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let mut cred = svc.get_cred(&ticket).unwrap();
+        cred.sig = Signature([0u8; 16]);
+        assert_eq!(svc.verify(&cred).unwrap_err(), Error::BadCredential);
+        assert_eq!(svc.stats().verified_fail, 1);
+    }
+
+    #[test]
+    fn tampered_principal_rejected() {
+        // Changing the body without re-MACing must fail: this is the
+        // "cannot mint new credentials" property.
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let mut cred = svc.get_cred(&ticket).unwrap();
+        cred.body.principal = PrincipalId(2);
+        assert_eq!(svc.verify(&cred).unwrap_err(), Error::BadCredential);
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let (svc, kdc, clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let cred = svc.get_cred(&ticket).unwrap();
+        clock.advance(999);
+        assert!(svc.verify(&cred).is_ok());
+        clock.advance(2);
+        assert_eq!(svc.verify(&cred).unwrap_err(), Error::CredentialExpired);
+    }
+
+    #[test]
+    fn revocation_is_immediate() {
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let cred = svc.get_cred(&ticket).unwrap();
+        assert!(svc.verify(&cred).is_ok());
+        svc.revoke(&cred).unwrap();
+        assert_eq!(svc.verify(&cred).unwrap_err(), Error::CredentialRevoked);
+        assert_eq!(svc.stats().revoked, 1);
+    }
+
+    #[test]
+    fn revoking_one_does_not_affect_another() {
+        let (svc, kdc, _clock) = service();
+        let t1 = kdc.kinit("alice", "pw").unwrap();
+        let t2 = kdc.kinit("bob", "pw").unwrap();
+        let c1 = svc.get_cred(&t1).unwrap();
+        let c2 = svc.get_cred(&t2).unwrap();
+        svc.revoke(&c1).unwrap();
+        assert!(svc.verify(&c1).is_err());
+        assert_eq!(svc.verify(&c2).unwrap(), PrincipalId(2));
+    }
+
+    #[test]
+    fn cannot_revoke_forged_credential() {
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let real = svc.get_cred(&ticket).unwrap();
+        let mut forged = real;
+        forged.body.serial = 999;
+        assert_eq!(svc.revoke(&forged).unwrap_err(), Error::BadCredential);
+        // The real credential still verifies: the forgery did not tombstone
+        // an arbitrary serial.
+        assert!(svc.verify(&real).is_ok());
+    }
+
+    #[test]
+    fn epoch_change_invalidates_old_credentials() {
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let cred = svc.get_cred(&ticket).unwrap();
+        // "Restart" the service with a new epoch but the same key.
+        let svc2 = AuthService::new(
+            AuthConfig { epoch: 2, credential_ttl: 1_000, ..Default::default() },
+            Arc::new(MockKerberos::new("TEST", 1)),
+            Arc::new(ManualClock::new()),
+        );
+        assert_eq!(svc2.verify(&cred).unwrap_err(), Error::BadCredential);
+    }
+
+    #[test]
+    fn credentials_are_transferable_values() {
+        // Nothing about verification depends on who presents the
+        // credential: the same value verifies repeatedly.
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let cred = svc.get_cred(&ticket).unwrap();
+        let copy = cred; // Copy semantics = free distribution to ranks.
+        assert!(svc.verify(&cred).is_ok());
+        assert!(svc.verify(&copy).is_ok());
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let (svc, kdc, _clock) = service();
+        let ticket = kdc.kinit("alice", "pw").unwrap();
+        let a = svc.get_cred(&ticket).unwrap();
+        let b = svc.get_cred(&ticket).unwrap();
+        assert_ne!(a.body.serial, b.body.serial);
+        assert_ne!(a.sig, b.sig, "distinct serials must yield distinct MACs");
+    }
+}

@@ -1,0 +1,112 @@
+//! Amortized-cost accounting for verify-through capability caching.
+//!
+//! §3.1.2 argues that although LWFS's caching scheme needs an explicit
+//! `VerifyCaps` message on every cache miss (where NASD's shared-key scheme
+//! verifies locally), "the amortized impact of this additional communication
+//! is minimal" for MPP workloads: a checkpoint performs thousands of data
+//! operations per capability, so the one verification round trip vanishes
+//! into the noise. The paper omits the analysis for space; this module
+//! implements the accounting so the benchmark suite can print it.
+
+use crate::cache::CapCacheStats;
+
+/// Amortized overhead of the verify-through scheme for one workload run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmortizedReport {
+    /// Data operations performed (reads + writes + creates…).
+    pub data_ops: u64,
+    /// Authorization checks answered from the storage-server cache.
+    pub cache_hits: u64,
+    /// Checks that required a `VerifyCaps` round trip.
+    pub cache_misses: u64,
+    /// Round-trip cost of one `VerifyCaps` call in nanoseconds (measured or
+    /// modeled; e.g. 2 µs one-hop MPI latency × 2 from Table 2 plus service
+    /// time).
+    pub verify_rtt_ns: u64,
+}
+
+impl AmortizedReport {
+    pub fn new(stats: CapCacheStats, data_ops: u64, verify_rtt_ns: u64) -> Self {
+        Self { data_ops, cache_hits: stats.hits, cache_misses: stats.misses, verify_rtt_ns }
+    }
+
+    /// Extra messages per data operation introduced by verify-through
+    /// caching (the quantity the paper's amortized argument bounds).
+    pub fn extra_messages_per_op(&self) -> f64 {
+        if self.data_ops == 0 {
+            return 0.0;
+        }
+        // One verify request + one reply per miss.
+        (2 * self.cache_misses) as f64 / self.data_ops as f64
+    }
+
+    /// Extra latency per data operation, in nanoseconds.
+    pub fn extra_latency_per_op_ns(&self) -> f64 {
+        if self.data_ops == 0 {
+            return 0.0;
+        }
+        (self.cache_misses * self.verify_rtt_ns) as f64 / self.data_ops as f64
+    }
+
+    /// The amortized claim of §3.1.2, as a checkable predicate: overhead is
+    /// "minimal" when it is below `threshold` messages per operation.
+    pub fn is_minimal(&self, threshold: f64) -> bool {
+        self.extra_messages_per_op() <= threshold
+    }
+}
+
+impl std::fmt::Display for AmortizedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ops={} hits={} misses={} extra-msgs/op={:.5} extra-ns/op={:.1}",
+            self.data_ops,
+            self.cache_hits,
+            self.cache_misses,
+            self.extra_messages_per_op(),
+            self.extra_latency_per_op_ns()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(hits: u64, misses: u64) -> CapCacheStats {
+        CapCacheStats { hits, misses, invalidated: 0, expired: 0 }
+    }
+
+    #[test]
+    fn checkpoint_like_workload_is_minimal() {
+        // 64 ranks × 128 chunk writes = 8192 ops; one miss per (rank,
+        // server) pair with 8 servers = 512 misses worst case… but caps are
+        // per-container so realistically 8 misses (one per server).
+        let r = AmortizedReport::new(stats(8184, 8), 8192, 4_000);
+        assert!(r.extra_messages_per_op() < 0.01);
+        assert!(r.is_minimal(0.01));
+        assert!(r.extra_latency_per_op_ns() < 10.0);
+    }
+
+    #[test]
+    fn all_miss_workload_is_not_minimal() {
+        let r = AmortizedReport::new(stats(0, 1000), 1000, 4_000);
+        assert_eq!(r.extra_messages_per_op(), 2.0);
+        assert!(!r.is_minimal(0.01));
+    }
+
+    #[test]
+    fn zero_ops_is_safe() {
+        let r = AmortizedReport::new(stats(0, 0), 0, 4_000);
+        assert_eq!(r.extra_messages_per_op(), 0.0);
+        assert_eq!(r.extra_latency_per_op_ns(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let r = AmortizedReport::new(stats(10, 2), 12, 100);
+        let s = r.to_string();
+        assert!(s.contains("ops=12"));
+        assert!(s.contains("misses=2"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Storage-server-side capability cache.
+//!
+//! A storage server consults this cache before every data operation
+//! (Figure 4-b). A hit authorizes the operation locally — no message to the
+//! authorization service; a miss triggers a `VerifyCaps` RPC whose positive
+//! verdicts are inserted here. The authorization service holds a back
+//! pointer for every entry and sends `InvalidateCaps` when policy changes,
+//! which is what makes revocation "near-immediate" without polling.
+//!
+//! This module lives in `lwfs-authz` (not `lwfs-storage`) because its
+//! correctness is one half of the revocation protocol; the storage crate
+//! and the PFS baseline both consume it.
+
+use std::collections::HashMap;
+
+use lwfs_proto::{Capability, CapabilityBody, CapabilityKey};
+use parking_lot::Mutex;
+
+/// Hit/miss counters — the raw data for the paper's amortized analysis of
+/// verify-through caching (§3.1.2).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CapCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidated: u64,
+    pub expired: u64,
+}
+
+impl CapCacheStats {
+    /// Fraction of authorization checks answered locally.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Protocol time after which the entry must not be used.
+    not_after: u64,
+    /// The exact body that was verified. A presented capability must match
+    /// it byte for byte: the cache key alone (serial + signature) is NOT
+    /// sufficient, because a forger could splice a genuine signature onto
+    /// a modified body and ride the genuine capability's cached verdict.
+    body: CapabilityBody,
+}
+
+/// The capability verification cache.
+#[derive(Debug, Default)]
+pub struct CapCache {
+    entries: Mutex<HashMap<CapabilityKey, Entry>>,
+    stats: Mutex<CapCacheStats>,
+}
+
+impl CapCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is this capability known-valid at `now`?
+    ///
+    /// An expired entry is treated as a miss and dropped: expiry needs no
+    /// message from the authorization service (the lifetime rides inside
+    /// the capability).
+    pub fn check(&self, cap: &Capability, now: u64) -> bool {
+        let key = cap.cache_key();
+        let mut entries = self.entries.lock();
+        let mut stats = self.stats.lock();
+        match entries.get(&key) {
+            Some(e) if e.body != cap.body => {
+                // Key collision with a different body: a forgery attempt
+                // (or corruption). Never a hit; the verify-through path
+                // will reject it at the authorization service.
+                stats.misses += 1;
+                false
+            }
+            Some(e) if now < e.not_after => {
+                stats.hits += 1;
+                true
+            }
+            Some(_) => {
+                entries.remove(&key);
+                stats.expired += 1;
+                stats.misses += 1;
+                false
+            }
+            None => {
+                stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Record a positive verdict from the authorization service.
+    pub fn insert(&self, cap: &Capability) {
+        self.entries.lock().insert(
+            cap.cache_key(),
+            Entry { not_after: cap.body.lifetime.not_after, body: cap.body },
+        );
+    }
+
+    /// Drop cached verdicts (the `InvalidateCaps` path). Returns how many
+    /// entries were actually present.
+    pub fn invalidate(&self, keys: &[CapabilityKey]) -> u64 {
+        let mut entries = self.entries.lock();
+        let mut dropped = 0;
+        for k in keys {
+            if entries.remove(k).is_some() {
+                dropped += 1;
+            }
+        }
+        self.stats.lock().invalidated += dropped;
+        dropped
+    }
+
+    /// Drop entries whose lifetime has passed (idle housekeeping).
+    pub fn purge_expired(&self, now: u64) -> u64 {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|_, e| now < e.not_after);
+        let purged = (before - entries.len()) as u64;
+        self.stats.lock().expired += purged;
+        purged
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    pub fn stats(&self) -> CapCacheStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwfs_proto::{
+        CapabilityBody, ContainerId, Lifetime, OpMask, PrincipalId, Signature,
+    };
+
+    fn cap(serial: u64, not_after: u64) -> Capability {
+        Capability {
+            body: CapabilityBody {
+                container: ContainerId(1),
+                ops: OpMask::WRITE,
+                principal: PrincipalId(1),
+                issuer_epoch: 1,
+                lifetime: Lifetime { not_before: 0, not_after },
+                serial,
+            },
+            sig: Signature([serial as u8; 16]),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = CapCache::new();
+        let c = cap(1, 100);
+        assert!(!cache.check(&c, 10));
+        cache.insert(&c);
+        assert!(cache.check(&c, 10));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn expired_entry_is_a_miss_and_evicted() {
+        let cache = CapCache::new();
+        let c = cap(1, 100);
+        cache.insert(&c);
+        assert!(cache.check(&c, 99));
+        assert!(!cache.check(&c, 100), "boundary is exclusive");
+        assert_eq!(cache.len(), 0, "expired entry evicted");
+        assert_eq!(cache.stats().expired, 1);
+    }
+
+    #[test]
+    fn invalidate_drops_only_named_keys() {
+        let cache = CapCache::new();
+        let a = cap(1, 1000);
+        let b = cap(2, 1000);
+        cache.insert(&a);
+        cache.insert(&b);
+        let dropped = cache.invalidate(&[a.cache_key()]);
+        assert_eq!(dropped, 1);
+        assert!(!cache.check(&a, 1));
+        assert!(cache.check(&b, 1));
+    }
+
+    #[test]
+    fn invalidate_unknown_key_is_harmless() {
+        let cache = CapCache::new();
+        assert_eq!(cache.invalidate(&[cap(9, 10).cache_key()]), 0);
+    }
+
+    #[test]
+    fn purge_expired_sweeps() {
+        let cache = CapCache::new();
+        for serial in 0..10 {
+            cache.insert(&cap(serial, 50 + serial));
+        }
+        let purged = cache.purge_expired(55);
+        assert_eq!(purged, 6); // not_after 50..=55 purged (exclusive at 55 ⇒ 50,51,52,53,54,55)
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn spliced_signature_with_modified_body_never_hits() {
+        // The forgery the full-body check exists for: take a genuine
+        // capability's (serial, signature) but claim broader ops. The
+        // cache key collides with the genuine entry; the body comparison
+        // must turn it into a miss.
+        let cache = CapCache::new();
+        let real = cap(1, 1000);
+        cache.insert(&real);
+        let mut forged = real;
+        forged.body.ops = OpMask::ALL;
+        assert!(!cache.check(&forged, 1), "forged body must not ride the cached verdict");
+        // The genuine capability still hits.
+        assert!(cache.check(&real, 1));
+    }
+
+    #[test]
+    fn same_serial_different_sig_are_distinct_entries() {
+        // A forged capability with a real serial must not hit the real
+        // entry: the cache key includes the signature.
+        let cache = CapCache::new();
+        let real = cap(1, 100);
+        cache.insert(&real);
+        let mut forged = real;
+        forged.sig = Signature([0xEE; 16]);
+        assert!(!cache.check(&forged, 1));
+        assert!(cache.check(&real, 1));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_insert_check_consistent(serials in proptest::collection::vec(0u64..1000, 1..50)) {
+            let cache = CapCache::new();
+            for &s in &serials {
+                cache.insert(&cap(s, u64::MAX));
+            }
+            for &s in &serials {
+                proptest::prop_assert!(cache.check(&cap(s, u64::MAX), 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Cache-backed remote capability verification — the enforcement half of
+//! the Figure 4-b protocol, shared by every policy-enforcing server
+//! (storage service, lock service, PFS object-storage targets).
+//!
+//! Check order for an operation guarded by capability `cap`:
+//!
+//! 1. **Structural claim**: does `cap` even claim the needed op? (free)
+//! 2. **Local cache**: previously verified and unexpired? (free — this is
+//!    the common case that makes enforcement distributed)
+//! 3. **Verify-through**: ask the authorization service, which records a
+//!    back pointer to this site; cache a positive verdict.
+
+use std::time::Duration;
+
+use lwfs_portals::RpcClient;
+use lwfs_proto::{Capability, Error, OpMask, ProcessId, ReplyBody, RequestBody, Result};
+
+use crate::cache::{CapCache, CapCacheStats};
+
+/// A verifier bound to one enforcement site and one authorization server.
+pub struct CachedCapVerifier {
+    /// This enforcement site's address (recorded as the back pointer).
+    site: ProcessId,
+    /// The authorization service's address.
+    authz: ProcessId,
+    cache: CapCache,
+    /// Timeout for VerifyCaps round trips.
+    pub verify_timeout: Duration,
+}
+
+impl CachedCapVerifier {
+    pub fn new(site: ProcessId, authz: ProcessId) -> Self {
+        Self { site, authz, cache: CapCache::new(), verify_timeout: Duration::from_secs(5) }
+    }
+
+    pub fn cache(&self) -> &CapCache {
+        &self.cache
+    }
+
+    pub fn stats(&self) -> CapCacheStats {
+        self.cache.stats()
+    }
+
+    /// Handle an `InvalidateCaps` notice from the authorization service.
+    pub fn invalidate(&self, keys: &[lwfs_proto::CapabilityKey]) -> u64 {
+        self.cache.invalidate(keys)
+    }
+
+    /// Authorize `need` under `cap` at protocol time `now`, using `client`
+    /// (an RPC client over this site's endpoint) for the miss path.
+    pub fn check(
+        &self,
+        client: &RpcClient<'_>,
+        cap: &Capability,
+        need: OpMask,
+        now: u64,
+    ) -> Result<()> {
+        // 1. The capability must claim the operation. A genuine capability
+        //    lacking the op is an authorization failure, not a forgery.
+        if !cap.grants(need) {
+            return Err(Error::AccessDenied);
+        }
+        // 2. Expiry is local — the lifetime rides inside the capability.
+        if !cap.valid_at(now) {
+            return Err(Error::CapabilityExpired);
+        }
+        // 3. Cache hit: authorized with zero messages.
+        if self.cache.check(cap, now) {
+            return Ok(());
+        }
+        // 4. Verify through the authorization service (Figure 4-b step 2).
+        let reply = client.call(
+            self.authz,
+            RequestBody::VerifyCaps { caps: vec![*cap], cache_site: self.site },
+        )?;
+        match reply {
+            ReplyBody::CapsVerified { valid } => {
+                if valid.contains(&cap.cache_key()) {
+                    self.cache.insert(cap);
+                    Ok(())
+                } else {
+                    Err(Error::BadCapability)
+                }
+            }
+            other => Err(Error::Internal(format!("unexpected VerifyCaps reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::AuthzServer;
+    use crate::service::{AuthzConfig, AuthzService, CredVerifier};
+    use lwfs_auth::{AuthConfig, AuthService, ManualClock, MockKerberos};
+    use lwfs_portals::Network;
+    use lwfs_proto::PrincipalId;
+    use std::sync::Arc;
+
+    #[test]
+    fn miss_then_hits_then_invalidation() {
+        let net = Network::default();
+        let kdc = Arc::new(MockKerberos::new("TEST", 1));
+        kdc.add_user("alice", "pw", PrincipalId(1));
+        let clock = Arc::new(ManualClock::new());
+        let auth = Arc::new(AuthService::new(
+            AuthConfig::default(),
+            kdc.clone() as Arc<dyn lwfs_auth::AuthMechanism>,
+            clock.clone(),
+        ));
+        let alice = auth.get_cred(&kdc.kinit("alice", "pw").unwrap()).unwrap();
+        let authz = AuthzService::new(
+            AuthzConfig::default(),
+            Arc::new(auth) as Arc<dyn CredVerifier>,
+            clock,
+        );
+        let (authz_handle, authz_svc) = AuthzServer::spawn(&net, ProcessId::new(101, 0), authz);
+
+        let cid = authz_svc.create_container(&alice).unwrap();
+        let cap = authz_svc.get_caps(&alice, cid, OpMask::WRITE).unwrap()[0];
+
+        let site = ProcessId::new(50, 0);
+        let ep = net.register(site);
+        let client = RpcClient::new(&ep);
+        let verifier = CachedCapVerifier::new(site, authz_handle.id());
+
+        // First check: miss + verify RPC.
+        verifier.check(&client, &cap, OpMask::WRITE, 0).unwrap();
+        // Next thousand: all cache hits, no RPC.
+        let before = net.stats().total_ops();
+        for _ in 0..1000 {
+            verifier.check(&client, &cap, OpMask::WRITE, 0).unwrap();
+        }
+        assert_eq!(net.stats().total_ops(), before, "hits must be message-free");
+        assert_eq!(verifier.stats().hits, 1000);
+
+        // Claiming an op the capability lacks fails without any RPC.
+        assert_eq!(
+            verifier.check(&client, &cap, OpMask::REMOVE, 0).unwrap_err(),
+            Error::AccessDenied
+        );
+
+        // Invalidation drops the cached verdict; the revoked cap then fails
+        // at the authorization service.
+        let admin = authz_svc.get_caps(&alice, cid, OpMask::ADMIN).unwrap()[0];
+        let (notices, _) = authz_svc
+            .mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE)
+            .unwrap();
+        for n in &notices {
+            assert_eq!(n.site, site);
+            verifier.invalidate(&n.keys);
+        }
+        assert_eq!(
+            verifier.check(&client, &cap, OpMask::WRITE, 0).unwrap_err(),
+            Error::BadCapability
+        );
+        authz_handle.shutdown();
+    }
+}

@@ -1,0 +1,77 @@
+//! End-to-end checkpoint benchmarks on the functional plane: the full
+//! Figure 8 flow (LWFS) against the file-per-process baseline, at small
+//! scale. These are the real threaded services, so the numbers include
+//! every protocol message and journal operation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lwfs_checkpoint::{LwfsCheckpointer, PfsCheckpointer, PfsStyle};
+use lwfs_core::{ClusterConfig, LwfsCluster};
+use lwfs_pfs::{PfsCluster, PfsConfig};
+use lwfs_portals::Group;
+use lwfs_proto::{OpMask, ProcessId};
+
+const STATE: usize = 256 * 1024;
+
+fn bench_lwfs_checkpoint(c: &mut Criterion) {
+    let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: 2, ..Default::default() });
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::CHECKPOINT | OpMask::READ).unwrap();
+    let group = Group::new(vec![ProcessId::new(0, 0)]);
+    let ck = LwfsCheckpointer::new(&client, group, 0, caps, "/bench/ck");
+    let state = vec![7u8; STATE];
+
+    let mut epoch = 0u64;
+    c.bench_function("lwfs_checkpoint_1rank_256KiB", |b| {
+        b.iter(|| {
+            epoch += 1;
+            std::hint::black_box(ck.checkpoint(epoch, &state).unwrap())
+        })
+    });
+
+    c.bench_function("lwfs_restore_1rank_256KiB", |b| {
+        b.iter(|| std::hint::black_box(ck.restore(epoch).unwrap()))
+    });
+}
+
+fn bench_pfs_checkpoint(c: &mut Criterion) {
+    let cluster = Arc::new(PfsCluster::boot(PfsConfig {
+        lwfs: ClusterConfig { storage_servers: 2, ..Default::default() },
+        // Keep the modeled MDS delay small so the benchmark isolates the
+        // protocol cost rather than sleeping.
+        mds_create_service: Duration::from_micros(10),
+        mds_open_service: Duration::from_micros(5),
+    }));
+    let client = cluster.client(0, 0);
+    let group = Group::new(vec![ProcessId::new(0, 0)]);
+    let ck = PfsCheckpointer::new(
+        &client,
+        group,
+        0,
+        PfsStyle::FilePerProcess,
+        "/bench/pfs",
+        2,
+        1 << 20,
+    );
+    let state = vec![7u8; STATE];
+
+    let mut epoch = 0u64;
+    c.bench_function("pfs_fpp_checkpoint_1rank_256KiB", |b| {
+        b.iter(|| {
+            epoch += 1;
+            std::hint::black_box(ck.checkpoint(epoch, &state).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(5));
+    targets = bench_lwfs_checkpoint, bench_pfs_checkpoint
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the wire codec and the MAC behind credentials and
+//! capabilities — the per-message software costs of the control plane.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lwfs_proto::security::siphash::MacKey;
+use lwfs_proto::{
+    Capability, CapabilityBody, ContainerId, Decode as _, Encode as _, Lifetime, MdHandle, OpMask,
+    OpNum, PrincipalId, ProcessId, Request, RequestBody, Signature,
+};
+
+fn sample_cap() -> Capability {
+    Capability {
+        body: CapabilityBody {
+            container: ContainerId(7),
+            ops: OpMask::WRITE,
+            principal: PrincipalId(1),
+            issuer_epoch: 1,
+            lifetime: Lifetime::UNBOUNDED,
+            serial: 42,
+        },
+        sig: Signature([9; 16]),
+    }
+}
+
+fn write_request() -> Request {
+    Request::new(
+        OpNum(77),
+        ProcessId::new(3, 0),
+        RequestBody::Write {
+            txn: None,
+            cap: sample_cap(),
+            obj: lwfs_proto::ObjId(12),
+            offset: 0,
+            len: 512 << 20,
+            md: MdHandle { match_bits: 0xFEED },
+        },
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let req = write_request();
+    c.bench_function("encode_write_request", |b| {
+        b.iter(|| std::hint::black_box(req.to_bytes()))
+    });
+
+    let wire = req.to_bytes();
+    c.bench_function("decode_write_request", |b| {
+        b.iter_batched(
+            || wire.clone(),
+            |w| std::hint::black_box(Request::from_bytes(w).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let cap = sample_cap();
+    c.bench_function("encode_capability", |b| b.iter(|| std::hint::black_box(cap.to_bytes())));
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let key = MacKey::new(0x1234, 0x5678);
+    let body = sample_cap().body.to_bytes();
+    c.bench_function("siphash_mac_capability_body", |b| {
+        b.iter(|| std::hint::black_box(key.mac(&body)))
+    });
+    let tag = key.mac(&body);
+    c.bench_function("siphash_verify_capability_body", |b| {
+        b.iter(|| std::hint::black_box(key.verify(&body, &tag)))
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_mac);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the Portals-like substrate: eager messages,
+//! one-sided put/get at several sizes, and a full RPC round trip.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lwfs_portals::{
+    spawn_service, Endpoint, MdOptions, MemDesc, Network, RpcClient, Service,
+};
+use lwfs_proto::{ProcessId, ReplyBody, Request, RequestBody};
+
+fn bench_eager(c: &mut Criterion) {
+    let net = Network::default();
+    let a = net.register(ProcessId::new(0, 0));
+    let b = net.register(ProcessId::new(1, 0));
+    let payload = Bytes::from_static(&[0u8; 128]);
+
+    c.bench_function("eager_send_recv_128B", |bch| {
+        bch.iter(|| {
+            a.send(b.id(), 1, payload.clone()).unwrap();
+            std::hint::black_box(b.recv(std::time::Duration::from_secs(1)).unwrap());
+        })
+    });
+}
+
+fn bench_one_sided(c: &mut Criterion) {
+    let net = Network::default();
+    let a = net.register(ProcessId::new(0, 0));
+    let b = net.register(ProcessId::new(1, 0));
+
+    let mut group = c.benchmark_group("one_sided");
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        b.post_md(
+            size as u64,
+            MemDesc::zeroed(size, MdOptions { deliver_events: false, ..MdOptions::read_write_events() }),
+        )
+        .unwrap();
+        let data = vec![7u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("put_{}KiB", size / 1024), |bch| {
+            bch.iter(|| a.put(b.id(), size as u64, 0, &data).unwrap())
+        });
+        group.bench_function(format!("get_{}KiB", size / 1024), |bch| {
+            bch.iter(|| std::hint::black_box(a.get(b.id(), size as u64, 0, size).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+struct Echo;
+impl Service for Echo {
+    fn handle(&mut self, _ep: &Endpoint, req: &Request) -> ReplyBody {
+        match req.body {
+            RequestBody::Ping => ReplyBody::Pong,
+            _ => ReplyBody::Pong,
+        }
+    }
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    let net = Network::default();
+    let handle = spawn_service(&net, ProcessId::new(10, 0), Echo);
+    let ep = net.register(ProcessId::new(0, 0));
+    let client = RpcClient::new(&ep);
+
+    c.bench_function("rpc_ping_roundtrip", |bch| {
+        bch.iter(|| std::hint::black_box(client.call(handle.id(), RequestBody::Ping).unwrap()))
+    });
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_eager, bench_one_sided, bench_rpc);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Microbenchmarks of the security fast paths (§3.1): credential issue and
+//! verify, capability issue and verify, and — the quantity behind the
+//! paper's amortized-cost argument — capability-cache **hit versus miss**.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lwfs_auth::{AuthConfig, AuthService, ManualClock, MockKerberos};
+use lwfs_authz::{AuthzConfig, AuthzService, CapCache, CredVerifier};
+use lwfs_proto::{OpMask, PrincipalId, ProcessId};
+
+fn stack() -> (Arc<AuthService>, AuthzService, lwfs_proto::Credential) {
+    let kdc = Arc::new(MockKerberos::new("BENCH", 1));
+    kdc.add_user("alice", "pw", PrincipalId(1));
+    let clock = Arc::new(ManualClock::new());
+    let auth = Arc::new(AuthService::new(
+        AuthConfig::default(),
+        kdc.clone() as Arc<dyn lwfs_auth::AuthMechanism>,
+        clock.clone(),
+    ));
+    let cred = auth.get_cred(&kdc.kinit("alice", "pw").unwrap()).unwrap();
+    let authz = AuthzService::new(
+        AuthzConfig::default(),
+        Arc::new(Arc::clone(&auth)) as Arc<dyn CredVerifier>,
+        clock,
+    );
+    (auth, authz, cred)
+}
+
+fn bench_auth(c: &mut Criterion) {
+    let kdc = Arc::new(MockKerberos::new("BENCH", 1));
+    kdc.add_user("alice", "pw", PrincipalId(1));
+    let ticket = kdc.kinit("alice", "pw").unwrap();
+    let (auth, _authz, cred) = stack();
+
+    c.bench_function("auth_get_cred", |b| {
+        let kdc2 = Arc::new(MockKerberos::new("BENCH", 1));
+        kdc2.add_user("alice", "pw", PrincipalId(1));
+        let svc = AuthService::new(
+            AuthConfig::default(),
+            kdc2 as Arc<dyn lwfs_auth::AuthMechanism>,
+            Arc::new(ManualClock::new()),
+        );
+        b.iter(|| std::hint::black_box(svc.get_cred(&ticket).unwrap()))
+    });
+
+    c.bench_function("auth_verify_cred", |b| {
+        b.iter(|| std::hint::black_box(auth.verify(&cred).unwrap()))
+    });
+}
+
+fn bench_authz(c: &mut Criterion) {
+    let (_auth, authz, cred) = stack();
+    let cid = authz.create_container(&cred).unwrap();
+
+    c.bench_function("authz_get_caps_single_op", |b| {
+        b.iter(|| std::hint::black_box(authz.get_caps(&cred, cid, OpMask::WRITE).unwrap()))
+    });
+
+    let caps = authz.get_caps(&cred, cid, OpMask::WRITE).unwrap();
+    let site = ProcessId::new(50, 0);
+    c.bench_function("authz_verify_caps", |b| {
+        b.iter(|| std::hint::black_box(authz.verify_caps(&caps, site).unwrap()))
+    });
+}
+
+fn bench_cap_cache(c: &mut Criterion) {
+    let (_auth, authz, cred) = stack();
+    let cid = authz.create_container(&cred).unwrap();
+    let cap = authz.get_caps(&cred, cid, OpMask::WRITE).unwrap()[0];
+
+    // Hit path: the per-I/O authorization cost at a storage server once
+    // the verdict is cached — this must be nanoseconds for distributed
+    // enforcement to be free.
+    let cache = CapCache::new();
+    cache.insert(&cap);
+    c.bench_function("cap_cache_hit", |b| {
+        b.iter(|| std::hint::black_box(cache.check(&cap, 0)))
+    });
+
+    // Miss path *excluding* the network round trip (lookup + stats only).
+    let cold = CapCache::new();
+    c.bench_function("cap_cache_miss_lookup", |b| {
+        b.iter(|| std::hint::black_box(cold.check(&cap, 0)))
+    });
+}
+
+criterion_group!(benches, bench_auth, bench_authz, bench_cap_cache);
+criterion_main!(benches);

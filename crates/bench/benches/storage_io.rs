@@ -1,0 +1,142 @@
+//! Microbenchmarks of the storage service data path: object create,
+//! server-directed write and read at several sizes.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lwfs_auth::ManualClock;
+use lwfs_portals::{MdOptions, MemDesc, Network, RpcClient, BULK_SPACE};
+use lwfs_proto::{
+    Capability, CapabilityBody, ContainerId, Lifetime, MdHandle, OpMask, PrincipalId,
+    ProcessId, ReplyBody, RequestBody, Signature,
+};
+use lwfs_storage::{StorageConfig, StorageServer};
+
+fn cap() -> Capability {
+    Capability {
+        body: CapabilityBody {
+            container: ContainerId(1),
+            ops: OpMask::ALL,
+            principal: PrincipalId(1),
+            issuer_epoch: 1,
+            lifetime: Lifetime::UNBOUNDED,
+            serial: 1,
+        },
+        sig: Signature([1; 16]),
+    }
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let net = Network::default();
+    let clock = Arc::new(ManualClock::new());
+    let (handle, _server) = StorageServer::spawn(
+        &net,
+        ProcessId::new(50, 0),
+        StorageConfig::default(),
+        None,
+        clock,
+    );
+    let ep = net.register(ProcessId::new(0, 0));
+    let client = RpcClient::new(&ep);
+    let srv = handle.id();
+
+    c.bench_function("storage_create_obj", |b| {
+        b.iter(|| {
+            let r = client
+                .call_retrying(srv, RequestBody::CreateObj { txn: None, cap: cap(), obj: None })
+                .unwrap();
+            std::hint::black_box(r)
+        })
+    });
+
+    // One target object reused for write/read benchmarks.
+    let obj = match client
+        .call_retrying(srv, RequestBody::CreateObj { txn: None, cap: cap(), obj: None })
+        .unwrap()
+    {
+        ReplyBody::ObjCreated(o) => o,
+        other => panic!("{other:?}"),
+    };
+
+    let mut group = c.benchmark_group("server_directed");
+    for size in [4 * 1024usize, 256 * 1024, 1024 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        let data = vec![0xA5u8; size];
+        group.bench_function(format!("write_{}KiB", size / 1024), |b| {
+            b.iter(|| {
+                let mb = ep.match_bits().alloc(BULK_SPACE);
+                ep.post_md(mb, MemDesc::from_vec(data.clone(), MdOptions::for_remote_get()))
+                    .unwrap();
+                let r = client
+                    .call_retrying(
+                        srv,
+                        RequestBody::Write {
+                            txn: None,
+                            cap: cap(),
+                            obj,
+                            offset: 0,
+                            len: size as u64,
+                            md: MdHandle { match_bits: mb },
+                        },
+                    )
+                    .unwrap();
+                ep.unlink_md(mb);
+                std::hint::black_box(r)
+            })
+        });
+        group.bench_function(format!("read_{}KiB", size / 1024), |b| {
+            b.iter(|| {
+                let mb = ep.match_bits().alloc(BULK_SPACE);
+                ep.post_md(mb, MemDesc::zeroed(size, MdOptions::for_remote_put())).unwrap();
+                let r = client
+                    .call_retrying(
+                        srv,
+                        RequestBody::Read {
+                            cap: cap(),
+                            obj,
+                            offset: 0,
+                            len: size as u64,
+                            md: MdHandle { match_bits: mb },
+                        },
+                    )
+                    .unwrap();
+                ep.unlink_md(mb);
+                std::hint::black_box(r)
+            })
+        });
+    }
+    group.finish();
+    handle.shutdown();
+}
+
+fn bench_getattr(c: &mut Criterion) {
+    let net = Network::default();
+    let clock = Arc::new(ManualClock::new());
+    let (handle, _server) = StorageServer::spawn(
+        &net,
+        ProcessId::new(50, 0),
+        StorageConfig::default(),
+        None,
+        clock,
+    );
+    let ep = net.register(ProcessId::new(0, 0));
+    let client = RpcClient::new(&ep);
+    let obj = match client
+        .call_retrying(handle.id(), RequestBody::CreateObj { txn: None, cap: cap(), obj: None })
+        .unwrap()
+    {
+        ReplyBody::ObjCreated(o) => o,
+        other => panic!("{other:?}"),
+    };
+    c.bench_function("storage_getattr", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                client.call_retrying(handle.id(), RequestBody::GetAttr { cap: cap(), obj }),
+            )
+        })
+    });
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_storage, bench_getattr);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Regenerate **Figure 10**: file/object creation throughput (ops/sec)
+//! versus client processes.
+//!
+//! Panel (a) is the log-scale comparison at 16 servers; panels (b) and (c)
+//! are the Lustre and LWFS details per server count. Mean ± stddev over 5
+//! seeded trials.
+//!
+//! ```text
+//! cargo run --release -p lwfs-bench --bin figure10
+//! cargo run -p lwfs-bench --bin figure10 -- --smoke
+//! ```
+
+use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};
+use lwfs_models::{Calibration, CkptImpl, CreateSim, Machine};
+use lwfs_sim::Summary;
+use lwfs_workload::ExperimentGrid;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let grid = if smoke { ExperimentGrid::smoke() } else { ExperimentGrid::paper() };
+    let machine = Machine::dev_cluster();
+    let calib = Calibration::default();
+    let creates_per_client = 32;
+
+    println!(
+        "Figure 10: create throughput (ops/sec), {creates_per_client} creates/client, {} trials/point\n",
+        grid.trials
+    );
+
+    let mut csv = CsvOut::new(
+        "figure10",
+        &["impl", "servers", "clients", "ops_per_sec_mean", "ops_per_sec_sd"],
+    );
+    let mut measured: std::collections::HashMap<(CkptImpl, usize, usize), Summary> =
+        std::collections::HashMap::new();
+
+    for impl_kind in [CkptImpl::LustreFilePerProc, CkptImpl::LwfsObjPerProc] {
+        let panel = match impl_kind {
+            CkptImpl::LustreFilePerProc => "(b) Lustre File Creation",
+            _ => "(c) LWFS Object Creation",
+        };
+        println!("== {panel} ==");
+        let mut header = vec!["clients".to_string()];
+        header.extend(grid.server_counts.iter().map(|s| format!("{s} servers (ops/s)")));
+        let mut table = Table::from_header(header);
+
+        for &clients in &grid.client_counts {
+            let mut cells = vec![clients.to_string()];
+            for &servers in &grid.server_counts {
+                let mut summary = Summary::new();
+                for trial in 0..grid.trials {
+                    let sim = CreateSim {
+                        machine: machine.clone(),
+                        calib: calib.clone(),
+                        impl_kind,
+                        clients,
+                        servers,
+                        creates_per_client,
+                    };
+                    summary.add(sim.run(0xF16_0010 ^ trial).ops_per_sec);
+                }
+                cells.push(pm(summary.mean(), summary.stddev()));
+                csv.row(&[
+                    impl_kind.label().to_string(),
+                    servers.to_string(),
+                    clients.to_string(),
+                    format!("{:.1}", summary.mean()),
+                    format!("{:.2}", summary.stddev()),
+                ]);
+                measured.insert((impl_kind, servers, clients), summary);
+            }
+            table.row(&cells);
+        }
+        table.print();
+        println!();
+    }
+
+    // Panel (a): the log-plot comparison at the largest server count.
+    let top_servers = *grid.server_counts.last().unwrap();
+    let max_clients = *grid.client_counts.last().unwrap();
+    println!("== (a) LWFS vs Lustre at {top_servers} servers (log scale in the paper) ==");
+    let mut table = Table::new(&["clients", "Lustre (ops/s)", "LWFS (ops/s)", "factor"]);
+    for &clients in &grid.client_counts {
+        let lustre = measured[&(CkptImpl::LustreFilePerProc, top_servers, clients)].mean();
+        let lwfs = measured[&(CkptImpl::LwfsObjPerProc, top_servers, clients)].mean();
+        table.row(&[
+            clients.to_string(),
+            format!("{lustre:.0}"),
+            format!("{lwfs:.0}"),
+            format!("{:.0}x", lwfs / lustre),
+        ]);
+    }
+    table.print();
+
+    // Shape checks against the paper's panels.
+    let mut shapes = ShapeCheck::new();
+    let get = |k: CkptImpl, s: usize, c: usize| measured[&(k, s, c)].mean();
+
+    // (b): Lustre saturates at a few hundred ops/s, roughly independent of
+    // server count (paper y-axis tops at 900).
+    for &servers in &grid.server_counts {
+        shapes.check_range(
+            &format!("Lustre ceiling @{servers} servers (paper: 400-900 ops/s)"),
+            get(CkptImpl::LustreFilePerProc, servers, max_clients),
+            400.0,
+            900.0,
+        );
+    }
+    // (c): LWFS scales with server count; 16-server curve reaches tens of
+    // thousands (paper y-axis tops at 70000).
+    if grid.server_counts.contains(&16) {
+        shapes.check_range(
+            "LWFS @16 servers, max clients (paper: ~40000-70000 ops/s)",
+            get(CkptImpl::LwfsObjPerProc, 16, max_clients),
+            40_000.0,
+            70_000.0,
+        );
+    }
+    let mut prev = 0.0;
+    let mut ordered = true;
+    for &servers in &grid.server_counts {
+        let v = get(CkptImpl::LwfsObjPerProc, servers, max_clients);
+        ordered &= v > prev;
+        prev = v;
+    }
+    shapes.check("LWFS curves fan out by server count (panel c)", ordered);
+
+    // (a): one-to-two orders of magnitude separation at scale.
+    let factor = get(CkptImpl::LwfsObjPerProc, top_servers, max_clients)
+        / get(CkptImpl::LustreFilePerProc, top_servers, max_clients);
+    shapes.check_range(
+        "LWFS/Lustre factor at max scale (paper log plot: ~10-100x)",
+        factor,
+        10.0,
+        200.0,
+    );
+
+    let ok = shapes.report();
+    match csv.finish() {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

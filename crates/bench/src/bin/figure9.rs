@@ -1,0 +1,134 @@
+//! Regenerate **Figure 9**: checkpoint dump throughput (MB/s) as a
+//! function of client processes, for the three implementations and
+//! 2/4/8/16 storage servers — 512 MB per process, mean ± stddev over 5
+//! seeded trials, exactly the paper's protocol.
+//!
+//! ```text
+//! cargo run --release -p lwfs-bench --bin figure9          # full grid
+//! cargo run -p lwfs-bench --bin figure9 -- --smoke          # quick grid
+//! ```
+
+use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};
+use lwfs_models::{Calibration, CkptImpl, DumpSim, Machine};
+use lwfs_sim::Summary;
+use lwfs_workload::ExperimentGrid;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let grid = if smoke { ExperimentGrid::smoke() } else { ExperimentGrid::paper() };
+    let machine = Machine::dev_cluster();
+    let calib = Calibration::default();
+    let bytes_per_client = 512 * 1_000_000u64;
+
+    println!(
+        "Figure 9: checkpoint dump throughput, {} per process, {} trials/point\n",
+        "512 MB", grid.trials
+    );
+
+    let mut csv = CsvOut::new(
+        "figure9",
+        &["impl", "servers", "clients", "throughput_mbps_mean", "throughput_mbps_sd"],
+    );
+    // measured[impl][servers][clients] -> Summary
+    let mut measured: std::collections::HashMap<(CkptImpl, usize, usize), Summary> =
+        std::collections::HashMap::new();
+
+    for impl_kind in CkptImpl::all() {
+        println!("== {} ==", impl_kind.label());
+        let mut header = vec!["clients".to_string()];
+        header.extend(grid.server_counts.iter().map(|s| format!("{s} servers (MB/s)")));
+        let mut table = Table::from_header(header);
+
+        for &clients in &grid.client_counts {
+            let mut cells = vec![clients.to_string()];
+            for &servers in &grid.server_counts {
+                let mut summary = Summary::new();
+                for trial in 0..grid.trials {
+                    let sim = DumpSim {
+                        machine: machine.clone(),
+                        calib: calib.clone(),
+                        impl_kind,
+                        clients,
+                        servers,
+                        bytes_per_client,
+                    };
+                    let r = sim.run(0xF19_0009 ^ trial);
+                    summary.add(r.throughput_mbps);
+                }
+                cells.push(pm(summary.mean(), summary.stddev()));
+                csv.row(&[
+                    impl_kind.label().to_string(),
+                    servers.to_string(),
+                    clients.to_string(),
+                    format!("{:.1}", summary.mean()),
+                    format!("{:.2}", summary.stddev()),
+                ]);
+                measured.insert((impl_kind, servers, clients), summary);
+            }
+            table.row(&cells);
+        }
+        table.print();
+        println!();
+    }
+
+    // Shape checks against the paper's Figure 9.
+    let max_clients = *grid.client_counts.last().unwrap();
+    let mut shapes = ShapeCheck::new();
+    let get = |k: CkptImpl, s: usize, c: usize| measured[&(k, s, c)].mean();
+
+    if grid.server_counts.contains(&16) {
+        // Plateaus at 16 servers ≈ 1.4–1.6 GB/s in the paper's panels for
+        // LWFS and file-per-process.
+        shapes.check_range(
+            "LWFS plateau @16 servers (paper ~1400-1600 MB/s)",
+            get(CkptImpl::LwfsObjPerProc, 16, max_clients),
+            1200.0,
+            1650.0,
+        );
+        shapes.check_range(
+            "file-per-process plateau @16 servers (paper ~1400-1600 MB/s)",
+            get(CkptImpl::LustreFilePerProc, 16, max_clients),
+            1200.0,
+            1650.0,
+        );
+    }
+    for &servers in &grid.server_counts {
+        let fpp = get(CkptImpl::LustreFilePerProc, servers, max_clients);
+        let shared = get(CkptImpl::LustreShared, servers, max_clients);
+        shapes.check_range(
+            &format!("shared-file / file-per-process @{servers} servers (paper: ~0.5)"),
+            shared / fpp,
+            0.35,
+            0.65,
+        );
+        let lwfs = get(CkptImpl::LwfsObjPerProc, servers, max_clients);
+        shapes.check_range(
+            &format!("LWFS / file-per-process dump parity @{servers} servers (paper: ~1.0)"),
+            lwfs / fpp,
+            0.9,
+            1.15,
+        );
+    }
+    // Throughput grows with server count (the family ordering in every
+    // panel).
+    for impl_kind in CkptImpl::all() {
+        let mut prev = 0.0;
+        let mut monotone = true;
+        for &servers in &grid.server_counts {
+            let v = get(impl_kind, servers, max_clients);
+            monotone &= v > prev;
+            prev = v;
+        }
+        shapes.check(
+            format!("{}: curves ordered by server count", impl_kind.label()),
+            monotone,
+        );
+    }
+
+    let ok = shapes.report();
+    match csv.finish() {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

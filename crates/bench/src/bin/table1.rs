@@ -1,0 +1,52 @@
+//! Regenerate **Table 1**: compute and I/O nodes for MPPs at the DOE
+//! laboratories, with the compute:I/O ratio.
+//!
+//! ```text
+//! cargo run -p lwfs-bench --bin table1
+//! ```
+
+use lwfs_bench::{CsvOut, ShapeCheck, Table};
+use lwfs_models::Machine;
+
+fn main() {
+    println!("Table 1: Compute and I/O nodes for MPPs at the DOE laboratories\n");
+
+    let paper_ratios = [58.0, 62.0, 41.0, 64.0];
+    let mut table = Table::new(&["Computer", "Compute Nodes", "I/O Nodes", "Ratio"]);
+    let mut csv = CsvOut::new("table1", &["machine", "compute_nodes", "io_nodes", "ratio"]);
+    let mut shapes = ShapeCheck::new();
+
+    for (machine, paper) in Machine::table1().iter().zip(paper_ratios) {
+        let ratio = machine.ratio();
+        table.row(&[
+            machine.name.to_string(),
+            machine.compute_nodes.to_string(),
+            machine.io_nodes.to_string(),
+            format!("{:.0}:1", ratio),
+        ]);
+        csv.row(&[
+            machine.name.to_string(),
+            machine.compute_nodes.to_string(),
+            machine.io_nodes.to_string(),
+            format!("{ratio:.2}"),
+        ]);
+        shapes.check_range(
+            &format!("{} ratio vs paper {paper:.0}:1", machine.name),
+            ratio,
+            paper - 1.0,
+            paper + 1.0,
+        );
+    }
+    table.print();
+    shapes.check(
+        "compute nodes outnumber I/O nodes by 1–2 orders of magnitude (§2.1)",
+        Machine::table1().iter().all(|m| m.ratio() >= 10.0 && m.ratio() <= 100.0),
+    );
+
+    let ok = shapes.report();
+    match csv.finish() {
+        Ok(path) => println!("\nCSV written to {}", path.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,164 @@
+//! The two traditional-PFS checkpoint implementations of §4.
+//!
+//! * **File-per-process**: every rank creates its own file. "The bandwidth
+//!   scales well, but the limiting factor is the time to create the
+//!   checkpoint files. Since every file-create request goes through the
+//!   centralized metadata server, the performance is always limited to the
+//!   throughput in operations/second of the metadata server."
+//! * **Shared file**: one file, rank-sized non-overlapping regions. "Even
+//!   though the processors write their process state to non-overlapping
+//!   regions, the file system's consistency and synchronization semantics
+//!   get in the way, severely limiting the throughput."
+
+use std::time::Instant;
+
+use lwfs_core::LwfsClient;
+use lwfs_pfs::{OpenMode, PfsClient};
+use lwfs_portals::Group;
+use lwfs_proto::{Error, Result};
+
+use crate::CkptReport;
+
+/// Which traditional implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfsStyle {
+    FilePerProcess,
+    SharedFile,
+}
+
+impl PfsStyle {
+    pub fn label(self) -> &'static str {
+        match self {
+            PfsStyle::FilePerProcess => "lustre-file-per-process",
+            PfsStyle::SharedFile => "lustre-shared-file",
+        }
+    }
+}
+
+/// Per-rank PFS checkpoint driver.
+pub struct PfsCheckpointer<'a> {
+    pfs: &'a PfsClient,
+    group: Group,
+    rank: usize,
+    style: PfsStyle,
+    path_prefix: String,
+    /// Stripe configuration decided by the application (the MDS would
+    /// apply defaults otherwise).
+    stripe_count: u32,
+    stripe_size: u64,
+    tag_base: u64,
+}
+
+impl<'a> PfsCheckpointer<'a> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pfs: &'a PfsClient,
+        group: Group,
+        rank: usize,
+        style: PfsStyle,
+        path_prefix: impl Into<String>,
+        stripe_count: u32,
+        stripe_size: u64,
+    ) -> Self {
+        Self {
+            pfs,
+            group,
+            rank,
+            style,
+            path_prefix: path_prefix.into(),
+            stripe_count,
+            stripe_size,
+            tag_base: 0x0F11,
+        }
+    }
+
+    fn lwfs(&self) -> &LwfsClient {
+        self.pfs.lwfs()
+    }
+
+    fn shared_path(&self, epoch: u64) -> String {
+        format!("{}/{epoch:06}", self.path_prefix)
+    }
+
+    fn fpp_path(&self, epoch: u64, rank: usize) -> String {
+        format!("{}/{epoch:06}.rank{rank:05}", self.path_prefix)
+    }
+
+    /// One checkpoint epoch. `state` is this rank's process state.
+    pub fn checkpoint(&self, epoch: u64, state: &[u8]) -> Result<CkptReport> {
+        match self.style {
+            PfsStyle::FilePerProcess => self.checkpoint_fpp(epoch, state),
+            PfsStyle::SharedFile => self.checkpoint_shared(epoch, state),
+        }
+    }
+
+    fn checkpoint_fpp(&self, epoch: u64, state: &[u8]) -> Result<CkptReport> {
+        // Every rank's create funnels through the MDS — the serialized
+        // phase Figure 10 measures.
+        let t0 = Instant::now();
+        let mut file = self.pfs.create(
+            &self.fpp_path(epoch, self.rank),
+            self.stripe_count,
+            self.stripe_size,
+            OpenMode::Private,
+        )?;
+        let create_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        self.pfs.write(&mut file, 0, state)?;
+        self.pfs.sync(&file)?;
+        self.pfs.close(file)?;
+        let dump_secs = t1.elapsed().as_secs_f64();
+        Ok(CkptReport { create_secs, dump_secs, bytes: state.len() as u64 })
+    }
+
+    fn checkpoint_shared(&self, epoch: u64, state: &[u8]) -> Result<CkptReport> {
+        let tag = self.tag_base + epoch * 4;
+        let path = self.shared_path(epoch);
+
+        // Rank 0 creates the single shared file; everyone else waits at the
+        // barrier, then opens.
+        let t0 = Instant::now();
+        if self.rank == 0 {
+            self.pfs
+                .create(&path, self.stripe_count, self.stripe_size, OpenMode::Shared)?;
+        }
+        self.lwfs().barrier(&self.group, self.rank, tag)?;
+        let mut file = self.pfs.open(&path, OpenMode::Shared)?;
+        let create_secs = t0.elapsed().as_secs_f64();
+
+        // Non-overlapping region per rank — and the lock manager still
+        // serializes writes that land on the same stripe objects.
+        let offset = self.rank as u64 * state.len() as u64;
+        let t1 = Instant::now();
+        self.pfs.write(&mut file, offset, state)?;
+        self.pfs.sync(&file)?;
+        self.pfs.close(file)?;
+        let dump_secs = t1.elapsed().as_secs_f64();
+        Ok(CkptReport { create_secs, dump_secs, bytes: state.len() as u64 })
+    }
+
+    /// Restore this rank's state from checkpoint `epoch`.
+    ///
+    /// Region sizes must match what was written (`len` per rank), as is
+    /// standard for defensive checkpoint formats with fixed-size state.
+    pub fn restore(&self, epoch: u64, len: usize) -> Result<Vec<u8>> {
+        match self.style {
+            PfsStyle::FilePerProcess => {
+                let file = self.pfs.open(&self.fpp_path(epoch, self.rank), OpenMode::Private)?;
+                self.pfs.read(&file, 0, len)
+            }
+            PfsStyle::SharedFile => {
+                let file = self.pfs.open(&self.shared_path(epoch), OpenMode::Private)?;
+                let data = self.pfs.read(&file, self.rank as u64 * len as u64, len)?;
+                if data.len() != len {
+                    return Err(Error::Internal(format!(
+                        "short restore: wanted {len}, got {}",
+                        data.len()
+                    )));
+                }
+                Ok(data)
+            }
+        }
+    }
+}

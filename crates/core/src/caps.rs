@@ -1,0 +1,146 @@
+//! Capability sets.
+//!
+//! The authorization service issues one capability per operation bit
+//! (enabling partial revocation, §3.1.4), so an application usually holds a
+//! small set per container. `CapSet` selects the right capability for each
+//! operation and serializes compactly for the log-tree scatter of
+//! Figure 4-a.
+
+use bytes::Bytes;
+use lwfs_proto::{Capability, ContainerId, Decode as _, Encode as _, Error, OpMask, Result};
+
+/// A process's capabilities for one container.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CapSet {
+    caps: Vec<Capability>,
+}
+
+impl CapSet {
+    pub fn new(caps: Vec<Capability>) -> Self {
+        Self { caps }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Merge in newly acquired capabilities.
+    pub fn extend(&mut self, caps: impl IntoIterator<Item = Capability>) {
+        self.caps.extend(caps);
+    }
+
+    /// The capability granting `op` (the first one claiming every bit).
+    pub fn for_op(&self, op: OpMask) -> Result<Capability> {
+        self.caps
+            .iter()
+            .find(|c| c.grants(op))
+            .copied()
+            .ok_or(Error::AccessDenied)
+    }
+
+    /// The container these capabilities govern (errors on an empty or
+    /// mixed set — a `CapSet` is per-container by construction).
+    pub fn container(&self) -> Result<ContainerId> {
+        let first = self.caps.first().ok_or(Error::AccessDenied)?.container();
+        if self.caps.iter().any(|c| c.container() != first) {
+            return Err(Error::Internal("mixed-container capability set".into()));
+        }
+        Ok(first)
+    }
+
+    /// Union of all claimed operations.
+    pub fn ops(&self) -> OpMask {
+        self.caps.iter().fold(OpMask::NONE, |acc, c| acc | c.ops())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Capability> {
+        self.caps.iter()
+    }
+
+    /// Serialize for the scatter step (capabilities are fully transferable;
+    /// the wire form is just their codec encoding).
+    pub fn to_wire(&self) -> Bytes {
+        self.caps.to_bytes()
+    }
+
+    /// Deserialize a scattered capability set.
+    pub fn from_wire(data: Bytes) -> Result<Self> {
+        Ok(Self { caps: Vec::<Capability>::from_bytes(data)? })
+    }
+}
+
+impl FromIterator<Capability> for CapSet {
+    fn from_iter<T: IntoIterator<Item = Capability>>(iter: T) -> Self {
+        Self { caps: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwfs_proto::{CapabilityBody, Lifetime, PrincipalId, Signature};
+
+    fn cap(container: u64, ops: OpMask, serial: u64) -> Capability {
+        Capability {
+            body: CapabilityBody {
+                container: ContainerId(container),
+                ops,
+                principal: PrincipalId(1),
+                issuer_epoch: 1,
+                lifetime: Lifetime::UNBOUNDED,
+                serial,
+            },
+            sig: Signature([serial as u8; 16]),
+        }
+    }
+
+    #[test]
+    fn for_op_selects_the_right_capability() {
+        let set = CapSet::new(vec![cap(1, OpMask::READ, 1), cap(1, OpMask::WRITE, 2)]);
+        assert_eq!(set.for_op(OpMask::WRITE).unwrap().body.serial, 2);
+        assert_eq!(set.for_op(OpMask::READ).unwrap().body.serial, 1);
+        assert_eq!(set.for_op(OpMask::ADMIN).unwrap_err(), Error::AccessDenied);
+    }
+
+    #[test]
+    fn container_of_uniform_set() {
+        let set = CapSet::new(vec![cap(7, OpMask::READ, 1), cap(7, OpMask::WRITE, 2)]);
+        assert_eq!(set.container().unwrap(), ContainerId(7));
+        assert_eq!(set.ops(), OpMask::READ | OpMask::WRITE);
+    }
+
+    #[test]
+    fn mixed_container_set_is_an_error() {
+        let set = CapSet::new(vec![cap(1, OpMask::READ, 1), cap(2, OpMask::WRITE, 2)]);
+        assert!(set.container().is_err());
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let set = CapSet::default();
+        assert!(set.is_empty());
+        assert!(set.for_op(OpMask::READ).is_err());
+        assert!(set.container().is_err());
+        assert_eq!(set.ops(), OpMask::NONE);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let set = CapSet::new(vec![cap(1, OpMask::READ, 1), cap(1, OpMask::CREATE, 2)]);
+        let wire = set.to_wire();
+        let back = CapSet::from_wire(wire).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut set = CapSet::new(vec![cap(1, OpMask::READ, 1)]);
+        set.extend([cap(1, OpMask::WRITE, 2)]);
+        assert_eq!(set.len(), 2);
+        assert!(set.for_op(OpMask::WRITE).is_ok());
+    }
+}

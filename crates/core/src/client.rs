@@ -1,0 +1,573 @@
+//! The LWFS-core client API.
+//!
+//! One `LwfsClient` per application process. Method names track the
+//! pseudocode of Figure 8 (`get_cred`, `create_container`, `get_caps`,
+//! `create_obj`, …). Bulk I/O uses the server-directed protocol: the client
+//! posts a memory descriptor and sends a small request; the storage server
+//! pulls or pushes the data one-sidedly.
+//!
+//! Distribution policy is deliberately **absent** (paper §3: "expose the
+//! parallelism of the storage servers to clients to allow for efficient
+//! data access and control over data distribution"): every data call names
+//! the storage server explicitly by index; layering crates (checkpoint,
+//! PFS) implement their own placement.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lwfs_portals::{
+    collective, Endpoint, Group, MdOptions, MemDesc, RpcClient, BULK_SPACE,
+};
+use lwfs_proto::{
+    ContainerId, Credential, Error, LockId, LockMode, LockResource, MdHandle, ObjAttr,
+    ObjId, OpMask, ProcessId, ReplyBody, RequestBody, Result, TxnId,
+};
+use lwfs_txn::{Coordinator, TxnOutcome};
+
+use crate::caps::CapSet;
+use crate::cluster::ClusterAddrs;
+
+/// An application process's handle on the LWFS services.
+pub struct LwfsClient {
+    ep: Endpoint,
+    opnum: Arc<AtomicU64>,
+    addrs: ClusterAddrs,
+    cred: Option<Credential>,
+    rpc_timeout: std::time::Duration,
+}
+
+impl LwfsClient {
+    pub fn new(ep: Endpoint, addrs: ClusterAddrs) -> Self {
+        Self {
+            ep,
+            opnum: Arc::new(AtomicU64::new(1)),
+            addrs,
+            cred: None,
+            rpc_timeout: std::time::Duration::from_secs(5),
+        }
+    }
+
+    /// Change how long each RPC waits for its reply (default 5 s). Tests
+    /// that inject message loss lower this so retries converge quickly.
+    pub fn set_rpc_timeout(&mut self, timeout: std::time::Duration) {
+        self.rpc_timeout = timeout;
+    }
+
+    pub fn id(&self) -> ProcessId {
+        self.ep.id()
+    }
+
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    pub fn addrs(&self) -> &ClusterAddrs {
+        &self.addrs
+    }
+
+    /// Number of storage servers visible to this client.
+    pub fn storage_count(&self) -> usize {
+        self.addrs.storage.len()
+    }
+
+    fn rpc(&self) -> RpcClient<'_> {
+        let mut rpc = RpcClient::with_counter(&self.ep, Arc::clone(&self.opnum));
+        rpc.reply_timeout = self.rpc_timeout;
+        rpc
+    }
+
+    fn cred(&self) -> Result<Credential> {
+        self.cred.ok_or(Error::BadCredential)
+    }
+
+    // ------------------------------------------------------------------
+    // Authentication (Figure 8: GETCREDS)
+    // ------------------------------------------------------------------
+
+    /// Exchange an external-mechanism token for a credential and remember
+    /// it.
+    pub fn get_cred(&mut self, mechanism_token: Vec<u8>) -> Result<Credential> {
+        match self.rpc().call(self.addrs.auth, RequestBody::GetCred { mechanism_token })? {
+            ReplyBody::Cred(cred) => {
+                self.cred = Some(cred);
+                Ok(cred)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Adopt a credential obtained by another process (credentials are
+    /// fully transferable, §3.1.2).
+    pub fn adopt_cred(&mut self, cred: Credential) {
+        self.cred = Some(cred);
+    }
+
+    /// The credential this client currently holds, if authenticated.
+    pub fn current_cred(&self) -> Option<Credential> {
+        self.cred
+    }
+
+    /// Revoke this process's credential (application shutdown).
+    pub fn revoke_cred(&mut self) -> Result<()> {
+        let cred = self.cred()?;
+        match self.rpc().call(self.addrs.auth, RequestBody::RevokeCred { cred })? {
+            ReplyBody::CredRevoked => {
+                self.cred = None;
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Authorization (Figure 8: CREATECONTAINER / GETCAPS)
+    // ------------------------------------------------------------------
+
+    pub fn create_container(&self) -> Result<ContainerId> {
+        let cred = self.cred()?;
+        match self.rpc().call(self.addrs.authz, RequestBody::CreateContainer { cred })? {
+            ReplyBody::ContainerCreated(cid) => Ok(cid),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn get_caps(&self, container: ContainerId, ops: OpMask) -> Result<CapSet> {
+        let cred = self.cred()?;
+        match self
+            .rpc()
+            .call(self.addrs.authz, RequestBody::GetCaps { cred, container, ops })?
+        {
+            ReplyBody::Caps(caps) => Ok(CapSet::new(caps)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Change a container's policy (requires an ADMIN capability in
+    /// `caps`): grant and/or revoke operations for `principal`.
+    pub fn mod_policy(
+        &self,
+        caps: &CapSet,
+        principal: lwfs_proto::PrincipalId,
+        grant: OpMask,
+        revoke: OpMask,
+    ) -> Result<()> {
+        let cap = caps.for_op(OpMask::ADMIN)?;
+        match self.rpc().call(
+            self.addrs.authz,
+            RequestBody::ModPolicy {
+                cap,
+                container: cap.container(),
+                principal,
+                grant,
+                revoke,
+            },
+        )? {
+            ReplyBody::PolicyChanged { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Re-acquire a capability set covering the same container and
+    /// operations, using this process's credential.
+    ///
+    /// §5 contrasts LWFS with NASD here: "NASD does not automatically
+    /// refresh expired capabilities … for operations like a checkpoint,
+    /// with large gaps between file accesses, the cost of re-acquiring
+    /// expired capabilities is still a problem." In LWFS the refresh is a
+    /// single `GetCaps` RPC per *process* (any rank may do it with the
+    /// transferable credential) — never an O(n) storm at one server,
+    /// because ranks that share a set can re-scatter it instead.
+    pub fn refresh_caps(&self, stale: &CapSet) -> Result<CapSet> {
+        let container = stale.container()?;
+        self.get_caps(container, stale.ops())
+    }
+
+    /// Run `op` with `caps`, transparently refreshing the set and retrying
+    /// once if the capabilities have expired mid-run (long compute phases
+    /// between checkpoints routinely outlive capability lifetimes).
+    pub fn with_fresh_caps<T>(
+        &self,
+        caps: &mut CapSet,
+        mut op: impl FnMut(&CapSet) -> Result<T>,
+    ) -> Result<T> {
+        match op(caps) {
+            Err(Error::CapabilityExpired) => {
+                *caps = self.refresh_caps(caps)?;
+                op(caps)
+            }
+            other => other,
+        }
+    }
+
+    /// Distribute capabilities across an SPMD group with the log-tree
+    /// scatter of Figure 4-a step 3. Rank `root` passes `Some(caps)`; all
+    /// ranks receive the set.
+    pub fn scatter_caps(
+        &self,
+        group: &Group,
+        rank: usize,
+        root: usize,
+        tag: u64,
+        caps: Option<&CapSet>,
+    ) -> Result<CapSet> {
+        let payload = caps.map(|c| c.to_wire());
+        let wire = collective::broadcast(&self.ep, group, rank, root, tag, payload)?;
+        CapSet::from_wire(wire)
+    }
+
+    /// Broadcast raw bytes across an SPMD group (log tree). Rank `root`
+    /// passes `Some(data)`; every rank receives the payload.
+    pub fn broadcast(
+        &self,
+        group: &Group,
+        rank: usize,
+        root: usize,
+        tag: u64,
+        data: Option<Bytes>,
+    ) -> Result<Bytes> {
+        collective::broadcast(&self.ep, group, rank, root, tag, data)
+    }
+
+    /// Personalized all-to-all across an SPMD group: element `j` of `data`
+    /// goes to rank `j`; the result is indexed by source rank. The shuffle
+    /// step of two-phase collective I/O.
+    pub fn exchange(
+        &self,
+        group: &Group,
+        rank: usize,
+        tag: u64,
+        data: Vec<Bytes>,
+    ) -> Result<Vec<Bytes>> {
+        collective::all_to_all(&self.ep, group, rank, tag, data)
+    }
+
+    /// Barrier across an SPMD group (checkpoint epochs use this).
+    pub fn barrier(&self, group: &Group, rank: usize, tag: u64) -> Result<()> {
+        collective::barrier(&self.ep, group, rank, tag)
+    }
+
+    /// Gather per-rank byte blobs to `root` (metadata collection in
+    /// Figure 8's GATHERMETADATA).
+    pub fn gather(
+        &self,
+        group: &Group,
+        rank: usize,
+        root: usize,
+        tag: u64,
+        data: Bytes,
+    ) -> Result<Option<Vec<Bytes>>> {
+        collective::gather(&self.ep, group, rank, root, tag, data)
+    }
+
+    // ------------------------------------------------------------------
+    // Object I/O (Figure 8: CREATEOBJ / DUMPSTATE; §3.2 data movement)
+    // ------------------------------------------------------------------
+
+    fn storage_addr(&self, server: usize) -> Result<ProcessId> {
+        self.addrs
+            .storage
+            .get(server)
+            .copied()
+            .ok_or_else(|| Error::Internal(format!("no storage server {server}")))
+    }
+
+    /// Create an object on storage server `server`.
+    pub fn create_obj(
+        &self,
+        server: usize,
+        caps: &CapSet,
+        txn: Option<TxnId>,
+        want: Option<ObjId>,
+    ) -> Result<ObjId> {
+        let cap = caps.for_op(OpMask::CREATE)?;
+        match self.rpc().call_retrying(
+            self.storage_addr(server)?,
+            RequestBody::CreateObj { txn, cap, obj: want },
+        )? {
+            ReplyBody::ObjCreated(oid) => Ok(oid),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn remove_obj(
+        &self,
+        server: usize,
+        caps: &CapSet,
+        txn: Option<TxnId>,
+        obj: ObjId,
+    ) -> Result<()> {
+        let cap = caps.for_op(OpMask::REMOVE)?;
+        match self
+            .rpc()
+            .call_retrying(self.storage_addr(server)?, RequestBody::RemoveObj { txn, cap, obj })?
+        {
+            ReplyBody::ObjRemoved => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Write `data` at `offset`: post the payload as a memory descriptor
+    /// and let the server pull it (Figure 6).
+    pub fn write(
+        &self,
+        server: usize,
+        caps: &CapSet,
+        txn: Option<TxnId>,
+        obj: ObjId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<u64> {
+        let cap = caps.for_op(OpMask::WRITE)?;
+        let mb = self.ep.match_bits().alloc(BULK_SPACE);
+        self.ep
+            .post_md(mb, MemDesc::from_vec(data.to_vec(), MdOptions::for_remote_get()))?;
+        let result = self.rpc().call_retrying(
+            self.storage_addr(server)?,
+            RequestBody::Write {
+                txn,
+                cap,
+                obj,
+                offset,
+                len: data.len() as u64,
+                md: MdHandle { match_bits: mb },
+            },
+        );
+        self.ep.unlink_md(mb);
+        match result? {
+            ReplyBody::WriteDone { len } => Ok(len),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Read up to `len` bytes at `offset`: post a writable descriptor and
+    /// let the server push into it.
+    pub fn read(
+        &self,
+        server: usize,
+        caps: &CapSet,
+        obj: ObjId,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let cap = caps.for_op(OpMask::READ)?;
+        let mb = self.ep.match_bits().alloc(BULK_SPACE);
+        self.ep.post_md(mb, MemDesc::zeroed(len, MdOptions::for_remote_put()))?;
+        let result = self.rpc().call_retrying(
+            self.storage_addr(server)?,
+            RequestBody::Read {
+                cap,
+                obj,
+                offset,
+                len: len as u64,
+                md: MdHandle { match_bits: mb },
+            },
+        );
+        let md = self.ep.unlink_md(mb).ok_or_else(|| {
+            Error::Internal("read descriptor vanished during transfer".into())
+        })?;
+        match result? {
+            ReplyBody::ReadDone { len } => {
+                let mut data = md.snapshot();
+                data.truncate(len as usize);
+                Ok(data)
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Filtered read (the §6 remote-processing extension): the server
+    /// applies `filter` to the byte range and pushes only the result.
+    /// Returns `(result_bytes, input_bytes_scanned)`.
+    pub fn read_filtered(
+        &self,
+        server: usize,
+        caps: &CapSet,
+        obj: ObjId,
+        offset: u64,
+        len: usize,
+        filter: lwfs_proto::FilterSpec,
+    ) -> Result<(Vec<u8>, u64)> {
+        let cap = caps.for_op(OpMask::READ)?;
+        let mb = self.ep.match_bits().alloc(BULK_SPACE);
+        // The result is never larger than the scanned range (all filters
+        // are contractive), so a `len`-sized landing buffer suffices.
+        self.ep.post_md(mb, MemDesc::zeroed(len.max(16), MdOptions::for_remote_put()))?;
+        let result = self.rpc().call_retrying(
+            self.storage_addr(server)?,
+            RequestBody::ReadFiltered {
+                cap,
+                obj,
+                offset,
+                len: len as u64,
+                filter,
+                md: MdHandle { match_bits: mb },
+            },
+        );
+        let md = self.ep.unlink_md(mb).ok_or_else(|| {
+            Error::Internal("filtered-read descriptor vanished during transfer".into())
+        })?;
+        match result? {
+            ReplyBody::FilteredDone { len, scanned } => {
+                let mut data = md.snapshot();
+                data.truncate(len as usize);
+                Ok((data, scanned))
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn getattr(&self, server: usize, caps: &CapSet, obj: ObjId) -> Result<ObjAttr> {
+        let cap = caps.for_op(OpMask::GETATTR)?;
+        match self
+            .rpc()
+            .call_retrying(self.storage_addr(server)?, RequestBody::GetAttr { cap, obj })?
+        {
+            ReplyBody::Attr(attr) => Ok(attr),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Flush an object (or everything) on a storage server.
+    pub fn sync(&self, server: usize, caps: &CapSet, obj: Option<ObjId>) -> Result<()> {
+        let cap = caps.for_op(OpMask::WRITE)?;
+        match self
+            .rpc()
+            .call_retrying(self.storage_addr(server)?, RequestBody::Sync { cap, obj })?
+        {
+            ReplyBody::Synced => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn list_objs(&self, server: usize, caps: &CapSet) -> Result<Vec<ObjId>> {
+        let cap = caps.for_op(OpMask::GETATTR)?;
+        match self
+            .rpc()
+            .call_retrying(self.storage_addr(server)?, RequestBody::ListObjs { cap })?
+        {
+            ReplyBody::Objs(objs) => Ok(objs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Naming (client extension)
+    // ------------------------------------------------------------------
+
+    pub fn name_create(
+        &self,
+        txn: Option<TxnId>,
+        path: &str,
+        container: ContainerId,
+        obj: ObjId,
+    ) -> Result<()> {
+        match self.rpc().call(
+            self.addrs.naming,
+            RequestBody::NameCreate { txn, path: path.to_string(), container, obj },
+        )? {
+            ReplyBody::NameCreated => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn name_lookup(&self, path: &str) -> Result<(ContainerId, ObjId)> {
+        match self
+            .rpc()
+            .call(self.addrs.naming, RequestBody::NameLookup { path: path.to_string() })?
+        {
+            ReplyBody::NameObj { container, obj } => Ok((container, obj)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn name_remove(&self, txn: Option<TxnId>, path: &str) -> Result<()> {
+        match self
+            .rpc()
+            .call(self.addrs.naming, RequestBody::NameRemove { txn, path: path.to_string() })?
+        {
+            ReplyBody::NameRemoved => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn name_list(&self, prefix: &str) -> Result<Vec<String>> {
+        match self
+            .rpc()
+            .call(self.addrs.naming, RequestBody::NameList { prefix: prefix.to_string() })?
+        {
+            ReplyBody::Names(names) => Ok(names),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions (Figure 8: BEGINTXN / ENDTXN) and locks (§3.4)
+    // ------------------------------------------------------------------
+
+    /// Allocate a transaction id.
+    pub fn txn_begin(&self) -> Result<TxnId> {
+        let cred = self.cred()?;
+        match self.rpc().call(self.addrs.txnlock, RequestBody::TxnBegin { cred })? {
+            ReplyBody::TxnStarted(txn) => Ok(txn),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Two-phase commit across `participants` (Figure 8: ENDTXN).
+    pub fn txn_commit(&self, txn: TxnId, participants: Vec<ProcessId>) -> Result<TxnOutcome> {
+        let rpc = self.rpc();
+        Coordinator::new(&rpc, participants).commit(txn)
+    }
+
+    /// Abort across `participants`.
+    pub fn txn_abort(&self, txn: TxnId, participants: Vec<ProcessId>) -> Result<()> {
+        let rpc = self.rpc();
+        Coordinator::new(&rpc, participants).abort(txn)
+    }
+
+    /// Acquire a lock; when `wait`, retries `WouldBlock` with backoff.
+    pub fn lock_acquire(
+        &self,
+        caps: &CapSet,
+        resource: LockResource,
+        mode: LockMode,
+        wait: bool,
+    ) -> Result<LockId> {
+        let cap = caps.for_op(OpMask::LOCK)?;
+        if wait {
+            let rpc = self.rpc();
+            lwfs_txn::server::acquire_lock_waiting(
+                &rpc,
+                self.addrs.txnlock,
+                cap,
+                resource,
+                mode,
+                u32::MAX,
+            )
+        } else {
+            match self.rpc().call(
+                self.addrs.txnlock,
+                RequestBody::LockAcquire { cap, resource, mode, wait: false },
+            )? {
+                ReplyBody::LockGranted(id) => Ok(id),
+                other => Err(unexpected(other)),
+            }
+        }
+    }
+
+    pub fn lock_release(&self, caps: &CapSet, lock: LockId) -> Result<()> {
+        let cap = caps.for_op(OpMask::LOCK)?;
+        match self
+            .rpc()
+            .call(self.addrs.txnlock, RequestBody::LockRelease { cap, lock })?
+        {
+            ReplyBody::LockReleased => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(body: ReplyBody) -> Error {
+    Error::Internal(format!("unexpected reply {body:?}"))
+}

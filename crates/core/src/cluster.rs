@@ -1,0 +1,275 @@
+//! In-process cluster bootstrap — Figures 1 and 3 as code.
+//!
+//! Node-id layout mirrors the partitioned architecture:
+//!
+//! | nid range  | partition                                          |
+//! |------------|----------------------------------------------------|
+//! | 0..1000    | compute nodes (application processes)              |
+//! | 1000       | authentication server                              |
+//! | 1001       | authorization server                               |
+//! | 1002       | naming server (client-extension service)           |
+//! | 1003       | transaction-id / lock server (client extension)    |
+//! | 1100..     | storage servers (one per simulated I/O node)       |
+
+use std::sync::Arc;
+
+use lwfs_auth::{
+    AuthConfig, AuthServer, AuthService, Clock, ManualClock, MockKerberos, WallClock,
+};
+use lwfs_authz::{AuthzConfig, AuthzServer, AuthzService, CachedCapVerifier, CredVerifier};
+use lwfs_naming::{Namespace, NamingServer};
+use lwfs_portals::{Network, NetworkConfig, ServiceHandle};
+use lwfs_proto::{PrincipalId, ProcessId};
+use lwfs_storage::{server::StorageHandle, StorageConfig, StorageServer};
+use lwfs_txn::{LockTable, TxnLockServer};
+
+use crate::client::LwfsClient;
+
+/// Well-known service addresses for a booted cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterAddrs {
+    pub auth: ProcessId,
+    pub authz: ProcessId,
+    pub naming: ProcessId,
+    pub txnlock: ProcessId,
+    pub storage: Vec<ProcessId>,
+}
+
+/// Cluster bootstrap configuration.
+pub struct ClusterConfig {
+    /// Number of storage servers (the paper's dev cluster ran 2–16).
+    pub storage_servers: usize,
+    /// Per-storage-server configuration.
+    pub storage: StorageConfig,
+    /// Use a hand-advanced clock (tests) instead of wall time.
+    pub manual_clock: bool,
+    /// Transport configuration.
+    pub network: NetworkConfig,
+    /// Override the authorization service's capability lifetime (protocol
+    /// nanoseconds). `None` keeps the 8-hour default. Tests drive expiry
+    /// with a manual clock and a short TTL.
+    pub capability_ttl_ns: Option<u64>,
+    /// Users to pre-register with the mock KDC: (name, password, principal).
+    pub users: Vec<(String, String, PrincipalId)>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            storage_servers: 4,
+            storage: StorageConfig::default(),
+            manual_clock: false,
+            network: NetworkConfig::default(),
+            capability_ttl_ns: None,
+            users: vec![("app".into(), "secret".into(), PrincipalId(1))],
+        }
+    }
+}
+
+/// A running in-process LWFS deployment.
+pub struct LwfsCluster {
+    net: Network,
+    addrs: ClusterAddrs,
+    kdc: Arc<MockKerberos>,
+    clock: Arc<dyn Clock>,
+    manual_clock: Option<ManualClock>,
+    auth_svc: Arc<AuthService>,
+    authz_svc: Arc<AuthzService>,
+    namespace: Arc<Namespace>,
+    locks: Arc<LockTable>,
+    storage_servers: Vec<Arc<StorageServer>>,
+    // Handles last: dropped (and joined) after the shared state above.
+    _auth: ServiceHandle,
+    _authz: ServiceHandle,
+    _naming: ServiceHandle,
+    _txnlock: ServiceHandle,
+    _storage: Vec<StorageHandle>,
+}
+
+impl LwfsCluster {
+    /// Boot every service of Figure 3.
+    pub fn boot(config: ClusterConfig) -> Self {
+        let net = Network::new(config.network.clone());
+
+        let manual = config.manual_clock.then(ManualClock::new);
+        let clock: Arc<dyn Clock> = match &manual {
+            Some(m) => Arc::new(m.clone()),
+            None => Arc::new(WallClock::new()),
+        };
+
+        // External authentication mechanism + authentication service.
+        let kdc = Arc::new(MockKerberos::new("LWFS.LOCAL", 0xFEED_F00D));
+        for (name, pw, principal) in &config.users {
+            kdc.add_user(name, pw, *principal);
+        }
+        let auth_id = ProcessId::new(1000, 0);
+        let (auth_handle, auth_svc) = AuthServer::spawn(
+            &net,
+            auth_id,
+            AuthService::new(
+                AuthConfig::default(),
+                Arc::clone(&kdc) as Arc<dyn lwfs_auth::AuthMechanism>,
+                Arc::clone(&clock),
+            ),
+        );
+
+        // Authorization service, trusting the authentication service
+        // (Figure 5's trust arrow).
+        let authz_id = ProcessId::new(1001, 0);
+        let (authz_handle, authz_svc) = AuthzServer::spawn(
+            &net,
+            authz_id,
+            AuthzService::new(
+                AuthzConfig {
+                    capability_ttl: config
+                        .capability_ttl_ns
+                        .unwrap_or(AuthzConfig::default().capability_ttl),
+                    ..Default::default()
+                },
+                Arc::new(Arc::clone(&auth_svc)) as Arc<dyn CredVerifier>,
+                Arc::clone(&clock),
+            ),
+        );
+
+        // Client-extension services.
+        let naming_id = ProcessId::new(1002, 0);
+        let (naming_handle, namespace) = NamingServer::spawn(&net, naming_id);
+        let txnlock_id = ProcessId::new(1003, 0);
+        let (txnlock_handle, locks) = TxnLockServer::spawn(&net, txnlock_id, None);
+
+        // Storage partition: every server enforces policy through its own
+        // verify-through cache bound to the authorization service.
+        let mut storage_handles = Vec::with_capacity(config.storage_servers);
+        let mut storage_servers = Vec::with_capacity(config.storage_servers);
+        let mut storage_addrs = Vec::with_capacity(config.storage_servers);
+        for i in 0..config.storage_servers {
+            let sid = ProcessId::new(1100 + i as u32, 0);
+            let verifier = CachedCapVerifier::new(sid, authz_id);
+            let (h, s) = StorageServer::spawn(
+                &net,
+                sid,
+                config.storage.clone(),
+                Some(verifier),
+                Arc::clone(&clock),
+            );
+            storage_handles.push(h);
+            storage_servers.push(s);
+            storage_addrs.push(sid);
+        }
+
+        LwfsCluster {
+            net,
+            addrs: ClusterAddrs {
+                auth: auth_id,
+                authz: authz_id,
+                naming: naming_id,
+                txnlock: txnlock_id,
+                storage: storage_addrs,
+            },
+            kdc,
+            clock,
+            manual_clock: manual,
+            auth_svc,
+            authz_svc,
+            namespace,
+            locks,
+            storage_servers,
+            _auth: auth_handle,
+            _authz: authz_handle,
+            _naming: naming_handle,
+            _txnlock: txnlock_handle,
+            _storage: storage_handles,
+        }
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn addrs(&self) -> &ClusterAddrs {
+        &self.addrs
+    }
+
+    pub fn kdc(&self) -> &MockKerberos {
+        &self.kdc
+    }
+
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The manual clock, when booted with `manual_clock: true`.
+    pub fn manual_clock(&self) -> Option<&ManualClock> {
+        self.manual_clock.as_ref()
+    }
+
+    pub fn auth_service(&self) -> &Arc<AuthService> {
+        &self.auth_svc
+    }
+
+    pub fn authz_service(&self) -> &Arc<AuthzService> {
+        &self.authz_svc
+    }
+
+    pub fn namespace(&self) -> &Arc<Namespace> {
+        &self.namespace
+    }
+
+    pub fn lock_table(&self) -> &Arc<LockTable> {
+        &self.locks
+    }
+
+    pub fn storage_server(&self, idx: usize) -> &Arc<StorageServer> {
+        &self.storage_servers[idx]
+    }
+
+    pub fn storage_count(&self) -> usize {
+        self.storage_servers.len()
+    }
+
+    /// Register an application process on compute node `nid` and build its
+    /// client handle.
+    ///
+    /// # Panics
+    /// Panics if `nid` collides with the service partition (≥1000).
+    pub fn client(&self, nid: u32, pid: u32) -> LwfsClient {
+        assert!(nid < 1000, "compute nids are 0..1000; {nid} is in the service partition");
+        let ep = self.net.register(ProcessId::new(nid, pid));
+        LwfsClient::new(ep, self.addrs.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_boots_all_services() {
+        let cluster = LwfsCluster::boot(ClusterConfig {
+            storage_servers: 3,
+            ..Default::default()
+        });
+        // auth + authz + naming + txnlock + 3 storage endpoints.
+        assert_eq!(cluster.network().endpoint_count(), 7);
+        assert_eq!(cluster.addrs().storage.len(), 3);
+        assert_eq!(cluster.storage_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "service partition")]
+    fn client_nid_collision_panics() {
+        let cluster = LwfsCluster::boot(ClusterConfig::default());
+        let _ = cluster.client(1000, 0);
+    }
+
+    #[test]
+    fn manual_clock_is_exposed() {
+        let cluster = LwfsCluster::boot(ClusterConfig {
+            manual_clock: true,
+            ..Default::default()
+        });
+        let mc = cluster.manual_clock().unwrap();
+        mc.advance(100);
+        assert_eq!(cluster.clock().now(), 100);
+    }
+}

@@ -1,0 +1,215 @@
+//! A small, dependency-free LRU index.
+//!
+//! Tracks recency over opaque `u64` keys (block numbers); the cache body
+//! stores the data. O(1) touch/evict via a doubly linked list over a slab,
+//! with a `HashMap` key index — the standard shape, sized for thousands of
+//! blocks, not millions.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU recency index over `u64` keys.
+pub struct Lru {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    index: HashMap<u64, usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    capacity: usize,
+}
+
+impl Lru {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU needs capacity");
+        Self {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            index: HashMap::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Mark `key` as most recently used, inserting it if absent.
+    /// Returns the evicted key when the insert overflowed capacity.
+    pub fn touch(&mut self, key: u64) -> Option<u64> {
+        if let Some(&i) = self.index.get(&key) {
+            self.unlink(i);
+            self.push_front(i);
+            return None;
+        }
+        let mut evicted = None;
+        if self.index.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            let old_key = self.nodes[lru].key;
+            self.unlink(lru);
+            self.index.remove(&old_key);
+            self.free.push(lru);
+            evicted = Some(old_key);
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i].key = key;
+                i
+            }
+            None => {
+                self.nodes.push(Node { key, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(i);
+        self.index.insert(key, i);
+        evicted
+    }
+
+    /// Remove `key` from the index, if present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.index.remove(&key) {
+            Some(i) => {
+                self.unlink(i);
+                self.free.push(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The least-recently-used key (next eviction victim).
+    pub fn victim(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.nodes[self.tail].key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_order_is_lru() {
+        let mut lru = Lru::new(3);
+        assert_eq!(lru.touch(1), None);
+        assert_eq!(lru.touch(2), None);
+        assert_eq!(lru.touch(3), None);
+        // Touch 1: now 2 is the victim.
+        assert_eq!(lru.touch(1), None);
+        assert_eq!(lru.victim(), Some(2));
+        assert_eq!(lru.touch(4), Some(2));
+        assert!(lru.contains(1) && lru.contains(3) && lru.contains(4));
+        assert!(!lru.contains(2));
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut lru = Lru::new(2);
+        lru.touch(1);
+        lru.touch(2);
+        assert!(lru.remove(1));
+        assert!(!lru.remove(1));
+        assert_eq!(lru.touch(3), None, "no eviction after explicit remove");
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn single_slot() {
+        let mut lru = Lru::new(1);
+        assert_eq!(lru.touch(7), None);
+        assert_eq!(lru.touch(8), Some(7));
+        assert_eq!(lru.touch(8), None);
+        assert_eq!(lru.victim(), Some(8));
+    }
+
+    #[test]
+    fn repeated_touch_is_stable() {
+        let mut lru = Lru::new(2);
+        lru.touch(1);
+        lru.touch(1);
+        lru.touch(1);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.victim(), Some(1));
+    }
+
+    proptest::proptest! {
+        /// Model check against a naive Vec-based LRU.
+        #[test]
+        fn prop_matches_naive_model(
+            ops in proptest::collection::vec((0u64..12, proptest::bool::ANY), 1..200),
+            cap in 1usize..6,
+        ) {
+            let mut real = Lru::new(cap);
+            let mut model: Vec<u64> = Vec::new(); // front = most recent
+            for (key, is_remove) in ops {
+                if is_remove {
+                    let was = model.iter().position(|k| *k == key);
+                    if let Some(i) = was {
+                        model.remove(i);
+                    }
+                    proptest::prop_assert_eq!(real.remove(key), was.is_some());
+                } else {
+                    let evicted_model = if model.contains(&key) {
+                        model.retain(|k| *k != key);
+                        None
+                    } else if model.len() == cap {
+                        model.pop()
+                    } else {
+                        None
+                    };
+                    model.insert(0, key);
+                    proptest::prop_assert_eq!(real.touch(key), evicted_model);
+                }
+                proptest::prop_assert_eq!(real.len(), model.len());
+                proptest::prop_assert_eq!(real.victim(), model.last().copied());
+            }
+        }
+    }
+}

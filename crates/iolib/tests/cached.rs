@@ -1,0 +1,217 @@
+//! Integration tests for the caching/prefetching layer over a live
+//! cluster: correctness against direct reads, RPC-count wins, readahead
+//! behaviour, write-back coalescing, and the consistency contract.
+
+use lwfs_core::{CapSet, ClusterConfig, LwfsCluster};
+use lwfs_iolib::{CacheConfig, CachedObject};
+use lwfs_proto::{ObjId, OpMask};
+
+fn boot() -> (LwfsCluster, CapSet) {
+    let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: 1, ..Default::default() });
+    let mut client = cluster.client(99, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    (cluster, caps)
+}
+
+fn seed_object(cluster: &LwfsCluster, caps: &CapSet, len: usize) -> ObjId {
+    let client = cluster.client(98, 0);
+    let obj = client.create_obj(0, caps, None, None).unwrap();
+    let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+    client.write(0, caps, None, obj, 0, &data).unwrap();
+    obj
+}
+
+fn small_cache() -> CacheConfig {
+    CacheConfig { block_size: 1024, max_blocks: 8, readahead_blocks: 0 }
+}
+
+#[test]
+fn cached_reads_match_direct_reads() {
+    let (cluster, caps) = boot();
+    let obj = seed_object(&cluster, &caps, 64 * 1024);
+    let client = cluster.client(0, 0);
+    let direct = cluster.client(1, 0);
+
+    let mut cache = CachedObject::new(&client, caps.clone(), 0, obj, small_cache());
+    for (offset, len) in [(0u64, 10usize), (1000, 2048), (63 * 1024, 1024), (5, 1), (4096, 4096)]
+    {
+        let want = direct.read(0, &caps, obj, offset, len).unwrap();
+        let mut got = cache.read(offset, len).unwrap();
+        got.truncate(want.len());
+        assert_eq!(got, want, "offset {offset} len {len}");
+    }
+}
+
+#[test]
+fn repeated_reads_hit_the_cache_not_the_wire() {
+    let (cluster, caps) = boot();
+    let obj = seed_object(&cluster, &caps, 16 * 1024);
+    let client = cluster.client(0, 0);
+    let mut cache = CachedObject::new(&client, caps, 0, obj, small_cache());
+
+    cache.read(0, 4096).unwrap(); // warm 4 blocks
+    let stats = cluster.network().stats();
+    stats.reset();
+    for _ in 0..100 {
+        cache.read(512, 2048).unwrap();
+    }
+    assert_eq!(stats.total_ops(), 0, "hot reads must be message-free");
+    assert!(cache.stats().hits >= 100);
+}
+
+#[test]
+fn sequential_scan_triggers_readahead() {
+    let (cluster, caps) = boot();
+    let obj = seed_object(&cluster, &caps, 64 * 1024);
+    let client = cluster.client(0, 0);
+    let config = CacheConfig { block_size: 1024, max_blocks: 64, readahead_blocks: 4 };
+    let mut cache = CachedObject::new(&client, caps, 0, obj, config);
+
+    // Scan the object block by block.
+    for blk in 0..32u64 {
+        cache.read(blk * 1024, 1024).unwrap();
+    }
+    let s = cache.stats();
+    assert!(s.prefetches > 0, "readahead must fire on a sequential scan");
+    assert!(
+        s.prefetch_hits >= s.prefetches / 2,
+        "most prefetched blocks get used: {s:?}"
+    );
+    // Demand fetches ≪ blocks read: the prefetcher did the hauling.
+    assert!(s.demand_fetches < 16, "demand fetches: {}", s.demand_fetches);
+}
+
+#[test]
+fn random_access_does_not_prefetch() {
+    let (cluster, caps) = boot();
+    let obj = seed_object(&cluster, &caps, 64 * 1024);
+    let client = cluster.client(0, 0);
+    let config = CacheConfig { block_size: 1024, max_blocks: 64, readahead_blocks: 4 };
+    let mut cache = CachedObject::new(&client, caps, 0, obj, config);
+
+    // Stride-3 access: never two consecutive blocks.
+    for i in 0..16u64 {
+        cache.read((i * 3 % 48) * 1024, 512).unwrap();
+    }
+    assert_eq!(cache.stats().prefetches, 0, "non-sequential access must not read ahead");
+}
+
+#[test]
+fn write_back_coalesces_until_flush() {
+    let (cluster, caps) = boot();
+    let client = cluster.client(0, 0);
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    let mut cache = CachedObject::new(
+        &client,
+        caps.clone(),
+        0,
+        obj,
+        CacheConfig { block_size: 4096, max_blocks: 16, readahead_blocks: 0 },
+    );
+
+    // The first partial-block write legitimately fetches the block once
+    // (read-modify-write); everything after that must be wire-free.
+    cache.write(0, &[0u8; 16]).unwrap();
+    let stats = cluster.network().stats();
+    stats.reset();
+    for i in 1..256u64 {
+        cache.write(i * 16, &[i as u8; 16]).unwrap();
+    }
+    assert_eq!(stats.total_ops(), 0, "write-back must buffer");
+    assert_eq!(cache.dirty_blocks(), 1);
+
+    cache.flush().unwrap();
+    assert_eq!(cache.stats().writebacks, 1, "one coalesced block write");
+    assert_eq!(cache.dirty_blocks(), 0);
+
+    // The data landed correctly.
+    let direct = cluster.client(1, 0);
+    let data = direct.read(0, &caps, obj, 0, 4096).unwrap();
+    for i in 0..256usize {
+        assert!(data[i * 16..(i + 1) * 16].iter().all(|b| *b == i as u8));
+    }
+}
+
+#[test]
+fn dirty_eviction_writes_back() {
+    let (cluster, caps) = boot();
+    let client = cluster.client(0, 0);
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    let mut cache = CachedObject::new(
+        &client,
+        caps.clone(),
+        0,
+        obj,
+        CacheConfig { block_size: 1024, max_blocks: 2, readahead_blocks: 0 },
+    );
+
+    // Dirty three blocks with capacity two: the first gets evicted and
+    // must reach the server.
+    cache.write(0, &[1u8; 1024]).unwrap();
+    cache.write(1024, &[2u8; 1024]).unwrap();
+    cache.write(2048, &[3u8; 1024]).unwrap();
+    assert!(cache.stats().writebacks >= 1, "eviction must write back dirty data");
+
+    let direct = cluster.client(1, 0);
+    let first = direct.read(0, &caps, obj, 0, 1024).unwrap();
+    assert_eq!(first, vec![1u8; 1024], "evicted block visible on the server");
+
+    cache.flush().unwrap();
+    let all = direct.read(0, &caps, obj, 0, 3072).unwrap();
+    assert_eq!(&all[1024..2048], &[2u8; 1024][..]);
+    assert_eq!(&all[2048..], &[3u8; 1024][..]);
+}
+
+#[test]
+fn unflushed_writes_invisible_to_others_until_flush() {
+    // The application-controlled consistency contract, observable.
+    let (cluster, caps) = boot();
+    let client = cluster.client(0, 0);
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    client.write(0, &caps, None, obj, 0, &[0u8; 1024]).unwrap();
+
+    let mut cache = CachedObject::new(&client, caps.clone(), 0, obj, small_cache());
+    cache.write(0, b"buffered").unwrap();
+
+    let other = cluster.client(1, 0);
+    let before = other.read(0, &caps, obj, 0, 8).unwrap();
+    assert_eq!(before, vec![0u8; 8], "unflushed write must not be visible");
+
+    cache.flush().unwrap();
+    let after = other.read(0, &caps, obj, 0, 8).unwrap();
+    assert_eq!(after, b"buffered");
+}
+
+#[test]
+fn invalidate_clean_refetches_external_updates() {
+    let (cluster, caps) = boot();
+    let obj = seed_object(&cluster, &caps, 4096);
+    let client = cluster.client(0, 0);
+    let mut cache = CachedObject::new(&client, caps.clone(), 0, obj, small_cache());
+    let stale = cache.read(0, 4).unwrap();
+
+    // Another process rewrites the object.
+    let writer = cluster.client(1, 0);
+    writer.write(0, &caps, None, obj, 0, b"NEW!").unwrap();
+
+    // Cached view is stale until invalidated — by design.
+    assert_eq!(cache.read(0, 4).unwrap(), stale);
+    cache.invalidate_clean();
+    assert_eq!(cache.read(0, 4).unwrap(), b"NEW!");
+}
+
+#[test]
+fn drop_flushes_buffered_writes() {
+    let (cluster, caps) = boot();
+    let client = cluster.client(0, 0);
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    {
+        let mut cache = CachedObject::new(&client, caps.clone(), 0, obj, small_cache());
+        cache.write(0, b"persist-on-drop").unwrap();
+    }
+    let direct = cluster.client(1, 0);
+    assert_eq!(direct.read(0, &caps, obj, 0, 15).unwrap(), b"persist-on-drop");
+}

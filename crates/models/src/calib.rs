@@ -1,0 +1,107 @@
+//! Software-path calibration constants.
+//!
+//! Hardware rates live in [`crate::machines`]; this module holds the
+//! *software* service times — metadata transactions, object creates, lock
+//! hand-offs — with the reasoning for each value. They are era-appropriate
+//! (2005/2006 Lustre 1.x on ext3, LWFS prototype on Portals) and chosen to
+//! land the model in the same decade of ops/sec the paper plots, without
+//! fitting individual data points.
+
+/// Calibration bundle consumed by the dump and create models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Lustre MDS service time per file create, ns. A create commits a
+    /// journaled metadata transaction (~1.4 ms ⇒ ≈700 creates/s, the
+    /// order of Figure 10-b's ceiling).
+    pub mds_create_ns: u64,
+    /// Additional MDS work per stripe object allocated, ns.
+    pub mds_per_stripe_ns: u64,
+    /// Lustre MDS service time per open (attribute fetch, no allocation).
+    pub mds_open_ns: u64,
+    /// LWFS storage-server service time per object create, ns: an OSD
+    /// create is a local, journaled directory insert (~250 µs ⇒ ≈4 000
+    /// creates/s *per server*, scaling with server count as Figure 10-c).
+    pub ost_create_ns: u64,
+    /// Client-side software overhead per operation (library + Portals
+    /// event handling), ns.
+    pub client_op_ns: u64,
+    /// DLM lock hand-off between clients, ns (enqueue + blocking callback
+    /// + grant round trip on the era's Myrinet stack).
+    pub lock_handoff_ns: u64,
+    /// Disk locality penalty when consecutive chunks of one stripe object
+    /// come from different writers, ns. Interleaved writers defeat the
+    /// allocator's extent clustering and the track cache, costing roughly
+    /// one chunk-write's worth of seeking per switch — this mechanism is
+    /// what halves shared-file throughput in Figure 9.
+    pub writer_switch_ns: u64,
+    /// Transfer chunk size used by the models, bytes.
+    pub chunk_bytes: u64,
+    /// Modeled pinned-buffer pipeline depth per server (bounds in-flight
+    /// chunks per client, §3.2 / Figure 6).
+    pub pipeline_depth: u32,
+    /// Compute-phase jitter bound between ranks at checkpoint entry, ns.
+    pub start_jitter_ns: u64,
+    /// Ablation: is the storage-server capability cache enabled? When
+    /// `false`, EVERY chunk authorization pays a verify-through round
+    /// trip at the (single) authorization server — quantifying what the
+    /// §3.1.2 caching design buys.
+    pub cap_cache: bool,
+    /// Authorization-server service time per VerifyCaps call, ns (only
+    /// exercised when `cap_cache` is false or on cold misses).
+    pub authz_verify_ns: u64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            mds_create_ns: 1_400_000,
+            mds_per_stripe_ns: 100_000,
+            mds_open_ns: 300_000,
+            ost_create_ns: 250_000,
+            client_op_ns: 100_000,
+            lock_handoff_ns: 1_000_000,
+            writer_switch_ns: 10_000_000,
+            chunk_bytes: 1_000_000,
+            pipeline_depth: 4,
+            start_jitter_ns: 2_000_000,
+            cap_cache: true,
+            authz_verify_ns: 30_000,
+        }
+    }
+}
+
+impl Calibration {
+    /// Expected Lustre MDS create throughput ceiling, ops/s.
+    pub fn mds_create_ceiling(&self, stripes: u32) -> f64 {
+        1e9 / (self.mds_create_ns + u64::from(stripes) * self.mds_per_stripe_ns) as f64
+    }
+
+    /// Expected LWFS create ceiling for `servers`, ops/s.
+    pub fn lwfs_create_ceiling(&self, servers: usize) -> f64 {
+        servers as f64 * 1e9 / self.ost_create_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceilings_are_in_the_paper_decade() {
+        let c = Calibration::default();
+        // Figure 10-b ceiling: several hundred creates/s.
+        let mds = c.mds_create_ceiling(1);
+        assert!((400.0..=900.0).contains(&mds), "MDS ceiling {mds}");
+        // Figure 10-c ceiling at 16 servers: tens of thousands.
+        let lwfs = c.lwfs_create_ceiling(16);
+        assert!((40_000.0..=80_000.0).contains(&lwfs), "LWFS ceiling {lwfs}");
+        // And two orders of magnitude apart — the headline of Figure 10-a.
+        assert!(lwfs / mds > 50.0);
+    }
+
+    #[test]
+    fn stripes_slow_mds_creates() {
+        let c = Calibration::default();
+        assert!(c.mds_create_ceiling(16) < c.mds_create_ceiling(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! The §4 closing extrapolation: "if we make conservative approximations
+//! to scale the results from our development cluster to a theoretical
+//! petaflop system with 100,000 compute nodes and 2000 I/O nodes, creating
+//! the files will require multiple minutes to complete — roughly 10% of
+//! the total time for the checkpoint operation."
+//!
+//! We regenerate the estimate from the model: the create storm runs
+//! through the [`CreateSim`] queueing model (one MDS for the traditional
+//! PFS, 2000 distributed servers for LWFS), and the dump phase is the
+//! aggregate-bandwidth bound. Per-node state defaults to a full 2006-era
+//! node memory (8 GB), which is what makes creates land near the paper's
+//! ~10% figure.
+
+use crate::calib::Calibration;
+use crate::create::CreateSim;
+use crate::dump::CkptImpl;
+use crate::machines::Machine;
+
+/// The extrapolation result for one implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PetaflopReport {
+    pub impl_kind: CkptImpl,
+    pub create_secs: f64,
+    pub dump_secs: f64,
+    /// Fraction of the full checkpoint spent creating files/objects.
+    pub create_fraction: f64,
+}
+
+impl PetaflopReport {
+    pub fn total_secs(&self) -> f64 {
+        self.create_secs + self.dump_secs
+    }
+}
+
+/// Run the extrapolation for one implementation.
+///
+/// `bytes_per_node` is the state dumped per compute node (default
+/// estimate: 8 GB).
+pub fn petaflop_report(impl_kind: CkptImpl, bytes_per_node: u64) -> PetaflopReport {
+    let machine = Machine::petaflop();
+    let calib = Calibration::default();
+
+    // Create phase. Shared-file checkpointing performs exactly ONE create
+    // (plus opens, which the MDS absorbs at its open rate); the other two
+    // create once per compute node.
+    let create_makespan_secs = if matches!(impl_kind, CkptImpl::LustreShared) {
+        let create_ns =
+            calib.mds_create_ns + machine.io_nodes as u64 * calib.mds_per_stripe_ns;
+        let opens_ns = machine.compute_nodes as u64 * calib.mds_open_ns;
+        (create_ns + opens_ns) as f64 / 1e9
+    } else {
+        CreateSim {
+            machine: machine.clone(),
+            calib: calib.clone(),
+            impl_kind,
+            clients: machine.compute_nodes,
+            servers: machine.io_nodes,
+            creates_per_client: 1,
+        }
+        .run(1)
+        .makespan_secs
+    };
+
+    // Dump phase: aggregate-bandwidth bound (the network fabric outruns
+    // the RAIDs on this machine, Table 2).
+    let total_bytes = machine.compute_nodes as f64 * bytes_per_node as f64;
+    let agg = machine.aggregate_disk_mbps() * 1e6; // bytes/sec
+    let mut dump_secs = total_bytes / agg;
+    if matches!(impl_kind, CkptImpl::LustreShared) {
+        // The shared-file lane overhead halves effective bandwidth.
+        dump_secs *= 2.0;
+    }
+
+    let create_secs = create_makespan_secs;
+    PetaflopReport {
+        impl_kind,
+        create_secs,
+        dump_secs,
+        create_fraction: create_secs / (create_secs + dump_secs),
+    }
+}
+
+/// Default per-node state for the extrapolation: 8 GB.
+pub const DEFAULT_BYTES_PER_NODE: u64 = 8 * 1_000_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lustre_creates_take_multiple_minutes() {
+        let r = petaflop_report(CkptImpl::LustreFilePerProc, DEFAULT_BYTES_PER_NODE);
+        // 100k serialized ~1.5 ms transactions ⇒ ~150 s.
+        assert!(
+            r.create_secs > 120.0 && r.create_secs < 300.0,
+            "create {:.0}s",
+            r.create_secs
+        );
+        // "roughly 10% of the total time for the checkpoint operation".
+        assert!(
+            (0.05..=0.25).contains(&r.create_fraction),
+            "fraction {:.3}",
+            r.create_fraction
+        );
+    }
+
+    #[test]
+    fn lwfs_creates_are_negligible_at_scale() {
+        let r = petaflop_report(CkptImpl::LwfsObjPerProc, DEFAULT_BYTES_PER_NODE);
+        assert!(r.create_secs < 2.0, "create {:.3}s", r.create_secs);
+        assert!(r.create_fraction < 0.01);
+    }
+
+    #[test]
+    fn dump_phase_is_the_same_for_lwfs_and_fpp() {
+        let a = petaflop_report(CkptImpl::LwfsObjPerProc, DEFAULT_BYTES_PER_NODE);
+        let b = petaflop_report(CkptImpl::LustreFilePerProc, DEFAULT_BYTES_PER_NODE);
+        assert!((a.dump_secs - b.dump_secs).abs() < 1e-9);
+        // 100k × 8 GB through 2000 × 400 MB/s = 1000 s.
+        assert!((a.dump_secs - 1000.0).abs() < 1.0, "{}", a.dump_secs);
+    }
+}

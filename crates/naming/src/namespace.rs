@@ -1,0 +1,261 @@
+//! The path → (container, object) binding table.
+//!
+//! Paths are absolute (`/a/b/c`), components are non-empty and contain no
+//! `/` or NUL. The namespace is a sorted map, so prefix listing is a range
+//! scan. Intermediate "directories" are implicit: binding `/a/b/c` does not
+//! require `/a/b` to exist — this is a *naming* service, not a POSIX
+//! directory tree (a POSIX layer above LWFS would impose its own rules).
+
+use std::collections::BTreeMap;
+
+use lwfs_proto::{ContainerId, Error, ObjId, Result};
+use parking_lot::RwLock;
+
+/// Path validation failures (kept distinct from protocol errors so unit
+/// tests can assert the exact cause).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamespaceError {
+    NotAbsolute,
+    EmptyComponent,
+    IllegalCharacter(char),
+    TooLong,
+}
+
+impl std::fmt::Display for NamespaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NamespaceError::NotAbsolute => write!(f, "path must start with '/'"),
+            NamespaceError::EmptyComponent => write!(f, "path has an empty component"),
+            NamespaceError::IllegalCharacter(c) => write!(f, "illegal character {c:?} in path"),
+            NamespaceError::TooLong => write!(f, "path exceeds the 4096-byte limit"),
+        }
+    }
+}
+
+impl std::error::Error for NamespaceError {}
+
+impl From<NamespaceError> for Error {
+    fn from(e: NamespaceError) -> Error {
+        Error::Malformed(e.to_string())
+    }
+}
+
+/// Validate and normalize a path. Returns the canonical form (no trailing
+/// slash except for the root itself, which is not bindable).
+pub fn validate_path(path: &str) -> std::result::Result<String, NamespaceError> {
+    if path.len() > 4096 {
+        return Err(NamespaceError::TooLong);
+    }
+    if !path.starts_with('/') {
+        return Err(NamespaceError::NotAbsolute);
+    }
+    let trimmed = path.strip_suffix('/').unwrap_or(path);
+    if trimmed.is_empty() {
+        // "/" alone: the root is not a bindable name.
+        return Err(NamespaceError::EmptyComponent);
+    }
+    for comp in trimmed[1..].split('/') {
+        if comp.is_empty() {
+            return Err(NamespaceError::EmptyComponent);
+        }
+        if let Some(c) = comp.chars().find(|c| *c == '\0') {
+            return Err(NamespaceError::IllegalCharacter(c));
+        }
+    }
+    Ok(trimmed.to_string())
+}
+
+/// The binding table.
+#[derive(Debug, Default)]
+pub struct Namespace {
+    bindings: RwLock<BTreeMap<String, (ContainerId, ObjId)>>,
+}
+
+impl Namespace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `path` to `(container, obj)`. Fails if the path exists.
+    pub fn create(&self, path: &str, container: ContainerId, obj: ObjId) -> Result<()> {
+        let canon = validate_path(path)?;
+        let mut b = self.bindings.write();
+        if b.contains_key(&canon) {
+            return Err(Error::NameExists);
+        }
+        b.insert(canon, (container, obj));
+        Ok(())
+    }
+
+    /// Resolve a path.
+    pub fn lookup(&self, path: &str) -> Result<(ContainerId, ObjId)> {
+        let canon = validate_path(path)?;
+        self.bindings.read().get(&canon).copied().ok_or(Error::NoSuchName)
+    }
+
+    /// Remove a binding, returning what it pointed to (for undo journals).
+    pub fn remove(&self, path: &str) -> Result<(ContainerId, ObjId)> {
+        let canon = validate_path(path)?;
+        self.bindings.write().remove(&canon).ok_or(Error::NoSuchName)
+    }
+
+    /// All bound paths under `prefix` (string-prefix semantics on canonical
+    /// paths, with a component boundary: `/ckpt` matches `/ckpt/1` and
+    /// `/ckpt` itself, not `/ckptX`).
+    pub fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let canon = validate_path(prefix)?;
+        let b = self.bindings.read();
+        let mut out = Vec::new();
+        // The prefix itself, if bound.
+        if b.contains_key(&canon) {
+            out.push(canon.clone());
+        }
+        // Descendants: every key starting with `canon + "/"` is contiguous
+        // in the sorted map. (A single range from `canon` would not be:
+        // siblings like `/ckpt-old` sort between `/ckpt` and `/ckpt/…`.)
+        let dir = format!("{canon}/");
+        for (path, _) in b.range(dir.clone()..) {
+            if path.starts_with(&dir) {
+                out.push(path.clone());
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn len(&self) -> usize {
+        self.bindings.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bindings.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: ContainerId = ContainerId(1);
+    const O: ObjId = ObjId(1);
+
+    #[test]
+    fn create_lookup_remove_cycle() {
+        let ns = Namespace::new();
+        ns.create("/ckpt/run1/0001", C, O).unwrap();
+        assert_eq!(ns.lookup("/ckpt/run1/0001").unwrap(), (C, O));
+        assert_eq!(ns.remove("/ckpt/run1/0001").unwrap(), (C, O));
+        assert_eq!(ns.lookup("/ckpt/run1/0001").unwrap_err(), Error::NoSuchName);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let ns = Namespace::new();
+        ns.create("/a", C, O).unwrap();
+        assert_eq!(ns.create("/a", C, ObjId(2)).unwrap_err(), Error::NameExists);
+        // Original binding intact.
+        assert_eq!(ns.lookup("/a").unwrap(), (C, O));
+    }
+
+    #[test]
+    fn trailing_slash_normalizes() {
+        let ns = Namespace::new();
+        ns.create("/a/b/", C, O).unwrap();
+        assert_eq!(ns.lookup("/a/b").unwrap(), (C, O));
+    }
+
+    #[test]
+    fn path_validation() {
+        assert_eq!(validate_path("relative"), Err(NamespaceError::NotAbsolute));
+        assert_eq!(validate_path("/a//b"), Err(NamespaceError::EmptyComponent));
+        assert_eq!(validate_path("/"), Err(NamespaceError::EmptyComponent));
+        assert_eq!(validate_path("/a\0b"), Err(NamespaceError::IllegalCharacter('\0')));
+        assert!(validate_path(&format!("/{}", "x".repeat(5000))).is_err());
+        assert_eq!(validate_path("/ok/path").unwrap(), "/ok/path");
+    }
+
+    #[test]
+    fn list_respects_component_boundaries() {
+        let ns = Namespace::new();
+        ns.create("/ckpt", C, O).unwrap();
+        ns.create("/ckpt/1", C, O).unwrap();
+        ns.create("/ckpt/2", C, O).unwrap();
+        ns.create("/ckptX", C, O).unwrap();
+        ns.create("/other", C, O).unwrap();
+        let listed = ns.list("/ckpt").unwrap();
+        assert_eq!(listed, vec!["/ckpt", "/ckpt/1", "/ckpt/2"]);
+    }
+
+    #[test]
+    fn list_empty_prefix_result() {
+        let ns = Namespace::new();
+        ns.create("/a", C, O).unwrap();
+        assert!(ns.list("/zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_missing_errors() {
+        let ns = Namespace::new();
+        assert_eq!(ns.remove("/nope").unwrap_err(), Error::NoSuchName);
+    }
+
+    #[test]
+    fn siblings_sorting_between_prefix_and_children_do_not_break_listing() {
+        // '-' (0x2D) sorts before '/' (0x2F): "/ckpt-old" lands between
+        // "/ckpt" and "/ckpt/1" in the map. The listing must skip it and
+        // still find the children.
+        let ns = Namespace::new();
+        ns.create("/ckpt", C, O).unwrap();
+        ns.create("/ckpt-old", C, O).unwrap();
+        ns.create("/ckpt/1", C, O).unwrap();
+        ns.create("/ckpt/2", C, O).unwrap();
+        assert_eq!(ns.list("/ckpt").unwrap(), vec!["/ckpt", "/ckpt/1", "/ckpt/2"]);
+    }
+
+    #[test]
+    fn deep_paths_and_large_listings() {
+        let ns = Namespace::new();
+        // A deep tree with fan-out, like /ckpt/<job>/<epoch>.
+        for job in 0..10 {
+            for epoch in 0..50 {
+                ns.create(&format!("/ckpt/job{job:02}/{epoch:06}"), C, ObjId(epoch)).unwrap();
+            }
+        }
+        assert_eq!(ns.len(), 500);
+        assert_eq!(ns.list("/ckpt").unwrap().len(), 500);
+        assert_eq!(ns.list("/ckpt/job03").unwrap().len(), 50);
+        let listed = ns.list("/ckpt/job03").unwrap();
+        // Listings are sorted (BTreeMap order).
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+    }
+
+    #[test]
+    fn unicode_components_are_fine() {
+        let ns = Namespace::new();
+        ns.create("/données/σεισμός/程序", C, O).unwrap();
+        assert_eq!(ns.lookup("/données/σεισμός/程序").unwrap(), (C, O));
+        assert_eq!(ns.list("/données").unwrap().len(), 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_create_then_lookup(
+            comps in proptest::collection::vec("[a-z0-9]{1,8}", 1..5),
+            c in 0u64..100,
+            o in 0u64..100,
+        ) {
+            let path = format!("/{}", comps.join("/"));
+            let ns = Namespace::new();
+            ns.create(&path, ContainerId(c), ObjId(o)).unwrap();
+            proptest::prop_assert_eq!(ns.lookup(&path).unwrap(), (ContainerId(c), ObjId(o)));
+        }
+
+        #[test]
+        fn prop_validate_never_panics(path in "\\PC*") {
+            let _ = validate_path(&path);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Stripe arithmetic: mapping a file byte range onto stripe objects.
+//!
+//! A file of stripe size `s` over `k` objects places file byte `b` in
+//! stripe `b / s`, which lives on object `(b / s) % k` at object offset
+//! `((b / s) / k) * s + (b % s)` — classic round-robin RAID-0 striping,
+//! the default distribution the MDS decides for every file (the paper's
+//! point: in a traditional PFS, the *server* owns this policy).
+
+use lwfs_proto::ObjId;
+
+/// One contiguous piece of a file I/O, mapped to a single stripe object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeSlice {
+    /// Index into the layout's object list.
+    pub stripe_index: usize,
+    /// The stripe object.
+    pub obj: ObjId,
+    /// Offset within the stripe object.
+    pub obj_offset: u64,
+    /// Offset within the caller's buffer.
+    pub buf_offset: u64,
+    /// Length of this slice.
+    pub len: u64,
+}
+
+/// Split the file range `[offset, offset + len)` into per-object slices.
+///
+/// `objects[i]` is the stripe object for stripe column `i`.
+pub fn stripe_map(
+    objects: &[ObjId],
+    stripe_size: u64,
+    offset: u64,
+    len: u64,
+) -> Vec<StripeSlice> {
+    assert!(!objects.is_empty(), "layout must have at least one object");
+    assert!(stripe_size > 0, "stripe size must be positive");
+    let k = objects.len() as u64;
+    let mut slices = Vec::new();
+    let mut cur = offset;
+    let end = offset + len;
+    while cur < end {
+        let stripe = cur / stripe_size;
+        let within = cur % stripe_size;
+        let take = (stripe_size - within).min(end - cur);
+        let column = (stripe % k) as usize;
+        let row = stripe / k;
+        slices.push(StripeSlice {
+            stripe_index: column,
+            obj: objects[column],
+            obj_offset: row * stripe_size + within,
+            buf_offset: cur - offset,
+            len: take,
+        });
+        cur += take;
+    }
+    slices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objs(n: u64) -> Vec<ObjId> {
+        (0..n).map(ObjId).collect()
+    }
+
+    #[test]
+    fn single_stripe_write() {
+        let s = stripe_map(&objs(4), 100, 0, 50);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].obj, ObjId(0));
+        assert_eq!(s[0].obj_offset, 0);
+        assert_eq!(s[0].len, 50);
+    }
+
+    #[test]
+    fn write_spanning_columns() {
+        let s = stripe_map(&objs(2), 100, 50, 100);
+        assert_eq!(s.len(), 2);
+        // First 50 bytes finish stripe 0 on object 0.
+        assert_eq!((s[0].obj, s[0].obj_offset, s[0].buf_offset, s[0].len), (ObjId(0), 50, 0, 50));
+        // Next 50 bytes start stripe 1 on object 1.
+        assert_eq!((s[1].obj, s[1].obj_offset, s[1].buf_offset, s[1].len), (ObjId(1), 0, 50, 50));
+    }
+
+    #[test]
+    fn wraparound_to_second_row() {
+        // Stripe 2 of a 2-wide layout lands back on object 0, row 1.
+        let s = stripe_map(&objs(2), 100, 200, 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].obj, ObjId(0));
+        assert_eq!(s[0].obj_offset, 100);
+    }
+
+    #[test]
+    fn large_write_covers_all_columns_evenly() {
+        let slices = stripe_map(&objs(4), 100, 0, 1600);
+        assert_eq!(slices.len(), 16);
+        let mut per_obj = [0u64; 4];
+        for sl in &slices {
+            per_obj[sl.stripe_index] += sl.len;
+        }
+        assert_eq!(per_obj, [400, 400, 400, 400]);
+        // Buffer offsets tile the range exactly.
+        let total: u64 = slices.iter().map(|s| s.len).sum();
+        assert_eq!(total, 1600);
+        for w in slices.windows(2) {
+            assert_eq!(w[0].buf_offset + w[0].len, w[1].buf_offset);
+        }
+    }
+
+    #[test]
+    fn unaligned_offsets() {
+        let s = stripe_map(&objs(3), 64, 70, 10);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].stripe_index, 1);
+        assert_eq!(s[0].obj_offset, 6);
+    }
+
+    #[test]
+    fn zero_length_is_empty() {
+        assert!(stripe_map(&objs(2), 100, 42, 0).is_empty());
+    }
+
+    proptest::proptest! {
+        /// The mapping is a partition: slices tile the byte range exactly
+        /// and never overlap within an object.
+        #[test]
+        fn prop_mapping_is_a_partition(
+            k in 1usize..8,
+            stripe in 1u64..512,
+            offset in 0u64..10_000,
+            len in 1u64..10_000,
+        ) {
+            let objects: Vec<ObjId> = (0..k as u64).map(ObjId).collect();
+            let slices = stripe_map(&objects, stripe, offset, len);
+            // Tiles the buffer.
+            let total: u64 = slices.iter().map(|s| s.len).sum();
+            proptest::prop_assert_eq!(total, len);
+            let mut cursor = 0;
+            for s in &slices {
+                proptest::prop_assert_eq!(s.buf_offset, cursor);
+                cursor += s.len;
+            }
+            // No two slices overlap in (obj, range).
+            for (i, a) in slices.iter().enumerate() {
+                for b in &slices[i + 1..] {
+                    if a.obj == b.obj {
+                        let disjoint = a.obj_offset + a.len <= b.obj_offset
+                            || b.obj_offset + b.len <= a.obj_offset;
+                        proptest::prop_assert!(disjoint);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The network fabric: endpoint registry, delivery, and fault injection.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use lwfs_proto::{Error, NodeId, ProcessId, Result};
+
+use crate::buffer::MemDesc;
+use crate::endpoint::Endpoint;
+use crate::event::Event;
+use crate::stats::NetStats;
+
+/// Configuration for a network instance.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Depth of each endpoint's eager-message queue. A full queue rejects
+    /// the sender with [`Error::ServerBusy`] — the transport-level analogue
+    /// of an I/O node's buffers filling under a request burst (§3.2).
+    pub eager_queue_depth: usize,
+    /// Seed for the fault-injection RNG; deterministic across runs.
+    pub fault_seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self { eager_queue_depth: 64 * 1024, fault_seed: 0x5EED }
+    }
+}
+
+/// Injectable failures, applied on the initiator side of each operation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that an eager message is silently lost.
+    pub drop_rate: f64,
+    /// Nodes cut off from the fabric; any operation touching them fails
+    /// with [`Error::Unreachable`].
+    pub partitioned: HashSet<NodeId>,
+    /// Individual processes that have "crashed".
+    pub dead: HashSet<ProcessId>,
+}
+
+impl FaultPlan {
+    fn blocks(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.partitioned.contains(&a.nid)
+            || self.partitioned.contains(&b.nid)
+            || self.dead.contains(&a)
+            || self.dead.contains(&b)
+    }
+}
+
+/// Per-endpoint delivery state: a bounded event queue protected by a mutex
+/// and condition variable. A condvar (rather than a channel) is what makes
+/// *selective* receive safe when several threads share one endpoint: every
+/// enqueue wakes all waiters, and each waiter rescans the queue for the
+/// events it cares about.
+pub(crate) struct EndpointState {
+    pub queue: Mutex<VecDeque<Event>>,
+    pub cond: Condvar,
+    pub capacity: usize,
+    pub mds: Mutex<HashMap<u64, MemDesc>>,
+}
+
+impl EndpointState {
+    /// Enqueue an event; returns `false` when the queue is full.
+    ///
+    /// `on_accept` runs under the queue lock *before* the event becomes
+    /// visible — senders use it to record statistics so that a receiver
+    /// can never observe a message whose accounting has not landed yet.
+    pub fn deliver(&self, ev: Event, on_accept: impl FnOnce()) -> bool {
+        let mut q = self.queue.lock();
+        if q.len() >= self.capacity {
+            return false;
+        }
+        on_accept();
+        q.push_back(ev);
+        drop(q);
+        self.cond.notify_all();
+        true
+    }
+}
+
+pub(crate) struct NetworkInner {
+    pub config: NetworkConfig,
+    pub endpoints: RwLock<HashMap<ProcessId, Arc<EndpointState>>>,
+    pub stats: NetStats,
+    pub faults: RwLock<FaultPlan>,
+    pub rng: Mutex<ChaCha8Rng>,
+    pub match_alloc: AtomicU64,
+}
+
+impl NetworkInner {
+    pub fn lookup(&self, id: ProcessId) -> Result<Arc<EndpointState>> {
+        self.endpoints.read().get(&id).cloned().ok_or(Error::Unreachable)
+    }
+
+    /// Returns `true` if a probabilistic drop fires.
+    pub fn roll_drop(&self) -> bool {
+        let rate = self.faults.read().drop_rate;
+        if rate <= 0.0 {
+            return false;
+        }
+        self.rng.lock().gen_bool(rate.min(1.0))
+    }
+
+    pub fn check_reachable(&self, from: ProcessId, to: ProcessId) -> Result<()> {
+        if self.faults.read().blocks(from, to) {
+            Err(Error::Unreachable)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// An in-process network fabric.
+///
+/// Create one per simulated machine, then [`register`](Network::register)
+/// an [`Endpoint`] for every process (service or application rank).
+#[derive(Clone)]
+pub struct Network {
+    pub(crate) inner: Arc<NetworkInner>,
+}
+
+impl Network {
+    pub fn new(config: NetworkConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.fault_seed);
+        Self {
+            inner: Arc::new(NetworkInner {
+                config,
+                endpoints: RwLock::new(HashMap::new()),
+                stats: NetStats::default(),
+                faults: RwLock::new(FaultPlan::default()),
+                rng: Mutex::new(rng),
+                match_alloc: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Register a process and obtain its endpoint.
+    ///
+    /// # Panics
+    /// Panics if `id` is already registered — duplicate process ids are a
+    /// harness bug, not a runtime condition.
+    pub fn register(&self, id: ProcessId) -> Endpoint {
+        let state = Arc::new(EndpointState {
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            capacity: self.inner.config.eager_queue_depth,
+            mds: Mutex::new(HashMap::new()),
+        });
+        let prev = self.inner.endpoints.write().insert(id, Arc::clone(&state));
+        assert!(prev.is_none(), "duplicate endpoint registration for {id}");
+        Endpoint::new(id, Arc::clone(&self.inner), state)
+    }
+
+    /// Remove a process from the fabric (its queued events are dropped).
+    pub fn unregister(&self, id: ProcessId) {
+        self.inner.endpoints.write().remove(&id);
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Replace the active fault plan.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        *self.inner.faults.write() = plan;
+    }
+
+    /// Convenience: clear all injected faults.
+    pub fn heal(&self) {
+        self.set_faults(FaultPlan::default());
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.inner.endpoints.read().len()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new(NetworkConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_count() {
+        let net = Network::default();
+        let _a = net.register(ProcessId::new(0, 0));
+        let _b = net.register(ProcessId::new(1, 0));
+        assert_eq!(net.endpoint_count(), 2);
+        net.unregister(ProcessId::new(0, 0));
+        assert_eq!(net.endpoint_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate endpoint")]
+    fn duplicate_registration_panics() {
+        let net = Network::default();
+        let _a = net.register(ProcessId::new(0, 0));
+        let _b = net.register(ProcessId::new(0, 0));
+    }
+
+    #[test]
+    fn fault_plan_blocks_partitioned_nodes() {
+        let mut plan = FaultPlan::default();
+        plan.partitioned.insert(NodeId(3));
+        assert!(plan.blocks(ProcessId::new(3, 0), ProcessId::new(1, 0)));
+        assert!(plan.blocks(ProcessId::new(1, 0), ProcessId::new(3, 9)));
+        assert!(!plan.blocks(ProcessId::new(1, 0), ProcessId::new(2, 0)));
+    }
+
+    #[test]
+    fn fault_plan_blocks_dead_processes() {
+        let mut plan = FaultPlan::default();
+        plan.dead.insert(ProcessId::new(5, 1));
+        assert!(plan.blocks(ProcessId::new(5, 1), ProcessId::new(0, 0)));
+        assert!(!plan.blocks(ProcessId::new(5, 0), ProcessId::new(0, 0)));
+    }
+
+    #[test]
+    fn drop_roll_deterministic_per_seed() {
+        let a = Network::new(NetworkConfig { fault_seed: 7, ..Default::default() });
+        let b = Network::new(NetworkConfig { fault_seed: 7, ..Default::default() });
+        a.set_faults(FaultPlan { drop_rate: 0.5, ..Default::default() });
+        b.set_faults(FaultPlan { drop_rate: 0.5, ..Default::default() });
+        let rolls_a: Vec<bool> = (0..64).map(|_| a.inner.roll_drop()).collect();
+        let rolls_b: Vec<bool> = (0..64).map(|_| b.inner.roll_drop()).collect();
+        assert_eq!(rolls_a, rolls_b);
+        assert!(rolls_a.iter().any(|x| *x));
+        assert!(rolls_a.iter().any(|x| !*x));
+    }
+
+    #[test]
+    fn zero_drop_rate_never_drops() {
+        let net = Network::default();
+        for _ in 0..100 {
+            assert!(!net.inner.roll_drop());
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Synchronous request/reply on top of the one-sided substrate.
+//!
+//! An RPC here is exactly the paper's "small request" (Figure 6, step 1):
+//! the client eagerly sends an encoded [`Request`] to the server's
+//! well-known request queue and waits for a [`Reply`] matched by operation
+//! number. Bulk data never flows through this path.
+//!
+//! The client implements the flow-control loop of §3.2: a server whose
+//! queue is full rejects the request ([`Error::ServerBusy`]) and the client
+//! backs off and re-sends. The number of re-sends is surfaced in
+//! [`RpcClient::resends`] so experiments can report the overhead the paper
+//! attributes to rejected bursts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lwfs_proto::{
+    Decode, Encode, Error, OpNum, ProcessId, Reply, ReplyBody, Request, RequestBody, Result,
+};
+
+use crate::endpoint::Endpoint;
+use crate::event::Event;
+use crate::{reply_match, REQUEST_MATCH};
+
+/// Client-side RPC state for one endpoint.
+pub struct RpcClient<'a> {
+    ep: &'a Endpoint,
+    next_opnum: Arc<AtomicU64>,
+    resends: AtomicU64,
+    /// How long to wait for a reply before giving up.
+    pub reply_timeout: Duration,
+    /// Maximum ServerBusy re-sends before surfacing the error.
+    pub max_resends: u32,
+    /// Base backoff between re-sends (doubled each attempt).
+    pub backoff: Duration,
+}
+
+impl<'a> RpcClient<'a> {
+    pub fn new(ep: &'a Endpoint) -> Self {
+        Self::with_counter(ep, Arc::new(AtomicU64::new(1)))
+    }
+
+    /// Build a client around an externally owned opnum counter.
+    ///
+    /// A long-lived client object that constructs short-lived `RpcClient`s
+    /// over the same endpoint shares one counter so that operation numbers
+    /// never repeat — a stale reply from a timed-out call can then never
+    /// match a later call.
+    pub fn with_counter(ep: &'a Endpoint, counter: Arc<AtomicU64>) -> Self {
+        Self {
+            ep,
+            next_opnum: counter,
+            resends: AtomicU64::new(0),
+            reply_timeout: Duration::from_secs(5),
+            max_resends: 64,
+            backoff: Duration::from_micros(50),
+        }
+    }
+
+    pub fn endpoint(&self) -> &Endpoint {
+        self.ep
+    }
+
+    /// Total ServerBusy re-sends performed by this client.
+    pub fn resends(&self) -> u64 {
+        self.resends.load(Ordering::Relaxed)
+    }
+
+    /// Issue `body` to `server` and wait for the matched reply body.
+    ///
+    /// Error replies from the server are surfaced as `Err`; transport-level
+    /// `ServerBusy` (full request queue) triggers the back-off/re-send loop.
+    pub fn call(&self, server: ProcessId, body: RequestBody) -> Result<ReplyBody> {
+        let opnum = OpNum(self.next_opnum.fetch_add(1, Ordering::Relaxed));
+        let req = Request::new(opnum, self.ep.id(), body);
+        let wire = req.to_bytes();
+
+        let mut backoff = self.backoff;
+        let mut attempts = 0u32;
+        loop {
+            match self.ep.send(server, REQUEST_MATCH, wire.clone()) {
+                Ok(()) => break,
+                Err(Error::ServerBusy) if attempts < self.max_resends => {
+                    attempts += 1;
+                    self.resends.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        let want = reply_match(opnum.0);
+        let ev = self.ep.recv_match(self.reply_timeout, |e| {
+            matches!(e, Event::Message { match_bits, .. } if *match_bits == want)
+        })?;
+        let data = ev
+            .message_data()
+            .ok_or_else(|| Error::Internal("reply event without payload".into()))?
+            .clone();
+        let reply = Reply::from_bytes(data)?;
+        debug_assert_eq!(reply.opnum, opnum);
+        reply.into_result()
+    }
+
+    /// Like [`call`](Self::call) but also retrying when the *server logic*
+    /// answers `ServerBusy` (its bounded request queue was full after
+    /// transport acceptance). Used by clients of the storage service.
+    pub fn call_retrying(&self, server: ProcessId, body: RequestBody) -> Result<ReplyBody> {
+        let mut backoff = self.backoff;
+        let mut attempts = 0u32;
+        loop {
+            match self.call(server, body.clone()) {
+                Err(Error::ServerBusy) if attempts < self.max_resends => {
+                    attempts += 1;
+                    self.resends.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(20));
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Server-side RPC helper: decode requests, send matched replies.
+pub struct RpcServer<'a> {
+    ep: &'a Endpoint,
+}
+
+impl<'a> RpcServer<'a> {
+    pub fn new(ep: &'a Endpoint) -> Self {
+        Self { ep }
+    }
+
+    pub fn endpoint(&self) -> &Endpoint {
+        self.ep
+    }
+
+    /// Wait for the next incoming request.
+    pub fn next_request(&self, timeout: Duration) -> Result<Request> {
+        let ev = self.ep.recv_match(timeout, |e| {
+            matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH)
+        })?;
+        let data = ev
+            .message_data()
+            .ok_or_else(|| Error::Internal("request event without payload".into()))?
+            .clone();
+        Request::from_bytes(data)
+    }
+
+    /// Send a reply for `req`.
+    pub fn reply(&self, req: &Request, body: ReplyBody) -> Result<()> {
+        let rep = Reply::new(req.opnum, body);
+        self.ep.send(req.reply_to, reply_match(req.opnum.0), rep.to_bytes())
+    }
+
+    /// Run a handler loop until it returns `false` from `keep_going`.
+    ///
+    /// Convenience for tests and simple services; production-grade services
+    /// in this workspace run their own loops to interleave one-sided bulk
+    /// transfers with request processing.
+    pub fn serve_while(
+        &self,
+        poll: Duration,
+        keep_going: impl Fn() -> bool,
+        mut handler: impl FnMut(&Request) -> ReplyBody,
+    ) {
+        while keep_going() {
+            match self.next_request(poll) {
+                Ok(req) => {
+                    let body = handler(&req);
+                    // A dead client is not the server's problem.
+                    let _ = self.reply(&req, body);
+                }
+                Err(Error::Timeout) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, NetworkConfig};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_rpc_roundtrip() {
+        let net = Network::default();
+        let client_ep = net.register(ProcessId::new(0, 0));
+        let server_ep = net.register(ProcessId::new(1, 0));
+        let server_id = server_ep.id();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let srv = RpcServer::new(&server_ep);
+            srv.serve_while(
+                Duration::from_millis(10),
+                || !stop2.load(Ordering::Relaxed),
+                |req| match req.body {
+                    RequestBody::Ping => ReplyBody::Pong,
+                    _ => ReplyBody::Err(Error::Internal("unexpected".into())),
+                },
+            );
+        });
+
+        let client = RpcClient::new(&client_ep);
+        for _ in 0..10 {
+            assert_eq!(client.call(server_id, RequestBody::Ping).unwrap(), ReplyBody::Pong);
+        }
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn error_reply_surfaces_as_err() {
+        let net = Network::default();
+        let client_ep = net.register(ProcessId::new(0, 0));
+        let server_ep = net.register(ProcessId::new(1, 0));
+        let server_id = server_ep.id();
+
+        let handle = std::thread::spawn(move || {
+            let srv = RpcServer::new(&server_ep);
+            let req = srv.next_request(Duration::from_secs(1)).unwrap();
+            srv.reply(&req, ReplyBody::Err(Error::AccessDenied)).unwrap();
+        });
+
+        let client = RpcClient::new(&client_ep);
+        assert_eq!(client.call(server_id, RequestBody::Ping).unwrap_err(), Error::AccessDenied);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn rpc_to_unregistered_process_fails_fast() {
+        let net = Network::default();
+        let client_ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&client_ep);
+        assert_eq!(
+            client.call(ProcessId::new(99, 0), RequestBody::Ping).unwrap_err(),
+            Error::Unreachable
+        );
+    }
+
+    #[test]
+    fn reply_timeout_when_server_silent() {
+        let net = Network::default();
+        let client_ep = net.register(ProcessId::new(0, 0));
+        let server_ep = net.register(ProcessId::new(1, 0));
+        let client = RpcClient::new(&client_ep);
+        // Server never drains; queue accepts the request, reply never comes.
+        let mut c = client;
+        c.reply_timeout = Duration::from_millis(50);
+        assert_eq!(c.call(server_ep.id(), RequestBody::Ping).unwrap_err(), Error::Timeout);
+    }
+
+    #[test]
+    fn busy_transport_triggers_resend_loop() {
+        // Queue depth 1: the first unconsumed message blocks the second.
+        let net = Network::new(NetworkConfig { eager_queue_depth: 1, ..Default::default() });
+        let client_ep = net.register(ProcessId::new(0, 0));
+        let server_ep = net.register(ProcessId::new(1, 0));
+        let server_id = server_ep.id();
+
+        let handle = std::thread::spawn(move || {
+            let srv = RpcServer::new(&server_ep);
+            // Drain slowly so the client sees at least one rejection.
+            for _ in 0..2 {
+                std::thread::sleep(Duration::from_millis(30));
+                let req = srv.next_request(Duration::from_secs(2)).unwrap();
+                srv.reply(&req, ReplyBody::Pong).unwrap();
+            }
+        });
+
+        let client_ep2 = net.register(ProcessId::new(2, 0));
+        let c2 = RpcClient::new(&client_ep2);
+        // Fill the queue with one request, then race a second one in.
+        let t = std::thread::spawn(move || {
+            let c1 = RpcClient::new(&client_ep);
+            c1.call(server_id, RequestBody::Ping)
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        let r2 = c2.call(server_id, RequestBody::Ping);
+        assert_eq!(r2.unwrap(), ReplyBody::Pong);
+        assert!(t.join().unwrap().is_ok());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn interleaved_replies_match_correct_calls() {
+        // Server answers requests out of order; opnum matching must pair
+        // each reply with its call.
+        let net = Network::default();
+        let client_ep = Arc::new(net.register(ProcessId::new(0, 0)));
+        let server_ep = net.register(ProcessId::new(1, 0));
+        let server_id = server_ep.id();
+
+        let handle = std::thread::spawn(move || {
+            let srv = RpcServer::new(&server_ep);
+            let r1 = srv.next_request(Duration::from_secs(2)).unwrap();
+            let r2 = srv.next_request(Duration::from_secs(2)).unwrap();
+            // Reply in reverse order.
+            srv.reply(&r2, ReplyBody::WriteDone { len: 2 }).unwrap();
+            srv.reply(&r1, ReplyBody::WriteDone { len: 1 }).unwrap();
+        });
+
+        // Two calls from the same endpoint, issued from two threads.
+        let ep2 = Arc::clone(&client_ep);
+        let t1 = std::thread::spawn(move || {
+            let c = RpcClient::new(&ep2);
+            c.call(server_id, RequestBody::Ping)
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        // Second call: new client struct but same endpoint; opnums must not
+        // collide because they are allocated per client. Use distinct start.
+        let c2 = RpcClient::new(&client_ep);
+        c2.next_opnum.store(100, Ordering::Relaxed);
+        let r2 = c2.call(server_id, RequestBody::Ping).unwrap();
+        let r1 = t1.join().unwrap().unwrap();
+        assert_eq!(r1, ReplyBody::WriteDone { len: 1 });
+        assert_eq!(r2, ReplyBody::WriteDone { len: 2 });
+        handle.join().unwrap();
+    }
+}

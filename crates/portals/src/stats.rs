@@ -1,0 +1,112 @@
+//! Transport-level statistics.
+//!
+//! The paper's scalability rules (§2.3) are stated in terms of *message
+//! counts*: no system-imposed O(n) operations, O(m) inter-server traffic
+//! rare. The test suite enforces those rules by reading these counters, so
+//! they are maintained unconditionally (they are a few relaxed atomics and a
+//! small map — negligible next to a channel send).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lwfs_proto::ProcessId;
+use parking_lot::Mutex;
+
+/// Counters for one network instance. Shared by all endpoints.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Eager messages successfully delivered.
+    pub messages: AtomicU64,
+    /// Eager messages rejected because the target queue was full.
+    pub messages_rejected: AtomicU64,
+    /// Eager messages lost to injected faults.
+    pub messages_dropped: AtomicU64,
+    /// One-sided put operations.
+    pub puts: AtomicU64,
+    /// One-sided get operations.
+    pub gets: AtomicU64,
+    /// Total payload bytes moved by messages, puts, and gets.
+    pub bytes: AtomicU64,
+    /// Per-sender message counts (messages + puts + gets initiated).
+    sent_by: Mutex<HashMap<ProcessId, u64>>,
+}
+
+impl NetStats {
+    pub fn record_send(&self, from: ProcessId, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        *self.sent_by.lock().entry(from).or_insert(0) += 1;
+    }
+
+    pub fn record_reject(&self) {
+        self.messages_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_drop(&self) {
+        self.messages_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_put(&self, from: ProcessId, bytes: usize) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        *self.sent_by.lock().entry(from).or_insert(0) += 1;
+    }
+
+    pub fn record_get(&self, from: ProcessId, bytes: usize) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        *self.sent_by.lock().entry(from).or_insert(0) += 1;
+    }
+
+    /// Operations initiated by `id` (messages, puts, gets).
+    pub fn sent_by(&self, id: ProcessId) -> u64 {
+        self.sent_by.lock().get(&id).copied().unwrap_or(0)
+    }
+
+    /// Total operations initiated across all processes.
+    pub fn total_ops(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+            + self.puts.load(Ordering::Relaxed)
+            + self.gets.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the per-sender table (for test assertions and reports).
+    pub fn sent_by_snapshot(&self) -> HashMap<ProcessId, u64> {
+        self.sent_by.lock().clone()
+    }
+
+    /// Zero every counter. Tests call this between phases so that rule
+    /// checks measure exactly one protocol step.
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.messages_rejected.store(0, Ordering::Relaxed);
+        self.messages_dropped.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
+        self.gets.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.sent_by.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = NetStats::default();
+        let p = ProcessId::new(1, 0);
+        s.record_send(p, 10);
+        s.record_put(p, 20);
+        s.record_get(p, 30);
+        s.record_reject();
+        s.record_drop();
+        assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.bytes.load(Ordering::Relaxed), 60);
+        assert_eq!(s.sent_by(p), 3);
+        assert_eq!(s.sent_by(ProcessId::new(2, 0)), 0);
+        s.reset();
+        assert_eq!(s.total_ops(), 0);
+        assert_eq!(s.sent_by(p), 0);
+    }
+}

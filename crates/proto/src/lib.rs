@@ -1,0 +1,72 @@
+//! Wire-level protocol definitions for LWFS.
+//!
+//! This crate contains everything that crosses the (simulated) wire between
+//! LWFS components: identifiers, operation bitmasks, error codes, the
+//! request/reply message set, and a compact, versioned binary codec built on
+//! [`bytes`].
+//!
+//! The message set mirrors the services described in SAND2006-3057 §3:
+//!
+//! * **authentication** — credential acquisition and verification,
+//! * **authorization** — capability acquisition, verification, revocation,
+//! * **storage** — object create/remove/read/write/stat/sync over
+//!   *containers* of objects,
+//! * **naming** — path ↔ object bindings (a client-side extension service),
+//! * **transactions** — journal records, two-phase commit votes, lock
+//!   requests.
+//!
+//! Design rule (paper §2.3): the protocol is *connectionless*. Every request
+//! carries the full security context (credential and/or capability) it needs;
+//! no per-client session state is implied by the message set.
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod message;
+pub mod ops;
+pub mod security;
+
+pub use codec::{Decode, Encode};
+pub use error::{Error, Result};
+pub use ids::{
+    ContainerId, Lifetime, NodeId, ObjId, OpNum, Pid, PrincipalId, ProcessId, TxnId,
+};
+pub use message::{
+    FilterSpec, LockId, LockMode, LockResource, MdHandle, ObjAttr, PfsLayout, Reply, ReplyBody,
+    Request,
+    RequestBody,
+};
+pub use ops::OpMask;
+pub use security::{
+    Capability, CapabilityBody, CapabilityKey, Credential, CredentialBody, Signature,
+};
+
+/// Protocol version stamped into every encoded message.
+///
+/// A decoder that sees a different major version must reject the message;
+/// this reproduction only has one version, but the field keeps the codec
+/// honest about evolution.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Maximum payload a single *request* message may carry inline.
+///
+/// LWFS requests are deliberately small (paper §3.2): bulk data never rides
+/// in a request; the server moves it with one-sided `get`/`put` operations.
+/// 4 KiB is generous for every control message in the protocol.
+pub const MAX_REQUEST_INLINE: usize = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_is_stable() {
+        assert_eq!(PROTOCOL_VERSION, 1);
+    }
+
+    #[test]
+    fn request_inline_limit_is_small() {
+        // The whole point of server-directed I/O is that requests stay tiny.
+        assert!(MAX_REQUEST_INLINE <= 64 * 1024);
+    }
+}

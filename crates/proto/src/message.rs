@@ -1,0 +1,992 @@
+//! The LWFS request/reply message set.
+//!
+//! One request enum covers all four core services plus the naming extension.
+//! Keeping the set in one place makes the *smallness* of the control plane
+//! auditable: [`Request::encoded_len`](crate::Encode::encoded_len) of every
+//! variant is a few hundred bytes at most (asserted in tests), because bulk
+//! data never travels inside a request — the server moves it one-sidedly
+//! through a [`MdHandle`] (paper §3.2, Figure 6).
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, Encode};
+use crate::error::{Error, Result};
+use crate::ids::{ContainerId, ObjId, OpNum, PrincipalId, ProcessId, TxnId};
+use crate::ops::OpMask;
+use crate::security::{Capability, CapabilityKey, Credential, Signature};
+use crate::{impl_codec_struct, PROTOCOL_VERSION};
+
+/// A handle naming a *memory descriptor* pinned on the requesting process.
+///
+/// For a write, the storage server issues a one-sided `get` against this
+/// handle to pull the data; for a read it issues a `put` to push data into
+/// it. The handle is just Portals match bits — no connection, no shared
+/// state beyond the posted buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MdHandle {
+    /// Match bits the target posted for this transfer.
+    pub match_bits: u64,
+}
+
+impl_codec_struct!(MdHandle { match_bits });
+
+/// Object attributes returned by `GetAttr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjAttr {
+    pub size: u64,
+    /// Creation time (protocol nanoseconds).
+    pub create_time: u64,
+    /// Last-modification time.
+    pub modify_time: u64,
+}
+
+impl_codec_struct!(ObjAttr { size, create_time, modify_time });
+
+/// The stripe layout of a baseline-PFS file, as handed out by the MDS.
+///
+/// Note the trust model this reply encodes — deliberately reproducing the
+/// design the paper criticizes (§5): "Lustre and PVFS extend the trust
+/// domain all the way to the client". The MDS simply hands its own LWFS
+/// capabilities to any client that opens the file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PfsLayout {
+    pub stripe_size: u64,
+    /// File size as known by the MDS.
+    pub size: u64,
+    /// One `(ost_index, object)` per stripe, round-robin order.
+    pub objects: Vec<(u32, ObjId)>,
+    /// Capabilities covering the PFS container (trusted-client model).
+    pub caps: Vec<Capability>,
+}
+
+impl Encode for PfsLayout {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.stripe_size.encode(buf);
+        self.size.encode(buf);
+        self.objects.encode(buf);
+        self.caps.encode(buf);
+    }
+}
+
+impl Decode for PfsLayout {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(PfsLayout {
+            stripe_size: Decode::decode(buf)?,
+            size: Decode::decode(buf)?,
+            objects: Decode::decode(buf)?,
+            caps: Decode::decode(buf)?,
+        })
+    }
+}
+
+/// A server-side filter for `ReadFiltered` — the "remote processing
+/// (e.g., remote filtering)" extension the paper's §6 plans, after the
+/// active-disk line of work it cites [2, 31].
+///
+/// Object bytes are interpreted as a little-endian `f32` array (the
+/// dominant scientific-data element type of the era); the filter runs on
+/// the storage server and only the *result* crosses the network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FilterSpec {
+    /// Every `stride`-th element (decimation for visualization).
+    Subsample { stride: u32 },
+    /// Elements with absolute value ≥ `min_abs` (event detection).
+    Threshold { min_abs: f32 },
+    /// Reduce to `[min, max, sum, count]` (4 × f32 statistics block).
+    Stats,
+}
+
+impl Encode for FilterSpec {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            FilterSpec::Subsample { stride } => {
+                buf.put_u8(0);
+                stride.encode(buf);
+            }
+            FilterSpec::Threshold { min_abs } => {
+                buf.put_u8(1);
+                buf.put_u32_le(min_abs.to_bits());
+            }
+            FilterSpec::Stats => buf.put_u8(2),
+        }
+    }
+}
+
+impl Decode for FilterSpec {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => FilterSpec::Subsample { stride: Decode::decode(buf)? },
+            1 => FilterSpec::Threshold { min_abs: f32::from_bits(u32::decode(buf)?) },
+            2 => FilterSpec::Stats,
+            t => return Err(Error::Malformed(format!("unknown filter tag {t}"))),
+        })
+    }
+}
+
+/// Lock modes for the lock service (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+impl Encode for LockMode {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            LockMode::Shared => 0,
+            LockMode::Exclusive => 1,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for LockMode {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(LockMode::Shared),
+            1 => Ok(LockMode::Exclusive),
+            b => Err(Error::Malformed(format!("invalid lock mode {b}"))),
+        }
+    }
+}
+
+/// What a lock protects: either a whole object or a byte range of one.
+/// Byte-range locks are what a POSIX-semantics file system built *above*
+/// the LWFS-core uses to implement shared-file writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LockResource {
+    pub container: ContainerId,
+    pub obj: ObjId,
+    /// Start of the locked byte range.
+    pub start: u64,
+    /// Exclusive end; `u64::MAX` means "to end of object".
+    pub end: u64,
+}
+
+impl LockResource {
+    pub fn whole_object(container: ContainerId, obj: ObjId) -> Self {
+        Self { container, obj, start: 0, end: u64::MAX }
+    }
+
+    pub fn range(container: ContainerId, obj: ObjId, start: u64, end: u64) -> Self {
+        Self { container, obj, start, end }
+    }
+
+    /// Do two resources conflict (same object, overlapping ranges)?
+    pub fn overlaps(&self, other: &LockResource) -> bool {
+        self.container == other.container
+            && self.obj == other.obj
+            && self.start < other.end
+            && other.start < self.end
+    }
+}
+
+impl_codec_struct!(LockResource { container, obj, start, end });
+
+/// An opaque identifier for a granted lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LockId(pub u64);
+
+crate::impl_codec_newtype!(LockId);
+
+/// Request bodies for every LWFS service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    // ---- liveness ----
+    /// No-op round trip; used by tests and by flow-control probing.
+    Ping,
+
+    // ---- authentication service (§3.1.2) ----
+    /// Exchange an external-mechanism token (e.g. a Kerberos ticket) for an
+    /// LWFS credential.
+    GetCred { mechanism_token: Vec<u8> },
+    /// Verify a credential (issued by this service instance).
+    VerifyCred { cred: Credential },
+    /// Revoke a credential (application exit or security event).
+    RevokeCred { cred: Credential },
+
+    // ---- authorization service (§3.1.1–3.1.4) ----
+    /// Create a new container; the creator's principal receives ALL rights.
+    CreateContainer { cred: Credential },
+    /// Remove a container (requires an ADMIN capability).
+    RemoveContainer { cap: Capability },
+    /// Acquire capabilities for `ops` on `container` (Figure 4-a step 1).
+    GetCaps { cred: Credential, container: ContainerId, ops: OpMask },
+    /// A storage server asks the authorization service to verify
+    /// capabilities it has not seen before (Figure 4-b step 2). The server
+    /// identifies itself so the authz service can record a *back pointer*
+    /// for revocation (§3.1.4).
+    VerifyCaps { caps: Vec<Capability>, cache_site: ProcessId },
+    /// Change the access policy of a container: grant and/or revoke
+    /// operations for a principal. Requires ADMIN. Triggers the revocation
+    /// protocol toward caching storage servers.
+    ModPolicy {
+        cap: Capability,
+        container: ContainerId,
+        principal: PrincipalId,
+        grant: OpMask,
+        revoke: OpMask,
+    },
+
+    // ---- storage service (§3.2, §3.3) ----
+    /// Create an object in a container. The server picks the id unless the
+    /// client supplies one (needed for deterministic restart layouts).
+    CreateObj { txn: Option<TxnId>, cap: Capability, obj: Option<ObjId> },
+    /// Remove an object.
+    RemoveObj { txn: Option<TxnId>, cap: Capability, obj: ObjId },
+    /// Write `len` bytes at `offset`; the server *pulls* the data from the
+    /// client's memory descriptor (server-directed I/O, Figure 6).
+    Write {
+        txn: Option<TxnId>,
+        cap: Capability,
+        obj: ObjId,
+        offset: u64,
+        len: u64,
+        md: MdHandle,
+    },
+    /// Read `len` bytes at `offset`; the server *pushes* into the client's
+    /// memory descriptor.
+    Read { cap: Capability, obj: ObjId, offset: u64, len: u64, md: MdHandle },
+    /// Apply `filter` to `[offset, offset+len)` on the server and push
+    /// only the result — the §6 remote-filtering extension.
+    ReadFiltered {
+        cap: Capability,
+        obj: ObjId,
+        offset: u64,
+        len: u64,
+        filter: FilterSpec,
+        md: MdHandle,
+    },
+    /// Fetch object attributes.
+    GetAttr { cap: Capability, obj: ObjId },
+    /// Flush an object (or the whole server if `obj` is `None`) to stable
+    /// storage — the `sync` step of the checkpoint timing loop (§4).
+    Sync { cap: Capability, obj: Option<ObjId> },
+    /// Enumerate objects in a container (debug/admin; requires GETATTR).
+    ListObjs { cap: Capability },
+    /// Authorization service → storage server: drop cached verification
+    /// results for these capabilities (revocation back-pointer walk).
+    InvalidateCaps { authz_epoch: u64, keys: Vec<CapabilityKey> },
+
+    // ---- naming service (client extension, Figure 3) ----
+    /// Bind `path` to a (container, object) pair.
+    NameCreate { txn: Option<TxnId>, path: String, container: ContainerId, obj: ObjId },
+    /// Resolve a path.
+    NameLookup { path: String },
+    /// Remove a binding.
+    NameRemove { txn: Option<TxnId>, path: String },
+    /// List bindings under a prefix.
+    NameList { prefix: String },
+
+    // ---- traditional-PFS baseline (metadata server protocol, §4/§5) ----
+    /// Create a striped file: the MDS allocates one object per stripe on
+    /// the OSTs — the centralized step the paper's Figure 10 measures.
+    PfsCreate { path: String, stripe_count: u32, stripe_size: u64 },
+    /// Open an existing file and fetch its layout.
+    PfsOpen { path: String },
+    /// Report the file size at close (Lustre-style size-on-MDS update).
+    PfsSetSize { path: String, size: u64 },
+    /// Remove a file and its stripe objects.
+    PfsUnlink { path: String },
+
+    // ---- transactions & locks (§3.4) ----
+    /// Begin a distributed transaction; the reply carries the TxnId.
+    TxnBegin { cred: Credential },
+    /// Two-phase commit, phase 1: participant must harden its journal and
+    /// vote.
+    TxnPrepare { txn: TxnId },
+    /// Two-phase commit, phase 2: make effects permanent.
+    TxnCommit { txn: TxnId },
+    /// Roll back.
+    TxnAbort { txn: TxnId },
+    /// Acquire a lock; `wait=false` converts blocking into `WouldBlock`.
+    LockAcquire { cap: Capability, resource: LockResource, mode: LockMode, wait: bool },
+    /// Release a granted lock.
+    LockRelease { cap: Capability, lock: LockId },
+}
+
+/// Reply bodies. `Err` is universal; the rest pair 1:1 with requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    Err(Error),
+    Pong,
+    Cred(Credential),
+    CredOk { principal: PrincipalId },
+    CredRevoked,
+    ContainerCreated(ContainerId),
+    ContainerRemoved,
+    Caps(Vec<Capability>),
+    /// The subset of submitted capabilities that verified, by cache key.
+    CapsVerified { valid: Vec<CapabilityKey> },
+    PolicyChanged { new_caps: Vec<Capability> },
+    ObjCreated(ObjId),
+    ObjRemoved,
+    WriteDone { len: u64 },
+    ReadDone { len: u64 },
+    /// Result of a filtered read: `len` result bytes were pushed;
+    /// `scanned` input bytes were examined on the server.
+    FilteredDone { len: u64, scanned: u64 },
+    Attr(ObjAttr),
+    Synced,
+    Objs(Vec<ObjId>),
+    CapsInvalidated { dropped: u64 },
+    NameCreated,
+    NameObj { container: ContainerId, obj: ObjId },
+    NameRemoved,
+    Names(Vec<String>),
+    PfsLayoutReply(PfsLayout),
+    PfsOk,
+    TxnStarted(TxnId),
+    /// Phase-1 vote: `true` = prepared/yes, `false` = no.
+    TxnVote(bool),
+    TxnCommitted,
+    TxnAborted,
+    LockGranted(LockId),
+    LockReleased,
+}
+
+/// A complete request envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Protocol version; receivers reject mismatches.
+    pub version: u16,
+    /// Sender-side sequence number used to pair replies on the
+    /// connectionless transport.
+    pub opnum: OpNum,
+    /// Where to send the reply.
+    pub reply_to: ProcessId,
+    pub body: RequestBody,
+}
+
+impl Request {
+    pub fn new(opnum: OpNum, reply_to: ProcessId, body: RequestBody) -> Self {
+        Self { version: PROTOCOL_VERSION, opnum, reply_to, body }
+    }
+}
+
+/// A complete reply envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    pub version: u16,
+    /// Echo of the request's opnum.
+    pub opnum: OpNum,
+    pub body: ReplyBody,
+}
+
+impl Reply {
+    pub fn new(opnum: OpNum, body: ReplyBody) -> Self {
+        Self { version: PROTOCOL_VERSION, opnum, body }
+    }
+
+    pub fn err(opnum: OpNum, e: Error) -> Self {
+        Self::new(opnum, ReplyBody::Err(e))
+    }
+
+    /// Convert into a result, surfacing `Err` bodies as errors.
+    pub fn into_result(self) -> Result<ReplyBody> {
+        match self.body {
+            ReplyBody::Err(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec for the envelope and both body enums. One discriminant byte each.
+// ---------------------------------------------------------------------------
+
+impl Encode for Request {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.version.encode(buf);
+        self.opnum.encode(buf);
+        self.reply_to.encode(buf);
+        self.body.encode(buf);
+    }
+}
+
+impl Decode for Request {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let version = u16::decode(buf)?;
+        if version != PROTOCOL_VERSION {
+            return Err(Error::Malformed(format!("unsupported protocol version {version}")));
+        }
+        Ok(Request {
+            version,
+            opnum: OpNum::decode(buf)?,
+            reply_to: ProcessId::decode(buf)?,
+            body: RequestBody::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for Reply {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.version.encode(buf);
+        self.opnum.encode(buf);
+        self.body.encode(buf);
+    }
+}
+
+impl Decode for Reply {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        let version = u16::decode(buf)?;
+        if version != PROTOCOL_VERSION {
+            return Err(Error::Malformed(format!("unsupported protocol version {version}")));
+        }
+        Ok(Reply { version, opnum: OpNum::decode(buf)?, body: ReplyBody::decode(buf)? })
+    }
+}
+
+macro_rules! encode_variants {
+    ($self:ident, $buf:ident; $($tag:literal => $pat:pat => { $($e:expr),* $(,)? }),+ $(,)?) => {
+        match $self {
+            $(
+                $pat => {
+                    $buf.put_u8($tag);
+                    $( Encode::encode($e, $buf); )*
+                }
+            )+
+        }
+    };
+}
+
+impl Encode for RequestBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        use RequestBody::*;
+        encode_variants!(self, buf;
+            0  => Ping => {},
+            1  => GetCred { mechanism_token } => { mechanism_token },
+            2  => VerifyCred { cred } => { cred },
+            3  => RevokeCred { cred } => { cred },
+            10 => CreateContainer { cred } => { cred },
+            11 => RemoveContainer { cap } => { cap },
+            12 => GetCaps { cred, container, ops } => { cred, container, ops },
+            13 => VerifyCaps { caps, cache_site } => { caps, cache_site },
+            14 => ModPolicy { cap, container, principal, grant, revoke } =>
+                { cap, container, principal, grant, revoke },
+            20 => CreateObj { txn, cap, obj } => { txn, cap, obj },
+            21 => RemoveObj { txn, cap, obj } => { txn, cap, obj },
+            22 => Write { txn, cap, obj, offset, len, md } => { txn, cap, obj, offset, len, md },
+            23 => Read { cap, obj, offset, len, md } => { cap, obj, offset, len, md },
+            28 => ReadFiltered { cap, obj, offset, len, filter, md } =>
+                { cap, obj, offset, len, filter, md },
+            24 => GetAttr { cap, obj } => { cap, obj },
+            25 => Sync { cap, obj } => { cap, obj },
+            26 => ListObjs { cap } => { cap },
+            27 => InvalidateCaps { authz_epoch, keys } => { authz_epoch, keys },
+            30 => NameCreate { txn, path, container, obj } => { txn, path, container, obj },
+            31 => NameLookup { path } => { path },
+            32 => NameRemove { txn, path } => { txn, path },
+            33 => NameList { prefix } => { prefix },
+            35 => PfsCreate { path, stripe_count, stripe_size } => { path, stripe_count, stripe_size },
+            36 => PfsOpen { path } => { path },
+            37 => PfsSetSize { path, size } => { path, size },
+            38 => PfsUnlink { path } => { path },
+            40 => TxnBegin { cred } => { cred },
+            41 => TxnPrepare { txn } => { txn },
+            42 => TxnCommit { txn } => { txn },
+            43 => TxnAbort { txn } => { txn },
+            44 => LockAcquire { cap, resource, mode, wait } => { cap, resource, mode, wait },
+            45 => LockRelease { cap, lock } => { cap, lock },
+        );
+    }
+}
+
+impl Decode for RequestBody {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        use RequestBody::*;
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => Ping,
+            1 => GetCred { mechanism_token: Decode::decode(buf)? },
+            2 => VerifyCred { cred: Decode::decode(buf)? },
+            3 => RevokeCred { cred: Decode::decode(buf)? },
+            10 => CreateContainer { cred: Decode::decode(buf)? },
+            11 => RemoveContainer { cap: Decode::decode(buf)? },
+            12 => GetCaps {
+                cred: Decode::decode(buf)?,
+                container: Decode::decode(buf)?,
+                ops: Decode::decode(buf)?,
+            },
+            13 => VerifyCaps { caps: Decode::decode(buf)?, cache_site: Decode::decode(buf)? },
+            14 => ModPolicy {
+                cap: Decode::decode(buf)?,
+                container: Decode::decode(buf)?,
+                principal: Decode::decode(buf)?,
+                grant: Decode::decode(buf)?,
+                revoke: Decode::decode(buf)?,
+            },
+            20 => CreateObj {
+                txn: Decode::decode(buf)?,
+                cap: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+            },
+            21 => RemoveObj {
+                txn: Decode::decode(buf)?,
+                cap: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+            },
+            22 => Write {
+                txn: Decode::decode(buf)?,
+                cap: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                len: Decode::decode(buf)?,
+                md: Decode::decode(buf)?,
+            },
+            23 => Read {
+                cap: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                len: Decode::decode(buf)?,
+                md: Decode::decode(buf)?,
+            },
+            28 => ReadFiltered {
+                cap: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                len: Decode::decode(buf)?,
+                filter: Decode::decode(buf)?,
+                md: Decode::decode(buf)?,
+            },
+            24 => GetAttr { cap: Decode::decode(buf)?, obj: Decode::decode(buf)? },
+            25 => Sync { cap: Decode::decode(buf)?, obj: Decode::decode(buf)? },
+            26 => ListObjs { cap: Decode::decode(buf)? },
+            27 => InvalidateCaps { authz_epoch: Decode::decode(buf)?, keys: Decode::decode(buf)? },
+            30 => NameCreate {
+                txn: Decode::decode(buf)?,
+                path: Decode::decode(buf)?,
+                container: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+            },
+            31 => NameLookup { path: Decode::decode(buf)? },
+            32 => NameRemove { txn: Decode::decode(buf)?, path: Decode::decode(buf)? },
+            33 => NameList { prefix: Decode::decode(buf)? },
+            35 => PfsCreate {
+                path: Decode::decode(buf)?,
+                stripe_count: Decode::decode(buf)?,
+                stripe_size: Decode::decode(buf)?,
+            },
+            36 => PfsOpen { path: Decode::decode(buf)? },
+            37 => PfsSetSize { path: Decode::decode(buf)?, size: Decode::decode(buf)? },
+            38 => PfsUnlink { path: Decode::decode(buf)? },
+            40 => TxnBegin { cred: Decode::decode(buf)? },
+            41 => TxnPrepare { txn: Decode::decode(buf)? },
+            42 => TxnCommit { txn: Decode::decode(buf)? },
+            43 => TxnAbort { txn: Decode::decode(buf)? },
+            44 => LockAcquire {
+                cap: Decode::decode(buf)?,
+                resource: Decode::decode(buf)?,
+                mode: Decode::decode(buf)?,
+                wait: Decode::decode(buf)?,
+            },
+            45 => LockRelease { cap: Decode::decode(buf)?, lock: Decode::decode(buf)? },
+            t => return Err(Error::Malformed(format!("unknown request tag {t}"))),
+        })
+    }
+}
+
+impl Encode for ReplyBody {
+    fn encode(&self, buf: &mut BytesMut) {
+        use ReplyBody::*;
+        encode_variants!(self, buf;
+            0  => Err(e) => { e },
+            1  => Pong => {},
+            2  => Cred(c) => { c },
+            3  => CredOk { principal } => { principal },
+            4  => CredRevoked => {},
+            10 => ContainerCreated(c) => { c },
+            11 => ContainerRemoved => {},
+            12 => Caps(caps) => { caps },
+            13 => CapsVerified { valid } => { valid },
+            14 => PolicyChanged { new_caps } => { new_caps },
+            20 => ObjCreated(o) => { o },
+            21 => ObjRemoved => {},
+            22 => WriteDone { len } => { len },
+            23 => ReadDone { len } => { len },
+            28 => FilteredDone { len, scanned } => { len, scanned },
+            24 => Attr(a) => { a },
+            25 => Synced => {},
+            26 => Objs(objs) => { objs },
+            27 => CapsInvalidated { dropped } => { dropped },
+            30 => NameCreated => {},
+            31 => NameObj { container, obj } => { container, obj },
+            32 => NameRemoved => {},
+            33 => Names(names) => { names },
+            35 => PfsLayoutReply(layout) => { layout },
+            36 => PfsOk => {},
+            40 => TxnStarted(t) => { t },
+            41 => TxnVote(v) => { v },
+            42 => TxnCommitted => {},
+            43 => TxnAborted => {},
+            44 => LockGranted(l) => { l },
+            45 => LockReleased => {},
+        );
+    }
+}
+
+impl Decode for ReplyBody {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        use ReplyBody::*;
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => Err(Decode::decode(buf)?),
+            1 => Pong,
+            2 => Cred(Decode::decode(buf)?),
+            3 => CredOk { principal: Decode::decode(buf)? },
+            4 => CredRevoked,
+            10 => ContainerCreated(Decode::decode(buf)?),
+            11 => ContainerRemoved,
+            12 => Caps(Decode::decode(buf)?),
+            13 => CapsVerified { valid: Decode::decode(buf)? },
+            14 => PolicyChanged { new_caps: Decode::decode(buf)? },
+            20 => ObjCreated(Decode::decode(buf)?),
+            21 => ObjRemoved,
+            22 => WriteDone { len: Decode::decode(buf)? },
+            23 => ReadDone { len: Decode::decode(buf)? },
+            28 => FilteredDone { len: Decode::decode(buf)?, scanned: Decode::decode(buf)? },
+            24 => Attr(Decode::decode(buf)?),
+            25 => Synced,
+            26 => Objs(Decode::decode(buf)?),
+            27 => CapsInvalidated { dropped: Decode::decode(buf)? },
+            30 => NameCreated,
+            31 => NameObj { container: Decode::decode(buf)?, obj: Decode::decode(buf)? },
+            32 => NameRemoved,
+            33 => Names(Decode::decode(buf)?),
+            35 => PfsLayoutReply(Decode::decode(buf)?),
+            36 => PfsOk,
+            40 => TxnStarted(Decode::decode(buf)?),
+            41 => TxnVote(Decode::decode(buf)?),
+            42 => TxnCommitted,
+            43 => TxnAborted,
+            44 => LockGranted(Decode::decode(buf)?),
+            45 => LockReleased,
+            t => return std::result::Result::Err(Error::Malformed(format!(
+                "unknown reply tag {t}"
+            ))),
+        })
+    }
+}
+
+// Error codec: discriminant byte + payload where present.
+impl Encode for Error {
+    fn encode(&self, buf: &mut BytesMut) {
+        use Error::*;
+        encode_variants!(self, buf;
+            0 => BadCredential => {},
+            1 => CredentialExpired => {},
+            2 => CredentialRevoked => {},
+            3 => BadCapability => {},
+            4 => CapabilityExpired => {},
+            5 => CapabilityRevoked => {},
+            6 => AccessDenied => {},
+            7 => NoSuchContainer(c) => { c },
+            8 => NoSuchObject(o) => { o },
+            9 => ObjectExists(o) => { o },
+            10 => NoSuchName => {},
+            11 => NameExists => {},
+            12 => ServerBusy => {},
+            13 => NoSuchTxn(t) => { t },
+            14 => TxnAborted(t) => { t },
+            15 => WouldBlock => {},
+            16 => Deadlock => {},
+            17 => ObjectTooLarge => {},
+            18 => Malformed(m) => { m },
+            19 => Unreachable => {},
+            20 => Timeout => {},
+            21 => StorageIo(m) => { m },
+            22 => Internal(m) => { m },
+        );
+    }
+}
+
+impl Decode for Error {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        use Error::*;
+        let tag = u8::decode(buf)?;
+        Ok(match tag {
+            0 => BadCredential,
+            1 => CredentialExpired,
+            2 => CredentialRevoked,
+            3 => BadCapability,
+            4 => CapabilityExpired,
+            5 => CapabilityRevoked,
+            6 => AccessDenied,
+            7 => NoSuchContainer(Decode::decode(buf)?),
+            8 => NoSuchObject(Decode::decode(buf)?),
+            9 => ObjectExists(Decode::decode(buf)?),
+            10 => NoSuchName,
+            11 => NameExists,
+            12 => ServerBusy,
+            13 => NoSuchTxn(Decode::decode(buf)?),
+            14 => TxnAborted(Decode::decode(buf)?),
+            15 => WouldBlock,
+            16 => Deadlock,
+            17 => ObjectTooLarge,
+            18 => Malformed(Decode::decode(buf)?),
+            19 => Unreachable,
+            20 => Timeout,
+            21 => StorageIo(Decode::decode(buf)?),
+            22 => Internal(Decode::decode(buf)?),
+            t => return std::result::Result::Err(Malformed(format!("unknown error tag {t}"))),
+        })
+    }
+}
+
+// CapabilityKey codec (used by VerifyCaps/InvalidateCaps).
+impl_codec_struct!(CapabilityKey { serial, sig });
+
+// Keep Signature importable from here for downstream codec users.
+#[allow(unused_imports)]
+use crate::security::Signature as _SignatureReexportCheck;
+const _: fn() = || {
+    let _ = std::mem::size_of::<Signature>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Lifetime;
+    use crate::security::{CapabilityBody, CredentialBody};
+    use bytes::Bytes;
+
+    fn sample_cred() -> Credential {
+        Credential {
+            body: CredentialBody {
+                principal: PrincipalId(42),
+                issuer_epoch: 1,
+                lifetime: Lifetime::UNBOUNDED,
+                serial: 7,
+            },
+            sig: Signature([3u8; 16]),
+        }
+    }
+
+    fn sample_cap() -> Capability {
+        Capability {
+            body: CapabilityBody {
+                container: ContainerId(9),
+                ops: OpMask::CHECKPOINT,
+                principal: PrincipalId(42),
+                issuer_epoch: 1,
+                lifetime: Lifetime::UNBOUNDED,
+                serial: 8,
+            },
+            sig: Signature([4u8; 16]),
+        }
+    }
+
+    fn all_request_bodies() -> Vec<RequestBody> {
+        use RequestBody::*;
+        vec![
+            Ping,
+            GetCred { mechanism_token: vec![1, 2, 3] },
+            VerifyCred { cred: sample_cred() },
+            RevokeCred { cred: sample_cred() },
+            CreateContainer { cred: sample_cred() },
+            RemoveContainer { cap: sample_cap() },
+            GetCaps { cred: sample_cred(), container: ContainerId(9), ops: OpMask::READ },
+            VerifyCaps { caps: vec![sample_cap()], cache_site: ProcessId::new(5, 0) },
+            ModPolicy {
+                cap: sample_cap(),
+                container: ContainerId(9),
+                principal: PrincipalId(42),
+                grant: OpMask::READ,
+                revoke: OpMask::WRITE,
+            },
+            CreateObj { txn: Some(TxnId(1)), cap: sample_cap(), obj: None },
+            RemoveObj { txn: None, cap: sample_cap(), obj: ObjId(12) },
+            Write {
+                txn: None,
+                cap: sample_cap(),
+                obj: ObjId(12),
+                offset: 0,
+                len: 512 << 20,
+                md: MdHandle { match_bits: 0xFEED },
+            },
+            Read {
+                cap: sample_cap(),
+                obj: ObjId(12),
+                offset: 4096,
+                len: 8192,
+                md: MdHandle { match_bits: 0xBEEF },
+            },
+            ReadFiltered {
+                cap: sample_cap(),
+                obj: ObjId(12),
+                offset: 0,
+                len: 1 << 20,
+                filter: FilterSpec::Threshold { min_abs: 0.5 },
+                md: MdHandle { match_bits: 0xF117 },
+            },
+            GetAttr { cap: sample_cap(), obj: ObjId(12) },
+            Sync { cap: sample_cap(), obj: Some(ObjId(12)) },
+            ListObjs { cap: sample_cap() },
+            InvalidateCaps { authz_epoch: 3, keys: vec![sample_cap().cache_key()] },
+            NameCreate {
+                txn: None,
+                path: "/ckpt/42".into(),
+                container: ContainerId(9),
+                obj: ObjId(1),
+            },
+            NameLookup { path: "/ckpt/42".into() },
+            NameRemove { txn: None, path: "/ckpt/42".into() },
+            NameList { prefix: "/ckpt".into() },
+            PfsCreate { path: "/f".into(), stripe_count: 4, stripe_size: 1 << 20 },
+            PfsOpen { path: "/f".into() },
+            PfsSetSize { path: "/f".into(), size: 512 << 20 },
+            PfsUnlink { path: "/f".into() },
+            TxnBegin { cred: sample_cred() },
+            TxnPrepare { txn: TxnId(4) },
+            TxnCommit { txn: TxnId(4) },
+            TxnAbort { txn: TxnId(4) },
+            LockAcquire {
+                cap: sample_cap(),
+                resource: LockResource::range(ContainerId(9), ObjId(1), 0, 4096),
+                mode: LockMode::Exclusive,
+                wait: true,
+            },
+            LockRelease { cap: sample_cap(), lock: LockId(77) },
+        ]
+    }
+
+    fn all_reply_bodies() -> Vec<ReplyBody> {
+        use ReplyBody::*;
+        vec![
+            Err(Error::ServerBusy),
+            Err(Error::Malformed("x".into())),
+            Pong,
+            Cred(sample_cred()),
+            CredOk { principal: PrincipalId(42) },
+            CredRevoked,
+            ContainerCreated(ContainerId(9)),
+            ContainerRemoved,
+            Caps(vec![sample_cap(), sample_cap()]),
+            CapsVerified { valid: vec![sample_cap().cache_key()] },
+            PolicyChanged { new_caps: vec![sample_cap()] },
+            ObjCreated(ObjId(12)),
+            ObjRemoved,
+            WriteDone { len: 512 },
+            ReadDone { len: 17 },
+            FilteredDone { len: 16, scanned: 1 << 20 },
+            Attr(ObjAttr { size: 1, create_time: 2, modify_time: 3 }),
+            Synced,
+            Objs(vec![ObjId(1), ObjId(2)]),
+            CapsInvalidated { dropped: 2 },
+            NameCreated,
+            NameObj { container: ContainerId(9), obj: ObjId(1) },
+            NameRemoved,
+            Names(vec!["/a".into(), "/b".into()]),
+            PfsLayoutReply(PfsLayout {
+                stripe_size: 1 << 20,
+                size: 0,
+                objects: vec![(0, ObjId(1)), (1, ObjId(2))],
+                caps: vec![sample_cap()],
+            }),
+            PfsOk,
+            TxnStarted(TxnId(4)),
+            TxnVote(true),
+            TxnCommitted,
+            TxnAborted,
+            LockGranted(LockId(77)),
+            LockReleased,
+        ]
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for (i, body) in all_request_bodies().into_iter().enumerate() {
+            let req = Request::new(OpNum(i as u64), ProcessId::new(1, 2), body);
+            let back = Request::from_bytes(req.to_bytes()).expect("decode");
+            assert_eq!(back, req, "variant {i}");
+        }
+    }
+
+    #[test]
+    fn every_reply_roundtrips() {
+        for (i, body) in all_reply_bodies().into_iter().enumerate() {
+            let rep = Reply::new(OpNum(i as u64), body);
+            let back = Reply::from_bytes(rep.to_bytes()).expect("decode");
+            assert_eq!(back, rep, "variant {i}");
+        }
+    }
+
+    #[test]
+    fn requests_stay_small() {
+        // The control plane must be small for server-directed I/O to work:
+        // a 512 MB write is still a sub-200-byte request.
+        for body in all_request_bodies() {
+            let req = Request::new(OpNum(0), ProcessId::new(0, 0), body.clone());
+            assert!(
+                req.encoded_len() <= crate::MAX_REQUEST_INLINE,
+                "{body:?} encodes to {} bytes",
+                req.encoded_len()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut req = Request::new(OpNum(0), ProcessId::new(0, 0), RequestBody::Ping);
+        req.version = 99;
+        assert!(Request::from_bytes(req.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let bytes = Bytes::from_static(&[200]);
+        assert!(RequestBody::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn reply_into_result_surfaces_errors() {
+        let ok = Reply::new(OpNum(1), ReplyBody::Pong);
+        assert_eq!(ok.into_result().unwrap(), ReplyBody::Pong);
+        let err = Reply::err(OpNum(1), Error::AccessDenied);
+        assert_eq!(err.into_result().unwrap_err(), Error::AccessDenied);
+    }
+
+    #[test]
+    fn lock_resource_overlap() {
+        let c = ContainerId(1);
+        let o = ObjId(1);
+        let a = LockResource::range(c, o, 0, 100);
+        let b = LockResource::range(c, o, 100, 200);
+        assert!(!a.overlaps(&b));
+        let covers = LockResource::whole_object(c, o);
+        assert!(a.overlaps(&covers));
+        let other_obj = LockResource::whole_object(c, ObjId(2));
+        assert!(!a.overlaps(&other_obj));
+    }
+
+    #[test]
+    fn errors_roundtrip_through_reply() {
+        for e in [
+            Error::BadCredential,
+            Error::NoSuchContainer(ContainerId(5)),
+            Error::NoSuchObject(ObjId(6)),
+            Error::TxnAborted(TxnId(7)),
+            Error::StorageIo("disk on fire".into()),
+            Error::Internal("bug".into()),
+        ] {
+            let rep = Reply::err(OpNum(1), e.clone());
+            let back = Reply::from_bytes(rep.to_bytes()).unwrap();
+            assert_eq!(back.into_result().unwrap_err(), e);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_request_decode_never_panics(data: Vec<u8>) {
+            let _ = Request::from_bytes(Bytes::from(data));
+        }
+
+        #[test]
+        fn prop_reply_decode_never_panics(data: Vec<u8>) {
+            let _ = Reply::from_bytes(Bytes::from(data));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! A self-contained SipHash-2-4 implementation used as the keyed MAC behind
+//! credential and capability signatures.
+//!
+//! The paper requires only that signatures be "a cryptographically secure
+//! random number … difficult to guess and verifiable only by the
+//! authorization service". SipHash-2-4 with a 128-bit secret key held by the
+//! issuing service satisfies the *structure* of that requirement in this
+//! reproduction (a production deployment would use HMAC with a vetted
+//! library; no crypto crate is in our allowed dependency set, and `std`'s
+//! SipHash does not expose keying).
+//!
+//! The implementation follows the reference description by Aumasson and
+//! Bernstein; test vectors from the reference implementation are included.
+
+/// A 128-bit MAC key. Each service instance draws a fresh key at startup,
+/// which is what makes credentials/capabilities "transient — limited in life
+/// to the current, issuing instance" (§3.1.2).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct MacKey {
+    pub k0: u64,
+    pub k1: u64,
+}
+
+impl std::fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material, even in debug logs.
+        write!(f, "MacKey(<redacted>)")
+    }
+}
+
+impl MacKey {
+    pub const fn new(k0: u64, k1: u64) -> Self {
+        Self { k0, k1 }
+    }
+
+    /// Derive a key from raw bytes (e.g. from a seeded RNG in tests).
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        let k0 = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let k1 = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        Self { k0, k1 }
+    }
+
+    /// MAC a message, producing a 128-bit tag.
+    ///
+    /// SipHash natively yields 64 bits; we produce 128 by hashing twice with
+    /// domain separation (a trailing domain byte), which is adequate for a
+    /// forgery-resistance *model* in a reproduction.
+    pub fn mac(&self, msg: &[u8]) -> [u8; 16] {
+        let lo = siphash24(self.k0, self.k1, msg, 0x00);
+        let hi = siphash24(self.k0, self.k1, msg, 0x01);
+        let mut out = [0u8; 16];
+        out[0..8].copy_from_slice(&lo.to_le_bytes());
+        out[8..16].copy_from_slice(&hi.to_le_bytes());
+        out
+    }
+
+    /// Constant-shape verification of a tag. (True constant-time comparison
+    /// is a non-goal here; we still avoid early exit to keep the structure
+    /// honest.)
+    pub fn verify(&self, msg: &[u8], tag: &[u8; 16]) -> bool {
+        let expect = self.mac(msg);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[inline]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// SipHash-2-4 over `msg` with an extra domain-separation byte appended.
+fn siphash24(k0: u64, k1: u64, msg: &[u8], domain: u8) -> u64 {
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575,
+        k1 ^ 0x646f_7261_6e64_6f6d,
+        k0 ^ 0x6c79_6765_6e65_7261,
+        k1 ^ 0x7465_6462_7974_6573,
+    ];
+
+    // Process the message plus the domain byte as one logical stream.
+    let total_len = msg.len() + 1;
+    let mut chunks = msg.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().unwrap());
+        v[3] ^= m;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= m;
+    }
+
+    // Final block: remainder bytes, the domain byte, zero padding, and the
+    // length in the top byte per the SipHash spec.
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 8];
+    tail[..rem.len()].copy_from_slice(rem);
+    let mut tail_len = rem.len();
+    if tail_len < 8 {
+        tail[tail_len] = domain;
+        tail_len += 1;
+    }
+    let mut blocks: Vec<[u8; 8]> = Vec::with_capacity(2);
+    if tail_len == 8 && (total_len % 8) == 0 {
+        // Domain byte exactly filled the block; length block follows alone.
+        blocks.push(tail);
+        blocks.push([0u8; 8]);
+    } else {
+        blocks.push(tail);
+    }
+    let last = blocks.last_mut().unwrap();
+    last[7] = (total_len & 0xff) as u8;
+
+    for block in &blocks {
+        let m = u64::from_le_bytes(*block);
+        v[3] ^= m;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= m;
+    }
+
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+/// Plain SipHash-2-4 (no domain byte), exposed for test vectors.
+pub fn siphash24_reference(k0: u64, k1: u64, msg: &[u8]) -> u64 {
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575,
+        k1 ^ 0x646f_7261_6e64_6f6d,
+        k0 ^ 0x6c79_6765_6e65_7261,
+        k1 ^ 0x7465_6462_7974_6573,
+    ];
+    let mut chunks = msg.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().unwrap());
+        v[3] ^= m;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= m;
+    }
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 8];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[7] = (msg.len() & 0xff) as u8;
+    let m = u64::from_le_bytes(tail);
+    v[3] ^= m;
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^= m;
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference test vector from the SipHash paper (Appendix A):
+    /// key = 00 01 .. 0f, message = 00 01 .. 0e, output = 0xa129ca6149be45e5.
+    #[test]
+    fn reference_vector() {
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        let msg: Vec<u8> = (0u8..15).collect();
+        assert_eq!(siphash24_reference(k0, k1, &msg), 0xa129_ca61_49be_45e5);
+    }
+
+    /// First vectors of the official vector table (messages of length 0..8).
+    #[test]
+    fn reference_vector_table_prefix() {
+        let expected: [u64; 8] = [
+            0x726f_db47_dd0e_0e31,
+            0x74f8_39c5_93dc_67fd,
+            0x0d6c_8009_d9a9_4f5a,
+            0x8567_6696_d7fb_7e2d,
+            0xcf27_94e0_2771_87b7,
+            0x1876_5564_cd99_a68d,
+            0xcbc9_466e_58fe_e3ce,
+            0xab02_00f5_8b01_d137,
+        ];
+        let k0 = u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]);
+        let k1 = u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15]);
+        for (len, want) in expected.iter().enumerate() {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(siphash24_reference(k0, k1, &msg), *want, "len={len}");
+        }
+    }
+
+    #[test]
+    fn mac_verifies_own_output() {
+        let key = MacKey::new(0x1234, 0x5678);
+        let tag = key.mac(b"hello lightweight i/o");
+        assert!(key.verify(b"hello lightweight i/o", &tag));
+    }
+
+    #[test]
+    fn mac_rejects_modified_message() {
+        let key = MacKey::new(0x1234, 0x5678);
+        let tag = key.mac(b"hello");
+        assert!(!key.verify(b"hellp", &tag));
+    }
+
+    #[test]
+    fn mac_rejects_wrong_key() {
+        let a = MacKey::new(1, 2);
+        let b = MacKey::new(1, 3);
+        let tag = a.mac(b"msg");
+        assert!(!b.verify(b"msg", &tag));
+    }
+
+    #[test]
+    fn domain_separation_gives_independent_halves() {
+        let key = MacKey::new(7, 9);
+        let tag = key.mac(b"x");
+        assert_ne!(tag[0..8], tag[8..16]);
+    }
+
+    #[test]
+    fn mac_differs_across_lengths() {
+        // Length is folded in; prefix messages must not collide.
+        let key = MacKey::new(11, 13);
+        let t1 = key.mac(b"aaaaaaa");
+        let t2 = key.mac(b"aaaaaaaa");
+        let t3 = key.mac(b"aaaaaaaaa");
+        assert_ne!(t1, t2);
+        assert_ne!(t2, t3);
+    }
+
+    #[test]
+    fn debug_never_leaks_key() {
+        let key = MacKey::new(0xdead_beef, 0xfeed_face);
+        let s = format!("{key:?}");
+        assert!(!s.contains("dead"));
+        assert!(s.contains("redacted"));
+    }
+}

@@ -1,0 +1,303 @@
+//! The dataset schema: dimensions, typed variables, attributes — the
+//! netCDF "classic" data model, with a compact binary encoding stored in
+//! the dataset's header object.
+
+use bytes::{Buf, BufMut, BytesMut};
+use lwfs_proto::codec::{Decode, Encode};
+use lwfs_proto::{Error, Result as ProtoResult};
+
+use crate::{Result, SciError};
+
+/// Element types (the netCDF-classic external types this library stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarType {
+    F32,
+    F64,
+    I32,
+    U8,
+}
+
+impl VarType {
+    pub fn size(self) -> usize {
+        match self {
+            VarType::F32 | VarType::I32 => 4,
+            VarType::F64 => 8,
+            VarType::U8 => 1,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            VarType::F32 => "f32",
+            VarType::F64 => "f64",
+            VarType::I32 => "i32",
+            VarType::U8 => "u8",
+        }
+    }
+}
+
+impl Encode for VarType {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            VarType::F32 => 0,
+            VarType::F64 => 1,
+            VarType::I32 => 2,
+            VarType::U8 => 3,
+        });
+    }
+}
+
+impl Decode for VarType {
+    fn decode(buf: &mut impl Buf) -> ProtoResult<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => VarType::F32,
+            1 => VarType::F64,
+            2 => VarType::I32,
+            3 => VarType::U8,
+            t => return Err(Error::Malformed(format!("unknown var type {t}"))),
+        })
+    }
+}
+
+/// A named dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    pub name: String,
+    pub len: u64,
+}
+
+impl Encode for Dim {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        self.len.encode(buf);
+    }
+}
+
+impl Decode for Dim {
+    fn decode(buf: &mut impl Buf) -> ProtoResult<Self> {
+        Ok(Dim { name: Decode::decode(buf)?, len: Decode::decode(buf)? })
+    }
+}
+
+/// A variable over an ordered list of dimensions (row-major).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Var {
+    pub name: String,
+    pub ty: VarType,
+    /// Indexes into [`Schema::dims`], outermost first.
+    pub dims: Vec<u32>,
+}
+
+impl Encode for Var {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.name.encode(buf);
+        self.ty.encode(buf);
+        self.dims.encode(buf);
+    }
+}
+
+impl Decode for Var {
+    fn decode(buf: &mut impl Buf) -> ProtoResult<Self> {
+        Ok(Var {
+            name: Decode::decode(buf)?,
+            ty: Decode::decode(buf)?,
+            dims: Decode::decode(buf)?,
+        })
+    }
+}
+
+/// A free-form (key, value) attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub key: String,
+    pub value: String,
+}
+
+impl Encode for Attribute {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.key.encode(buf);
+        self.value.encode(buf);
+    }
+}
+
+impl Decode for Attribute {
+    fn decode(buf: &mut impl Buf) -> ProtoResult<Self> {
+        Ok(Attribute { key: Decode::decode(buf)?, value: Decode::decode(buf)? })
+    }
+}
+
+/// A dataset schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub dims: Vec<Dim>,
+    pub vars: Vec<Var>,
+    pub attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a dimension, returning its index.
+    pub fn dim(&mut self, name: &str, len: u64) -> u32 {
+        self.dims.push(Dim { name: name.to_string(), len });
+        (self.dims.len() - 1) as u32
+    }
+
+    /// Add a variable over the given dimension indexes.
+    pub fn var(&mut self, name: &str, ty: VarType, dims: &[u32]) {
+        self.vars.push(Var { name: name.to_string(), ty, dims: dims.to_vec() });
+    }
+
+    pub fn attr(&mut self, key: &str, value: &str) {
+        self.attrs.push(Attribute { key: key.to_string(), value: value.to_string() });
+    }
+
+    pub fn find_var(&self, name: &str) -> Result<(usize, &Var)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.name == name)
+            .ok_or_else(|| SciError::NoSuchName(name.to_string()))
+    }
+
+    pub fn attr_value(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|a| a.key == key).map(|a| a.value.as_str())
+    }
+
+    /// Extent of a variable, outermost dimension first.
+    pub fn shape_of(&self, var: &Var) -> Vec<u64> {
+        var.dims.iter().map(|d| self.dims[*d as usize].len).collect()
+    }
+
+    /// Elements in a variable.
+    pub fn volume_of(&self, var: &Var) -> u64 {
+        self.shape_of(var).iter().product()
+    }
+
+    /// Validate structural invariants.
+    pub fn validate(&self) -> Result<()> {
+        let mut names = std::collections::HashSet::new();
+        for d in &self.dims {
+            if d.len == 0 {
+                return Err(SciError::BadSchema(format!("dimension {} has length 0", d.name)));
+            }
+            if !names.insert(&d.name) {
+                return Err(SciError::BadSchema(format!("duplicate dimension {}", d.name)));
+            }
+        }
+        let mut vnames = std::collections::HashSet::new();
+        for v in &self.vars {
+            if v.dims.is_empty() {
+                return Err(SciError::BadSchema(format!("variable {} has no dimensions", v.name)));
+            }
+            if !vnames.insert(&v.name) {
+                return Err(SciError::BadSchema(format!("duplicate variable {}", v.name)));
+            }
+            for d in &v.dims {
+                if *d as usize >= self.dims.len() {
+                    return Err(SciError::BadSchema(format!(
+                        "variable {} references missing dimension {d}",
+                        v.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Encode for Schema {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.dims.encode(buf);
+        self.vars.encode(buf);
+        self.attrs.encode(buf);
+    }
+}
+
+impl Decode for Schema {
+    fn decode(buf: &mut impl Buf) -> ProtoResult<Self> {
+        Ok(Schema {
+            dims: Decode::decode(buf)?,
+            vars: Decode::decode(buf)?,
+            attrs: Decode::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn climate() -> Schema {
+        let mut s = Schema::new();
+        let t = s.dim("time", 24);
+        let lat = s.dim("lat", 96);
+        let lon = s.dim("lon", 192);
+        s.var("temp", VarType::F32, &[t, lat, lon]);
+        s.var("elevation", VarType::F64, &[lat, lon]);
+        s.attr("institution", "SNL reproduction");
+        s
+    }
+
+    #[test]
+    fn build_and_query() {
+        let s = climate();
+        s.validate().unwrap();
+        let (_, temp) = s.find_var("temp").unwrap();
+        assert_eq!(s.shape_of(temp), vec![24, 96, 192]);
+        assert_eq!(s.volume_of(temp), 24 * 96 * 192);
+        assert_eq!(temp.ty.size(), 4);
+        assert_eq!(s.attr_value("institution"), Some("SNL reproduction"));
+        assert!(s.find_var("missing").is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let s = climate();
+        let back = Schema::from_bytes(s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut s = Schema::new();
+        s.dim("x", 0);
+        assert!(matches!(s.validate(), Err(SciError::BadSchema(_))));
+
+        let mut s = Schema::new();
+        s.dim("x", 1);
+        s.dim("x", 2);
+        assert!(s.validate().is_err());
+
+        let mut s = Schema::new();
+        let x = s.dim("x", 4);
+        s.var("v", VarType::F32, &[x]);
+        s.var("v", VarType::F32, &[x]);
+        assert!(s.validate().is_err());
+
+        let mut s = Schema::new();
+        s.dim("x", 4);
+        s.var("v", VarType::F32, &[9]);
+        assert!(s.validate().is_err());
+
+        let mut s = Schema::new();
+        s.dim("x", 4);
+        s.var("scalar", VarType::F32, &[]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(VarType::F32.size(), 4);
+        assert_eq!(VarType::F64.size(), 8);
+        assert_eq!(VarType::I32.size(), 4);
+        assert_eq!(VarType::U8.size(), 1);
+    }
+
+    #[test]
+    fn decode_junk_never_panics() {
+        let _ = Schema::from_bytes(bytes::Bytes::from_static(&[9, 9, 9]));
+    }
+}

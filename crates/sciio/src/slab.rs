@@ -1,0 +1,238 @@
+//! Hyperslab arithmetic: mapping an n-dimensional sub-array onto the
+//! row-major linear layout of a variable.
+//!
+//! A [`Slab`] is `(start, count)` per dimension, netCDF style. The key
+//! operation is [`Slab::contiguous_runs`]: decompose the slab into maximal
+//! contiguous element runs of the underlying linear order. Each run then
+//! maps to one object byte range; a slab that spans first-dimension blocks
+//! splits across sub-objects (see `dataset.rs`).
+
+use crate::{Result, SciError};
+
+/// An n-dimensional hyperslab selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slab {
+    /// First index per dimension.
+    pub start: Vec<u64>,
+    /// Extent per dimension.
+    pub count: Vec<u64>,
+}
+
+impl Slab {
+    pub fn new(start: Vec<u64>, count: Vec<u64>) -> Self {
+        assert_eq!(start.len(), count.len(), "start/count rank mismatch");
+        Self { start, count }
+    }
+
+    /// The whole variable of the given shape.
+    pub fn whole(shape: &[u64]) -> Self {
+        Self { start: vec![0; shape.len()], count: shape.to_vec() }
+    }
+
+    /// One block of the outermost dimension, whole inner extent.
+    pub fn rows(shape: &[u64], first: u64, rows: u64) -> Self {
+        let mut start = vec![0; shape.len()];
+        let mut count = shape.to_vec();
+        start[0] = first;
+        count[0] = rows;
+        Self { start, count }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Total elements selected.
+    pub fn volume(&self) -> u64 {
+        self.count.iter().product()
+    }
+
+    /// Check the slab against a variable shape.
+    pub fn check(&self, shape: &[u64]) -> Result<()> {
+        if self.rank() != shape.len() {
+            return Err(SciError::RankMismatch { want: shape.len(), got: self.rank() });
+        }
+        for (dim, ((s, c), extent)) in
+            self.start.iter().zip(&self.count).zip(shape).enumerate()
+        {
+            if *c == 0 || s.checked_add(*c).is_none_or(|end| end > *extent) {
+                return Err(SciError::OutOfBounds {
+                    dim,
+                    want: s.saturating_add(*c),
+                    have: *extent,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decompose into maximal contiguous runs.
+    ///
+    /// Returns `(element_offset_in_variable, element_offset_in_buffer,
+    /// element_count)` triples, in buffer order. A slab covering the full
+    /// extent of every trailing dimension collapses to fewer, longer runs.
+    pub fn contiguous_runs(&self, shape: &[u64]) -> Vec<(u64, u64, u64)> {
+        assert_eq!(self.rank(), shape.len());
+        let rank = self.rank();
+        if rank == 0 {
+            return vec![];
+        }
+        // Row-major strides.
+        let mut stride = vec![1u64; rank];
+        for d in (0..rank.saturating_sub(1)).rev() {
+            stride[d] = stride[d + 1] * shape[d + 1];
+        }
+        // `fused` = first dimension of the maximal *fully covered* suffix.
+        // Consecutive indices of dimension fused−1 are then contiguous in
+        // memory, so the run fuses dims [fused−1, rank): its length is
+        // count[fused−1] × Π shape[fused..]. If everything is covered the
+        // whole slab is one run.
+        let mut fused = rank;
+        while fused > 0 && self.start[fused - 1] == 0 && self.count[fused - 1] == shape[fused - 1]
+        {
+            fused -= 1;
+        }
+        let (outer_end, run_len) = if fused == 0 {
+            (0usize, self.volume())
+        } else {
+            let trailing: u64 = shape[fused..].iter().product();
+            (fused - 1, self.count[fused - 1] * trailing)
+        };
+
+        // Iterate the outer index space [0..outer_end); each outer index
+        // tuple yields one run.
+        let mut runs = Vec::new();
+        let mut idx = vec![0u64; outer_end];
+        let mut buf_off = 0u64;
+        loop {
+            let mut var_off = 0u64;
+            for d in 0..outer_end {
+                var_off += (self.start[d] + idx[d]) * stride[d];
+            }
+            for d in outer_end..rank {
+                var_off += self.start[d] * stride[d];
+            }
+            runs.push((var_off, buf_off, run_len));
+            buf_off += run_len;
+
+            // Odometer increment over the outer dims.
+            let mut d = outer_end;
+            loop {
+                if d == 0 {
+                    return runs;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.count[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_variable_is_one_run() {
+        let shape = [4u64, 5, 6];
+        let slab = Slab::whole(&shape);
+        let runs = slab.contiguous_runs(&shape);
+        assert_eq!(runs, vec![(0, 0, 120)]);
+    }
+
+    #[test]
+    fn row_block_is_one_run() {
+        let shape = [10u64, 5, 6];
+        let slab = Slab::rows(&shape, 2, 3);
+        let runs = slab.contiguous_runs(&shape);
+        assert_eq!(runs, vec![(2 * 30, 0, 90)]);
+    }
+
+    #[test]
+    fn inner_subslab_splits_per_row() {
+        // shape (2, 4): select columns 1..3 of both rows.
+        let shape = [2u64, 4];
+        let slab = Slab::new(vec![0, 1], vec![2, 2]);
+        let runs = slab.contiguous_runs(&shape);
+        assert_eq!(runs, vec![(1, 0, 2), (5, 2, 2)]);
+    }
+
+    #[test]
+    fn middle_dim_partial() {
+        // shape (2, 3, 4): full inner dim, partial middle.
+        let shape = [2u64, 3, 4];
+        let slab = Slab::new(vec![0, 1, 0], vec![2, 2, 4]);
+        let runs = slab.contiguous_runs(&shape);
+        // Rows (0,1..3) fuse over the full inner dim: 8 elements per outer
+        // index.
+        assert_eq!(runs, vec![(4, 0, 8), (16, 8, 8)]);
+    }
+
+    #[test]
+    fn single_element() {
+        let shape = [3u64, 3, 3];
+        let slab = Slab::new(vec![1, 2, 0], vec![1, 1, 1]);
+        let runs = slab.contiguous_runs(&shape);
+        assert_eq!(runs, vec![(1 * 9 + 2 * 3, 0, 1)]);
+    }
+
+    #[test]
+    fn check_bounds() {
+        let shape = [4u64, 4];
+        assert!(Slab::new(vec![0, 0], vec![4, 4]).check(&shape).is_ok());
+        assert!(matches!(
+            Slab::new(vec![2, 0], vec![3, 4]).check(&shape),
+            Err(SciError::OutOfBounds { dim: 0, .. })
+        ));
+        assert!(matches!(
+            Slab::new(vec![0, 0], vec![4, 0]).check(&shape),
+            Err(SciError::OutOfBounds { dim: 1, .. })
+        ));
+        assert!(matches!(
+            Slab::new(vec![0], vec![4]).check(&shape),
+            Err(SciError::RankMismatch { .. })
+        ));
+        // Overflow-safe.
+        assert!(Slab::new(vec![u64::MAX, 0], vec![2, 4]).check(&shape).is_err());
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let shape = [100u64];
+        let slab = Slab::new(vec![10], vec![25]);
+        assert_eq!(slab.contiguous_runs(&shape), vec![(10, 0, 25)]);
+    }
+
+    proptest::proptest! {
+        /// Runs tile the slab exactly: buffer offsets are dense, total
+        /// volume matches, every variable offset is unique and in range.
+        #[test]
+        fn prop_runs_partition_the_slab(
+            shape in proptest::collection::vec(1u64..6, 1..4),
+        ) {
+            // Derive a random-but-valid slab from the shape.
+            let start: Vec<u64> = shape.iter().map(|e| e / 2).collect();
+            let count: Vec<u64> = shape.iter().zip(&start).map(|(e, s)| (e - s).max(1)).collect();
+            let slab = Slab::new(start, count);
+            slab.check(&shape).unwrap();
+            let runs = slab.contiguous_runs(&shape);
+            let total: u64 = runs.iter().map(|(_, _, n)| *n).sum();
+            proptest::prop_assert_eq!(total, slab.volume());
+            let mut cursor = 0;
+            let volume: u64 = shape.iter().product();
+            let mut seen = std::collections::HashSet::new();
+            for (var_off, buf_off, n) in &runs {
+                proptest::prop_assert_eq!(*buf_off, cursor);
+                cursor += n;
+                proptest::prop_assert!(var_off + n <= volume);
+                for e in *var_off..var_off + n {
+                    proptest::prop_assert!(seen.insert(e), "duplicate element {}", e);
+                }
+            }
+        }
+    }
+}

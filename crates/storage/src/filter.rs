@@ -1,0 +1,170 @@
+//! Server-side filtering — the §6 "remote processing (e.g., remote
+//! filtering)" extension, following the active-disk work the paper cites
+//! (Acharya/Uysal/Saltz; Riedel/Faloutsos/Gibson/Nagle).
+//!
+//! The storage server applies the filter to the object bytes (interpreted
+//! as little-endian `f32`) and pushes only the result to the client:
+//! event detection over a terabyte of traces moves kilobytes, not the
+//! terabyte. The security model is unchanged — filtering is a *read*;
+//! a READ capability authorizes it.
+
+use lwfs_proto::FilterSpec;
+
+/// Apply `filter` to `data`, returning the result bytes and how many
+/// input bytes were scanned.
+///
+/// Trailing bytes that do not complete an `f32` are ignored (objects
+/// written by f32 producers are always aligned; foreign data degrades
+/// gracefully).
+pub fn apply(filter: &FilterSpec, data: &[u8]) -> (Vec<u8>, u64) {
+    let lanes = data.len() / 4;
+    let scanned = (lanes * 4) as u64;
+    let values = data[..lanes * 4]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunks_exact(4)")));
+
+    let out: Vec<u8> = match filter {
+        FilterSpec::Subsample { stride } => {
+            let stride = (*stride).max(1) as usize;
+            values
+                .step_by(stride)
+                .flat_map(|v| v.to_le_bytes())
+                .collect()
+        }
+        FilterSpec::Threshold { min_abs } => values
+            .filter(|v| v.abs() >= *min_abs)
+            .flat_map(|v| v.to_le_bytes())
+            .collect(),
+        FilterSpec::Stats => {
+            let mut min = f32::INFINITY;
+            let mut max = f32::NEG_INFINITY;
+            let mut sum = 0.0f64;
+            let mut count = 0u64;
+            for v in values {
+                min = min.min(v);
+                max = max.max(v);
+                sum += f64::from(v);
+                count += 1;
+            }
+            if count == 0 {
+                min = 0.0;
+                max = 0.0;
+            }
+            let mut out = Vec::with_capacity(16);
+            out.extend_from_slice(&min.to_le_bytes());
+            out.extend_from_slice(&max.to_le_bytes());
+            out.extend_from_slice(&(sum as f32).to_le_bytes());
+            out.extend_from_slice(&(count as f32).to_le_bytes());
+            out
+        }
+    };
+    (out, scanned)
+}
+
+/// Decode a `Stats` result block into `(min, max, sum, count)`.
+pub fn decode_stats(block: &[u8]) -> Option<(f32, f32, f32, u64)> {
+    if block.len() != 16 {
+        return None;
+    }
+    let lane = |i: usize| f32::from_le_bytes(block[4 * i..4 * i + 4].try_into().expect("16B"));
+    Some((lane(0), lane(1), lane(2), lane(3) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32s(vals: &[f32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn to_f32s(bytes: &[u8]) -> Vec<f32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn subsample_decimates() {
+        let data = f32s(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let (out, scanned) = apply(&FilterSpec::Subsample { stride: 3 }, &data);
+        assert_eq!(to_f32s(&out), vec![0.0, 3.0, 6.0]);
+        assert_eq!(scanned, 28);
+    }
+
+    #[test]
+    fn subsample_stride_zero_treated_as_one() {
+        let data = f32s(&[1.0, 2.0]);
+        let (out, _) = apply(&FilterSpec::Subsample { stride: 0 }, &data);
+        assert_eq!(to_f32s(&out), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn threshold_keeps_large_magnitudes() {
+        let data = f32s(&[0.1, -5.0, 0.2, 7.5, -0.3]);
+        let (out, _) = apply(&FilterSpec::Threshold { min_abs: 1.0 }, &data);
+        assert_eq!(to_f32s(&out), vec![-5.0, 7.5]);
+    }
+
+    #[test]
+    fn threshold_can_return_empty() {
+        let data = f32s(&[0.1, 0.2]);
+        let (out, scanned) = apply(&FilterSpec::Threshold { min_abs: 10.0 }, &data);
+        assert!(out.is_empty());
+        assert_eq!(scanned, 8);
+    }
+
+    #[test]
+    fn stats_block() {
+        let data = f32s(&[1.0, -2.0, 3.0, 4.0]);
+        let (out, _) = apply(&FilterSpec::Stats, &data);
+        let (min, max, sum, count) = decode_stats(&out).unwrap();
+        assert_eq!(min, -2.0);
+        assert_eq!(max, 4.0);
+        assert_eq!(sum, 6.0);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn stats_on_empty_input() {
+        let (out, scanned) = apply(&FilterSpec::Stats, &[]);
+        let (min, max, sum, count) = decode_stats(&out).unwrap();
+        assert_eq!((min, max, sum, count), (0.0, 0.0, 0.0, 0));
+        assert_eq!(scanned, 0);
+    }
+
+    #[test]
+    fn trailing_partial_lane_ignored() {
+        let mut data = f32s(&[9.0]);
+        data.extend_from_slice(&[1, 2, 3]); // 3 stray bytes
+        let (out, scanned) = apply(&FilterSpec::Subsample { stride: 1 }, &data);
+        assert_eq!(to_f32s(&out), vec![9.0]);
+        assert_eq!(scanned, 4);
+    }
+
+    #[test]
+    fn decode_stats_rejects_bad_length() {
+        assert!(decode_stats(&[0u8; 15]).is_none());
+        assert!(decode_stats(&[0u8; 17]).is_none());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_threshold_output_subset_of_input(vals in proptest::collection::vec(-100.0f32..100.0, 0..64), t in 0.0f32..50.0) {
+            let data = f32s(&vals);
+            let (out, _) = apply(&FilterSpec::Threshold { min_abs: t }, &data);
+            let got = to_f32s(&out);
+            let expected: Vec<f32> = vals.iter().copied().filter(|v| v.abs() >= t).collect();
+            proptest::prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn prop_subsample_len(vals in proptest::collection::vec(-1.0f32..1.0, 0..64), stride in 1u32..8) {
+            let data = f32s(&vals);
+            let (out, _) = apply(&FilterSpec::Subsample { stride }, &data);
+            let expect = vals.len().div_ceil(stride as usize);
+            proptest::prop_assert_eq!(out.len() / 4, expect);
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! The storage server: RPC surface, server-directed data movement,
+//! capability enforcement, and transaction participation.
+//!
+//! The server runs its own loop (rather than the generic service runner)
+//! so it can drain bursts of queued requests and release them through the
+//! elevator [`RequestScheduler`]. Each data request then moves its bulk
+//! payload with one-sided operations against the *client's* pinned memory
+//! descriptor, staged through the server's bounded [`PinnedBufferPool`] —
+//! the complete Figure 6 pipeline:
+//!
+//! ```text
+//! client: post MD, send small request ─▶ server queue
+//! server: authorize (cap cache / verify-through)
+//!         for each chunk: acquire pinned buffer, GET from client MD,
+//!                         write to object store, release buffer
+//!         reply WriteDone
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use lwfs_auth::Clock;
+use lwfs_authz::CachedCapVerifier;
+use lwfs_portals::{Endpoint, Event, Network, RpcClient, REQUEST_MATCH};
+use lwfs_proto::{
+    Capability, ContainerId, Decode as _, Encode as _, Error, FilterSpec, MdHandle, ObjId, OpMask,
+    ProcessId, Reply, ReplyBody, Request, RequestBody, Result, TxnId,
+};
+use lwfs_txn::JournalStore;
+
+use crate::buffers::PinnedBufferPool;
+use crate::scheduler::RequestScheduler;
+use crate::store::{ObjectStore, StoreConfig, WritePreimage};
+
+/// Storage-server configuration.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Bytes per one-sided transfer chunk (each chunk crosses a pinned
+    /// buffer).
+    pub chunk_size: usize,
+    /// Number of pinned transfer buffers.
+    pub pool_buffers: usize,
+    /// Maximum requests drained into one elevator batch.
+    pub batch_limit: usize,
+    /// Ablation knob: bypass the capability cache and verify every
+    /// operation through the authorization service. Quantifies what the
+    /// §3.1.2 caching scheme buys (see the `ablation` harness).
+    pub verify_every_op: bool,
+    /// Object-store configuration.
+    pub store: StoreConfig,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        Self {
+            chunk_size: 256 * 1024,
+            pool_buffers: 8,
+            batch_limit: 64,
+            verify_every_op: false,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// Operation counters (atomics: read concurrently by experiments).
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    pub creates: AtomicU64,
+    pub removes: AtomicU64,
+    pub writes: AtomicU64,
+    pub reads: AtomicU64,
+    pub filtered_reads: AtomicU64,
+    /// Input bytes scanned by server-side filters.
+    pub bytes_filtered: AtomicU64,
+    pub syncs: AtomicU64,
+    pub bytes_pulled: AtomicU64,
+    pub bytes_pushed: AtomicU64,
+    pub busy_rejects: AtomicU64,
+    pub txn_commits: AtomicU64,
+    pub txn_aborts: AtomicU64,
+    pub batches: AtomicU64,
+}
+
+impl StorageStats {
+    pub fn data_ops(&self) -> u64 {
+        self.creates.load(Ordering::Relaxed)
+            + self.removes.load(Ordering::Relaxed)
+            + self.writes.load(Ordering::Relaxed)
+            + self.reads.load(Ordering::Relaxed)
+    }
+}
+
+/// Undo journal entries for transactional rollback (§3.4).
+enum UndoOp {
+    /// Creation is undone by removal.
+    RemoveObject(ContainerId, ObjId),
+    /// A write is undone by restoring its preimage.
+    UndoWrite(ObjId, WritePreimage),
+    /// A removal is undone by restoring the full object.
+    RestoreObject(ContainerId, ObjId, Vec<u8>),
+}
+
+/// Shared (inspectable) state of a running storage server.
+pub struct StorageServer {
+    site: ProcessId,
+
+    config: StorageConfig,
+    store: ObjectStore,
+    pool: PinnedBufferPool,
+    verifier: Option<CachedCapVerifier>,
+    clock: Arc<dyn Clock>,
+    journal: JournalStore<UndoOp>,
+    stats: StorageStats,
+}
+
+/// Handle to a running storage server thread.
+pub struct StorageHandle {
+    id: ProcessId,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl StorageHandle {
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StorageHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl StorageServer {
+    /// Spawn a storage server at `id`.
+    ///
+    /// `verifier` is the verify-through capability cache bound to the
+    /// authorization service; passing `None` trusts structurally valid
+    /// capabilities (unit tests only — a real deployment always verifies).
+    pub fn spawn(
+        net: &Network,
+        id: ProcessId,
+        config: StorageConfig,
+        verifier: Option<CachedCapVerifier>,
+        clock: Arc<dyn Clock>,
+    ) -> (StorageHandle, Arc<StorageServer>) {
+        let server = Arc::new(StorageServer {
+            site: id,
+            store: ObjectStore::new(config.store.clone()),
+            pool: PinnedBufferPool::new(config.pool_buffers, config.chunk_size),
+            verifier,
+            clock,
+            journal: JournalStore::new(),
+            stats: StorageStats::default(),
+            config,
+        });
+        let ep = net.register(id);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let srv = Arc::clone(&server);
+        let thread = std::thread::Builder::new()
+            .name(format!("lwfs-storage-{id}"))
+            .spawn(move || srv.run(ep, stop2))
+            .expect("spawn storage server");
+        (StorageHandle { id, stop, thread: Some(thread) }, server)
+    }
+
+    /// The server's own process address (its back-pointer identity at the
+    /// authorization service).
+    pub fn site(&self) -> ProcessId {
+        self.site
+    }
+
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    pub fn cap_cache_stats(&self) -> Option<lwfs_authz::CapCacheStats> {
+        self.verifier.as_ref().map(|v| v.stats())
+    }
+
+    pub fn pool(&self) -> &PinnedBufferPool {
+        &self.pool
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    fn run(&self, ep: Endpoint, stop: Arc<AtomicBool>) {
+        let client = RpcClient::new(&ep);
+        let mut scheduler = RequestScheduler::new();
+        let poll = Duration::from_millis(5);
+        while !stop.load(Ordering::SeqCst) {
+            // Block for the first request of a batch…
+            let first = ep.recv_match(poll, |e| {
+                matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH)
+            });
+            let first = match first {
+                Ok(ev) => ev,
+                Err(Error::Timeout) => continue,
+                Err(_) => break,
+            };
+            self.enqueue(&mut scheduler, first);
+            // …then drain whatever else already arrived (the burst), up to
+            // the batch limit, and release in elevator order.
+            while scheduler.len() < self.config.batch_limit {
+                match ep.recv_match(Duration::ZERO, |e| {
+                    matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH)
+                }) {
+                    Ok(ev) => self.enqueue(&mut scheduler, ev),
+                    Err(_) => break,
+                }
+            }
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            for req in scheduler.drain_elevator() {
+                let body = self.handle(&ep, &client, &req);
+                let rep = Reply::new(req.opnum, body);
+                let _ = ep.send(
+                    req.reply_to,
+                    lwfs_portals::reply_match(req.opnum.0),
+                    rep.to_bytes(),
+                );
+            }
+        }
+    }
+
+    fn enqueue(&self, scheduler: &mut RequestScheduler, ev: Event) {
+        if let Some(data) = ev.message_data() {
+            if let Ok(req) = Request::from_bytes(data.clone()) {
+                scheduler.push(req);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Authorization
+    // ------------------------------------------------------------------
+
+    fn authorize(&self, client: &RpcClient<'_>, cap: &Capability, need: OpMask) -> Result<()> {
+        match &self.verifier {
+            Some(v) => {
+                if self.config.verify_every_op {
+                    // Ablation mode: behave as if there were no cache —
+                    // every operation pays the verify-through round trip.
+                    v.cache().invalidate(&[cap.cache_key()]);
+                }
+                v.check(client, cap, need, self.clock.now())
+            }
+            None => {
+                if cap.grants(need) {
+                    Ok(())
+                } else {
+                    Err(Error::AccessDenied)
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&self, ep: &Endpoint, client: &RpcClient<'_>, req: &Request) -> ReplyBody {
+        match &req.body {
+            RequestBody::CreateObj { txn, cap, obj } => {
+                self.do_create(client, *txn, cap, *obj).map_or_else(ReplyBody::Err, ReplyBody::ObjCreated)
+            }
+            RequestBody::RemoveObj { txn, cap, obj } => {
+                match self.do_remove(client, *txn, cap, *obj) {
+                    Ok(()) => ReplyBody::ObjRemoved,
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::Write { txn, cap, obj, offset, len, md } => {
+                match self.do_write(ep, client, *txn, cap, *obj, *offset, *len, *md, req.reply_to)
+                {
+                    Ok(n) => ReplyBody::WriteDone { len: n },
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::Read { cap, obj, offset, len, md } => {
+                match self.do_read(ep, client, cap, *obj, *offset, *len, *md, req.reply_to) {
+                    Ok(n) => ReplyBody::ReadDone { len: n },
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::ReadFiltered { cap, obj, offset, len, filter, md } => {
+                match self.do_read_filtered(
+                    ep, client, cap, *obj, *offset, *len, filter, *md, req.reply_to,
+                ) {
+                    Ok((n, scanned)) => ReplyBody::FilteredDone { len: n, scanned },
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::GetAttr { cap, obj } => {
+                match self.authorize(client, cap, OpMask::GETATTR).and_then(|()| {
+                    self.store.getattr(cap.container(), *obj)
+                }) {
+                    Ok(attr) => ReplyBody::Attr(attr),
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::Sync { cap, obj } => {
+                match self
+                    .authorize(client, cap, OpMask::WRITE)
+                    .and_then(|()| self.store.sync(*obj))
+                {
+                    Ok(_) => {
+                        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+                        ReplyBody::Synced
+                    }
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::ListObjs { cap } => {
+                match self.authorize(client, cap, OpMask::GETATTR) {
+                    Ok(()) => ReplyBody::Objs(self.store.list(cap.container())),
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::InvalidateCaps { authz_epoch: _, keys } => {
+                let dropped = self.verifier.as_ref().map(|v| v.invalidate(keys)).unwrap_or(0);
+                ReplyBody::CapsInvalidated { dropped }
+            }
+            RequestBody::TxnPrepare { txn } => ReplyBody::TxnVote(self.journal.prepare(*txn)),
+            RequestBody::TxnCommit { txn } => match self.journal.commit(*txn) {
+                Ok(_undos) => {
+                    // Commit = forget the undo log; effects already applied.
+                    self.stats.txn_commits.fetch_add(1, Ordering::Relaxed);
+                    ReplyBody::TxnCommitted
+                }
+                Err(e) => ReplyBody::Err(e),
+            },
+            RequestBody::TxnAbort { txn } => {
+                let undos = self.journal.abort(*txn);
+                for undo in undos.into_iter().rev() {
+                    // Undo application is best-effort by construction: each
+                    // entry restores state that existed when it was staged.
+                    let _ = self.apply_undo(undo);
+                }
+                self.stats.txn_aborts.fetch_add(1, Ordering::Relaxed);
+                ReplyBody::TxnAborted
+            }
+            RequestBody::Ping => ReplyBody::Pong,
+            other => ReplyBody::Err(Error::Malformed(format!(
+                "storage service cannot handle {other:?}"
+            ))),
+        }
+    }
+
+    fn apply_undo(&self, undo: UndoOp) -> Result<()> {
+        match undo {
+            UndoOp::RemoveObject(container, oid) => self.store.remove(container, oid),
+            UndoOp::UndoWrite(oid, pre) => self.store.undo_write(oid, &pre),
+            UndoOp::RestoreObject(container, oid, data) => {
+                let now = self.clock.now();
+                self.store.create(container, Some(oid), now)?;
+                self.store.write(container, oid, 0, &data, now)?;
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    fn do_create(
+        &self,
+        client: &RpcClient<'_>,
+        txn: Option<TxnId>,
+        cap: &Capability,
+        want: Option<ObjId>,
+    ) -> Result<ObjId> {
+        self.authorize(client, cap, OpMask::CREATE)?;
+        let oid = self.store.create(cap.container(), want, self.clock.now())?;
+        if let Some(txn) = txn {
+            self.journal.stage(txn, UndoOp::RemoveObject(cap.container(), oid))?;
+        }
+        self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        Ok(oid)
+    }
+
+    fn do_remove(
+        &self,
+        client: &RpcClient<'_>,
+        txn: Option<TxnId>,
+        cap: &Capability,
+        oid: ObjId,
+    ) -> Result<()> {
+        self.authorize(client, cap, OpMask::REMOVE)?;
+        if let Some(txn) = txn {
+            let data = self.store.read(cap.container(), oid, 0, u64::MAX)?;
+            self.journal.stage(txn, UndoOp::RestoreObject(cap.container(), oid, data))?;
+        }
+        self.store.remove(cap.container(), oid)?;
+        self.stats.removes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Server-directed write: pull `len` bytes from the client's MD in
+    /// chunks through the pinned pool, writing each chunk to the store.
+    #[allow(clippy::too_many_arguments)]
+    fn do_write(
+        &self,
+        ep: &Endpoint,
+        client: &RpcClient<'_>,
+        txn: Option<TxnId>,
+        cap: &Capability,
+        oid: ObjId,
+        offset: u64,
+        len: u64,
+        md: MdHandle,
+        requester: ProcessId,
+    ) -> Result<u64> {
+        self.authorize(client, cap, OpMask::WRITE)?;
+        // Pre-flight the object so a bad id fails before moving data.
+        let container = self.store.container_of(oid)?;
+        if container != cap.container() {
+            return Err(Error::AccessDenied);
+        }
+        let now = self.clock.now();
+        let mut moved: u64 = 0;
+        while moved < len {
+            let chunk = ((len - moved) as usize).min(self.config.chunk_size);
+            let mut buf = match self.pool.try_acquire() {
+                Some(b) => b,
+                None => {
+                    // Pool exhausted: reject; the client backs off and
+                    // re-sends (flow control of §3.2).
+                    self.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::ServerBusy);
+                }
+            };
+            // One-sided pull from the client's posted descriptor.
+            let data = ep.get(requester, md.match_bits, moved, chunk)?;
+            buf.as_mut_slice()[..chunk].copy_from_slice(&data);
+            let pre =
+                self.store.write(cap.container(), oid, offset + moved, &buf.as_slice()[..chunk], now)?;
+            if let Some(txn) = txn {
+                self.journal.stage(txn, UndoOp::UndoWrite(oid, pre))?;
+            }
+            self.stats.bytes_pulled.fetch_add(chunk as u64, Ordering::Relaxed);
+            moved += chunk as u64;
+        }
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(moved)
+    }
+
+    /// Server-directed read: push object bytes into the client's MD.
+    #[allow(clippy::too_many_arguments)]
+    fn do_read(
+        &self,
+        ep: &Endpoint,
+        client: &RpcClient<'_>,
+        cap: &Capability,
+        oid: ObjId,
+        offset: u64,
+        len: u64,
+        md: MdHandle,
+        requester: ProcessId,
+    ) -> Result<u64> {
+        self.authorize(client, cap, OpMask::READ)?;
+        let mut moved: u64 = 0;
+        while moved < len {
+            let chunk = ((len - moved) as usize).min(self.config.chunk_size);
+            let mut buf = match self.pool.try_acquire() {
+                Some(b) => b,
+                None => {
+                    self.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::ServerBusy);
+                }
+            };
+            let data = self.store.read(cap.container(), oid, offset + moved, chunk as u64)?;
+            if data.is_empty() {
+                break; // end of object: short read
+            }
+            buf.as_mut_slice()[..data.len()].copy_from_slice(&data);
+            ep.put(requester, md.match_bits, moved, &buf.as_slice()[..data.len()])?;
+            self.stats.bytes_pushed.fetch_add(data.len() as u64, Ordering::Relaxed);
+            moved += data.len() as u64;
+            if data.len() < chunk {
+                break;
+            }
+        }
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(moved)
+    }
+
+    /// Remote filtering (§6 extension): read the range locally, run the
+    /// filter on the server, and push only the result. A READ capability
+    /// authorizes it — filtering never reveals more than a read would.
+    #[allow(clippy::too_many_arguments)]
+    fn do_read_filtered(
+        &self,
+        ep: &Endpoint,
+        client: &RpcClient<'_>,
+        cap: &Capability,
+        oid: ObjId,
+        offset: u64,
+        len: u64,
+        filter: &FilterSpec,
+        md: MdHandle,
+        requester: ProcessId,
+    ) -> Result<(u64, u64)> {
+        self.authorize(client, cap, OpMask::READ)?;
+        let data = self.store.read(cap.container(), oid, offset, len)?;
+        let (result, scanned) = crate::filter::apply(filter, &data);
+        // Push the (typically tiny) result in chunks through the pool,
+        // same as an ordinary read.
+        let mut moved = 0usize;
+        while moved < result.len() {
+            let chunk = (result.len() - moved).min(self.config.chunk_size);
+            let buf = self.pool.try_acquire();
+            if buf.is_none() {
+                self.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::ServerBusy);
+            }
+            ep.put(requester, md.match_bits, moved as u64, &result[moved..moved + chunk])?;
+            moved += chunk;
+        }
+        self.stats.filtered_reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_filtered.fetch_add(scanned, Ordering::Relaxed);
+        self.stats.bytes_pushed.fetch_add(result.len() as u64, Ordering::Relaxed);
+        Ok((result.len() as u64, scanned))
+    }
+}

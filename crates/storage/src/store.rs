@@ -1,0 +1,452 @@
+//! The object layer of a storage server.
+//!
+//! Objects are flat byte arrays named by [`ObjId`], each belonging to
+//! exactly one [`ContainerId`] — the unit of access control (§3.1.1). The
+//! store "moves the block layout decisions and policy enforcement to the
+//! storage device" (Figure 7-b): layout here is simply the object map, and
+//! enforcement is done by the server above this layer.
+//!
+//! `sync` optionally spills object contents to a backing directory, giving
+//! the functional plane a real `open/write/sync/close` cost profile (the
+//! quantity timed in §4's experiments).
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use lwfs_proto::{ContainerId, Error, ObjAttr, ObjId, Result};
+use parking_lot::Mutex;
+
+/// Store-level configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Largest object the server accepts, in bytes.
+    pub max_object_size: u64,
+    /// Optional directory where `sync` persists object contents.
+    pub backing_dir: Option<PathBuf>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self { max_object_size: 4 << 30, backing_dir: None }
+    }
+}
+
+#[derive(Debug)]
+struct StoredObject {
+    container: ContainerId,
+    data: Vec<u8>,
+    create_time: u64,
+    modify_time: u64,
+    dirty: bool,
+}
+
+#[derive(Debug, Default)]
+struct StoreState {
+    objects: HashMap<ObjId, StoredObject>,
+    next_oid: u64,
+}
+
+/// An in-memory (optionally file-sync-backed) object store.
+pub struct ObjectStore {
+    config: StoreConfig,
+    state: Mutex<StoreState>,
+}
+
+impl ObjectStore {
+    pub fn new(config: StoreConfig) -> Self {
+        Self { config, state: Mutex::new(StoreState::default()) }
+    }
+
+    /// Create an object in `container`. A caller-chosen id (needed for
+    /// deterministic restart layouts) collides with `ObjectExists` if
+    /// taken; otherwise the store allocates the next id.
+    pub fn create(
+        &self,
+        container: ContainerId,
+        want: Option<ObjId>,
+        now: u64,
+    ) -> Result<ObjId> {
+        let mut st = self.state.lock();
+        let oid = match want {
+            Some(oid) => {
+                if st.objects.contains_key(&oid) {
+                    return Err(Error::ObjectExists(oid));
+                }
+                st.next_oid = st.next_oid.max(oid.0 + 1);
+                oid
+            }
+            None => {
+                let oid = ObjId(st.next_oid);
+                st.next_oid += 1;
+                oid
+            }
+        };
+        st.objects.insert(
+            oid,
+            StoredObject {
+                container,
+                data: Vec::new(),
+                create_time: now,
+                modify_time: now,
+                dirty: false,
+            },
+        );
+        Ok(oid)
+    }
+
+    /// Remove an object, enforcing container scoping.
+    pub fn remove(&self, container: ContainerId, oid: ObjId) -> Result<()> {
+        let mut st = self.state.lock();
+        match st.objects.get(&oid) {
+            None => Err(Error::NoSuchObject(oid)),
+            Some(o) if o.container != container => Err(Error::AccessDenied),
+            Some(_) => {
+                st.objects.remove(&oid);
+                Ok(())
+            }
+        }
+    }
+
+    /// The container an object belongs to.
+    pub fn container_of(&self, oid: ObjId) -> Result<ContainerId> {
+        let st = self.state.lock();
+        st.objects.get(&oid).map(|o| o.container).ok_or(Error::NoSuchObject(oid))
+    }
+
+    /// Write `data` at `offset`, extending (zero-filling any gap). Returns
+    /// the *preimage* of the overwritten region and the previous length —
+    /// exactly what an undo journal needs for transactional rollback.
+    pub fn write(
+        &self,
+        container: ContainerId,
+        oid: ObjId,
+        offset: u64,
+        data: &[u8],
+        now: u64,
+    ) -> Result<WritePreimage> {
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or(Error::ObjectTooLarge)?;
+        if end > self.config.max_object_size {
+            return Err(Error::ObjectTooLarge);
+        }
+        let mut st = self.state.lock();
+        let obj = st.objects.get_mut(&oid).ok_or(Error::NoSuchObject(oid))?;
+        if obj.container != container {
+            return Err(Error::AccessDenied);
+        }
+        let old_len = obj.data.len() as u64;
+        let off = offset as usize;
+        let end = end as usize;
+        if obj.data.len() < end {
+            obj.data.resize(end, 0);
+        }
+        let overlap_start = off.min(old_len as usize);
+        let overlap_end = end.min(old_len as usize);
+        let preimage = if overlap_start < overlap_end {
+            obj.data[overlap_start..overlap_end].to_vec()
+        } else {
+            Vec::new()
+        };
+        obj.data[off..end].copy_from_slice(data);
+        obj.modify_time = now;
+        obj.dirty = true;
+        Ok(WritePreimage { old_len, overlap_offset: overlap_start as u64, overlap: preimage })
+    }
+
+    /// Undo a write using its preimage: restore overwritten bytes and
+    /// truncate back to the previous length.
+    pub fn undo_write(&self, oid: ObjId, pre: &WritePreimage) -> Result<()> {
+        let mut st = self.state.lock();
+        let obj = st.objects.get_mut(&oid).ok_or(Error::NoSuchObject(oid))?;
+        let start = pre.overlap_offset as usize;
+        let end = start + pre.overlap.len();
+        if end <= obj.data.len() {
+            obj.data[start..end].copy_from_slice(&pre.overlap);
+        }
+        obj.data.truncate(pre.old_len as usize);
+        obj.dirty = true;
+        Ok(())
+    }
+
+    /// Read up to `len` bytes at `offset` (short reads at end of object).
+    pub fn read(
+        &self,
+        container: ContainerId,
+        oid: ObjId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>> {
+        let st = self.state.lock();
+        let obj = st.objects.get(&oid).ok_or(Error::NoSuchObject(oid))?;
+        if obj.container != container {
+            return Err(Error::AccessDenied);
+        }
+        let start = (offset as usize).min(obj.data.len());
+        let end = (offset.saturating_add(len) as usize).min(obj.data.len());
+        Ok(obj.data[start..end].to_vec())
+    }
+
+    pub fn getattr(&self, container: ContainerId, oid: ObjId) -> Result<ObjAttr> {
+        let st = self.state.lock();
+        let obj = st.objects.get(&oid).ok_or(Error::NoSuchObject(oid))?;
+        if obj.container != container {
+            return Err(Error::AccessDenied);
+        }
+        Ok(ObjAttr {
+            size: obj.data.len() as u64,
+            create_time: obj.create_time,
+            modify_time: obj.modify_time,
+        })
+    }
+
+    /// Flush one object (or all) to the backing directory, clearing dirty
+    /// bits. Returns the number of objects flushed.
+    pub fn sync(&self, oid: Option<ObjId>) -> Result<u64> {
+        let mut st = self.state.lock();
+        let mut flushed = 0;
+        let ids: Vec<ObjId> = match oid {
+            Some(o) => {
+                if !st.objects.contains_key(&o) {
+                    return Err(Error::NoSuchObject(o));
+                }
+                vec![o]
+            }
+            None => st.objects.keys().copied().collect(),
+        };
+        for id in ids {
+            let obj = st.objects.get_mut(&id).expect("listed above");
+            if !obj.dirty {
+                continue;
+            }
+            if let Some(dir) = &self.config.backing_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| Error::StorageIo(e.to_string()))?;
+                let path = dir.join(format!("obj-{}.dat", id.0));
+                let mut f = std::fs::File::create(&path)
+                    .map_err(|e| Error::StorageIo(e.to_string()))?;
+                f.write_all(&obj.data).map_err(|e| Error::StorageIo(e.to_string()))?;
+                f.sync_all().map_err(|e| Error::StorageIo(e.to_string()))?;
+            }
+            obj.dirty = false;
+            flushed += 1;
+        }
+        Ok(flushed)
+    }
+
+    /// Objects in a container, sorted for deterministic listings.
+    pub fn list(&self, container: ContainerId) -> Vec<ObjId> {
+        let st = self.state.lock();
+        let mut ids: Vec<ObjId> = st
+            .objects
+            .iter()
+            .filter(|(_, o)| o.container == container)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.state.lock().objects.len()
+    }
+
+    /// Total bytes stored (diagnostics).
+    pub fn bytes_stored(&self) -> u64 {
+        self.state.lock().objects.values().map(|o| o.data.len() as u64).sum()
+    }
+}
+
+/// Preimage captured by [`ObjectStore::write`] for transactional undo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritePreimage {
+    pub old_len: u64,
+    pub overlap_offset: u64,
+    pub overlap: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C1: ContainerId = ContainerId(1);
+    const C2: ContainerId = ContainerId(2);
+
+    fn store() -> ObjectStore {
+        ObjectStore::new(StoreConfig::default())
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let s = store();
+        let oid = s.create(C1, None, 10).unwrap();
+        s.write(C1, oid, 0, b"checkpoint state", 11).unwrap();
+        assert_eq!(s.read(C1, oid, 0, 16).unwrap(), b"checkpoint state");
+        let attr = s.getattr(C1, oid).unwrap();
+        assert_eq!(attr.size, 16);
+        assert_eq!(attr.create_time, 10);
+        assert_eq!(attr.modify_time, 11);
+    }
+
+    #[test]
+    fn ids_allocated_sequentially_and_explicitly() {
+        let s = store();
+        let a = s.create(C1, None, 0).unwrap();
+        let b = s.create(C1, None, 0).unwrap();
+        assert_ne!(a, b);
+        let chosen = s.create(C1, Some(ObjId(100)), 0).unwrap();
+        assert_eq!(chosen, ObjId(100));
+        assert_eq!(s.create(C1, Some(ObjId(100)), 0).unwrap_err(), Error::ObjectExists(ObjId(100)));
+        // Allocator skips past explicit ids.
+        let next = s.create(C1, None, 0).unwrap();
+        assert!(next.0 > 100);
+    }
+
+    #[test]
+    fn container_scoping_enforced() {
+        // A capability for container 2 must not touch container 1's
+        // objects even if it guesses the object id.
+        let s = store();
+        let oid = s.create(C1, None, 0).unwrap();
+        s.write(C1, oid, 0, b"secret", 0).unwrap();
+        assert_eq!(s.read(C2, oid, 0, 6).unwrap_err(), Error::AccessDenied);
+        assert_eq!(s.write(C2, oid, 0, b"x", 0).unwrap_err(), Error::AccessDenied);
+        assert_eq!(s.remove(C2, oid).unwrap_err(), Error::AccessDenied);
+        assert_eq!(s.getattr(C2, oid).unwrap_err(), Error::AccessDenied);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let s = store();
+        let oid = s.create(C1, None, 0).unwrap();
+        s.write(C1, oid, 4, b"xy", 0).unwrap();
+        assert_eq!(s.read(C1, oid, 0, 6).unwrap(), vec![0, 0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn short_read_at_end() {
+        let s = store();
+        let oid = s.create(C1, None, 0).unwrap();
+        s.write(C1, oid, 0, b"abc", 0).unwrap();
+        assert_eq!(s.read(C1, oid, 2, 100).unwrap(), b"c");
+        assert!(s.read(C1, oid, 10, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let s = ObjectStore::new(StoreConfig { max_object_size: 8, backing_dir: None });
+        let oid = s.create(C1, None, 0).unwrap();
+        assert!(s.write(C1, oid, 0, &[0u8; 8], 0).is_ok());
+        assert_eq!(s.write(C1, oid, 1, &[0u8; 8], 0).unwrap_err(), Error::ObjectTooLarge);
+        assert_eq!(
+            s.write(C1, oid, u64::MAX, b"x", 0).unwrap_err(),
+            Error::ObjectTooLarge,
+            "offset overflow must not wrap"
+        );
+    }
+
+    #[test]
+    fn write_preimage_enables_exact_undo() {
+        let s = store();
+        let oid = s.create(C1, None, 0).unwrap();
+        s.write(C1, oid, 0, b"hello world", 0).unwrap();
+        let pre = s.write(C1, oid, 6, b"there!!!", 0).unwrap();
+        assert_eq!(s.read(C1, oid, 0, 100).unwrap(), b"hello there!!!");
+        s.undo_write(oid, &pre).unwrap();
+        assert_eq!(s.read(C1, oid, 0, 100).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn undo_of_pure_extension_truncates() {
+        let s = store();
+        let oid = s.create(C1, None, 0).unwrap();
+        s.write(C1, oid, 0, b"abc", 0).unwrap();
+        let pre = s.write(C1, oid, 3, b"def", 0).unwrap();
+        assert!(pre.overlap.is_empty());
+        s.undo_write(oid, &pre).unwrap();
+        assert_eq!(s.read(C1, oid, 0, 10).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn remove_then_ops_fail() {
+        let s = store();
+        let oid = s.create(C1, None, 0).unwrap();
+        s.remove(C1, oid).unwrap();
+        assert_eq!(s.read(C1, oid, 0, 1).unwrap_err(), Error::NoSuchObject(oid));
+        assert_eq!(s.remove(C1, oid).unwrap_err(), Error::NoSuchObject(oid));
+    }
+
+    #[test]
+    fn list_filters_by_container_sorted() {
+        let s = store();
+        let a = s.create(C1, None, 0).unwrap();
+        let _b = s.create(C2, None, 0).unwrap();
+        let c = s.create(C1, None, 0).unwrap();
+        assert_eq!(s.list(C1), vec![a, c]);
+        assert_eq!(s.list(ContainerId(99)), vec![]);
+    }
+
+    #[test]
+    fn sync_clears_dirty_and_counts() {
+        let s = store();
+        let a = s.create(C1, None, 0).unwrap();
+        let b = s.create(C1, None, 0).unwrap();
+        s.write(C1, a, 0, b"x", 0).unwrap();
+        s.write(C1, b, 0, b"y", 0).unwrap();
+        assert_eq!(s.sync(None).unwrap(), 2);
+        assert_eq!(s.sync(None).unwrap(), 0, "clean objects are skipped");
+        s.write(C1, a, 0, b"z", 0).unwrap();
+        assert_eq!(s.sync(Some(a)).unwrap(), 1);
+        assert!(s.sync(Some(ObjId(999))).is_err());
+    }
+
+    #[test]
+    fn file_backed_sync_writes_files() {
+        let dir = std::env::temp_dir().join(format!("lwfs-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = ObjectStore::new(StoreConfig {
+            max_object_size: 1 << 20,
+            backing_dir: Some(dir.clone()),
+        });
+        let oid = s.create(C1, None, 0).unwrap();
+        s.write(C1, oid, 0, b"persisted bytes", 0).unwrap();
+        s.sync(Some(oid)).unwrap();
+        let read_back = std::fs::read(dir.join(format!("obj-{}.dat", oid.0))).unwrap();
+        assert_eq!(read_back, b"persisted bytes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bytes_stored_tracks_totals() {
+        let s = store();
+        let a = s.create(C1, None, 0).unwrap();
+        s.write(C1, a, 0, &[1u8; 100], 0).unwrap();
+        let b = s.create(C2, None, 0).unwrap();
+        s.write(C2, b, 0, &[2u8; 50], 0).unwrap();
+        assert_eq!(s.bytes_stored(), 150);
+        assert_eq!(s.object_count(), 2);
+    }
+
+    proptest::proptest! {
+        /// Writes at arbitrary offsets followed by undo restore the exact
+        /// prior contents.
+        #[test]
+        fn prop_write_undo_is_identity(
+            initial in proptest::collection::vec(proptest::num::u8::ANY, 0..64),
+            offset in 0u64..128,
+            data in proptest::collection::vec(proptest::num::u8::ANY, 1..64),
+        ) {
+            let s = store();
+            let oid = s.create(C1, None, 0).unwrap();
+            if !initial.is_empty() {
+                s.write(C1, oid, 0, &initial, 0).unwrap();
+            }
+            let before = s.read(C1, oid, 0, 1 << 20).unwrap();
+            let pre = s.write(C1, oid, offset, &data, 0).unwrap();
+            s.undo_write(oid, &pre).unwrap();
+            let after = s.read(C1, oid, 0, 1 << 20).unwrap();
+            proptest::prop_assert_eq!(before, after);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The client-side two-phase commit coordinator.
+//!
+//! The paper makes the client the coordinator ("A two-phase commit protocol
+//! (part of the LWFS API) helps the client to preserve the atomicity
+//! property because it requires all participating servers to agree on the
+//! final state of the system before changes become permanent", §3.4).
+//!
+//! Message complexity per transaction is `2 × |participants|` RPCs —
+//! participants number O(m) (storage/naming servers touched), never O(n),
+//! in keeping with the scalability rules of §2.3.
+
+use lwfs_portals::RpcClient;
+use lwfs_proto::{Error, ProcessId, ReplyBody, RequestBody, Result, TxnId};
+
+/// Outcome of a completed two-phase commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    Committed,
+    /// Aborted, with the participants (if any) whose "no" votes or errors
+    /// caused it.
+    Aborted { no_votes: Vec<ProcessId> },
+}
+
+impl TxnOutcome {
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+}
+
+/// A two-phase commit driver bound to an RPC client.
+pub struct Coordinator<'a, 'ep> {
+    client: &'a RpcClient<'ep>,
+    participants: Vec<ProcessId>,
+}
+
+impl<'a, 'ep> Coordinator<'a, 'ep> {
+    pub fn new(client: &'a RpcClient<'ep>, participants: Vec<ProcessId>) -> Self {
+        Self { client, participants }
+    }
+
+    pub fn participants(&self) -> &[ProcessId] {
+        &self.participants
+    }
+
+    /// Add a participant discovered mid-transaction (e.g. the naming
+    /// service once rank 0 creates the checkpoint name). Duplicates are
+    /// merged.
+    pub fn enlist(&mut self, p: ProcessId) {
+        if !self.participants.contains(&p) {
+            self.participants.push(p);
+        }
+    }
+
+    /// Run phase 1 (prepare) and phase 2 (commit or abort) for `txn`.
+    ///
+    /// Any participant voting no — or any transport error during phase 1 —
+    /// aborts the whole transaction at every participant.
+    pub fn commit(&self, txn: TxnId) -> Result<TxnOutcome> {
+        let mut no_votes = Vec::new();
+        for p in &self.participants {
+            match self.client.call(*p, RequestBody::TxnPrepare { txn }) {
+                Ok(ReplyBody::TxnVote(true)) => {}
+                Ok(ReplyBody::TxnVote(false)) => no_votes.push(*p),
+                Ok(other) => {
+                    return Err(Error::Internal(format!("bad prepare reply {other:?}")))
+                }
+                Err(_) => no_votes.push(*p),
+            }
+        }
+
+        if no_votes.is_empty() {
+            for p in &self.participants {
+                match self.client.call(*p, RequestBody::TxnCommit { txn }) {
+                    Ok(ReplyBody::TxnCommitted) => {}
+                    Ok(other) => {
+                        return Err(Error::Internal(format!("bad commit reply {other:?}")))
+                    }
+                    // A participant that prepared but is now unreachable
+                    // must be retried by recovery; surface the error.
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(TxnOutcome::Committed)
+        } else {
+            self.abort(txn)?;
+            Ok(TxnOutcome::Aborted { no_votes })
+        }
+    }
+
+    /// Abort `txn` at every participant (also used directly by clients that
+    /// hit an error before commit).
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        for p in &self.participants {
+            // Best effort: an unreachable participant holds no prepared
+            // state we committed to, and presumed-abort cleans it up.
+            let _ = self.client.call(*p, RequestBody::TxnAbort { txn });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwfs_portals::{spawn_service, Endpoint, Network, Service, ServiceHandle};
+    use lwfs_proto::Request;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A scripted participant: votes as told, counts protocol messages.
+    struct ScriptedParticipant {
+        vote: bool,
+        prepares: Arc<AtomicU64>,
+        commits: Arc<AtomicU64>,
+        aborts: Arc<AtomicU64>,
+    }
+
+    impl Service for ScriptedParticipant {
+        fn handle(&mut self, _ep: &Endpoint, req: &Request) -> ReplyBody {
+            match req.body {
+                RequestBody::TxnPrepare { .. } => {
+                    self.prepares.fetch_add(1, Ordering::SeqCst);
+                    ReplyBody::TxnVote(self.vote)
+                }
+                RequestBody::TxnCommit { .. } => {
+                    self.commits.fetch_add(1, Ordering::SeqCst);
+                    ReplyBody::TxnCommitted
+                }
+                RequestBody::TxnAbort { .. } => {
+                    self.aborts.fetch_add(1, Ordering::SeqCst);
+                    ReplyBody::TxnAborted
+                }
+                _ => ReplyBody::Err(Error::Internal("unexpected".into())),
+            }
+        }
+    }
+
+    struct Counters {
+        prepares: Arc<AtomicU64>,
+        commits: Arc<AtomicU64>,
+        aborts: Arc<AtomicU64>,
+    }
+
+    fn spawn_participant(net: &Network, nid: u32, vote: bool) -> (ServiceHandle, Counters) {
+        let c = Counters {
+            prepares: Arc::new(AtomicU64::new(0)),
+            commits: Arc::new(AtomicU64::new(0)),
+            aborts: Arc::new(AtomicU64::new(0)),
+        };
+        let svc = ScriptedParticipant {
+            vote,
+            prepares: c.prepares.clone(),
+            commits: c.commits.clone(),
+            aborts: c.aborts.clone(),
+        };
+        (spawn_service(net, ProcessId::new(nid, 0), svc), c)
+    }
+
+    #[test]
+    fn all_yes_commits_everywhere() {
+        let net = Network::default();
+        let (h1, c1) = spawn_participant(&net, 1, true);
+        let (h2, c2) = spawn_participant(&net, 2, true);
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        let coord = Coordinator::new(&client, vec![h1.id(), h2.id()]);
+        let out = coord.commit(TxnId(1)).unwrap();
+        assert_eq!(out, TxnOutcome::Committed);
+        for c in [&c1, &c2] {
+            assert_eq!(c.prepares.load(Ordering::SeqCst), 1);
+            assert_eq!(c.commits.load(Ordering::SeqCst), 1);
+            assert_eq!(c.aborts.load(Ordering::SeqCst), 0);
+        }
+        h1.shutdown();
+        h2.shutdown();
+    }
+
+    #[test]
+    fn one_no_vote_aborts_everyone() {
+        let net = Network::default();
+        let (h1, c1) = spawn_participant(&net, 1, true);
+        let (h2, c2) = spawn_participant(&net, 2, false);
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        let coord = Coordinator::new(&client, vec![h1.id(), h2.id()]);
+        let out = coord.commit(TxnId(1)).unwrap();
+        assert_eq!(out, TxnOutcome::Aborted { no_votes: vec![h2.id()] });
+        assert!(!out.is_committed());
+        for c in [&c1, &c2] {
+            assert_eq!(c.commits.load(Ordering::SeqCst), 0);
+            assert_eq!(c.aborts.load(Ordering::SeqCst), 1);
+        }
+        h1.shutdown();
+        h2.shutdown();
+    }
+
+    #[test]
+    fn unreachable_participant_aborts() {
+        let net = Network::default();
+        let (h1, c1) = spawn_participant(&net, 1, true);
+        let ghost = ProcessId::new(99, 0); // never registered
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        let coord = Coordinator::new(&client, vec![h1.id(), ghost]);
+        let out = coord.commit(TxnId(7)).unwrap();
+        assert_eq!(out, TxnOutcome::Aborted { no_votes: vec![ghost] });
+        assert_eq!(c1.aborts.load(Ordering::SeqCst), 1);
+        h1.shutdown();
+    }
+
+    #[test]
+    fn enlist_merges_duplicates() {
+        let net = Network::default();
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        let mut coord = Coordinator::new(&client, vec![ProcessId::new(1, 0)]);
+        coord.enlist(ProcessId::new(2, 0));
+        coord.enlist(ProcessId::new(1, 0));
+        assert_eq!(coord.participants().len(), 2);
+    }
+
+    #[test]
+    fn message_count_is_two_per_participant() {
+        let net = Network::default();
+        let (h1, _c1) = spawn_participant(&net, 1, true);
+        let (h2, _c2) = spawn_participant(&net, 2, true);
+        let (h3, _c3) = spawn_participant(&net, 3, true);
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        net.stats().reset();
+        let coord = Coordinator::new(&client, vec![h1.id(), h2.id(), h3.id()]);
+        coord.commit(TxnId(1)).unwrap();
+        // 3 prepare + 3 commit requests from the coordinator.
+        assert_eq!(net.stats().sent_by(ep.id()), 6);
+        h1.shutdown();
+        h2.shutdown();
+        h3.shutdown();
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-transaction operation journals for 2PC participants.
+//!
+//! A participant stages each transactional operation in its journal rather
+//! than applying it immediately. At `prepare` the journal is *hardened*
+//! (in a real deployment: synced to a persistent journal object — the
+//! paper notes "a journal exists as a persistent object on the storage
+//! system"; here: state-machine transition plus an optional sync hook).
+//! `commit` drains the staged operations for application; `abort` discards
+//! them. The state machine refuses every out-of-order transition, which is
+//! what makes the distributed protocol auditable.
+
+use std::collections::HashMap;
+
+use lwfs_proto::{Error, Result, TxnId};
+use parking_lot::Mutex;
+
+/// Lifecycle of one transaction at one participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalState {
+    /// Accepting staged operations.
+    Active,
+    /// Hardened; the participant has voted yes and may no longer abort
+    /// unilaterally.
+    Prepared,
+}
+
+struct JournalRecord<Op> {
+    state: JournalState,
+    ops: Vec<Op>,
+}
+
+/// A participant's journal set: one journal per active transaction.
+pub struct JournalStore<Op> {
+    journals: Mutex<HashMap<TxnId, JournalRecord<Op>>>,
+}
+
+impl<Op> Default for JournalStore<Op> {
+    fn default() -> Self {
+        Self { journals: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<Op> JournalStore<Op> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage an operation, implicitly opening the journal on first use
+    /// (participants learn of a transaction from its first operation).
+    pub fn stage(&self, txn: TxnId, op: Op) -> Result<()> {
+        let mut js = self.journals.lock();
+        let rec = js
+            .entry(txn)
+            .or_insert_with(|| JournalRecord { state: JournalState::Active, ops: Vec::new() });
+        if rec.state != JournalState::Active {
+            return Err(Error::Internal(format!("stage after prepare in {txn}")));
+        }
+        rec.ops.push(op);
+        Ok(())
+    }
+
+    /// Phase 1: harden the journal and vote.
+    ///
+    /// Unknown transactions vote **yes with an empty journal** — a
+    /// participant that never saw an operation has nothing to make durable,
+    /// and the coordinator may legitimately prepare every participant it
+    /// *might* have touched. (This matches presumed-abort 2PC.)
+    pub fn prepare(&self, txn: TxnId) -> bool {
+        let mut js = self.journals.lock();
+        let rec = js
+            .entry(txn)
+            .or_insert_with(|| JournalRecord { state: JournalState::Active, ops: Vec::new() });
+        rec.state = JournalState::Prepared;
+        true
+    }
+
+    /// Phase 2 (commit): drain the staged operations for application.
+    ///
+    /// Committing a transaction that was never prepared is a protocol
+    /// error: the coordinator skipped phase 1.
+    pub fn commit(&self, txn: TxnId) -> Result<Vec<Op>> {
+        let mut js = self.journals.lock();
+        match js.remove(&txn) {
+            None => Err(Error::NoSuchTxn(txn)),
+            Some(rec) if rec.state != JournalState::Prepared => {
+                // Put it back untouched; the caller's bug must not destroy
+                // the journal.
+                js.insert(txn, rec);
+                Err(Error::Internal(format!("commit before prepare in {txn}")))
+            }
+            Some(rec) => Ok(rec.ops),
+        }
+    }
+
+    /// Phase 2 (abort): discard. Aborting an unknown transaction is a no-op
+    /// (presumed abort).
+    pub fn abort(&self, txn: TxnId) -> Vec<Op> {
+        self.journals.lock().remove(&txn).map(|r| r.ops).unwrap_or_default()
+    }
+
+    pub fn state(&self, txn: TxnId) -> Option<JournalState> {
+        self.journals.lock().get(&txn).map(|r| r.state)
+    }
+
+    pub fn staged_ops(&self, txn: TxnId) -> usize {
+        self.journals.lock().get(&txn).map(|r| r.ops.len()).unwrap_or(0)
+    }
+
+    pub fn active_txns(&self) -> usize {
+        self.journals.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq, Clone)]
+    enum Op {
+        Write(u64),
+        Create,
+    }
+
+    #[test]
+    fn stage_prepare_commit_drains_in_order() {
+        let js: JournalStore<Op> = JournalStore::new();
+        let t = TxnId(1);
+        js.stage(t, Op::Create).unwrap();
+        js.stage(t, Op::Write(0)).unwrap();
+        js.stage(t, Op::Write(4096)).unwrap();
+        assert_eq!(js.staged_ops(t), 3);
+        assert!(js.prepare(t));
+        let ops = js.commit(t).unwrap();
+        assert_eq!(ops, vec![Op::Create, Op::Write(0), Op::Write(4096)]);
+        assert_eq!(js.active_txns(), 0);
+    }
+
+    #[test]
+    fn abort_discards() {
+        let js: JournalStore<Op> = JournalStore::new();
+        let t = TxnId(2);
+        js.stage(t, Op::Create).unwrap();
+        let discarded = js.abort(t);
+        assert_eq!(discarded.len(), 1);
+        assert_eq!(js.active_txns(), 0);
+        // Committing after abort is NoSuchTxn.
+        assert_eq!(js.commit(t).unwrap_err(), Error::NoSuchTxn(t));
+    }
+
+    #[test]
+    fn abort_unknown_txn_is_noop() {
+        let js: JournalStore<Op> = JournalStore::new();
+        assert!(js.abort(TxnId(99)).is_empty());
+    }
+
+    #[test]
+    fn commit_without_prepare_is_rejected_and_preserves_journal() {
+        let js: JournalStore<Op> = JournalStore::new();
+        let t = TxnId(3);
+        js.stage(t, Op::Create).unwrap();
+        assert!(matches!(js.commit(t), Err(Error::Internal(_))));
+        // Journal intact; proper sequence still works.
+        assert_eq!(js.staged_ops(t), 1);
+        js.prepare(t);
+        assert_eq!(js.commit(t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stage_after_prepare_rejected() {
+        let js: JournalStore<Op> = JournalStore::new();
+        let t = TxnId(4);
+        js.stage(t, Op::Create).unwrap();
+        js.prepare(t);
+        assert!(matches!(js.stage(t, Op::Write(1)), Err(Error::Internal(_))));
+    }
+
+    #[test]
+    fn prepare_of_unseen_txn_votes_yes_empty() {
+        let js: JournalStore<Op> = JournalStore::new();
+        let t = TxnId(5);
+        assert!(js.prepare(t));
+        assert_eq!(js.state(t), Some(JournalState::Prepared));
+        assert!(js.commit(t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn independent_transactions_do_not_interfere() {
+        let js: JournalStore<Op> = JournalStore::new();
+        js.stage(TxnId(1), Op::Write(1)).unwrap();
+        js.stage(TxnId(2), Op::Write(2)).unwrap();
+        js.prepare(TxnId(1));
+        let ops1 = js.commit(TxnId(1)).unwrap();
+        assert_eq!(ops1, vec![Op::Write(1)]);
+        assert_eq!(js.staged_ops(TxnId(2)), 1);
+        js.abort(TxnId(2));
+        assert_eq!(js.active_txns(), 0);
+    }
+}

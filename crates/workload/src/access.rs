@@ -1,0 +1,120 @@
+//! Per-process access patterns.
+//!
+//! The paper's introduction motivates lightweight I/O with applications
+//! whose access patterns defeat general-purpose policies: seismic imaging
+//! (Oldfield et al., ref. 27) reads/writes *strided trace gathers*; checkpointing writes one
+//! contiguous region per process; out-of-core solvers touch blocks in
+//! data-dependent order. These generators produce those shapes for the
+//! examples and the DES workloads.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One I/O operation in a generated sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoOp {
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// Access-pattern generators.
+#[derive(Debug, Clone)]
+pub enum AccessPattern {
+    /// One contiguous region starting at `base` (a checkpoint dump),
+    /// chunked into `chunk`-byte operations.
+    Contiguous { base: u64, total: u64, chunk: u64 },
+    /// Strided access: `count` records of `record` bytes, `stride` bytes
+    /// apart (seismic trace gathers: one trace every shot-gather stride).
+    Strided { base: u64, record: u64, stride: u64, count: u64 },
+    /// Uniform random record access within `[0, span)` (out-of-core
+    /// solver touching blocks).
+    Random { span: u64, record: u64, count: u64 },
+}
+
+impl AccessPattern {
+    /// Generate the operation sequence (deterministic from `seed` for
+    /// `Random`; seed ignored otherwise).
+    pub fn generate(&self, seed: u64) -> Vec<IoOp> {
+        match self {
+            AccessPattern::Contiguous { base, total, chunk } => {
+                assert!(*chunk > 0);
+                let mut ops = Vec::new();
+                let mut off = 0u64;
+                while off < *total {
+                    let len = (*total - off).min(*chunk);
+                    ops.push(IoOp { offset: base + off, len });
+                    off += len;
+                }
+                ops
+            }
+            AccessPattern::Strided { base, record, stride, count } => {
+                assert!(*stride >= *record, "records must not overlap");
+                (0..*count)
+                    .map(|i| IoOp { offset: base + i * stride, len: *record })
+                    .collect()
+            }
+            AccessPattern::Random { span, record, count } => {
+                assert!(*span >= *record && *record > 0);
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let slots = span / record;
+                (0..*count)
+                    .map(|_| IoOp { offset: rng.gen_range(0..slots) * record, len: *record })
+                    .collect()
+            }
+        }
+    }
+
+    /// Total bytes the generated sequence touches.
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            AccessPattern::Contiguous { total, .. } => *total,
+            AccessPattern::Strided { record, count, .. } => record * count,
+            AccessPattern::Random { record, count, .. } => record * count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_tiles_exactly() {
+        let p = AccessPattern::Contiguous { base: 100, total: 1000, chunk: 300 };
+        let ops = p.generate(0);
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[0], IoOp { offset: 100, len: 300 });
+        assert_eq!(ops[3], IoOp { offset: 1000, len: 100 });
+        assert_eq!(ops.iter().map(|o| o.len).sum::<u64>(), p.total_bytes());
+    }
+
+    #[test]
+    fn strided_spacing() {
+        let p = AccessPattern::Strided { base: 0, record: 4_000, stride: 1_000_000, count: 5 };
+        let ops = p.generate(0);
+        assert_eq!(ops.len(), 5);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.offset, i as u64 * 1_000_000);
+            assert_eq!(op.len, 4_000);
+        }
+    }
+
+    #[test]
+    fn random_records_aligned_and_in_span() {
+        let p = AccessPattern::Random { span: 1_000_000, record: 4096, count: 500 };
+        let ops = p.generate(3);
+        assert_eq!(ops.len(), 500);
+        for op in &ops {
+            assert_eq!(op.offset % 4096, 0);
+            assert!(op.offset + op.len <= 1_000_000);
+        }
+        // Deterministic.
+        assert_eq!(ops, p.generate(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "records must not overlap")]
+    fn overlapping_stride_panics() {
+        AccessPattern::Strided { base: 0, record: 100, stride: 50, count: 2 }.generate(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Request arrival processes.
+//!
+//! Two shapes matter for the paper's claims:
+//!
+//! * **Synchronized bursts** — a checkpoint epoch: every rank issues its
+//!   request at (nearly) the same instant, skewed only by compute jitter.
+//!   This is the load that overwhelms an I/O node's buffers (§3.2).
+//! * **Poisson streams** — background I/O from competing applications,
+//!   used by the multi-application contention experiments.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One burst: the arrival instant (ns) of every request in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Burst {
+    pub at_ns: Vec<u64>,
+}
+
+impl Burst {
+    pub fn len(&self) -> usize {
+        self.at_ns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.at_ns.is_empty()
+    }
+
+    /// Spread between the first and last arrival.
+    pub fn skew_ns(&self) -> u64 {
+        match (self.at_ns.iter().min(), self.at_ns.iter().max()) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0,
+        }
+    }
+}
+
+/// An arrival process generator.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// All `n` ranks arrive at `epoch_ns` plus uniform jitter in
+    /// `[0, jitter_ns)`.
+    SynchronizedBurst { n: usize, epoch_ns: u64, jitter_ns: u64 },
+    /// Poisson arrivals with the given mean inter-arrival time, starting
+    /// at `start_ns`, producing `count` arrivals.
+    Poisson { start_ns: u64, mean_gap_ns: u64, count: usize },
+}
+
+impl ArrivalProcess {
+    /// Generate the arrival instants, deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Burst {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match self {
+            ArrivalProcess::SynchronizedBurst { n, epoch_ns, jitter_ns } => {
+                let at_ns = (0..*n)
+                    .map(|_| {
+                        let j = if *jitter_ns == 0 { 0 } else { rng.gen_range(0..*jitter_ns) };
+                        epoch_ns + j
+                    })
+                    .collect();
+                Burst { at_ns }
+            }
+            ArrivalProcess::Poisson { start_ns, mean_gap_ns, count } => {
+                let mut t = *start_ns as f64;
+                let mean = *mean_gap_ns as f64;
+                let at_ns = (0..*count)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                        t += -mean * u.ln();
+                        t as u64
+                    })
+                    .collect();
+                Burst { at_ns }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronized_burst_within_jitter() {
+        let p = ArrivalProcess::SynchronizedBurst { n: 100, epoch_ns: 1_000, jitter_ns: 50 };
+        let b = p.generate(7);
+        assert_eq!(b.len(), 100);
+        assert!(b.at_ns.iter().all(|t| (1_000..1_050).contains(t)));
+        assert!(b.skew_ns() < 50);
+    }
+
+    #[test]
+    fn zero_jitter_is_simultaneous() {
+        let p = ArrivalProcess::SynchronizedBurst { n: 10, epoch_ns: 5, jitter_ns: 0 };
+        let b = p.generate(1);
+        assert_eq!(b.skew_ns(), 0);
+        assert!(b.at_ns.iter().all(|t| *t == 5));
+    }
+
+    #[test]
+    fn poisson_is_monotone_with_roughly_right_mean() {
+        let p = ArrivalProcess::Poisson { start_ns: 0, mean_gap_ns: 1_000, count: 20_000 };
+        let b = p.generate(42);
+        assert!(b.at_ns.windows(2).all(|w| w[0] <= w[1]));
+        let mean_gap = *b.at_ns.last().unwrap() as f64 / b.len() as f64;
+        assert!((mean_gap - 1_000.0).abs() < 50.0, "observed mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { start_ns: 0, mean_gap_ns: 100, count: 50 };
+        assert_eq!(p.generate(9), p.generate(9));
+        assert_ne!(p.generate(9), p.generate(10));
+    }
+
+    #[test]
+    fn empty_burst_is_safe() {
+        let b = Burst { at_ns: vec![] };
+        assert_eq!(b.skew_ns(), 0);
+        assert!(b.is_empty());
+    }
+}

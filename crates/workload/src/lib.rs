@@ -1,0 +1,25 @@
+//! Workload generators for the evaluation harness.
+//!
+//! §2.2: "I/O for scientific applications is often *bursty* in nature.
+//! Since there are many more compute nodes than I/O nodes, an I/O node may
+//! receive tens of thousands of near-simultaneous I/O requests." The
+//! generators here produce exactly those shapes:
+//!
+//! * [`checkpoint`] — the §4 case-study workload: compute for a while,
+//!   then every rank dumps a fixed-size state near-simultaneously.
+//! * [`arrivals`] — request arrival processes: synchronized bursts with
+//!   jitter (checkpoints) and Poisson streams (background I/O).
+//! * [`access`] — per-process access patterns: contiguous, strided
+//!   (seismic-style trace gathers), and random offsets.
+//! * [`sweep`] — the experiment grids of Figures 9–10 (client counts ×
+//!   server counts × trials).
+
+pub mod access;
+pub mod arrivals;
+pub mod checkpoint;
+pub mod sweep;
+
+pub use access::{AccessPattern, IoOp};
+pub use arrivals::{ArrivalProcess, Burst};
+pub use checkpoint::CheckpointWorkload;
+pub use sweep::{ExperimentGrid, GridPoint};

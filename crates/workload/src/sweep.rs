@@ -1,0 +1,91 @@
+//! Parameter grids for the evaluation sweeps.
+//!
+//! Figures 9 and 10 sweep **client count** (1 → ~64, the paper's dev
+//! cluster hosted up to 64 client processes on 31 compute nodes) for each
+//! of **2, 4, 8, 16 storage servers**, with ≥5 trials per point. The grid
+//! type makes the sweep explicit and iterable so every figure harness
+//! shares one definition.
+
+/// One cell of an experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridPoint {
+    pub clients: usize,
+    pub servers: usize,
+    pub trial: u64,
+}
+
+/// A (clients × servers × trials) sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentGrid {
+    pub client_counts: Vec<usize>,
+    pub server_counts: Vec<usize>,
+    pub trials: u64,
+}
+
+impl ExperimentGrid {
+    /// The paper's Figure 9/10 sweep.
+    pub fn paper() -> Self {
+        Self {
+            client_counts: vec![1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64],
+            server_counts: vec![2, 4, 8, 16],
+            trials: 5,
+        }
+    }
+
+    /// A quick variant for smoke tests and CI.
+    pub fn smoke() -> Self {
+        Self { client_counts: vec![1, 4, 16], server_counts: vec![2, 8], trials: 2 }
+    }
+
+    /// Iterate every point, trials innermost (so partial output is still
+    /// grouped by curve, matching how the figures are drawn).
+    pub fn points(&self) -> impl Iterator<Item = GridPoint> + '_ {
+        self.server_counts.iter().flat_map(move |&servers| {
+            self.client_counts.iter().flat_map(move |&clients| {
+                (0..self.trials).map(move |trial| GridPoint { clients, servers, trial })
+            })
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.client_counts.len() * self.server_counts.len() * self.trials as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_figures() {
+        let g = ExperimentGrid::paper();
+        assert_eq!(g.server_counts, vec![2, 4, 8, 16]);
+        assert!(g.client_counts.contains(&64));
+        assert!(g.trials >= 5, "paper: minimum of 5 trials");
+    }
+
+    #[test]
+    fn points_cover_the_full_product() {
+        let g = ExperimentGrid::smoke();
+        let pts: Vec<_> = g.points().collect();
+        assert_eq!(pts.len(), g.len());
+        assert_eq!(pts.len(), 3 * 2 * 2);
+        // Unique.
+        let set: std::collections::HashSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), pts.len());
+    }
+
+    #[test]
+    fn trials_are_innermost() {
+        let g = ExperimentGrid::smoke();
+        let pts: Vec<_> = g.points().collect();
+        assert_eq!(pts[0].trial, 0);
+        assert_eq!(pts[1].trial, 1);
+        assert_eq!(pts[0].clients, pts[1].clients);
+        assert_eq!(pts[0].servers, pts[1].servers);
+    }
+}

@@ -1,0 +1,163 @@
+//! Failure-injection integration tests: partitions, crashed services, and
+//! message loss, exercised through the full stack.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lwfs::portals::FaultPlan;
+use lwfs::prelude::*;
+
+fn boot(servers: usize) -> LwfsCluster {
+    LwfsCluster::boot(ClusterConfig { storage_servers: servers, ..Default::default() })
+}
+
+fn login(cluster: &LwfsCluster, client: &mut LwfsClient) {
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+}
+
+#[test]
+fn partitioned_storage_server_aborts_the_transaction_cleanly() {
+    let cluster = boot(2);
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+
+    let txn = client.txn_begin().unwrap();
+    let o0 = client.create_obj(0, &caps, Some(txn), None).unwrap();
+    let o1 = client.create_obj(1, &caps, Some(txn), None).unwrap();
+    client.write(0, &caps, Some(txn), o0, 0, b"survives?").unwrap();
+    client.write(1, &caps, Some(txn), o1, 0, b"survives?").unwrap();
+
+    // Partition server 1 before commit: phase 1 cannot reach it, so the
+    // coordinator must abort everywhere reachable.
+    let mut plan = FaultPlan::default();
+    plan.partitioned.insert(cluster.addrs().storage[1].nid);
+    cluster.network().set_faults(plan);
+
+    let participants = vec![cluster.addrs().storage[0], cluster.addrs().storage[1]];
+    let outcome = client.txn_commit(txn, participants).unwrap();
+    assert!(!outcome.is_committed(), "commit must fail under partition");
+
+    // Heal. Server 0 rolled back; server 1 still holds the journal (it
+    // never saw the abort) but presumed-abort means a later abort is
+    // harmless and the created object was rolled back nowhere visible...
+    cluster.network().heal();
+    assert_eq!(client.read(0, &caps, o0, 0, 9).unwrap_err(), Error::NoSuchObject(o0));
+    // Explicitly abort at the recovered participant (recovery pass).
+    client.txn_abort(txn, vec![cluster.addrs().storage[1]]).unwrap();
+    assert_eq!(client.read(1, &caps, o1, 0, 9).unwrap_err(), Error::NoSuchObject(o1));
+}
+
+#[test]
+fn operations_fail_fast_while_partitioned_and_recover_after_heal() {
+    let cluster = boot(1);
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+
+    let mut plan = FaultPlan::default();
+    plan.partitioned.insert(cluster.addrs().storage[0].nid);
+    cluster.network().set_faults(plan);
+    assert_eq!(
+        client.write(0, &caps, None, obj, 0, b"blocked").unwrap_err(),
+        Error::Unreachable
+    );
+
+    cluster.network().heal();
+    client.write(0, &caps, None, obj, 0, b"healed!").unwrap();
+    assert_eq!(client.read(0, &caps, obj, 0, 7).unwrap(), b"healed!");
+}
+
+#[test]
+fn authz_partition_blocks_cold_caps_but_not_warm_ones() {
+    // Distributed enforcement under a control-plane outage: capabilities
+    // already cached at storage servers keep working; verifying *new*
+    // capabilities requires the authorization service.
+    let cluster = boot(1);
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let warm = client.get_caps(cid, OpMask::CREATE | OpMask::WRITE).unwrap();
+    let cold = client.get_caps(cid, OpMask::READ).unwrap();
+    let obj = client.create_obj(0, &warm, None, None).unwrap();
+    client.write(0, &warm, None, obj, 0, b"cached").unwrap(); // warm the cache
+
+    let mut plan = FaultPlan::default();
+    plan.partitioned.insert(cluster.addrs().authz.nid);
+    cluster.network().set_faults(plan);
+
+    // Warm path: still authorized, still works.
+    client.write(0, &warm, None, obj, 0, b"still!").unwrap();
+    // Cold path: the storage server cannot verify-through.
+    assert_eq!(
+        client.read(0, &cold, obj, 0, 6).unwrap_err(),
+        Error::Unreachable,
+        "cold capability should fail while authz is down"
+    );
+
+    cluster.network().heal();
+    assert_eq!(client.read(0, &cold, obj, 0, 6).unwrap(), b"still!");
+}
+
+#[test]
+fn message_loss_surfaces_as_timeouts_not_corruption() {
+    let cluster = boot(1);
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    client.write(0, &caps, None, obj, 0, b"baseline-contents").unwrap();
+
+    // 100% loss: every RPC times out; nothing hangs forever.
+    cluster.network().set_faults(FaultPlan { drop_rate: 1.0, ..Default::default() });
+    // (Reads use call_retrying only for ServerBusy; loss is a timeout.)
+    let t0 = std::time::Instant::now();
+    let err = client.getattr(0, &caps, obj).unwrap_err();
+    assert_eq!(err, Error::Timeout);
+    assert!(t0.elapsed() < Duration::from_secs(30));
+
+    // Heal: state is exactly as before the outage.
+    cluster.network().heal();
+    assert_eq!(client.read(0, &caps, obj, 0, 17).unwrap(), b"baseline-contents");
+}
+
+#[test]
+fn dead_client_does_not_wedge_servers() {
+    // A client that posts a descriptor, sends a write request, and then
+    // "dies" (never drains events) must not affect other clients.
+    let cluster = Arc::new(boot(1));
+    let mut healthy = cluster.client(1, 0);
+    login(&cluster, &mut healthy);
+    let cid = healthy.create_container().unwrap();
+    let caps = healthy.get_caps(cid, OpMask::ALL).unwrap();
+
+    // The dying client: issue a write whose MD vanishes mid-flight by
+    // marking the process dead. The server's one-sided pull fails and it
+    // answers with an error nobody reads — and must move on.
+    {
+        let doomed = cluster.client(2, 0);
+        let caps2 = caps.clone();
+        let cluster2 = Arc::clone(&cluster);
+        let t = std::thread::spawn(move || {
+            let obj = doomed.create_obj(0, &caps2, None, None).unwrap();
+            // Kill ourselves right before the write's pull can complete.
+            let mut plan = FaultPlan::default();
+            plan.dead.insert(doomed.id());
+            cluster2.network().set_faults(plan);
+            // This call fails by timeout or unreachable — either is fine.
+            let _ = doomed.write(0, &caps2, None, obj, 0, &[0u8; 1024]);
+        });
+        t.join().unwrap();
+    }
+
+    // Other clients are unaffected (the dead flag only blocks the doomed
+    // process).
+    let obj = healthy.create_obj(0, &caps, None, None).unwrap();
+    healthy.write(0, &caps, None, obj, 0, b"alive").unwrap();
+    assert_eq!(healthy.read(0, &caps, obj, 0, 5).unwrap(), b"alive");
+}

@@ -1,0 +1,144 @@
+//! Layering integration tests — Figure 2 as executable claims.
+//!
+//! "The LWFS-core provides object-based access, user authentication, and
+//! authorization. Layers above provide application-specific functionality
+//! in the form of libraries or file system implementations. … each layer
+//! (including the application) may access the LWFS-core directly."
+
+use std::time::Duration;
+
+use lwfs::prelude::*;
+
+#[test]
+fn pfs_files_are_ordinary_lwfs_objects_underneath() {
+    // The Lustre-like PFS is built entirely on the LWFS public API: an
+    // application holding the right capabilities can address the stripe
+    // objects of a PFS file directly through the core — layers do not
+    // hide the substrate.
+    let cluster = PfsCluster::boot(PfsConfig {
+        lwfs: ClusterConfig { storage_servers: 2, ..Default::default() },
+        mds_create_service: Duration::from_micros(50),
+        mds_open_service: Duration::from_micros(10),
+    });
+    let pfs_client = cluster.client(0, 0);
+    let mut f = pfs_client.create("/layered", 2, 1024, OpenMode::Private).unwrap();
+    let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+    pfs_client.write(&mut f, 0, &payload).unwrap();
+    pfs_client.close(f).unwrap();
+
+    // Reopen to learn the layout, then read the FIRST STRIPE directly via
+    // the LWFS core using the (trusted-client) capabilities the MDS hands
+    // out — bypassing the file abstraction entirely.
+    let f = pfs_client.open("/layered", OpenMode::Private).unwrap();
+    let lwfs_view = cluster.lwfs().client(50, 0);
+    let caps = lwfs::core::CapSet::new(
+        // Reuse the caps embedded in the PFS layout reply.
+        {
+            let f2 = pfs_client.open("/layered", OpenMode::Private).unwrap();
+            let _ = f2; // layout identical; fetch caps from a fresh open
+            // The public PfsFile API doesn't expose caps; go through the
+            // authorization service as the owner instead:
+            cluster
+                .lwfs()
+                .authz_service()
+                .get_caps(
+                    &cluster
+                        .lwfs()
+                        .auth_service()
+                        .get_cred(&cluster.lwfs().kdc().kinit("pfs-mds", "mds-secret").unwrap())
+                        .unwrap(),
+                    cluster.container(),
+                    OpMask::READ | OpMask::GETATTR,
+                )
+                .unwrap()
+        },
+    );
+    let objs = lwfs_view.list_objs(0, &caps).unwrap();
+    assert!(!objs.is_empty(), "stripe objects visible through the core");
+    // Stripe 0 of the file holds bytes [0..1024) ++ [2048..3072).
+    let direct = lwfs_view.read(0, &caps, objs[0], 0, 1024).unwrap();
+    assert_eq!(direct, &payload[..1024]);
+    drop(f);
+}
+
+#[test]
+fn checkpoint_library_is_backend_agnostic() {
+    // The same application-facing call sequence works over LWFS and over
+    // the PFS — the case study's three implementations share a shape.
+    use lwfs::checkpoint::{LwfsCheckpointer, PfsCheckpointer, PfsStyle};
+
+    let state = vec![0xC4u8; 64 * 1024];
+    let group = Group::new(vec![ProcessId::new(0, 0)]);
+
+    // LWFS backend.
+    let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: 2, ..Default::default() });
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::CHECKPOINT | OpMask::READ).unwrap();
+    let ck = LwfsCheckpointer::new(&client, group.clone(), 0, caps, "/agnostic");
+    let r1 = ck.checkpoint(1, &state).unwrap();
+    assert_eq!(ck.restore(1).unwrap(), state);
+
+    // PFS backend (both styles).
+    let pfs = PfsCluster::boot(PfsConfig {
+        lwfs: ClusterConfig { storage_servers: 2, ..Default::default() },
+        mds_create_service: Duration::from_micros(50),
+        mds_open_service: Duration::from_micros(10),
+    });
+    let pclient = pfs.client(0, 0);
+    for style in [PfsStyle::FilePerProcess, PfsStyle::SharedFile] {
+        let ck = PfsCheckpointer::new(
+            &pclient,
+            group.clone(),
+            0,
+            style,
+            &format!("/agnostic-{}", style.label()),
+            2,
+            16 * 1024,
+        );
+        let r = ck.checkpoint(1, &state).unwrap();
+        assert_eq!(ck.restore(1, state.len()).unwrap(), state, "{}", style.label());
+        assert!(r.bytes == r1.bytes);
+    }
+}
+
+#[test]
+fn application_specific_layout_beats_imposed_policy_for_its_pattern() {
+    // Figure 2's point, made concrete: an application that KNOWS its
+    // access pattern (strided records, reader wants one column) can place
+    // data so each reader touches exactly one server — something the
+    // PFS's fixed striping cannot express.
+    let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: 4, ..Default::default() });
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+
+    // Application-chosen layout: column c of a 4-column matrix lives
+    // wholly on server c.
+    let cols = 4usize;
+    let col_bytes = 8 * 1024;
+    let mut objs = Vec::new();
+    for c in 0..cols {
+        let obj = client.create_obj(c, &caps, None, None).unwrap();
+        client.write(c, &caps, None, obj, 0, &vec![c as u8; col_bytes]).unwrap();
+        objs.push(obj);
+    }
+
+    // Column read: exactly one server involved, measurable on the wire.
+    let stats = cluster.network().stats();
+    stats.reset();
+    let col2 = client.read(2, &caps, objs[2], 0, col_bytes).unwrap();
+    assert!(col2.iter().all(|b| *b == 2));
+    for (i, addr) in cluster.addrs().storage.iter().enumerate() {
+        let sent = stats.sent_by(*addr);
+        if i == 2 {
+            assert!(sent > 0, "server 2 must serve the read");
+        } else {
+            assert_eq!(sent, 0, "server {i} must be untouched by a column read");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Randomized concurrency stress over the functional plane: several
+//! client threads drive seeded random operation mixes against live
+//! services while each thread checks every result against a local shadow
+//! model. Catches cross-request races in the storage server, capability
+//! cache, and transaction machinery that directed tests can miss.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lwfs::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 200;
+
+#[test]
+fn randomized_object_ops_match_shadow_model() {
+    let cluster = Arc::new(LwfsCluster::boot(ClusterConfig {
+        storage_servers: 3,
+        ..Default::default()
+    }));
+    let mut owner = cluster.client(99, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    owner.get_cred(ticket).unwrap();
+    let cid = owner.create_container().unwrap();
+    let caps = owner.get_caps(cid, OpMask::ALL).unwrap();
+    let wire = caps.to_wire();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cluster = Arc::clone(&cluster);
+            let wire = wire.clone();
+            std::thread::spawn(move || {
+                let client = cluster.client(t as u32, 0);
+                let caps = CapSet::from_wire(wire).unwrap();
+                let mut rng = ChaCha8Rng::seed_from_u64(0x57E55 ^ t as u64);
+                // Shadow: my objects and their expected contents.
+                let mut shadow: HashMap<(usize, ObjId), Vec<u8>> = HashMap::new();
+                let mut live: Vec<(usize, ObjId)> = Vec::new();
+
+                for op in 0..OPS_PER_THREAD {
+                    match rng.gen_range(0..100) {
+                        // Create (30%).
+                        0..=29 => {
+                            let server = rng.gen_range(0..3);
+                            let obj = client.create_obj(server, &caps, None, None).unwrap();
+                            shadow.insert((server, obj), Vec::new());
+                            live.push((server, obj));
+                        }
+                        // Write at random offset (35%).
+                        30..=64 if !live.is_empty() => {
+                            let key = live[rng.gen_range(0..live.len())];
+                            let offset = rng.gen_range(0..2048u64);
+                            let len = rng.gen_range(1..512usize);
+                            let data: Vec<u8> =
+                                (0..len).map(|i| ((op * 31 + i) % 251) as u8).collect();
+                            client
+                                .write(key.0, &caps, None, key.1, offset, &data)
+                                .unwrap();
+                            let entry = shadow.get_mut(&key).unwrap();
+                            let end = offset as usize + len;
+                            if entry.len() < end {
+                                entry.resize(end, 0);
+                            }
+                            entry[offset as usize..end].copy_from_slice(&data);
+                        }
+                        // Read and compare (25%).
+                        65..=89 if !live.is_empty() => {
+                            let key = live[rng.gen_range(0..live.len())];
+                            let expect = &shadow[&key];
+                            let got = client
+                                .read(key.0, &caps, key.1, 0, expect.len().max(1))
+                                .unwrap();
+                            assert_eq!(&got, expect, "thread {t} op {op} object {key:?}");
+                        }
+                        // Remove (10%).
+                        90..=99 if !live.is_empty() => {
+                            let idx = rng.gen_range(0..live.len());
+                            let key = live.swap_remove(idx);
+                            client.remove_obj(key.0, &caps, None, key.1).unwrap();
+                            shadow.remove(&key);
+                            // Reading a removed object must fail.
+                            assert_eq!(
+                                client.read(key.0, &caps, key.1, 0, 1).unwrap_err(),
+                                Error::NoSuchObject(key.1)
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+                // Final sweep: every surviving object matches its shadow.
+                for (key, expect) in &shadow {
+                    let got = client
+                        .read(key.0, &caps, key.1, 0, expect.len().max(1))
+                        .unwrap();
+                    assert_eq!(&got, expect, "final sweep, thread {t}, object {key:?}");
+                }
+                shadow.len()
+            })
+        })
+        .collect();
+
+    let survivors: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    // Every thread's surviving objects are accounted for on the servers
+    // (threads never touch each other's objects).
+    let stored: usize =
+        (0..3).map(|i| cluster.storage_server(i).store().object_count()).sum();
+    assert_eq!(stored, survivors);
+    // The capability cache absorbed the whole run: a handful of misses
+    // (one per (server, capability) pair), thousands of hits.
+    let mut total_misses = 0;
+    for i in 0..3 {
+        let s = cluster.storage_server(i).cap_cache_stats().unwrap();
+        total_misses += s.misses;
+        assert!(s.hits > 100, "server {i} hits {}", s.hits);
+    }
+    assert!(total_misses <= 5 * 3, "misses: {total_misses}");
+}
+
+#[test]
+fn randomized_concurrent_transactions_are_atomic() {
+    // Threads run small transactions (create + writes) and randomly commit
+    // or abort; afterwards every committed object is intact and every
+    // aborted one is gone.
+    let cluster = Arc::new(LwfsCluster::boot(ClusterConfig {
+        storage_servers: 2,
+        ..Default::default()
+    }));
+    let mut owner = cluster.client(99, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    owner.get_cred(ticket).unwrap();
+    let cid = owner.create_container().unwrap();
+    let caps = owner.get_caps(cid, OpMask::ALL).unwrap();
+    let wire = caps.to_wire();
+    let cred = owner.current_cred().unwrap();
+
+    let handles: Vec<_> = (0..3usize)
+        .map(|t| {
+            let cluster = Arc::clone(&cluster);
+            let wire = wire.clone();
+            std::thread::spawn(move || {
+                let mut client = cluster.client(t as u32, 0);
+                client.adopt_cred(cred);
+                let caps = CapSet::from_wire(wire).unwrap();
+                let mut rng = ChaCha8Rng::seed_from_u64(0x7A5 ^ t as u64);
+                let mut committed = Vec::new();
+                let mut aborted = Vec::new();
+
+                for i in 0..40 {
+                    let txn = client.txn_begin().unwrap();
+                    let server = rng.gen_range(0..2);
+                    let obj = client.create_obj(server, &caps, Some(txn), None).unwrap();
+                    let payload = format!("t{t}-i{i}");
+                    client
+                        .write(server, &caps, Some(txn), obj, 0, payload.as_bytes())
+                        .unwrap();
+                    let participants = vec![cluster.addrs().storage[server]];
+                    if rng.gen_bool(0.5) {
+                        let out = client.txn_commit(txn, participants).unwrap();
+                        assert!(out.is_committed());
+                        committed.push((server, obj, payload));
+                    } else {
+                        client.txn_abort(txn, participants).unwrap();
+                        aborted.push((server, obj));
+                    }
+                }
+                (committed, aborted)
+            })
+        })
+        .collect();
+
+    let client = cluster.client(98, 0);
+    let caps = CapSet::from_wire(wire).unwrap();
+    for h in handles {
+        let (committed, aborted) = h.join().unwrap();
+        for (server, obj, payload) in committed {
+            let got = client.read(server, &caps, obj, 0, payload.len()).unwrap();
+            assert_eq!(got, payload.as_bytes());
+        }
+        for (server, obj) in aborted {
+            assert_eq!(
+                client.read(server, &caps, obj, 0, 1).unwrap_err(),
+                Error::NoSuchObject(obj)
+            );
+        }
+    }
+}
+
+#[test]
+fn rpc_storm_under_message_loss_converges() {
+    // 10% message loss: a retry wrapper over the RPC layer still completes
+    // every operation, and the final state is exact.
+    use lwfs::portals::FaultPlan;
+
+    let cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 1,
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+
+    // Short RPC timeout: lost messages are detected in 100 ms, so fifty
+    // operations with ~10% loss converge in a couple of seconds.
+    client.set_rpc_timeout(std::time::Duration::from_millis(100));
+    cluster.network().set_faults(FaultPlan { drop_rate: 0.10, ..Default::default() });
+
+    let mut completed = 0u32;
+    for i in 0..50u64 {
+        // Application-level retry loop: writes are idempotent (same data,
+        // same offset), so retrying a timed-out write is safe.
+        let mut attempts = 0;
+        loop {
+            match client.write(0, &caps, None, obj, i * 4, b"ok!!") {
+                Ok(_) => break,
+                Err(Error::Timeout) | Err(Error::ServerBusy) if attempts < 50 => attempts += 1,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+        completed += 1;
+    }
+    assert_eq!(completed, 50);
+
+    cluster.network().heal();
+    let data = client.read(0, &caps, obj, 0, 200).unwrap();
+    assert_eq!(data.len(), 200);
+    for chunk in data.chunks_exact(4) {
+        assert_eq!(chunk, b"ok!!");
+    }
+}
