@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use lwfs_proto::PrincipalId;
 use lwfs_proto::security::siphash::MacKey;
+use lwfs_proto::PrincipalId;
 use parking_lot::RwLock;
 
 /// Errors an external mechanism can report.
@@ -61,7 +61,7 @@ pub struct MockKerberos {
 impl MockKerberos {
     pub fn new(realm: impl Into<String>, key_seed: u64) -> Self {
         Self {
-            key: MacKey::new(key_seed, key_seed.rotate_left(17) ^ 0x6B64_635F_6B65_79),
+            key: MacKey::new(key_seed, key_seed.rotate_left(17) ^ 0x006B_6463_5F6B_6579),
             realm: realm.into(),
             users: RwLock::new(HashMap::new()),
         }
@@ -109,11 +109,7 @@ impl AuthMechanism for MockKerberos {
         }
         let name = std::str::from_utf8(name_bytes).map_err(|_| MechError::InvalidToken)?;
         // A ticket for a since-deleted user no longer authenticates.
-        self.users
-            .read()
-            .get(name)
-            .map(|(p, _)| *p)
-            .ok_or(MechError::UnknownUser)
+        self.users.read().get(name).map(|(p, _)| *p).ok_or(MechError::UnknownUser)
     }
 
     fn name(&self) -> &str {

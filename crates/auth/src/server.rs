@@ -20,7 +20,11 @@ impl AuthServer {
     ///
     /// Returns the service handle and a shared reference to the logic (for
     /// in-process inspection by tests and by the authorization service).
-    pub fn spawn(net: &Network, id: ProcessId, service: AuthService) -> (ServiceHandle, Arc<AuthService>) {
+    pub fn spawn(
+        net: &Network,
+        id: ProcessId,
+        service: AuthService,
+    ) -> (ServiceHandle, Arc<AuthService>) {
         let service = Arc::new(service);
         let handle = spawn_service(net, id, AuthServer { service: Arc::clone(&service) });
         (handle, service)
@@ -120,9 +124,8 @@ mod tests {
         let (net, handle, _kdc) = boot();
         let ep = net.register(ProcessId::new(0, 0));
         let client = RpcClient::new(&ep);
-        let err = client
-            .call(handle.id(), RequestBody::NameLookup { path: "/x".into() })
-            .unwrap_err();
+        let err =
+            client.call(handle.id(), RequestBody::NameLookup { path: "/x".into() }).unwrap_err();
         assert!(matches!(err, Error::Malformed(_)));
         handle.shutdown();
     }

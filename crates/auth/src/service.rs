@@ -8,9 +8,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use lwfs_proto::security::siphash::MacKey;
-use lwfs_proto::{
-    Credential, CredentialBody, Error, Lifetime, PrincipalId, Result, Signature,
-};
+use lwfs_proto::{Credential, CredentialBody, Error, Lifetime, PrincipalId, Result, Signature};
 use parking_lot::Mutex;
 
 use crate::clock::Clock;
@@ -96,10 +94,8 @@ impl AuthService {
 
     /// Exchange a mechanism token for a credential (the `GetCred` RPC).
     pub fn get_cred(&self, mechanism_token: &[u8]) -> Result<Credential> {
-        let principal = self
-            .mechanism
-            .verify_token(mechanism_token)
-            .map_err(|_| Error::BadCredential)?;
+        let principal =
+            self.mechanism.verify_token(mechanism_token).map_err(|_| Error::BadCredential)?;
         let now = self.clock.now();
         let mut st = self.state.lock();
         let serial = st.next_serial;

@@ -12,7 +12,9 @@
 //! and the PFS baseline both consume it.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use lwfs_obs::{Counter, Registry};
 use lwfs_proto::{Capability, CapabilityBody, CapabilityKey};
 use parking_lot::Mutex;
 
@@ -49,16 +51,43 @@ struct Entry {
     body: CapabilityBody,
 }
 
+/// Registry-backed mirrors of [`CapCacheStats`], published under
+/// `authz.cache.*` so cache behaviour shows up in metric snapshots.
+/// Detached (unregistered) counters by default.
+#[derive(Debug, Default)]
+struct ObsCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    expired: Arc<Counter>,
+    revocations: Arc<Counter>,
+}
+
 /// The capability verification cache.
 #[derive(Debug, Default)]
 pub struct CapCache {
     entries: Mutex<HashMap<CapabilityKey, Entry>>,
     stats: Mutex<CapCacheStats>,
+    obs: ObsCounters,
 }
 
 impl CapCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Build a cache whose counters are registered under `authz.cache.*`
+    /// in `registry`.
+    pub fn with_registry(registry: &Registry) -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            stats: Mutex::new(CapCacheStats::default()),
+            obs: ObsCounters {
+                hits: registry.counter("authz.cache.hits"),
+                misses: registry.counter("authz.cache.misses"),
+                expired: registry.counter("authz.cache.expired"),
+                revocations: registry.counter("authz.cache.revocations"),
+            },
+        }
     }
 
     /// Is this capability known-valid at `now`?
@@ -76,20 +105,25 @@ impl CapCache {
                 // (or corruption). Never a hit; the verify-through path
                 // will reject it at the authorization service.
                 stats.misses += 1;
+                self.obs.misses.inc();
                 false
             }
             Some(e) if now < e.not_after => {
                 stats.hits += 1;
+                self.obs.hits.inc();
                 true
             }
             Some(_) => {
                 entries.remove(&key);
                 stats.expired += 1;
                 stats.misses += 1;
+                self.obs.expired.inc();
+                self.obs.misses.inc();
                 false
             }
             None => {
                 stats.misses += 1;
+                self.obs.misses.inc();
                 false
             }
         }
@@ -114,6 +148,7 @@ impl CapCache {
             }
         }
         self.stats.lock().invalidated += dropped;
+        self.obs.revocations.add(dropped);
         dropped
     }
 
@@ -124,6 +159,7 @@ impl CapCache {
         entries.retain(|_, e| now < e.not_after);
         let purged = (before - entries.len()) as u64;
         self.stats.lock().expired += purged;
+        self.obs.expired.add(purged);
         purged
     }
 
@@ -143,9 +179,7 @@ impl CapCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lwfs_proto::{
-        CapabilityBody, ContainerId, Lifetime, OpMask, PrincipalId, Signature,
-    };
+    use lwfs_proto::{CapabilityBody, ContainerId, Lifetime, OpMask, PrincipalId, Signature};
 
     fn cap(serial: u64, not_after: u64) -> Capability {
         Capability {
@@ -241,6 +275,24 @@ mod tests {
         forged.sig = Signature([0xEE; 16]);
         assert!(!cache.check(&forged, 1));
         assert!(cache.check(&real, 1));
+    }
+
+    #[test]
+    fn registry_counters_mirror_stats() {
+        let registry = Registry::new();
+        let cache = CapCache::with_registry(&registry);
+        let c = cap(1, 100);
+        assert!(!cache.check(&c, 10)); // miss
+        cache.insert(&c);
+        assert!(cache.check(&c, 10)); // hit
+        assert!(!cache.check(&c, 200)); // expired → miss
+        cache.insert(&c);
+        assert_eq!(cache.invalidate(&[c.cache_key()]), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("authz.cache.hits"), Some(1));
+        assert_eq!(snap.counter("authz.cache.misses"), Some(2));
+        assert_eq!(snap.counter("authz.cache.expired"), Some(1));
+        assert_eq!(snap.counter("authz.cache.revocations"), Some(1));
     }
 
     proptest::proptest! {

@@ -87,11 +87,8 @@ impl PolicyStore {
     /// Every ACL entry of a container (admin/debug surface).
     pub fn entries(&self, cid: ContainerId) -> Result<Vec<AclEntry>> {
         let pol = self.containers.get(&cid).ok_or(Error::NoSuchContainer(cid))?;
-        let mut out: Vec<AclEntry> = pol
-            .acl
-            .iter()
-            .map(|(p, ops)| AclEntry { principal: *p, ops: *ops })
-            .collect();
+        let mut out: Vec<AclEntry> =
+            pol.acl.iter().map(|(p, ops)| AclEntry { principal: *p, ops: *ops }).collect();
         out.sort_by_key(|e| e.principal);
         Ok(out)
     }
@@ -133,9 +130,8 @@ mod tests {
     fn grant_and_revoke() {
         let mut store = PolicyStore::new();
         let cid = store.create_container(PrincipalId(1));
-        let new = store
-            .modify(cid, PrincipalId(2), OpMask::READ | OpMask::WRITE, OpMask::NONE)
-            .unwrap();
+        let new =
+            store.modify(cid, PrincipalId(2), OpMask::READ | OpMask::WRITE, OpMask::NONE).unwrap();
         assert_eq!(new, OpMask::READ | OpMask::WRITE);
         // The chmod scenario: remove write, keep read.
         let new = store.modify(cid, PrincipalId(2), OpMask::NONE, OpMask::WRITE).unwrap();

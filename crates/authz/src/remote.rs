@@ -10,8 +10,10 @@
 //! 3. **Verify-through**: ask the authorization service, which records a
 //!    back pointer to this site; cache a positive verdict.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use lwfs_obs::{Counter, Registry};
 use lwfs_portals::RpcClient;
 use lwfs_proto::{Capability, Error, OpMask, ProcessId, ReplyBody, RequestBody, Result};
 
@@ -24,13 +26,34 @@ pub struct CachedCapVerifier {
     /// The authorization service's address.
     authz: ProcessId,
     cache: CapCache,
+    /// VerifyCaps round trips actually issued (the cache-miss path).
+    verify_through: Arc<Counter>,
     /// Timeout for VerifyCaps round trips.
     pub verify_timeout: Duration,
 }
 
 impl CachedCapVerifier {
     pub fn new(site: ProcessId, authz: ProcessId) -> Self {
-        Self { site, authz, cache: CapCache::new(), verify_timeout: Duration::from_secs(5) }
+        Self {
+            site,
+            authz,
+            cache: CapCache::new(),
+            verify_through: Arc::new(Counter::new()),
+            verify_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Like [`new`](Self::new), but publishing the cache's hit/miss/
+    /// revocation counters and the verify-through counter under
+    /// `authz.cache.*` in `registry`.
+    pub fn with_registry(site: ProcessId, authz: ProcessId, registry: &Registry) -> Self {
+        Self {
+            site,
+            authz,
+            cache: CapCache::with_registry(registry),
+            verify_through: registry.counter("authz.cache.verify_through"),
+            verify_timeout: Duration::from_secs(5),
+        }
     }
 
     pub fn cache(&self) -> &CapCache {
@@ -69,6 +92,7 @@ impl CachedCapVerifier {
             return Ok(());
         }
         // 4. Verify through the authorization service (Figure 4-b step 2).
+        self.verify_through.inc();
         let reply = client.call(
             self.authz,
             RequestBody::VerifyCaps { caps: vec![*cap], cache_site: self.site },
@@ -143,9 +167,8 @@ mod tests {
         // Invalidation drops the cached verdict; the revoked cap then fails
         // at the authorization service.
         let admin = authz_svc.get_caps(&alice, cid, OpMask::ADMIN).unwrap()[0];
-        let (notices, _) = authz_svc
-            .mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE)
-            .unwrap();
+        let (notices, _) =
+            authz_svc.mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE).unwrap();
         for n in &notices {
             assert_eq!(n.site, site);
             verifier.invalidate(&n.keys);

@@ -63,12 +63,10 @@ impl AuthzServer {
 impl Service for AuthzServer {
     fn handle(&mut self, ep: &Endpoint, req: &Request) -> ReplyBody {
         match &req.body {
-            RequestBody::CreateContainer { cred } => {
-                match self.service.create_container(cred) {
-                    Ok(cid) => ReplyBody::ContainerCreated(cid),
-                    Err(e) => ReplyBody::Err(e),
-                }
-            }
+            RequestBody::CreateContainer { cred } => match self.service.create_container(cred) {
+                Ok(cid) => ReplyBody::ContainerCreated(cid),
+                Err(e) => ReplyBody::Err(e),
+            },
             RequestBody::RemoveContainer { cap } => match self.service.remove_container(cap) {
                 Ok(()) => ReplyBody::ContainerRemoved,
                 Err(e) => ReplyBody::Err(e),
@@ -157,10 +155,7 @@ mod tests {
         let client = RpcClient::new(&ep);
         let srv = fx.authz_handle.id();
 
-        let cid = match client
-            .call(srv, RequestBody::CreateContainer { cred: fx.alice })
-            .unwrap()
-        {
+        let cid = match client.call(srv, RequestBody::CreateContainer { cred: fx.alice }).unwrap() {
             ReplyBody::ContainerCreated(cid) => cid,
             other => panic!("unexpected {other:?}"),
         };
@@ -175,10 +170,7 @@ mod tests {
         );
         // Caps on a removed container no longer verify.
         let valid = match client
-            .call(
-                srv,
-                RequestBody::VerifyCaps { caps, cache_site: ProcessId::new(7, 0) },
-            )
+            .call(srv, RequestBody::VerifyCaps { caps, cache_site: ProcessId::new(7, 0) })
             .unwrap()
         {
             ReplyBody::CapsVerified { valid } => valid,
@@ -195,10 +187,7 @@ mod tests {
         let ep = fx.net.register(ProcessId::new(0, 0));
         let client = RpcClient::new(&ep);
 
-        let cid = match client
-            .call(srv, RequestBody::CreateContainer { cred: fx.alice })
-            .unwrap()
-        {
+        let cid = match client.call(srv, RequestBody::CreateContainer { cred: fx.alice }).unwrap() {
             ReplyBody::ContainerCreated(cid) => cid,
             other => panic!("unexpected {other:?}"),
         };
@@ -208,9 +197,7 @@ mod tests {
         // The fake storage site verifies (and thus registers a backpointer).
         let site = ProcessId::new(60, 0);
         let site_ep = fx.net.register(site);
-        client
-            .call(srv, RequestBody::VerifyCaps { caps: vec![wcap], cache_site: site })
-            .unwrap();
+        client.call(srv, RequestBody::VerifyCaps { caps: vec![wcap], cache_site: site }).unwrap();
 
         // Run the fake site: expect one InvalidateCaps after ModPolicy.
         let t = std::thread::spawn(move || {
@@ -220,8 +207,7 @@ mod tests {
                 RequestBody::InvalidateCaps { keys, .. } => keys.clone(),
                 other => panic!("expected InvalidateCaps, got {other:?}"),
             };
-            rpc.reply(&req, ReplyBody::CapsInvalidated { dropped: keys.len() as u64 })
-                .unwrap();
+            rpc.reply(&req, ReplyBody::CapsInvalidated { dropped: keys.len() as u64 }).unwrap();
             keys
         });
 

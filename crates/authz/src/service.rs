@@ -199,8 +199,7 @@ impl AuthzService {
         if !allowed.contains(ops) {
             return Err(Error::AccessDenied);
         }
-        let lifetime =
-            Lifetime::starting_at(now, self.ttl).intersect(&cred.body.lifetime);
+        let lifetime = Lifetime::starting_at(now, self.ttl).intersect(&cred.body.lifetime);
         let mut caps = Vec::with_capacity(ops.len() as usize);
         for op in ops.iter() {
             let serial = st.next_serial;
@@ -214,10 +213,7 @@ impl AuthzService {
                 serial,
             };
             let cap = Capability { body, sig: self.sign(&body) };
-            st.issued.insert(
-                serial,
-                IssuedCap { body, revoked: false, cached_at: HashSet::new() },
-            );
+            st.issued.insert(serial, IssuedCap { body, revoked: false, cached_at: HashSet::new() });
             st.stats.caps_issued += 1;
             caps.push(cap);
         }
@@ -324,10 +320,8 @@ impl AuthzService {
             }
         }
         st.stats.caps_revoked += revoked_count;
-        let notices: Vec<RevocationNotice> = per_site
-            .into_iter()
-            .map(|(site, keys)| RevocationNotice { site, keys })
-            .collect();
+        let notices: Vec<RevocationNotice> =
+            per_site.into_iter().map(|(site, keys)| RevocationNotice { site, keys }).collect();
         st.stats.invalidations_sent += notices.len() as u64;
         Ok((notices, new_ops))
     }
@@ -437,9 +431,8 @@ mod tests {
         let write_cap = rw.iter().find(|c| c.grants(OpMask::WRITE)).copied().unwrap();
         authz.verify_caps(&rw, SITE_A).unwrap();
 
-        let (notices, new_ops) = authz
-            .mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE)
-            .unwrap();
+        let (notices, new_ops) =
+            authz.mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE).unwrap();
         assert!(!new_ops.intersects(OpMask::WRITE));
         assert!(new_ops.contains(OpMask::READ));
 
@@ -461,9 +454,8 @@ mod tests {
         let w = authz.get_caps(&alice, cid, OpMask::WRITE).unwrap();
         authz.verify_caps(&w, SITE_A).unwrap();
         authz.verify_caps(&w, SITE_B).unwrap();
-        let (notices, _) = authz
-            .mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE)
-            .unwrap();
+        let (notices, _) =
+            authz.mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE).unwrap();
         let mut sites: Vec<ProcessId> = notices.iter().map(|n| n.site).collect();
         sites.sort();
         assert_eq!(sites, vec![SITE_A, SITE_B]);
@@ -475,9 +467,8 @@ mod tests {
         let cid = authz.create_container(&alice).unwrap();
         let admin = authz.get_caps(&alice, cid, OpMask::ADMIN).unwrap()[0];
         let _w = authz.get_caps(&alice, cid, OpMask::WRITE).unwrap();
-        let (notices, _) = authz
-            .mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE)
-            .unwrap();
+        let (notices, _) =
+            authz.mod_policy(&admin, cid, PrincipalId(1), OpMask::NONE, OpMask::WRITE).unwrap();
         assert!(notices.is_empty(), "nothing cached, nothing to invalidate");
         assert_eq!(authz.stats().caps_revoked, 1);
     }
@@ -487,9 +478,8 @@ mod tests {
         let (authz, alice, _bob, _) = boot();
         let cid = authz.create_container(&alice).unwrap();
         let read = authz.get_caps(&alice, cid, OpMask::READ).unwrap()[0];
-        let err = authz
-            .mod_policy(&read, cid, PrincipalId(2), OpMask::READ, OpMask::NONE)
-            .unwrap_err();
+        let err =
+            authz.mod_policy(&read, cid, PrincipalId(2), OpMask::READ, OpMask::NONE).unwrap_err();
         assert_eq!(err, Error::AccessDenied);
     }
 
@@ -510,9 +500,7 @@ mod tests {
         let (authz, alice, bob, _) = boot();
         let cid = authz.create_container(&alice).unwrap();
         let admin = authz.get_caps(&alice, cid, OpMask::ADMIN).unwrap()[0];
-        authz
-            .mod_policy(&admin, cid, PrincipalId(2), OpMask::READ, OpMask::NONE)
-            .unwrap();
+        authz.mod_policy(&admin, cid, PrincipalId(2), OpMask::READ, OpMask::NONE).unwrap();
         let caps = authz.get_caps(&bob, cid, OpMask::READ).unwrap();
         assert_eq!(caps.len(), 1);
         assert_eq!(authz.get_caps(&bob, cid, OpMask::WRITE).unwrap_err(), Error::AccessDenied);

@@ -49,15 +49,8 @@ fn bench_pfs_checkpoint(c: &mut Criterion) {
     }));
     let client = cluster.client(0, 0);
     let group = Group::new(vec![ProcessId::new(0, 0)]);
-    let ck = PfsCheckpointer::new(
-        &client,
-        group,
-        0,
-        PfsStyle::FilePerProcess,
-        "/bench/pfs",
-        2,
-        1 << 20,
-    );
+    let ck =
+        PfsCheckpointer::new(&client, group, 0, PfsStyle::FilePerProcess, "/bench/pfs", 2, 1 << 20);
     let state = vec![7u8; STATE];
 
     let mut epoch = 0u64;

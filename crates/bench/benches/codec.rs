@@ -39,9 +39,7 @@ fn write_request() -> Request {
 
 fn bench_codec(c: &mut Criterion) {
     let req = write_request();
-    c.bench_function("encode_write_request", |b| {
-        b.iter(|| std::hint::black_box(req.to_bytes()))
-    });
+    c.bench_function("encode_write_request", |b| b.iter(|| std::hint::black_box(req.to_bytes())));
 
     let wire = req.to_bytes();
     c.bench_function("decode_write_request", |b| {

@@ -3,9 +3,7 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use lwfs_portals::{
-    spawn_service, Endpoint, MdOptions, MemDesc, Network, RpcClient, Service,
-};
+use lwfs_portals::{spawn_service, Endpoint, MdOptions, MemDesc, Network, RpcClient, Service};
 use lwfs_proto::{ProcessId, ReplyBody, Request, RequestBody};
 
 fn bench_eager(c: &mut Criterion) {
@@ -31,7 +29,10 @@ fn bench_one_sided(c: &mut Criterion) {
     for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
         b.post_md(
             size as u64,
-            MemDesc::zeroed(size, MdOptions { deliver_events: false, ..MdOptions::read_write_events() }),
+            MemDesc::zeroed(
+                size,
+                MdOptions { deliver_events: false, ..MdOptions::read_write_events() },
+            ),
         )
         .unwrap();
         let data = vec![7u8; size];

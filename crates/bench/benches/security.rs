@@ -74,9 +74,7 @@ fn bench_cap_cache(c: &mut Criterion) {
     // enforcement to be free.
     let cache = CapCache::new();
     cache.insert(&cap);
-    c.bench_function("cap_cache_hit", |b| {
-        b.iter(|| std::hint::black_box(cache.check(&cap, 0)))
-    });
+    c.bench_function("cap_cache_hit", |b| b.iter(|| std::hint::black_box(cache.check(&cap, 0))));
 
     // Miss path *excluding* the network round trip (lookup + stats only).
     let cold = CapCache::new();

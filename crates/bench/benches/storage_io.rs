@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use lwfs_auth::ManualClock;
 use lwfs_portals::{MdOptions, MemDesc, Network, RpcClient, BULK_SPACE};
 use lwfs_proto::{
-    Capability, CapabilityBody, ContainerId, Lifetime, MdHandle, OpMask, PrincipalId,
-    ProcessId, ReplyBody, RequestBody, Signature,
+    Capability, CapabilityBody, ContainerId, Lifetime, MdHandle, OpMask, PrincipalId, ProcessId,
+    ReplyBody, RequestBody, Signature,
 };
 use lwfs_storage::{StorageConfig, StorageServer};
 
@@ -29,13 +29,8 @@ fn cap() -> Capability {
 fn bench_storage(c: &mut Criterion) {
     let net = Network::default();
     let clock = Arc::new(ManualClock::new());
-    let (handle, _server) = StorageServer::spawn(
-        &net,
-        ProcessId::new(50, 0),
-        StorageConfig::default(),
-        None,
-        clock,
-    );
+    let (handle, _server) =
+        StorageServer::spawn(&net, ProcessId::new(50, 0), StorageConfig::default(), None, clock);
     let ep = net.register(ProcessId::new(0, 0));
     let client = RpcClient::new(&ep);
     let srv = handle.id();
@@ -112,13 +107,8 @@ fn bench_storage(c: &mut Criterion) {
 fn bench_getattr(c: &mut Criterion) {
     let net = Network::default();
     let clock = Arc::new(ManualClock::new());
-    let (handle, _server) = StorageServer::spawn(
-        &net,
-        ProcessId::new(50, 0),
-        StorageConfig::default(),
-        None,
-        clock,
-    );
+    let (handle, _server) =
+        StorageServer::spawn(&net, ProcessId::new(50, 0), StorageConfig::default(), None, clock);
     let ep = net.register(ProcessId::new(0, 0));
     let client = RpcClient::new(&ep);
     let obj = match client

@@ -11,9 +11,8 @@
 //! 4. **Transfer chunk size**.
 //!
 //! ```text
-//! cargo run --release -p lwfs-bench --bin ablation
+//! cargo run --release -p lwfs-bench --bin ablation -- --metrics-out results/ablation_metrics.json
 //! ```
-
 
 use lwfs_bench::{CsvOut, ShapeCheck, Table};
 use lwfs_models::{Calibration, CkptImpl, DumpSim, Machine};
@@ -53,17 +52,17 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. Capability cache on/off (DES).
     // ------------------------------------------------------------------
-    println!("== ablation 1: storage-server capability cache (LWFS dump, Red Storm, 256 servers) ==");
+    println!(
+        "== ablation 1: storage-server capability cache (LWFS dump, Red Storm, 256 servers) =="
+    );
     println!("   (at dev-cluster scale the authz server absorbs the un-cached load;");
     println!("    the ceiling appears at MPP scale — which is the paper's §2.4 point)");
     let mut t = Table::new(&["clients", "cache on (MB/s)", "cache off (MB/s)", "loss"]);
     let mut collapse = (0.0, 0.0);
     for &clients in &[256usize, 1024, 4096] {
         let on = run_red_storm(Calibration::default(), clients);
-        let off = run_red_storm(
-            Calibration { cap_cache: false, ..Calibration::default() },
-            clients,
-        );
+        let off =
+            run_red_storm(Calibration { cap_cache: false, ..Calibration::default() }, clients);
         t.row(&[
             clients.to_string(),
             format!("{on:.0}"),
@@ -192,7 +191,10 @@ fn main() {
     println!("  (the paper: 'the amortized impact of this additional");
     println!("   communication is minimal' — threshold 0.01 extra msgs/op)");
     shapes.check(
-        format!("verify-through overhead is minimal ({:.5} extra msgs/op)", report.extra_messages_per_op()),
+        format!(
+            "verify-through overhead is minimal ({:.5} extra msgs/op)",
+            report.extra_messages_per_op()
+        ),
         report.is_minimal(0.01),
     );
 
@@ -201,6 +203,7 @@ fn main() {
         Ok(path) => println!("\nCSV written to {}", path.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+    lwfs_bench::maybe_dump_metrics();
     std::process::exit(if ok { 0 } else { 1 });
 }
 

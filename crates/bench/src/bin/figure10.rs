@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run --release -p lwfs-bench --bin figure10
 //! cargo run -p lwfs-bench --bin figure10 -- --smoke
+//! cargo run --release -p lwfs-bench --bin figure10 -- --metrics-out results/figure10_metrics.json
 //! ```
 
 use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};
@@ -140,5 +141,6 @@ fn main() {
         Ok(path) => println!("\nCSV written to {}", path.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+    lwfs_bench::maybe_dump_metrics();
     std::process::exit(if ok { 0 } else { 1 });
 }

@@ -6,6 +6,8 @@
 //! ```text
 //! cargo run --release -p lwfs-bench --bin figure9          # full grid
 //! cargo run -p lwfs-bench --bin figure9 -- --smoke          # quick grid
+//! cargo run --release -p lwfs-bench --bin figure9 -- \
+//!     --metrics-out results/figure9_metrics.json   # + functional metrics
 //! ```
 
 use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};
@@ -21,8 +23,8 @@ fn main() {
     let bytes_per_client = 512 * 1_000_000u64;
 
     println!(
-        "Figure 9: checkpoint dump throughput, {} per process, {} trials/point\n",
-        "512 MB", grid.trials
+        "Figure 9: checkpoint dump throughput, 512 MB per process, {} trials/point\n",
+        grid.trials
     );
 
     let mut csv = CsvOut::new(
@@ -119,10 +121,7 @@ fn main() {
             monotone &= v > prev;
             prev = v;
         }
-        shapes.check(
-            format!("{}: curves ordered by server count", impl_kind.label()),
-            monotone,
-        );
+        shapes.check(format!("{}: curves ordered by server count", impl_kind.label()), monotone);
     }
 
     let ok = shapes.report();
@@ -130,5 +129,6 @@ fn main() {
         Ok(path) => println!("\nCSV written to {}", path.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+    lwfs_bench::maybe_dump_metrics();
     std::process::exit(if ok { 0 } else { 1 });
 }

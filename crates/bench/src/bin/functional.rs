@@ -64,10 +64,7 @@ fn run_lwfs(n: usize) -> CkptReport {
             })
         })
         .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().unwrap())
-        .fold(CkptReport::default(), CkptReport::max)
+    handles.into_iter().map(|h| h.join().unwrap()).fold(CkptReport::default(), CkptReport::max)
 }
 
 fn run_pfs(style: PfsStyle, n: usize) -> CkptReport {
@@ -97,10 +94,7 @@ fn run_pfs(style: PfsStyle, n: usize) -> CkptReport {
             })
         })
         .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().unwrap())
-        .fold(CkptReport::default(), CkptReport::max)
+    handles.into_iter().map(|h| h.join().unwrap()).fold(CkptReport::default(), CkptReport::max)
 }
 
 fn main() {
@@ -109,10 +103,8 @@ fn main() {
         STATE_BYTES / (1024 * 1024)
     );
     let mut table = Table::new(&["impl", "ranks", "create (ms)", "dump (ms)", "MB/s"]);
-    let mut csv = CsvOut::new(
-        "functional",
-        &["impl", "ranks", "create_ms", "dump_ms", "throughput_mbps"],
-    );
+    let mut csv =
+        CsvOut::new("functional", &["impl", "ranks", "create_ms", "dump_ms", "throughput_mbps"]);
 
     let mut results: Vec<(&str, usize, CkptReport)> = Vec::new();
     for &n in &[2usize, 4, 8] {
@@ -146,11 +138,7 @@ fn main() {
     let mut shapes = ShapeCheck::new();
     for &n in &[4usize, 8] {
         let find = |label: &str| {
-            results
-                .iter()
-                .find(|(l, rn, _)| *l == label && *rn == n)
-                .map(|(_, _, r)| *r)
-                .unwrap()
+            results.iter().find(|(l, rn, _)| *l == label && *rn == n).map(|(_, _, r)| *r).unwrap()
         };
         let lwfs = find("lwfs-object-per-process");
         let fpp = find("lustre-file-per-process");
@@ -164,16 +152,10 @@ fn main() {
         );
         // MDS create time grows roughly linearly with ranks (serialized).
     }
-    let fpp4 = results
-        .iter()
-        .find(|(l, n, _)| *l == "lustre-file-per-process" && *n == 4)
-        .unwrap()
-        .2;
-    let fpp8 = results
-        .iter()
-        .find(|(l, n, _)| *l == "lustre-file-per-process" && *n == 8)
-        .unwrap()
-        .2;
+    let fpp4 =
+        results.iter().find(|(l, n, _)| *l == "lustre-file-per-process" && *n == 4).unwrap().2;
+    let fpp8 =
+        results.iter().find(|(l, n, _)| *l == "lustre-file-per-process" && *n == 8).unwrap().2;
     shapes.check(
         format!(
             "MDS create latency grows with ranks ({:.2} ms @4 -> {:.2} ms @8)",

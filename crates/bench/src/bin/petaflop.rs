@@ -19,13 +19,8 @@ fn main() {
         DEFAULT_BYTES_PER_NODE / 1_000_000_000
     );
 
-    let mut table = Table::new(&[
-        "implementation",
-        "create (s)",
-        "dump (s)",
-        "total (s)",
-        "create fraction",
-    ]);
+    let mut table =
+        Table::new(&["implementation", "create (s)", "dump (s)", "total (s)", "create fraction"]);
     let mut csv = CsvOut::new(
         "petaflop",
         &["impl", "create_secs", "dump_secs", "total_secs", "create_fraction"],

@@ -46,11 +46,7 @@ fn main() {
 
     // MPI latency: the model's one-hop message delay.
     let lat_us = SimDuration::from_nanos(rs.latency_ns).as_secs_f64() * 1e6;
-    table.row(&[
-        "MPI Latency (1 hop)".into(),
-        "2.0 µs".into(),
-        format!("{lat_us:.1} µs"),
-    ]);
+    table.row(&["MPI Latency (1 hop)".into(), "2.0 µs".into(), format!("{lat_us:.1} µs")]);
     csv.row(&["mpi_latency_us".into(), "2.0".into(), format!("{lat_us:.2}")]);
     shapes.check_range("one-hop latency (µs)", lat_us, 1.9, 2.1);
 

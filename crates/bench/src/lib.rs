@@ -5,13 +5,18 @@
 //!
 //! 1. run the model (or the functional plane) over the experiment grid,
 //! 2. print the series in the same rows/columns the paper reports,
-//! 3. write a CSV under `results/`,
+//! 3. write a CSV under `results/` (and, with `--metrics-out <path>`, a
+//!    metric-registry JSON dumped by the functional probe in [`metrics`]),
 //! 4. print explicit **shape checks** comparing the measured curve
 //!    features (plateaus, ceilings, ratios, crossovers) against what the
 //!    paper's figures show, each marked `ok` / `MISMATCH`.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+mod metrics;
+
+pub use metrics::{maybe_dump_metrics, metrics_out_arg, run_metrics_probe};
 
 /// A simple aligned-column table printer.
 #[derive(Debug, Default)]

@@ -1,0 +1,109 @@
+//! The `--metrics-out` probe shared by the figure/ablation binaries.
+//!
+//! The model-driven binaries (figure9, figure10, ablation) predict
+//! performance analytically — they never boot the functional plane, so
+//! they have no live metric registry of their own. When asked for
+//! metrics, they run this probe instead: boot a small in-process LWFS
+//! cluster, drive a representative mix through every instrumented
+//! subsystem (server-directed writes and reads, a committed and an
+//! aborted two-phase commit, naming ops, capability verification), and
+//! dump the fabric registry — counters, gauges, latency histograms, and
+//! per-request stage spans — as JSON next to the CSV results.
+
+use std::path::{Path, PathBuf};
+
+use lwfs_core::{ClusterConfig, LwfsCluster};
+use lwfs_obs::Snapshot;
+use lwfs_proto::OpMask;
+
+/// Parse `--metrics-out <path>` (or `--metrics-out=<path>`) from argv.
+pub fn metrics_out_arg() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Boot a two-server cluster, exercise every instrumented subsystem, and
+/// return the registry snapshot — written to `path` as JSON when given.
+///
+/// # Panics
+/// Panics when any driven operation fails: the probe runs entirely on the
+/// in-process functional plane, so a failure is a bug, not an
+/// environmental condition.
+pub fn run_metrics_probe(path: Option<&Path>) -> std::io::Result<Snapshot> {
+    const SERVERS: usize = 2;
+    let cluster =
+        LwfsCluster::boot(ClusterConfig { storage_servers: SERVERS, ..Default::default() });
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").expect("probe user registered at boot");
+    client.get_cred(ticket).expect("get_cred");
+    let cid = client.create_container().expect("create_container");
+    let caps = client.get_caps(cid, OpMask::ALL).expect("get_caps");
+
+    // Server-directed writes and reads on every server. 640 KiB spans
+    // multiple default-size chunks, so the write trace shows repeated
+    // pull/store_write span pairs crossing the pinned pool.
+    let payload = vec![0xA5u8; 640 * 1024];
+    for server in 0..SERVERS {
+        let obj = client.create_obj(server, &caps, None, None).expect("create_obj");
+        let n = client.write(server, &caps, None, obj, 0, &payload).expect("write");
+        assert_eq!(n, payload.len() as u64);
+        let back = client.read(server, &caps, obj, 0, payload.len()).expect("read");
+        assert_eq!(back.len(), payload.len());
+    }
+
+    // A committed two-phase commit spanning both storage servers and the
+    // naming service (the Figure 8 checkpoint pattern).
+    let txn = client.txn_begin().expect("txn_begin");
+    let mut participants = Vec::new();
+    for server in 0..SERVERS {
+        let obj = client.create_obj(server, &caps, Some(txn), None).expect("txn create_obj");
+        if server == 0 {
+            client.name_create(Some(txn), "/probe/ckpt", cid, obj).expect("name_create");
+        }
+        participants.push(cluster.addrs().storage[server]);
+    }
+    participants.push(cluster.addrs().naming);
+    let outcome = client.txn_commit(txn, participants.clone()).expect("txn_commit");
+    assert!(outcome.is_committed(), "probe txn must commit: {outcome:?}");
+
+    // An aborted transaction, so abort metrics are populated too.
+    let txn = client.txn_begin().expect("txn_begin 2");
+    let _ = client.create_obj(0, &caps, Some(txn), None).expect("txn create_obj 2");
+    client.txn_abort(txn, vec![cluster.addrs().storage[0]]).expect("txn_abort");
+
+    // Naming reads.
+    client.name_lookup("/probe/ckpt").expect("name_lookup");
+    client.name_list("/probe").expect("name_list");
+
+    // Flush: a storage server closes a request's trace *after* sending
+    // its reply, so drive one more op through each server — its reply
+    // proves every earlier trace on that server is finished. (The flush
+    // ops themselves may still be open in the sampled span log.)
+    for server in 0..SERVERS {
+        client.list_objs(server, &caps).expect("flush list_objs");
+    }
+    let snap = cluster.network().obs().snapshot();
+    if let Some(path) = path {
+        snap.write_json(path)?;
+    }
+    Ok(snap)
+}
+
+/// When `--metrics-out` was passed, run the probe and report the written
+/// file. Called by the figure/ablation binaries after their model runs.
+pub fn maybe_dump_metrics() {
+    if let Some(path) = metrics_out_arg() {
+        match run_metrics_probe(Some(&path)) {
+            Ok(_) => println!("metrics written to {}", path.display()),
+            Err(e) => eprintln!("metrics write failed: {e}"),
+        }
+    }
+}

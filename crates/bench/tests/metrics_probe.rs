@@ -1,0 +1,98 @@
+//! Integration test for the `--metrics-out` probe: the registry snapshot
+//! must carry every instrumented subsystem, and the stage decomposition
+//! of each traced request must account for no more than its end-to-end
+//! latency.
+
+use std::collections::BTreeMap;
+
+use lwfs_bench::run_metrics_probe;
+use lwfs_obs::TOTAL_STAGE;
+
+#[test]
+fn snapshot_covers_every_instrumented_subsystem() {
+    let snap = run_metrics_probe(None).unwrap();
+
+    // Storage: queue/buffer gauges exist (drained back to zero by the
+    // time we sample) and the data-path counters moved.
+    assert_eq!(snap.gauge("storage.queue_depth"), Some(0));
+    assert_eq!(snap.gauge("storage.pool_in_use"), Some(0));
+    assert!(snap.counter("storage.writes").unwrap() >= 2);
+    assert!(snap.counter("storage.reads").unwrap() >= 2);
+    assert!(snap.counter("storage.bytes_pulled").unwrap() >= 2 * 640 * 1024);
+
+    // Authorization: the cap cache missed cold, hit warm, and verified
+    // through to the authz server.
+    assert!(snap.counter("authz.cache.hits").unwrap() >= 1);
+    assert!(snap.counter("authz.cache.misses").unwrap() >= 1);
+    assert!(snap.counter("authz.cache.verify_through").unwrap() >= 1);
+
+    // Transactions: one committed and one aborted 2PC, with both phase
+    // latencies recorded.
+    assert_eq!(snap.counter("txn.commits"), Some(1));
+    assert_eq!(snap.counter("txn.aborts"), Some(1));
+    assert_eq!(snap.histogram("txn.prepare_ns").unwrap().count, 1);
+    assert_eq!(snap.histogram("txn.commit_ns").unwrap().count, 1);
+    assert_eq!(snap.histogram("txn.abort_ns").unwrap().count, 1);
+
+    // Naming and the message fabric.
+    assert!(snap.counter("naming.ops").unwrap() >= 4);
+    assert!(snap.counter("portals.messages").unwrap() > 0);
+    assert!(snap.counter("portals.gets").unwrap() > 0);
+
+    // The write path decomposed into stages.
+    for h in [
+        "storage.write.queue_wait_ns",
+        "storage.write.authorize_ns",
+        "storage.write.pull_ns",
+        "storage.write.store_write_ns",
+        "storage.write.reply_ns",
+        "storage.write.total_ns",
+    ] {
+        assert!(snap.histogram(h).unwrap().count > 0, "missing {h}");
+    }
+
+    // JSON export round-trips the same names.
+    let json = snap.to_json();
+    for key in ["storage.queue_depth", "authz.cache.hits", "txn.prepare_ns", "portals.messages"] {
+        assert!(json.contains(key), "JSON export missing {key}");
+    }
+}
+
+#[test]
+fn stage_latencies_sum_to_at_most_end_to_end() {
+    let snap = run_metrics_probe(None).unwrap();
+    assert!(!snap.spans.is_empty());
+
+    // Group the span log by traced request; compare the sum of its stage
+    // durations against the end-to-end `total` span.
+    let mut per_req: BTreeMap<(u64, &str), (u64, Option<u64>)> = BTreeMap::new();
+    for s in &snap.spans {
+        let e = per_req.entry((s.req_id, s.op)).or_default();
+        if s.stage == TOTAL_STAGE {
+            e.1 = Some(s.dur_ns);
+        } else {
+            e.0 += s.dur_ns;
+        }
+    }
+
+    let mut checked = 0usize;
+    let mut in_flight = 0usize;
+    for ((req_id, op), (stage_sum, total)) in per_req {
+        // A request whose reply the probe saw can still be closing its
+        // trace on the server thread; the probe's flush round bounds
+        // these to the final op per server.
+        let Some(total) = total else {
+            in_flight += 1;
+            continue;
+        };
+        assert!(
+            stage_sum <= total,
+            "trace {req_id:#x}/{op}: stage sum {stage_sum}ns exceeds end-to-end {total}ns"
+        );
+        checked += 1;
+    }
+    assert!(in_flight <= 2, "{in_flight} traces still open after the flush round");
+    // Storage ops on two servers, the txn coordinator, and naming all
+    // trace; expect a healthy number of decomposed requests.
+    assert!(checked >= 10, "only {checked} traced requests");
+}

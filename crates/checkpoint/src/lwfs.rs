@@ -66,8 +66,7 @@ impl<'a> LwfsCheckpointer<'a> {
 
         // 1: BEGINTXN — each rank's transaction covers its own tasks.
         let txn = self.client.txn_begin()?;
-        let mut participants: Vec<ProcessId> =
-            vec![self.client.addrs().storage[server]];
+        let mut participants: Vec<ProcessId> = vec![self.client.addrs().storage[server]];
 
         // 2: CREATEOBJ — independently, in parallel, at the rank's own
         // storage server. No central metadata service involved.
@@ -88,8 +87,7 @@ impl<'a> LwfsCheckpointer<'a> {
             obj,
             len: state.len() as u64,
         };
-        let gathered =
-            self.client.gather(&self.group, self.rank, 0, tag, entry.to_bytes())?;
+        let gathered = self.client.gather(&self.group, self.rank, 0, tag, entry.to_bytes())?;
 
         // 4–6, 8–10 (rank 0 only): metadata object + CREATENAME.
         if let Some(blobs) = gathered {
@@ -103,22 +101,10 @@ impl<'a> LwfsCheckpointer<'a> {
             }
             let md_server = self.server_for_rank(0);
             let mdobj = self.client.create_obj(md_server, &self.caps, Some(txn), None)?;
-            self.client.write(
-                md_server,
-                &self.caps,
-                Some(txn),
-                mdobj,
-                0,
-                &metadata.to_bytes(),
-            )?;
+            self.client.write(md_server, &self.caps, Some(txn), mdobj, 0, &metadata.to_bytes())?;
             self.client.sync(md_server, &self.caps, Some(mdobj))?;
             // 9: CREATENAME — bind the dataset name to the metadata object.
-            self.client.name_create(
-                Some(txn),
-                &self.path(epoch),
-                self.caps.container()?,
-                mdobj,
-            )?;
+            self.client.name_create(Some(txn), &self.path(epoch), self.caps.container()?, mdobj)?;
             if md_server != server {
                 participants.push(self.client.addrs().storage[md_server]);
             }
@@ -145,9 +131,7 @@ impl<'a> LwfsCheckpointer<'a> {
             let (_cid, mdobj) = self.client.name_lookup(&self.path(epoch))?;
             let md_server = self.server_for_rank(0);
             let attr = self.client.getattr(md_server, &self.caps, mdobj)?;
-            let raw = self
-                .client
-                .read(md_server, &self.caps, mdobj, 0, attr.size as usize)?;
+            let raw = self.client.read(md_server, &self.caps, mdobj, 0, attr.size as usize)?;
             let md = CkptMetadata::from_bytes(Bytes::from(raw))?;
             let wire = md.to_bytes();
             self.client.broadcast(&self.group, self.rank, 0, tag, Some(wire))?;
@@ -165,8 +149,7 @@ impl<'a> LwfsCheckpointer<'a> {
         let entry = metadata
             .entry(self.rank as u32)
             .ok_or_else(|| Error::Internal(format!("no entry for rank {}", self.rank)))?;
-        self.client
-            .read(entry.server as usize, &self.caps, entry.obj, 0, entry.len as usize)
+        self.client.read(entry.server as usize, &self.caps, entry.obj, 0, entry.len as usize)
     }
 
     /// List available checkpoints under the prefix.
@@ -185,10 +168,7 @@ impl<'a> LwfsCheckpointer<'a> {
     /// namespace, so lexicographic order is numeric order.
     pub fn latest_epoch(&self) -> Result<Option<u64>> {
         let names = self.list()?;
-        Ok(names
-            .iter()
-            .filter_map(|n| n.rsplit('/').next()?.parse::<u64>().ok())
-            .max())
+        Ok(names.iter().filter_map(|n| n.rsplit('/').next()?.parse::<u64>().ok()).max())
     }
 
     /// Delete every checkpoint except the newest `keep` — the retention
@@ -200,11 +180,8 @@ impl<'a> LwfsCheckpointer<'a> {
     /// never leaves a named-but-gutted checkpoint. Call from one rank only
     /// (rank 0, conventionally).
     pub fn retain_latest(&self, keep: usize) -> Result<Vec<u64>> {
-        let mut epochs: Vec<u64> = self
-            .list()?
-            .iter()
-            .filter_map(|n| n.rsplit('/').next()?.parse::<u64>().ok())
-            .collect();
+        let mut epochs: Vec<u64> =
+            self.list()?.iter().filter_map(|n| n.rsplit('/').next()?.parse::<u64>().ok()).collect();
         epochs.sort_unstable();
         let doomed: Vec<u64> =
             epochs.iter().copied().take(epochs.len().saturating_sub(keep)).collect();
@@ -213,8 +190,7 @@ impl<'a> LwfsCheckpointer<'a> {
             let (_cid, mdobj) = self.client.name_lookup(&path)?;
             let md_server = self.server_for_rank(0);
             let attr = self.client.getattr(md_server, &self.caps, mdobj)?;
-            let raw =
-                self.client.read(md_server, &self.caps, mdobj, 0, attr.size as usize)?;
+            let raw = self.client.read(md_server, &self.caps, mdobj, 0, attr.size as usize)?;
             let metadata = CkptMetadata::from_bytes(Bytes::from(raw))?;
 
             let txn = self.client.txn_begin()?;

@@ -120,8 +120,7 @@ impl<'a> PfsCheckpointer<'a> {
         // barrier, then opens.
         let t0 = Instant::now();
         if self.rank == 0 {
-            self.pfs
-                .create(&path, self.stripe_count, self.stripe_size, OpenMode::Shared)?;
+            self.pfs.create(&path, self.stripe_count, self.stripe_size, OpenMode::Shared)?;
         }
         self.lwfs().barrier(&self.group, self.rank, tag)?;
         let mut file = self.pfs.open(&path, OpenMode::Shared)?;

@@ -19,7 +19,11 @@ fn spmd_group(n: usize) -> Group {
 }
 
 /// Run the Figure 8 flow across `n` rank threads on a fresh LWFS cluster.
-fn run_lwfs_checkpoint(n: usize, servers: usize, state_len: usize) -> (Arc<LwfsCluster>, CkptReport) {
+fn run_lwfs_checkpoint(
+    n: usize,
+    servers: usize,
+    state_len: usize,
+) -> (Arc<LwfsCluster>, CkptReport) {
     let cluster = Arc::new(LwfsCluster::boot(ClusterConfig {
         storage_servers: servers,
         ..Default::default()
@@ -47,13 +51,9 @@ fn run_lwfs_checkpoint(n: usize, servers: usize, state_len: usize) -> (Arc<LwfsC
                 // broadcasts its credential so every rank can BEGINTXN.
                 use lwfs_proto::{Credential, Decode as _, Encode as _};
                 let caps = if rank == 0 {
-                    let caps = client
-                        .get_caps(cid, OpMask::CHECKPOINT | OpMask::READ)
-                        .unwrap();
+                    let caps = client.get_caps(cid, OpMask::CHECKPOINT | OpMask::READ).unwrap();
                     let cred = client.current_cred().unwrap();
-                    client
-                        .broadcast(&group, 0, 0, 2, Some(cred.to_bytes()))
-                        .unwrap();
+                    client.broadcast(&group, 0, 0, 2, Some(cred.to_bytes())).unwrap();
                     client.scatter_caps(&group, 0, 0, 1, Some(&caps)).unwrap()
                 } else {
                     let wire = client.broadcast(&group, rank, 0, 2, None).unwrap();
@@ -71,10 +71,8 @@ fn run_lwfs_checkpoint(n: usize, servers: usize, state_len: usize) -> (Arc<LwfsC
         })
         .collect();
 
-    let report = handles
-        .into_iter()
-        .map(|h| h.join().unwrap())
-        .fold(CkptReport::default(), CkptReport::max);
+    let report =
+        handles.into_iter().map(|h| h.join().unwrap()).fold(CkptReport::default(), CkptReport::max);
     (cluster, report)
 }
 
@@ -89,8 +87,7 @@ fn lwfs_checkpoint_and_restore_roundtrip() {
     // The dataset is registered in the naming service.
     assert_eq!(cluster.namespace().len(), 1);
     // n data objects + 1 metadata object across the servers.
-    let objects: usize =
-        (0..3).map(|i| cluster.storage_server(i).store().object_count()).sum();
+    let objects: usize = (0..3).map(|i| cluster.storage_server(i).store().object_count()).sum();
     assert_eq!(objects, n + 1);
 }
 
@@ -101,15 +98,9 @@ fn lwfs_checkpoint_creates_never_touch_a_central_metadata_server() {
     let n = 8;
     let (cluster, _) = run_lwfs_checkpoint(n, 4, 4096);
     for i in 0..4 {
-        let creates = cluster
-            .storage_server(i)
-            .stats()
-            .creates
-            .load(std::sync::atomic::Ordering::Relaxed);
-        assert!(
-            creates >= 2,
-            "server {i} created {creates} objects; creates must be distributed"
-        );
+        let creates =
+            cluster.storage_server(i).stats().creates.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(creates >= 2, "server {i} created {creates} objects; creates must be distributed");
     }
 }
 
@@ -179,10 +170,8 @@ fn run_pfs_checkpoint(
             })
         })
         .collect();
-    let report = handles
-        .into_iter()
-        .map(|h| h.join().unwrap())
-        .fold(CkptReport::default(), CkptReport::max);
+    let report =
+        handles.into_iter().map(|h| h.join().unwrap()).fold(CkptReport::default(), CkptReport::max);
     (cluster, report)
 }
 
@@ -192,10 +181,7 @@ fn pfs_file_per_process_roundtrip_and_mds_bottleneck() {
     let (cluster, report) = run_pfs_checkpoint(PfsStyle::FilePerProcess, n, 2, 32 * 1024);
     assert_eq!(report.bytes, (n * 32 * 1024) as u64);
     // Every create went through the MDS.
-    assert_eq!(
-        cluster.mds_stats().creates.load(std::sync::atomic::Ordering::Relaxed),
-        n as u64
-    );
+    assert_eq!(cluster.mds_stats().creates.load(std::sync::atomic::Ordering::Relaxed), n as u64);
 }
 
 #[test]
@@ -205,10 +191,7 @@ fn pfs_shared_file_roundtrip_and_lock_contention() {
     let (cluster, report) = run_pfs_checkpoint(PfsStyle::SharedFile, n, osts, 128 * 1024);
     assert_eq!(report.bytes, (n * 128 * 1024) as u64);
     // Exactly one file create despite n ranks.
-    assert_eq!(
-        cluster.mds_stats().creates.load(std::sync::atomic::Ordering::Relaxed),
-        1
-    );
+    assert_eq!(cluster.mds_stats().creates.load(std::sync::atomic::Ordering::Relaxed), 1);
     // The expanded extent locks were exercised.
     let total_granted: u64 = (0..osts).map(|i| cluster.dlm_table(i).contention().0).sum();
     assert!(total_granted >= n as u64, "locks granted: {total_granted}");
@@ -235,9 +218,7 @@ fn latest_epoch_and_retention_sweep() {
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     client.get_cred(ticket).unwrap();
     let cid = client.create_container().unwrap();
-    let caps = client
-        .get_caps(cid, OpMask::CHECKPOINT | OpMask::READ | OpMask::REMOVE)
-        .unwrap();
+    let caps = client.get_caps(cid, OpMask::CHECKPOINT | OpMask::READ | OpMask::REMOVE).unwrap();
 
     let ck = LwfsCheckpointer::new(&client, spmd_group(1), 0, caps, "/ckpt/gc");
     assert_eq!(ck.latest_epoch().unwrap(), None);

@@ -35,11 +35,7 @@ impl CapSet {
 
     /// The capability granting `op` (the first one claiming every bit).
     pub fn for_op(&self, op: OpMask) -> Result<Capability> {
-        self.caps
-            .iter()
-            .find(|c| c.grants(op))
-            .copied()
-            .ok_or(Error::AccessDenied)
+        self.caps.iter().find(|c| c.grants(op)).copied().ok_or(Error::AccessDenied)
     }
 
     /// The container these capabilities govern (errors on an empty or

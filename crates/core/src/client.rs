@@ -16,12 +16,10 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use lwfs_portals::{
-    collective, Endpoint, Group, MdOptions, MemDesc, RpcClient, BULK_SPACE,
-};
+use lwfs_portals::{collective, Endpoint, Group, MdOptions, MemDesc, RpcClient, BULK_SPACE};
 use lwfs_proto::{
-    ContainerId, Credential, Error, LockId, LockMode, LockResource, MdHandle, ObjAttr,
-    ObjId, OpMask, ProcessId, ReplyBody, RequestBody, Result, TxnId,
+    ContainerId, Credential, Error, LockId, LockMode, LockResource, MdHandle, ObjAttr, ObjId,
+    OpMask, ProcessId, ReplyBody, RequestBody, Result, TxnId,
 };
 use lwfs_txn::{Coordinator, TxnOutcome};
 
@@ -134,10 +132,7 @@ impl LwfsClient {
 
     pub fn get_caps(&self, container: ContainerId, ops: OpMask) -> Result<CapSet> {
         let cred = self.cred()?;
-        match self
-            .rpc()
-            .call(self.addrs.authz, RequestBody::GetCaps { cred, container, ops })?
-        {
+        match self.rpc().call(self.addrs.authz, RequestBody::GetCaps { cred, container, ops })? {
             ReplyBody::Caps(caps) => Ok(CapSet::new(caps)),
             other => Err(unexpected(other)),
         }
@@ -155,13 +150,7 @@ impl LwfsClient {
         let cap = caps.for_op(OpMask::ADMIN)?;
         match self.rpc().call(
             self.addrs.authz,
-            RequestBody::ModPolicy {
-                cap,
-                container: cap.container(),
-                principal,
-                grant,
-                revoke,
-            },
+            RequestBody::ModPolicy { cap, container: cap.container(), principal, grant, revoke },
         )? {
             ReplyBody::PolicyChanged { .. } => Ok(()),
             other => Err(unexpected(other)),
@@ -320,8 +309,7 @@ impl LwfsClient {
     ) -> Result<u64> {
         let cap = caps.for_op(OpMask::WRITE)?;
         let mb = self.ep.match_bits().alloc(BULK_SPACE);
-        self.ep
-            .post_md(mb, MemDesc::from_vec(data.to_vec(), MdOptions::for_remote_get()))?;
+        self.ep.post_md(mb, MemDesc::from_vec(data.to_vec(), MdOptions::for_remote_get()))?;
         let result = self.rpc().call_retrying(
             self.storage_addr(server)?,
             RequestBody::Write {
@@ -363,9 +351,10 @@ impl LwfsClient {
                 md: MdHandle { match_bits: mb },
             },
         );
-        let md = self.ep.unlink_md(mb).ok_or_else(|| {
-            Error::Internal("read descriptor vanished during transfer".into())
-        })?;
+        let md = self
+            .ep
+            .unlink_md(mb)
+            .ok_or_else(|| Error::Internal("read descriptor vanished during transfer".into()))?;
         match result? {
             ReplyBody::ReadDone { len } => {
                 let mut data = md.snapshot();
@@ -442,10 +431,7 @@ impl LwfsClient {
 
     pub fn list_objs(&self, server: usize, caps: &CapSet) -> Result<Vec<ObjId>> {
         let cap = caps.for_op(OpMask::GETATTR)?;
-        match self
-            .rpc()
-            .call_retrying(self.storage_addr(server)?, RequestBody::ListObjs { cap })?
-        {
+        match self.rpc().call_retrying(self.storage_addr(server)?, RequestBody::ListObjs { cap })? {
             ReplyBody::Objs(objs) => Ok(objs),
             other => Err(unexpected(other)),
         }
@@ -558,10 +544,7 @@ impl LwfsClient {
 
     pub fn lock_release(&self, caps: &CapSet, lock: LockId) -> Result<()> {
         let cap = caps.for_op(OpMask::LOCK)?;
-        match self
-            .rpc()
-            .call(self.addrs.txnlock, RequestBody::LockRelease { cap, lock })?
-        {
+        match self.rpc().call(self.addrs.txnlock, RequestBody::LockRelease { cap, lock })? {
             ReplyBody::LockReleased => Ok(()),
             other => Err(unexpected(other)),
         }

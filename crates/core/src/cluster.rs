@@ -13,9 +13,7 @@
 
 use std::sync::Arc;
 
-use lwfs_auth::{
-    AuthConfig, AuthServer, AuthService, Clock, ManualClock, MockKerberos, WallClock,
-};
+use lwfs_auth::{AuthConfig, AuthServer, AuthService, Clock, ManualClock, MockKerberos, WallClock};
 use lwfs_authz::{AuthzConfig, AuthzServer, AuthzService, CachedCapVerifier, CredVerifier};
 use lwfs_naming::{Namespace, NamingServer};
 use lwfs_portals::{Network, NetworkConfig, ServiceHandle};
@@ -144,7 +142,7 @@ impl LwfsCluster {
         let mut storage_addrs = Vec::with_capacity(config.storage_servers);
         for i in 0..config.storage_servers {
             let sid = ProcessId::new(1100 + i as u32, 0);
-            let verifier = CachedCapVerifier::new(sid, authz_id);
+            let verifier = CachedCapVerifier::with_registry(sid, authz_id, net.obs());
             let (h, s) = StorageServer::spawn(
                 &net,
                 sid,
@@ -245,10 +243,7 @@ mod tests {
 
     #[test]
     fn cluster_boots_all_services() {
-        let cluster = LwfsCluster::boot(ClusterConfig {
-            storage_servers: 3,
-            ..Default::default()
-        });
+        let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: 3, ..Default::default() });
         // auth + authz + naming + txnlock + 3 storage endpoints.
         assert_eq!(cluster.network().endpoint_count(), 7);
         assert_eq!(cluster.addrs().storage.len(), 3);
@@ -264,10 +259,7 @@ mod tests {
 
     #[test]
     fn manual_clock_is_exposed() {
-        let cluster = LwfsCluster::boot(ClusterConfig {
-            manual_clock: true,
-            ..Default::default()
-        });
+        let cluster = LwfsCluster::boot(ClusterConfig { manual_clock: true, ..Default::default() });
         let mc = cluster.manual_clock().unwrap();
         mc.advance(100);
         assert_eq!(cluster.clock().now(), 100);

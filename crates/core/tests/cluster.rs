@@ -149,11 +149,8 @@ fn distributed_txn_commits_across_storage_and_naming() {
     client.write(1, &caps, Some(txn), o1, 0, b"half b").unwrap();
     client.name_create(Some(txn), "/txn/commit", cid, o0).unwrap();
 
-    let participants = vec![
-        cluster.addrs().storage[0],
-        cluster.addrs().storage[1],
-        cluster.addrs().naming,
-    ];
+    let participants =
+        vec![cluster.addrs().storage[0], cluster.addrs().storage[1], cluster.addrs().naming];
     let outcome = client.txn_commit(txn, participants).unwrap();
     assert!(outcome.is_committed());
 
@@ -218,7 +215,12 @@ fn chmod_scenario_end_to_end() {
     login(&cluster, &mut client);
 
     let cid = client.create_container().unwrap();
-    let caps = client.get_caps(cid, OpMask::READ | OpMask::WRITE | OpMask::CREATE | OpMask::ADMIN | OpMask::GETATTR).unwrap();
+    let caps = client
+        .get_caps(
+            cid,
+            OpMask::READ | OpMask::WRITE | OpMask::CREATE | OpMask::ADMIN | OpMask::GETATTR,
+        )
+        .unwrap();
     let obj = client.create_obj(0, &caps, None, None).unwrap();
     client.write(0, &caps, None, obj, 0, b"before chmod").unwrap();
     // Warm the read capability's cache entry.
@@ -308,9 +310,7 @@ fn expired_capabilities_refresh_without_reauthentication() {
     // Refresh-and-retry succeeds without re-authenticating.
     let auth_issued_before = cluster.auth_service().stats().issued;
     client
-        .with_fresh_caps(&mut caps, |caps| {
-            client.write(0, caps, None, obj, 0, b"fresh again!")
-        })
+        .with_fresh_caps(&mut caps, |caps| client.write(0, caps, None, obj, 0, b"fresh again!"))
         .unwrap();
     assert_eq!(
         cluster.auth_service().stats().issued,

@@ -106,9 +106,13 @@ impl<'a> CachedObject<'a> {
         if self.blocks.contains_key(&blk) {
             return Ok(());
         }
-        let mut data =
-            self.client
-                .read(self.server, &self.caps, self.obj, blk * self.bs(), self.config.block_size)?;
+        let mut data = self.client.read(
+            self.server,
+            &self.caps,
+            self.obj,
+            blk * self.bs(),
+            self.config.block_size,
+        )?;
         data.resize(self.config.block_size, 0);
         if prefetched {
             self.stats.prefetches += 1;
@@ -132,8 +136,7 @@ impl<'a> CachedObject<'a> {
     }
 
     fn writeback(&mut self, blk: u64, data: &[u8]) -> Result<()> {
-        self.client
-            .write(self.server, &self.caps, None, self.obj, blk * self.bs(), data)?;
+        self.client.write(self.server, &self.caps, None, self.obj, blk * self.bs(), data)?;
         self.stats.writebacks += 1;
         Ok(())
     }
@@ -226,12 +229,8 @@ impl<'a> CachedObject<'a> {
     /// Write every dirty block back and sync the object — the
     /// application's consistency point.
     pub fn flush(&mut self) -> Result<()> {
-        let mut dirty: Vec<u64> = self
-            .blocks
-            .iter()
-            .filter(|(_, b)| b.dirty)
-            .map(|(k, _)| *k)
-            .collect();
+        let mut dirty: Vec<u64> =
+            self.blocks.iter().filter(|(_, b)| b.dirty).map(|(k, _)| *k).collect();
         dirty.sort_unstable();
         for blk in dirty {
             let data = {
@@ -248,12 +247,8 @@ impl<'a> CachedObject<'a> {
     /// known to have changed the object). Dirty blocks are retained —
     /// discarding unflushed writes needs an explicit decision.
     pub fn invalidate_clean(&mut self) {
-        let clean: Vec<u64> = self
-            .blocks
-            .iter()
-            .filter(|(_, b)| !b.dirty)
-            .map(|(k, _)| *k)
-            .collect();
+        let clean: Vec<u64> =
+            self.blocks.iter().filter(|(_, b)| !b.dirty).map(|(k, _)| *k).collect();
         for blk in clean {
             self.blocks.remove(&blk);
             self.lru.remove(blk);

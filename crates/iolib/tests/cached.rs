@@ -36,8 +36,7 @@ fn cached_reads_match_direct_reads() {
     let direct = cluster.client(1, 0);
 
     let mut cache = CachedObject::new(&client, caps.clone(), 0, obj, small_cache());
-    for (offset, len) in [(0u64, 10usize), (1000, 2048), (63 * 1024, 1024), (5, 1), (4096, 4096)]
-    {
+    for (offset, len) in [(0u64, 10usize), (1000, 2048), (63 * 1024, 1024), (5, 1), (4096, 4096)] {
         let want = direct.read(0, &caps, obj, offset, len).unwrap();
         let mut got = cache.read(offset, len).unwrap();
         got.truncate(want.len());
@@ -76,10 +75,7 @@ fn sequential_scan_triggers_readahead() {
     }
     let s = cache.stats();
     assert!(s.prefetches > 0, "readahead must fire on a sequential scan");
-    assert!(
-        s.prefetch_hits >= s.prefetches / 2,
-        "most prefetched blocks get used: {s:?}"
-    );
+    assert!(s.prefetch_hits >= s.prefetches / 2, "most prefetched blocks get used: {s:?}");
     // Demand fetches ≪ blocks read: the prefetcher did the hauling.
     assert!(s.demand_fetches < 16, "demand fetches: {}", s.demand_fetches);
 }

@@ -62,9 +62,8 @@ fn issue_create(sim: &mut Sim<World>, w: &mut World, client: usize) {
             // Shared-file checkpointing only creates once, so the create
             // *storm* the figure measures is the file-per-process pattern;
             // we accept both kinds and model the same MDS path.
-            let svc = SimDuration::from_nanos(
-                w.cfg.calib.mds_create_ns + w.cfg.calib.mds_per_stripe_ns,
-            );
+            let svc =
+                SimDuration::from_nanos(w.cfg.calib.mds_create_ns + w.cfg.calib.mds_per_stripe_ns);
             let (_, f) = w.mds.reserve_time(now + lat, svc);
             f + lat
         }
@@ -103,13 +102,7 @@ impl CreateSim {
         }
         sim.run(&mut world);
         assert_eq!(world.done, self.clients);
-        let makespan = world
-            .finish
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimTime::ZERO)
-            .as_secs_f64();
+        let makespan = world.finish.iter().copied().max().unwrap_or(SimTime::ZERO).as_secs_f64();
         let total_ops = self.clients as u64 * self.creates_per_client;
         CreateResult { ops_per_sec: total_ops as f64 / makespan, makespan_secs: makespan }
     }

@@ -205,9 +205,7 @@ impl World {
         let rate = m.client_nic_mbps.min(m.server_nic_mbps);
         let dur = SimDuration::for_transfer(self.cfg.calib.chunk_bytes, rate);
         let node = self.node_of(client);
-        let start = now
-            .max(self.node_nic[node].free_at())
-            .max(self.srv_nic[server].free_at());
+        let start = now.max(self.node_nic[node].free_at()).max(self.srv_nic[server].free_at());
         let (_, f1) = self.node_nic[node].reserve_time(start, dur);
         let (_, f2) = self.srv_nic[server].reserve_time(start, dur);
         debug_assert_eq!(f1, f2);
@@ -290,9 +288,7 @@ fn complete_client(sim: &mut Sim<World>, w: &mut World, client: usize) {
     let m_latency = SimDuration::from_nanos(w.cfg.machine.latency_ns);
     let mut finish = w.clients[client].last_disk_finish + m_latency;
     if matches!(w.cfg.impl_kind, CkptImpl::LustreFilePerProc | CkptImpl::LustreShared) {
-        let (_, f) = w
-            .mds
-            .reserve_time(finish, SimDuration::from_nanos(w.cfg.calib.mds_open_ns));
+        let (_, f) = w.mds.reserve_time(finish, SimDuration::from_nanos(w.cfg.calib.mds_open_ns));
         finish = f + m_latency;
     }
     let st = &mut w.clients[client];
@@ -339,9 +335,8 @@ fn do_create(sim: &mut Sim<World>, w: &mut World, client: usize) {
         }
         CkptImpl::LustreFilePerProc => {
             // Centralized create: MDS transaction + 1 stripe allocation.
-            let svc = SimDuration::from_nanos(
-                w.cfg.calib.mds_create_ns + w.cfg.calib.mds_per_stripe_ns,
-            );
+            let svc =
+                SimDuration::from_nanos(w.cfg.calib.mds_create_ns + w.cfg.calib.mds_per_stripe_ns);
             let (_, f) = w.mds.reserve_time(now + lat, svc);
             begin_write_phase(sim, w, client, f + lat + client_sw);
         }
@@ -510,10 +505,7 @@ mod tests {
             let fpp = sim(CkptImpl::LustreFilePerProc, 64, servers).run(1);
             let shared = sim(CkptImpl::LustreShared, 64, servers).run(1);
             let ratio = shared.throughput_mbps / fpp.throughput_mbps;
-            assert!(
-                (0.35..=0.65).contains(&ratio),
-                "{servers} servers: shared/fpp = {ratio:.2}"
-            );
+            assert!((0.35..=0.65).contains(&ratio), "{servers} servers: shared/fpp = {ratio:.2}");
         }
     }
 
@@ -522,11 +514,7 @@ mod tests {
         for kind in CkptImpl::all() {
             let t2 = sim(kind, 64, 2).run(1).throughput_mbps;
             let t16 = sim(kind, 64, 16).run(1).throughput_mbps;
-            assert!(
-                t16 > 3.0 * t2,
-                "{}: 16 servers {t16:.0} vs 2 servers {t2:.0}",
-                kind.label()
-            );
+            assert!(t16 > 3.0 * t2, "{}: 16 servers {t16:.0} vs 2 servers {t2:.0}", kind.label());
         }
     }
 

@@ -123,12 +123,7 @@ impl Machine {
 
     /// The Table 1 rows, in paper order.
     pub fn table1() -> Vec<Machine> {
-        vec![
-            Machine::paragon(),
-            Machine::asci_red(),
-            Machine::red_storm(),
-            Machine::bluegene_l(),
-        ]
+        vec![Machine::paragon(), Machine::asci_red(), Machine::red_storm(), Machine::bluegene_l()]
     }
 }
 

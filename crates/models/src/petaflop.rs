@@ -44,8 +44,7 @@ pub fn petaflop_report(impl_kind: CkptImpl, bytes_per_node: u64) -> PetaflopRepo
     // (plus opens, which the MDS absorbs at its open rate); the other two
     // create once per compute node.
     let create_makespan_secs = if matches!(impl_kind, CkptImpl::LustreShared) {
-        let create_ns =
-            calib.mds_create_ns + machine.io_nodes as u64 * calib.mds_per_stripe_ns;
+        let create_ns = calib.mds_create_ns + machine.io_nodes as u64 * calib.mds_per_stripe_ns;
         let opens_ns = machine.compute_nodes as u64 * calib.mds_open_ns;
         (create_ns + opens_ns) as f64 / 1e9
     } else {
@@ -91,17 +90,9 @@ mod tests {
     fn lustre_creates_take_multiple_minutes() {
         let r = petaflop_report(CkptImpl::LustreFilePerProc, DEFAULT_BYTES_PER_NODE);
         // 100k serialized ~1.5 ms transactions ⇒ ~150 s.
-        assert!(
-            r.create_secs > 120.0 && r.create_secs < 300.0,
-            "create {:.0}s",
-            r.create_secs
-        );
+        assert!(r.create_secs > 120.0 && r.create_secs < 300.0, "create {:.0}s", r.create_secs);
         // "roughly 10% of the total time for the checkpoint operation".
-        assert!(
-            (0.05..=0.25).contains(&r.create_fraction),
-            "fraction {:.3}",
-            r.create_fraction
-        );
+        assert!((0.05..=0.25).contains(&r.create_fraction), "fraction {:.3}", r.create_fraction);
     }
 
     #[test]

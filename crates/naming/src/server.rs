@@ -35,15 +35,39 @@ impl NamingServer {
     }
 }
 
+/// The `component.op` label a naming request is traced under.
+fn op_label(body: &RequestBody) -> &'static str {
+    match body {
+        RequestBody::NameCreate { .. } => "naming.create",
+        RequestBody::NameLookup { .. } => "naming.lookup",
+        RequestBody::NameRemove { .. } => "naming.remove",
+        RequestBody::NameList { .. } => "naming.list",
+        RequestBody::TxnPrepare { .. }
+        | RequestBody::TxnCommit { .. }
+        | RequestBody::TxnAbort { .. } => "naming.txn",
+        _ => "naming.other",
+    }
+}
+
 impl Service for NamingServer {
-    fn handle(&mut self, _ep: &Endpoint, req: &Request) -> ReplyBody {
+    fn handle(&mut self, ep: &Endpoint, req: &Request) -> ReplyBody {
+        let obs = ep.obs();
+        obs.counter("naming.ops").inc();
+        // The trace records a span + `naming.<op>.total_ns` latency sample
+        // on drop, keyed by the request id threaded through the wire.
+        let _trace = obs.trace(req.req_id, op_label(&req.body));
+        self.dispatch(req)
+    }
+}
+
+impl NamingServer {
+    fn dispatch(&mut self, req: &Request) -> ReplyBody {
         match &req.body {
             RequestBody::NameCreate { txn, path, container, obj } => {
                 match self.namespace.create(path, *container, *obj) {
                     Ok(()) => {
                         if let Some(txn) = txn {
-                            if let Err(e) =
-                                self.journal.stage(*txn, NameUndo::Unbind(path.clone()))
+                            if let Err(e) = self.journal.stage(*txn, NameUndo::Unbind(path.clone()))
                             {
                                 // Could not journal: undo the visible effect
                                 // so the failure is atomic.
@@ -63,9 +87,8 @@ impl Service for NamingServer {
             RequestBody::NameRemove { txn, path } => match self.namespace.remove(path) {
                 Ok((container, obj)) => {
                     if let Some(txn) = txn {
-                        if let Err(e) = self
-                            .journal
-                            .stage(*txn, NameUndo::Rebind(path.clone(), container, obj))
+                        if let Err(e) =
+                            self.journal.stage(*txn, NameUndo::Rebind(path.clone(), container, obj))
                         {
                             let _ = self.namespace.create(path, container, obj);
                             return ReplyBody::Err(e);
@@ -98,10 +121,41 @@ impl Service for NamingServer {
                 ReplyBody::TxnAborted
             }
             RequestBody::Ping => ReplyBody::Pong,
-            other => ReplyBody::Err(Error::Malformed(format!(
-                "naming service cannot handle {other:?}"
-            ))),
+            other => {
+                ReplyBody::Err(Error::Malformed(format!("naming service cannot handle {other:?}")))
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use lwfs_portals::RpcClient;
+
+    #[test]
+    fn naming_ops_feed_fabric_registry() {
+        let net = Network::default();
+        let (handle, _ns) = NamingServer::spawn(&net, ProcessId::new(102, 0));
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        client
+            .call(
+                handle.id(),
+                RequestBody::NameCreate {
+                    txn: None,
+                    path: "/obs/a".into(),
+                    container: ContainerId(1),
+                    obj: ObjId(1),
+                },
+            )
+            .unwrap();
+        client.call(handle.id(), RequestBody::NameLookup { path: "/obs/a".into() }).unwrap();
+        handle.shutdown();
+        let snap = net.obs().snapshot();
+        assert_eq!(snap.counter("naming.ops"), Some(2));
+        assert_eq!(snap.histogram("naming.create.total_ns").map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("naming.lookup.total_ns").map(|h| h.count), Some(1));
     }
 }
 
@@ -153,9 +207,7 @@ mod tests {
             ReplyBody::NameRemoved
         );
         assert_eq!(
-            client
-                .call(srv, RequestBody::NameLookup { path: "/ckpt/1".into() })
-                .unwrap_err(),
+            client.call(srv, RequestBody::NameLookup { path: "/ckpt/1".into() }).unwrap_err(),
             Error::NoSuchName
         );
         handle.shutdown();
@@ -195,9 +247,7 @@ mod tests {
         let txn = TxnId(2);
 
         ns.create("/keep", ContainerId(5), ObjId(6)).unwrap();
-        client
-            .call(srv, RequestBody::NameRemove { txn: Some(txn), path: "/keep".into() })
-            .unwrap();
+        client.call(srv, RequestBody::NameRemove { txn: Some(txn), path: "/keep".into() }).unwrap();
         assert!(ns.lookup("/keep").is_err());
         client.call(srv, RequestBody::TxnAbort { txn }).unwrap();
         assert_eq!(ns.lookup("/keep").unwrap(), (ContainerId(5), ObjId(6)));

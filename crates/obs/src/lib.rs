@@ -1,0 +1,27 @@
+//! Unified observability for the LWFS services.
+//!
+//! `lwfs-obs` is a dependency-free metrics and tracing layer shared by
+//! every service in the workspace:
+//!
+//! - [`Counter`], [`Gauge`], and log-linear [`Histogram`] (p50/p95/p99/
+//!   max with ≤ 12.5% relative bucket error), all lock-free;
+//! - a [`Registry`] of named metrics following the `component.op.stat`
+//!   convention;
+//! - span-style op tracing ([`SpanLog`], [`OpTrace`]) keyed by the
+//!   request id threaded through `lwfs_proto::Request`, decomposing an
+//!   operation into its stages (queue-wait → authorize → pull →
+//!   store-write → reply);
+//! - [`Snapshot`] export as a fixed-width text table or JSON, written
+//!   next to the bench `results/` output via `--metrics-out`.
+//!
+//! Histograms observe dimensionless `u64`s, so they work equally over
+//! wall-clock nanoseconds (`record_duration`) and simulated-time
+//! nanoseconds (`record` with a `SimDuration`'s nanosecond count).
+
+mod metrics;
+mod registry;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{OpTrace, Registry, Snapshot};
+pub use span::{SpanLog, SpanRecord, TOTAL_STAGE};

@@ -1,0 +1,407 @@
+//! The metric registry: named counters, gauges, and histograms plus the
+//! span log, with point-in-time snapshots exportable as a text table or
+//! JSON.
+//!
+//! Names follow the `component.op.stat` convention (`portals.messages`,
+//! `storage.write.pull_ns`, `txn.prepare.latency_ns`); snapshots sort
+//! lexicographically, so related metrics group together in exports.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::span::{SpanLog, SpanRecord, TOTAL_STAGE};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+type Table<T> = Mutex<BTreeMap<String, Arc<T>>>;
+
+fn get_or_insert<T: Default>(table: &Table<T>, name: &str) -> Arc<T> {
+    let mut map = table.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(existing) = map.get(name) {
+        return Arc::clone(existing);
+    }
+    let fresh = Arc::new(T::default());
+    map.insert(name.to_string(), Arc::clone(&fresh));
+    fresh
+}
+
+/// Process-wide (or per-`Network`) metric registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Table<Counter>,
+    gauges: Table<Gauge>,
+    histograms: Table<Histogram>,
+    spans: SpanLog,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter registered under `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Get or create the gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Get or create the histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// The span log shared by every service on this registry.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Start tracing one operation; see [`OpTrace`].
+    pub fn trace(&self, req_id: u64, op: &'static str) -> OpTrace<'_> {
+        OpTrace {
+            registry: self,
+            req_id,
+            op,
+            origin: Instant::now(),
+            origin_ns: self.spans.now_ns(),
+            last_ns: 0,
+            finished: false,
+        }
+    }
+
+    /// Reset every counter, gauge, and histogram and clear the span log.
+    /// Registered names survive so exports stay stable across resets.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap_or_else(|p| p.into_inner()).values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().unwrap_or_else(|p| p.into_inner()).values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().unwrap_or_else(|p| p.into_inner()).values() {
+            h.reset();
+        }
+        self.spans.clear();
+    }
+
+    /// Point-in-time copy of every registered metric plus retained spans.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot { counters, gauges, histograms, spans: self.spans.recent(usize::MAX) }
+    }
+}
+
+/// In-flight trace of one operation.
+///
+/// Each [`OpTrace::stage`] call closes the stage that just ran: it
+/// records a span for the elapsed time since the previous checkpoint
+/// and feeds the same duration into the `{op}.{stage}_ns` histogram.
+/// Dropping the trace (or calling [`OpTrace::finish`]) records the
+/// end-to-end `{op}.total_ns` span covering the whole operation.
+pub struct OpTrace<'a> {
+    registry: &'a Registry,
+    req_id: u64,
+    op: &'static str,
+    origin: Instant,
+    origin_ns: u64,
+    last_ns: u64,
+    finished: bool,
+}
+
+impl OpTrace<'_> {
+    fn elapsed_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Close the stage that ran since the last checkpoint; returns the
+    /// stage duration in nanoseconds (so callers can feed aggregate
+    /// histograms without re-measuring).
+    pub fn stage(&mut self, stage: &'static str) -> u64 {
+        let now = self.elapsed_ns();
+        let dur = now - self.last_ns;
+        self.record(stage, self.last_ns, dur);
+        self.last_ns = now;
+        dur
+    }
+
+    /// Close a stage whose duration was measured externally (e.g. the
+    /// queue wait computed from the request's arrival timestamp). Does
+    /// not move the running checkpoint.
+    pub fn stage_with_duration(&mut self, stage: &'static str, dur_ns: u64) {
+        self.record(stage, self.last_ns, dur_ns);
+    }
+
+    fn record(&self, stage: &'static str, start_off_ns: u64, dur_ns: u64) {
+        self.registry.spans.record(SpanRecord {
+            req_id: self.req_id,
+            op: self.op,
+            stage,
+            start_ns: self.origin_ns + start_off_ns,
+            dur_ns,
+        });
+        self.registry.histogram(&format!("{}.{}_ns", self.op, stage)).record(dur_ns);
+    }
+
+    /// Record the end-to-end span. Also invoked on drop.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.record(TOTAL_STAGE, 0, self.elapsed_ns());
+    }
+}
+
+impl Drop for OpTrace<'_> {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// Point-in-time export of a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Retained spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Human-readable fixed-width table.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>16}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<44} {v:>16}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>16}", "gauge", "value");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<44} {v:>16}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "p50", "p95", "p99", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    name, h.count, h.p50, h.p95, h.p99, h.max
+                );
+            }
+        }
+        let _ = writeln!(out, "spans retained: {}", self.spans.len());
+        out
+    }
+
+    /// JSON export (hand-rolled: the workspace has no JSON dependency).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {v}", json_str(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {v}", json_str(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                json_str(name),
+                h.count,
+                h.sum,
+                h.mean,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            );
+        }
+        out.push_str("\n  },\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"req_id\": {}, \"op\": {}, \"stage\": {}, \
+                 \"start_ns\": {}, \"dur_ns\": {}}}",
+                s.req_id,
+                json_str(s.op),
+                json_str(s.stage),
+                s.start_ns,
+                s.dur_ns
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON export to `path`, creating parent directories.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instance() {
+        let r = Registry::new();
+        let a = r.counter("portals.messages");
+        let b = r.counter("portals.messages");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn trace_records_stages_and_total() {
+        let r = Registry::new();
+        {
+            let mut t = r.trace(7, "storage.write");
+            t.stage("authorize");
+            t.stage("pull");
+            t.finish();
+        }
+        let spans = r.spans().for_req(7);
+        assert_eq!(spans.len(), 3);
+        let total = spans.iter().find(|s| s.stage == TOTAL_STAGE).unwrap();
+        let stage_sum: u64 =
+            spans.iter().filter(|s| s.stage != TOTAL_STAGE).map(|s| s.dur_ns).sum();
+        assert!(stage_sum <= total.dur_ns, "{stage_sum} > {}", total.dur_ns);
+        assert_eq!(r.histogram("storage.write.total_ns").count(), 1);
+        assert_eq!(r.histogram("storage.write.authorize_ns").count(), 1);
+    }
+
+    #[test]
+    fn drop_finishes_trace_once() {
+        let r = Registry::new();
+        {
+            let mut t = r.trace(9, "txn.commit");
+            t.stage("prepare");
+        } // drop records total
+        assert_eq!(r.spans().completed_reqs(), vec![9]);
+        assert_eq!(r.histogram("txn.commit.total_ns").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_exports() {
+        let r = Registry::new();
+        r.counter("authz.cache.hits").add(5);
+        r.gauge("storage.queue.depth").set(3);
+        r.histogram("txn.prepare.latency_ns").record(1500);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("authz.cache.hits"), Some(5));
+        assert_eq!(snap.gauge("storage.queue.depth"), Some(3));
+        assert_eq!(snap.histogram("txn.prepare.latency_ns").unwrap().count, 1);
+
+        let text = snap.to_text();
+        assert!(text.contains("authz.cache.hits"));
+        let json = snap.to_json();
+        assert!(json.contains("\"authz.cache.hits\": 5"));
+        assert!(json.contains("\"storage.queue.depth\": 3"));
+        assert!(json.contains("\"txn.prepare.latency_ns\""));
+        // Shape: balanced braces/brackets, key sections present.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let r = Registry::new();
+        r.counter("portals.puts").add(2);
+        r.histogram("naming.lookup.latency_ns").record(10);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("portals.puts"), Some(0));
+        assert_eq!(snap.histogram("naming.lookup.latency_ns").unwrap().count, 0);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

@@ -1,0 +1,141 @@
+//! Span-style op tracing keyed by request id.
+//!
+//! Services decompose an operation into named stages (a storage write
+//! becomes queue-wait → authorize → pull → store-write → reply) and
+//! record one [`SpanRecord`] per stage plus a closing `total` span, all
+//! sharing the `req_id` threaded through `lwfs_proto::Request`. The log
+//! is a bounded ring so tracing can stay on permanently.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Stage name used for the end-to-end span of an operation.
+pub const TOTAL_STAGE: &str = "total";
+
+/// One traced stage of one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Request id from the proto envelope; groups the stages of one op.
+    pub req_id: u64,
+    /// Operation name, e.g. `storage.write`.
+    pub op: &'static str,
+    /// Stage within the operation, e.g. `authorize`; [`TOTAL_STAGE`]
+    /// covers the whole op.
+    pub stage: &'static str,
+    /// Offset of the stage start from the span log's epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Bounded ring of recent [`SpanRecord`]s.
+pub struct SpanLog {
+    epoch: Instant,
+    inner: Mutex<VecDeque<SpanRecord>>,
+    capacity: usize,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl SpanLog {
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Nanoseconds since this log was created; span start timestamps use
+    /// this scale so they are comparable within one process.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    pub fn record(&self, record: SpanRecord) {
+        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if q.len() == self.capacity {
+            q.pop_front();
+        }
+        q.push_back(record);
+    }
+
+    /// All retained spans for one request, in recording order.
+    pub fn for_req(&self, req_id: u64) -> Vec<SpanRecord> {
+        let q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        q.iter().filter(|s| s.req_id == req_id).cloned().collect()
+    }
+
+    /// The most recent `limit` spans, oldest first.
+    pub fn recent(&self, limit: usize) -> Vec<SpanRecord> {
+        let q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let skip = q.len().saturating_sub(limit);
+        q.iter().skip(skip).cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+
+    /// Request ids that have a [`TOTAL_STAGE`] span retained, in
+    /// recording order.
+    pub fn completed_reqs(&self) -> Vec<u64> {
+        let q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        q.iter().filter(|s| s.stage == TOTAL_STAGE).map(|s| s.req_id).collect()
+    }
+}
+
+impl std::fmt::Debug for SpanLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanLog").field("len", &self.len()).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(req_id: u64, stage: &'static str, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord { req_id, op: "storage.write", stage, start_ns, dur_ns }
+    }
+
+    #[test]
+    fn records_group_by_req_id() {
+        let log = SpanLog::default();
+        log.record(rec(1, "authorize", 0, 10));
+        log.record(rec(2, "authorize", 5, 10));
+        log.record(rec(1, "pull", 10, 30));
+        log.record(rec(1, TOTAL_STAGE, 0, 45));
+        let one = log.for_req(1);
+        assert_eq!(one.len(), 3);
+        assert!(one.iter().all(|s| s.req_id == 1));
+        assert_eq!(log.completed_reqs(), vec![1]);
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let log = SpanLog::with_capacity(4);
+        for i in 0..10 {
+            log.record(rec(i, "s", i, 1));
+        }
+        assert_eq!(log.len(), 4);
+        let recent = log.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[1].req_id, 9);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

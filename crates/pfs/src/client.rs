@@ -133,8 +133,7 @@ impl PfsClient {
         for slice in slices {
             let (ost_idx, obj) = file.layout.objects[slice.stripe_index];
             let ost = ost_idx as usize;
-            let buf =
-                &data[slice.buf_offset as usize..(slice.buf_offset + slice.len) as usize];
+            let buf = &data[slice.buf_offset as usize..(slice.buf_offset + slice.len) as usize];
             match file.mode {
                 OpenMode::Private | OpenMode::SharedRelaxed => {
                     // No locks: either a single writer owns the file, or
@@ -175,8 +174,13 @@ impl PfsClient {
         let mut actual = 0usize;
         for slice in slices {
             let (ost_idx, obj) = file.layout.objects[slice.stripe_index];
-            let data =
-                self.lwfs.read(ost_idx as usize, &file.caps, obj, slice.obj_offset, slice.len as usize)?;
+            let data = self.lwfs.read(
+                ost_idx as usize,
+                &file.caps,
+                obj,
+                slice.obj_offset,
+                slice.len as usize,
+            )?;
             let start = slice.buf_offset as usize;
             out[start..start + data.len()].copy_from_slice(&data);
             actual = actual.max(start + data.len());
@@ -240,10 +244,9 @@ impl PfsClient {
 
     /// Close: report the size to the MDS (Lustre-style size-on-close).
     pub fn close(&self, file: PfsFile) -> Result<()> {
-        match self.mds_call(RequestBody::PfsSetSize {
-            path: file.path.clone(),
-            size: file.size(),
-        })? {
+        match self
+            .mds_call(RequestBody::PfsSetSize { path: file.path.clone(), size: file.size() })?
+        {
             ReplyBody::PfsOk => Ok(()),
             other => Err(Error::Internal(format!("bad MDS reply {other:?}"))),
         }

@@ -48,10 +48,7 @@ impl PfsCluster {
     /// Boot the LWFS substrate, then layer the PFS services on top.
     pub fn boot(mut config: PfsConfig) -> Self {
         // The MDS authenticates as its own principal.
-        config
-            .lwfs
-            .users
-            .push(("pfs-mds".into(), "mds-secret".into(), PrincipalId(900)));
+        config.lwfs.users.push(("pfs-mds".into(), "mds-secret".into(), PrincipalId(900)));
         let lwfs = LwfsCluster::boot(config.lwfs);
 
         // MDS bootstrap: credential, container, full capability set —
@@ -59,10 +56,8 @@ impl PfsCluster {
         let ticket = lwfs.kdc().kinit("pfs-mds", "mds-secret").expect("mds user registered");
         let cred = lwfs.auth_service().get_cred(&ticket).expect("mds credential");
         let container = lwfs.authz_service().create_container(&cred).expect("pfs container");
-        let caps = lwfs
-            .authz_service()
-            .get_caps(&cred, container, OpMask::ALL)
-            .expect("mds capabilities");
+        let caps =
+            lwfs.authz_service().get_caps(&cred, container, OpMask::ALL).expect("mds capabilities");
 
         let mds_id = ProcessId::new(1004, 0);
         let (mds_handle, mds_stats) = MdsServer::spawn(

@@ -26,12 +26,7 @@ pub struct StripeSlice {
 /// Split the file range `[offset, offset + len)` into per-object slices.
 ///
 /// `objects[i]` is the stripe object for stripe column `i`.
-pub fn stripe_map(
-    objects: &[ObjId],
-    stripe_size: u64,
-    offset: u64,
-    len: u64,
-) -> Vec<StripeSlice> {
+pub fn stripe_map(objects: &[ObjId], stripe_size: u64, offset: u64, len: u64) -> Vec<StripeSlice> {
     assert!(!objects.is_empty(), "layout must have at least one object");
     assert!(stripe_size > 0, "stripe size must be positive");
     let k = objects.len() as u64;

@@ -63,7 +63,11 @@ pub struct MdsServer {
 
 impl MdsServer {
     /// Spawn the MDS at `id`; returns the handle and shared counters.
-    pub fn spawn(net: &Network, id: ProcessId, config: MdsConfig) -> (ServiceHandle, Arc<MdsStats>) {
+    pub fn spawn(
+        net: &Network,
+        id: ProcessId,
+        config: MdsConfig,
+    ) -> (ServiceHandle, Arc<MdsStats>) {
         assert!(!config.osts.is_empty(), "MDS needs at least one OST");
         let stats = Arc::new(MdsStats::default());
         let svc = MdsServer {
@@ -76,12 +80,7 @@ impl MdsServer {
     }
 
     fn cap_for(&self, op: OpMask) -> Result<Capability, Error> {
-        self.config
-            .caps
-            .iter()
-            .find(|c| c.grants(op))
-            .copied()
-            .ok_or(Error::AccessDenied)
+        self.config.caps.iter().find(|c| c.grants(op)).copied().ok_or(Error::AccessDenied)
     }
 
     fn layout_reply(&self, meta: &FileMeta) -> ReplyBody {
@@ -128,9 +127,7 @@ impl MdsServer {
                 RequestBody::CreateObj { txn: None, cap: create_cap, obj: None },
             )? {
                 ReplyBody::ObjCreated(oid) => layout.push((ost_idx as u32, oid)),
-                other => {
-                    return Err(Error::Internal(format!("bad OST create reply {other:?}")))
-                }
+                other => return Err(Error::Internal(format!("bad OST create reply {other:?}"))),
             }
         }
         let meta = FileMeta { layout, stripe_size, size: 0 };

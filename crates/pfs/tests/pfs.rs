@@ -71,13 +71,11 @@ fn unlink_removes_stripe_objects() {
     let client = cluster.client(0, 0);
     let mut f = client.create("/gone", 2, 1024, OpenMode::Private).unwrap();
     client.write(&mut f, 0, &[1u8; 4096]).unwrap();
-    let before: u64 =
-        (0..2).map(|i| cluster.lwfs().storage_server(i).store().bytes_stored()).sum();
+    let before: u64 = (0..2).map(|i| cluster.lwfs().storage_server(i).store().bytes_stored()).sum();
     assert_eq!(before, 4096);
     client.close(f).unwrap();
     client.unlink("/gone").unwrap();
-    let after: u64 =
-        (0..2).map(|i| cluster.lwfs().storage_server(i).store().bytes_stored()).sum();
+    let after: u64 = (0..2).map(|i| cluster.lwfs().storage_server(i).store().bytes_stored()).sum();
     assert_eq!(after, 0);
     assert!(client.open("/gone", OpenMode::Private).is_err());
 }
@@ -93,9 +91,8 @@ fn every_create_serializes_through_the_mds() {
             let cluster = Arc::clone(&cluster);
             std::thread::spawn(move || {
                 let client = cluster.client(r as u32, 0);
-                let mut f = client
-                    .create(&format!("/fpp/{r}"), 2, 1024, OpenMode::Private)
-                    .unwrap();
+                let mut f =
+                    client.create(&format!("/fpp/{r}"), 2, 1024, OpenMode::Private).unwrap();
                 client.write(&mut f, 0, &[r as u8; 2048]).unwrap();
                 client.close(f).unwrap();
             })
@@ -185,9 +182,7 @@ fn relaxed_shared_mode_skips_locks_and_preserves_disjoint_writes() {
     // checkpoint pattern) are exact.
     let cluster = Arc::new(boot(2));
     let creator = cluster.client(99, 0);
-    creator
-        .create("/relaxed", 2, 1 << 16, OpenMode::SharedRelaxed)
-        .unwrap();
+    creator.create("/relaxed", 2, 1 << 16, OpenMode::SharedRelaxed).unwrap();
 
     let n = 4;
     let region = 8_192u64;

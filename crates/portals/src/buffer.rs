@@ -113,11 +113,10 @@ impl MemDesc {
     /// [`MdOptions::allow_get`] by the endpoint, bounds-checked here.
     pub(crate) fn remote_read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let guard = self.inner.data.lock();
-        let start = usize::try_from(offset)
-            .map_err(|_| Error::Malformed("md offset overflow".into()))?;
-        let end = start
-            .checked_add(len)
-            .ok_or_else(|| Error::Malformed("md length overflow".into()))?;
+        let start =
+            usize::try_from(offset).map_err(|_| Error::Malformed("md offset overflow".into()))?;
+        let end =
+            start.checked_add(len).ok_or_else(|| Error::Malformed("md length overflow".into()))?;
         if end > guard.len() {
             return Err(Error::Malformed(format!(
                 "remote get [{start}, {end}) exceeds md of {} bytes",
@@ -130,8 +129,8 @@ impl MemDesc {
     /// Remote write of `data` at `offset`.
     pub(crate) fn remote_write(&self, offset: u64, data: &[u8]) -> Result<()> {
         let mut guard = self.inner.data.lock();
-        let start = usize::try_from(offset)
-            .map_err(|_| Error::Malformed("md offset overflow".into()))?;
+        let start =
+            usize::try_from(offset).map_err(|_| Error::Malformed("md offset overflow".into()))?;
         let end = start
             .checked_add(data.len())
             .ok_or_else(|| Error::Malformed("md length overflow".into()))?;

@@ -187,19 +187,15 @@ pub fn all_to_all(
     // single destination absorbs everyone's first message at once.
     for k in 1..n {
         let dest = (rank + k) % n;
-        send_retry(
-            ep,
-            group.member(dest),
-            coll_match(tag, rank as u32),
-            data[dest].clone(),
-        )?;
+        send_retry(ep, group.member(dest), coll_match(tag, rank as u32), data[dest].clone())?;
     }
     let mine = std::mem::take(&mut data[rank]);
     let mut out: Vec<Option<Bytes>> = (0..n).map(|_| None).collect();
     out[rank] = Some(mine);
     for k in 1..n {
         let src = (rank + n - k) % n;
-        let blob = recv_from(ep, group.member(src), coll_match(tag, src as u32), COLLECTIVE_TIMEOUT)?;
+        let blob =
+            recv_from(ep, group.member(src), coll_match(tag, src as u32), COLLECTIVE_TIMEOUT)?;
         out[src] = Some(blob);
     }
     Ok(out.into_iter().map(|b| b.expect("all sources received")).collect())
@@ -294,10 +290,7 @@ mod tests {
             let data = (rank == 0).then(|| Bytes::from_static(b"x"));
             broadcast(ep, group, rank, 0, 3, data).unwrap()
         });
-        assert_eq!(
-            net.stats().messages.load(std::sync::atomic::Ordering::Relaxed),
-            (n - 1) as u64
-        );
+        assert_eq!(net.stats().messages.load(std::sync::atomic::Ordering::Relaxed), (n - 1) as u64);
     }
 
     #[test]

@@ -50,6 +50,12 @@ impl Endpoint {
         self.id
     }
 
+    /// The fabric-wide metric registry (see `lwfs-obs`); services reach
+    /// it through the endpoint they already hold.
+    pub fn obs(&self) -> &std::sync::Arc<lwfs_obs::Registry> {
+        &self.net.obs
+    }
+
     /// Match-bits allocator shared across the fabric.
     pub fn match_bits(&self) -> MatchBitsAlloc<'_> {
         MatchBitsAlloc { counter: &self.net.match_alloc }
@@ -208,11 +214,7 @@ impl Endpoint {
     /// other events in place. Safe to call concurrently from several
     /// threads sharing the endpoint: every delivery wakes all waiters and
     /// each rescans for its own events.
-    pub fn recv_match(
-        &self,
-        timeout: Duration,
-        pred: impl Fn(&Event) -> bool,
-    ) -> Result<Event> {
+    pub fn recv_match(&self, timeout: Duration, pred: impl Fn(&Event) -> bool) -> Result<Event> {
         let deadline = Instant::now() + timeout;
         let mut q = self.state.queue.lock();
         loop {

@@ -4,6 +4,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
+use lwfs_obs::Registry;
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -87,6 +88,9 @@ impl EndpointState {
 pub(crate) struct NetworkInner {
     pub config: NetworkConfig,
     pub endpoints: RwLock<HashMap<ProcessId, Arc<EndpointState>>>,
+    /// Shared metric registry; every service on this fabric registers
+    /// its `component.op.stat` metrics here (see `lwfs-obs`).
+    pub obs: Arc<Registry>,
     pub stats: NetStats,
     pub faults: RwLock<FaultPlan>,
     pub rng: Mutex<ChaCha8Rng>,
@@ -128,11 +132,14 @@ pub struct Network {
 impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(config.fault_seed);
+        let obs = Arc::new(Registry::new());
+        let stats = NetStats::with_registry(&obs);
         Self {
             inner: Arc::new(NetworkInner {
                 config,
                 endpoints: RwLock::new(HashMap::new()),
-                stats: NetStats::default(),
+                obs,
+                stats,
                 faults: RwLock::new(FaultPlan::default()),
                 rng: Mutex::new(rng),
                 match_alloc: AtomicU64::new(1),
@@ -164,6 +171,11 @@ impl Network {
 
     pub fn stats(&self) -> &NetStats {
         &self.inner.stats
+    }
+
+    /// The metric registry shared by every service on this fabric.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.inner.obs
     }
 
     /// Replace the active fault plan.

@@ -92,9 +92,10 @@ impl<'a> RpcClient<'a> {
         }
 
         let want = reply_match(opnum.0);
-        let ev = self.ep.recv_match(self.reply_timeout, |e| {
-            matches!(e, Event::Message { match_bits, .. } if *match_bits == want)
-        })?;
+        let ev = self.ep.recv_match(
+            self.reply_timeout,
+            |e| matches!(e, Event::Message { match_bits, .. } if *match_bits == want),
+        )?;
         let data = ev
             .message_data()
             .ok_or_else(|| Error::Internal("reply event without payload".into()))?
@@ -140,9 +141,10 @@ impl<'a> RpcServer<'a> {
 
     /// Wait for the next incoming request.
     pub fn next_request(&self, timeout: Duration) -> Result<Request> {
-        let ev = self.ep.recv_match(timeout, |e| {
-            matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH)
-        })?;
+        let ev = self.ep.recv_match(
+            timeout,
+            |e| matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH),
+        )?;
         let data = ev
             .message_data()
             .ok_or_else(|| Error::Internal("request event without payload".into()))?

@@ -86,11 +86,8 @@ pub fn spawn_service(net: &Network, id: ProcessId, mut svc: impl Service) -> Ser
                                 let rep = Reply::new(req.opnum, body);
                                 // A vanished client is not the server's
                                 // problem; drop the reply.
-                                let _ = ep.send(
-                                    req.reply_to,
-                                    reply_match(req.opnum.0),
-                                    rep.to_bytes(),
-                                );
+                                let _ =
+                                    ep.send(req.reply_to, reply_match(req.opnum.0), rep.to_bytes());
                             }
                             Err(e) => {
                                 // Malformed request with no decodable reply

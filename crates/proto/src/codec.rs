@@ -383,10 +383,7 @@ mod tests {
         let mut buf = BytesMut::new();
         7u32.encode(&mut buf);
         buf.put_u8(0xFF);
-        assert!(matches!(
-            u32::from_bytes(buf.freeze()),
-            Err(Error::Malformed(_))
-        ));
+        assert!(matches!(u32::from_bytes(buf.freeze()), Err(Error::Malformed(_))));
     }
 
     #[test]

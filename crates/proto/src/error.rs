@@ -150,10 +150,7 @@ mod tests {
             Error::NoSuchName,
         ];
         for e in all {
-            assert!(
-                !(e.is_security() && e.is_transient()),
-                "{e:?} is both security and transient"
-            );
+            assert!(!(e.is_security() && e.is_transient()), "{e:?} is both security and transient");
         }
     }
 

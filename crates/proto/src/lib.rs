@@ -28,13 +28,10 @@ pub mod security;
 
 pub use codec::{Decode, Encode};
 pub use error::{Error, Result};
-pub use ids::{
-    ContainerId, Lifetime, NodeId, ObjId, OpNum, Pid, PrincipalId, ProcessId, TxnId,
-};
+pub use ids::{ContainerId, Lifetime, NodeId, ObjId, OpNum, Pid, PrincipalId, ProcessId, TxnId};
 pub use message::{
     FilterSpec, LockId, LockMode, LockResource, MdHandle, ObjAttr, PfsLayout, Reply, ReplyBody,
-    Request,
-    RequestBody,
+    Request, RequestBody,
 };
 pub use ops::OpMask;
 pub use security::{
@@ -46,7 +43,7 @@ pub use security::{
 /// A decoder that sees a different major version must reject the message;
 /// this reproduction only has one version, but the field keeps the codec
 /// honest about evolution.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Maximum payload a single *request* message may carry inline.
 ///
@@ -55,18 +52,16 @@ pub const PROTOCOL_VERSION: u16 = 1;
 /// 4 KiB is generous for every control message in the protocol.
 pub const MAX_REQUEST_INLINE: usize = 4096;
 
+// The whole point of server-directed I/O is that requests stay tiny.
+const _: () = assert!(MAX_REQUEST_INLINE <= 64 * 1024);
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn version_is_stable() {
-        assert_eq!(PROTOCOL_VERSION, 1);
-    }
-
-    #[test]
-    fn request_inline_limit_is_small() {
-        // The whole point of server-directed I/O is that requests stay tiny.
-        assert!(MAX_REQUEST_INLINE <= 64 * 1024);
+        // v2 added the req_id trace field to the request envelope.
+        assert_eq!(PROTOCOL_VERSION, 2);
     }
 }

@@ -239,14 +239,7 @@ pub enum RequestBody {
     RemoveObj { txn: Option<TxnId>, cap: Capability, obj: ObjId },
     /// Write `len` bytes at `offset`; the server *pulls* the data from the
     /// client's memory descriptor (server-directed I/O, Figure 6).
-    Write {
-        txn: Option<TxnId>,
-        cap: Capability,
-        obj: ObjId,
-        offset: u64,
-        len: u64,
-        md: MdHandle,
-    },
+    Write { txn: Option<TxnId>, cap: Capability, obj: ObjId, offset: u64, len: u64, md: MdHandle },
     /// Read `len` bytes at `offset`; the server *pushes* into the client's
     /// memory descriptor.
     Read { cap: Capability, obj: ObjId, offset: u64, len: u64, md: MdHandle },
@@ -314,27 +307,45 @@ pub enum ReplyBody {
     Err(Error),
     Pong,
     Cred(Credential),
-    CredOk { principal: PrincipalId },
+    CredOk {
+        principal: PrincipalId,
+    },
     CredRevoked,
     ContainerCreated(ContainerId),
     ContainerRemoved,
     Caps(Vec<Capability>),
     /// The subset of submitted capabilities that verified, by cache key.
-    CapsVerified { valid: Vec<CapabilityKey> },
-    PolicyChanged { new_caps: Vec<Capability> },
+    CapsVerified {
+        valid: Vec<CapabilityKey>,
+    },
+    PolicyChanged {
+        new_caps: Vec<Capability>,
+    },
     ObjCreated(ObjId),
     ObjRemoved,
-    WriteDone { len: u64 },
-    ReadDone { len: u64 },
+    WriteDone {
+        len: u64,
+    },
+    ReadDone {
+        len: u64,
+    },
     /// Result of a filtered read: `len` result bytes were pushed;
     /// `scanned` input bytes were examined on the server.
-    FilteredDone { len: u64, scanned: u64 },
+    FilteredDone {
+        len: u64,
+        scanned: u64,
+    },
     Attr(ObjAttr),
     Synced,
     Objs(Vec<ObjId>),
-    CapsInvalidated { dropped: u64 },
+    CapsInvalidated {
+        dropped: u64,
+    },
     NameCreated,
-    NameObj { container: ContainerId, obj: ObjId },
+    NameObj {
+        container: ContainerId,
+        obj: ObjId,
+    },
     NameRemoved,
     Names(Vec<String>),
     PfsLayoutReply(PfsLayout),
@@ -358,13 +369,29 @@ pub struct Request {
     pub opnum: OpNum,
     /// Where to send the reply.
     pub reply_to: ProcessId,
+    /// Trace id carried end to end: services key their span records on
+    /// it, so one operation's stages correlate across client and server
+    /// (see `lwfs-obs`). Derived from `(reply_to, opnum)`, which the
+    /// transport already guarantees unique per in-flight request.
+    pub req_id: u64,
     pub body: RequestBody,
 }
 
 impl Request {
     pub fn new(opnum: OpNum, reply_to: ProcessId, body: RequestBody) -> Self {
-        Self { version: PROTOCOL_VERSION, opnum, reply_to, body }
+        let req_id = derive_req_id(reply_to, opnum);
+        Self { version: PROTOCOL_VERSION, opnum, reply_to, req_id, body }
     }
+}
+
+/// Mix `(reply_to, opnum)` into a well-spread 64-bit trace id
+/// (splitmix64 finalizer).
+fn derive_req_id(reply_to: ProcessId, opnum: OpNum) -> u64 {
+    let packed = ((reply_to.nid.0 as u64) << 32 | reply_to.pid.0 as u64) ^ opnum.0.rotate_left(17);
+    let mut z = packed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A complete reply envelope.
@@ -403,6 +430,7 @@ impl Encode for Request {
         self.version.encode(buf);
         self.opnum.encode(buf);
         self.reply_to.encode(buf);
+        self.req_id.encode(buf);
         self.body.encode(buf);
     }
 }
@@ -417,6 +445,7 @@ impl Decode for Request {
             version,
             opnum: OpNum::decode(buf)?,
             reply_to: ProcessId::decode(buf)?,
+            req_id: u64::decode(buf)?,
             body: RequestBody::decode(buf)?,
         })
     }
@@ -664,9 +693,9 @@ impl Decode for ReplyBody {
             43 => TxnAborted,
             44 => LockGranted(Decode::decode(buf)?),
             45 => LockReleased,
-            t => return std::result::Result::Err(Error::Malformed(format!(
-                "unknown reply tag {t}"
-            ))),
+            t => {
+                return std::result::Result::Err(Error::Malformed(format!("unknown reply tag {t}")))
+            }
         })
     }
 }
@@ -926,6 +955,18 @@ mod tests {
                 req.encoded_len()
             );
         }
+    }
+
+    #[test]
+    fn req_id_is_deterministic_and_spread() {
+        let a = Request::new(OpNum(7), ProcessId::new(1, 2), RequestBody::Ping);
+        let b = Request::new(OpNum(7), ProcessId::new(1, 2), RequestBody::Ping);
+        assert_eq!(a.req_id, b.req_id);
+        // Different opnum or sender must produce a different trace id.
+        let c = Request::new(OpNum(8), ProcessId::new(1, 2), RequestBody::Ping);
+        let d = Request::new(OpNum(7), ProcessId::new(1, 3), RequestBody::Ping);
+        assert_ne!(a.req_id, c.req_id);
+        assert_ne!(a.req_id, d.req_id);
     }
 
     #[test]

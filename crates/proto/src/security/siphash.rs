@@ -116,7 +116,7 @@ fn siphash24(k0: u64, k1: u64, msg: &[u8], domain: u8) -> u64 {
         tail_len += 1;
     }
     let mut blocks: Vec<[u8; 8]> = Vec::with_capacity(2);
-    if tail_len == 8 && (total_len % 8) == 0 {
+    if tail_len == 8 && total_len.is_multiple_of(8) {
         // Domain byte exactly filled the block; length block follows alone.
         blocks.push(tail);
         blocks.push([0u8; 8]);

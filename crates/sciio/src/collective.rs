@@ -78,8 +78,7 @@ impl<'a> Dataset<'a> {
         // aggregator rank (block % n).
         let mut outgoing: Vec<Vec<Segment>> = (0..n).map(|_| Vec::new()).collect();
         for run in slab.contiguous_runs(&shape) {
-            for (block_idx, block, obj_off, buf_off, len) in
-                self.map_run_indexed(var, layout, run)
+            for (block_idx, block, obj_off, buf_off, len) in self.map_run_indexed(var, layout, run)
             {
                 let _ = block;
                 let aggregator = (block_idx as usize) % n;
@@ -92,7 +91,7 @@ impl<'a> Dataset<'a> {
         }
 
         // Phase 1b: shuffle.
-        let wire: Vec<Bytes> = outgoing.iter().map(|segs| Bytes::from(segs.to_bytes())).collect();
+        let wire: Vec<Bytes> = outgoing.iter().map(|segs| segs.to_bytes()).collect();
         let incoming = self.client().exchange(group, rank, tag, wire)?;
 
         // Phase 2: decode, sort, coalesce adjacent segments per block,
@@ -132,8 +131,14 @@ impl<'a> Dataset<'a> {
 
     fn write_segment(&self, layout: &[crate::dataset::Block], seg: &Segment) -> Result<()> {
         let block = layout[seg.block_idx as usize];
-        self.client()
-            .write(block.server as usize, self.caps(), None, block.obj, seg.obj_off, &seg.data)?;
+        self.client().write(
+            block.server as usize,
+            self.caps(),
+            None,
+            block.obj,
+            seg.obj_off,
+            &seg.data,
+        )?;
         Ok(())
     }
 }

@@ -102,8 +102,7 @@ impl<'a> Dataset<'a> {
         let (_cid, header_obj) = client.name_lookup(path)?;
         let attr = client.getattr(0, &caps, header_obj)?;
         let raw = client.read(0, &caps, header_obj, 0, attr.size as usize)?;
-        let header = Header::from_bytes(bytes::Bytes::from(raw))
-            .map_err(SciError::Lwfs)?;
+        let header = Header::from_bytes(bytes::Bytes::from(raw)).map_err(SciError::Lwfs)?;
         Ok(Dataset { client, caps, path: path.to_string(), header })
     }
 
@@ -265,9 +264,7 @@ impl<'a> Dataset<'a> {
                     len as usize,
                     FilterSpec::Stats,
                 )?;
-                if let Some((bmin, bmax, bsum, bcount)) =
-                    lwfs_storage::decode_stats(&blockstats)
-                {
+                if let Some((bmin, bmax, bsum, bcount)) = lwfs_storage::decode_stats(&blockstats) {
                     if bcount > 0 {
                         min = min.min(bmin);
                         max = max.max(bmax);

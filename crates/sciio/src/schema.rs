@@ -98,11 +98,7 @@ impl Encode for Var {
 
 impl Decode for Var {
     fn decode(buf: &mut impl Buf) -> ProtoResult<Self> {
-        Ok(Var {
-            name: Decode::decode(buf)?,
-            ty: Decode::decode(buf)?,
-            dims: Decode::decode(buf)?,
-        })
+        Ok(Var { name: Decode::decode(buf)?, ty: Decode::decode(buf)?, dims: Decode::decode(buf)? })
     }
 }
 

@@ -52,9 +52,7 @@ impl Slab {
         if self.rank() != shape.len() {
             return Err(SciError::RankMismatch { want: shape.len(), got: self.rank() });
         }
-        for (dim, ((s, c), extent)) in
-            self.start.iter().zip(&self.count).zip(shape).enumerate()
-        {
+        for (dim, ((s, c), extent)) in self.start.iter().zip(&self.count).zip(shape).enumerate() {
             if *c == 0 || s.checked_add(*c).is_none_or(|end| end > *extent) {
                 return Err(SciError::OutOfBounds {
                     dim,
@@ -88,8 +86,7 @@ impl Slab {
         // count[fused−1] × Π shape[fused..]. If everything is covered the
         // whole slab is one run.
         let mut fused = rank;
-        while fused > 0 && self.start[fused - 1] == 0 && self.count[fused - 1] == shape[fused - 1]
-        {
+        while fused > 0 && self.start[fused - 1] == 0 && self.count[fused - 1] == shape[fused - 1] {
             fused -= 1;
         }
         let (outer_end, run_len) = if fused == 0 {
@@ -109,8 +106,8 @@ impl Slab {
             for d in 0..outer_end {
                 var_off += (self.start[d] + idx[d]) * stride[d];
             }
-            for d in outer_end..rank {
-                var_off += self.start[d] * stride[d];
+            for (s, st) in self.start[outer_end..rank].iter().zip(&stride[outer_end..rank]) {
+                var_off += s * st;
             }
             runs.push((var_off, buf_off, run_len));
             buf_off += run_len;
@@ -177,7 +174,7 @@ mod tests {
         let shape = [3u64, 3, 3];
         let slab = Slab::new(vec![1, 2, 0], vec![1, 1, 1]);
         let runs = slab.contiguous_runs(&shape);
-        assert_eq!(runs, vec![(1 * 9 + 2 * 3, 0, 1)]);
+        assert_eq!(runs, vec![(9 + 2 * 3, 0, 1)]);
     }
 
     #[test]

@@ -17,7 +17,8 @@ fn to_f32s(bytes: &[u8]) -> Vec<f32> {
 }
 
 fn boot(servers: usize) -> (LwfsCluster, CapSet) {
-    let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: servers, ..Default::default() });
+    let cluster =
+        LwfsCluster::boot(ClusterConfig { storage_servers: servers, ..Default::default() });
     let mut client = cluster.client(99, 0);
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     client.get_cred(ticket).unwrap();
@@ -40,8 +41,8 @@ fn climate_schema(time: u64, lat: u64, lon: u64) -> Schema {
 fn create_write_read_roundtrip() {
     let (cluster, caps) = boot(4);
     let client = cluster.client(0, 0);
-    let ds = Dataset::create(&client, caps.clone(), "/data/climate", climate_schema(8, 6, 5))
-        .unwrap();
+    let ds =
+        Dataset::create(&client, caps.clone(), "/data/climate", climate_schema(8, 6, 5)).unwrap();
 
     // Write the whole variable, read back slices.
     let volume = 8 * 6 * 5usize;
@@ -92,8 +93,7 @@ fn parallel_rank_writes_need_no_locks() {
     let (cluster, caps) = boot(4);
     let cluster = Arc::new(cluster);
     let owner = cluster.client(99, 1);
-    let ds =
-        Dataset::create(&owner, caps.clone(), "/data/par", climate_schema(16, 8, 8)).unwrap();
+    let ds = Dataset::create(&owner, caps.clone(), "/data/par", climate_schema(16, 8, 8)).unwrap();
     drop(ds);
 
     let wire = caps.to_wire();
@@ -219,10 +219,7 @@ fn error_paths() {
     let x = s.dim("x", 4);
     s.var("ints", VarType::I32, &[x]);
     let ds2 = Dataset::create(&client, caps, "/data/err2", s).unwrap();
-    assert!(matches!(
-        ds2.var_stats("ints", &Slab::whole(&[4])),
-        Err(SciError::BadSchema(_))
-    ));
+    assert!(matches!(ds2.var_stats("ints", &Slab::whole(&[4])), Err(SciError::BadSchema(_))));
 }
 
 #[test]
@@ -265,8 +262,7 @@ fn two_phase_collective_coalesces_orthogonal_slabs() {
                 let column: Vec<f32> =
                     (0..ROWS).map(|row| (row * 100 + rank as u64) as f32).collect();
                 let slab = Slab::new(vec![0, rank as u64], vec![ROWS, 1]);
-                ds.collective_put_slab(&group, rank, 60, "field", &slab, &f32s(&column))
-                    .unwrap()
+                ds.collective_put_slab(&group, rank, 60, "field", &slab, &f32s(&column)).unwrap()
             })
         })
         .collect();
@@ -287,11 +283,7 @@ fn two_phase_collective_coalesces_orthogonal_slabs() {
     let all = to_f32s(&ds.get_slab("field", &Slab::whole(&[ROWS, COLS])).unwrap());
     for row in 0..ROWS {
         for col in 0..COLS {
-            assert_eq!(
-                all[(row * COLS + col) as usize],
-                (row * 100 + col) as f32,
-                "({row},{col})"
-            );
+            assert_eq!(all[(row * COLS + col) as usize], (row * 100 + col) as f32, "({row},{col})");
         }
     }
 }
@@ -310,13 +302,13 @@ fn naive_orthogonal_writes_are_many_small_ops() {
     s.var("field", VarType::F32, &[r, c]);
     let ds = Dataset::create(&client, caps, "/data/naive", s).unwrap();
 
-    let before: u64 = (0..4)
-        .map(|i| cluster.storage_server(i).stats().writes.load(std::sync::atomic::Ordering::Relaxed))
-        .sum();
+    // Storage counters are fabric-level aggregates (shared by every server
+    // on the network), so reading any one server's stats sees all writes.
+    let writes =
+        || cluster.storage_server(0).stats().writes.load(std::sync::atomic::Ordering::Relaxed);
+    let before = writes();
     let column: Vec<f32> = (0..ROWS).map(|row| row as f32).collect();
     ds.put_slab("field", &Slab::new(vec![0, 1], vec![ROWS, 1]), &f32s(&column)).unwrap();
-    let after: u64 = (0..4)
-        .map(|i| cluster.storage_server(i).stats().writes.load(std::sync::atomic::Ordering::Relaxed))
-        .sum();
+    let after = writes();
     assert_eq!(after - before, ROWS, "one write RPC per row — the problem two-phase fixes");
 }

@@ -132,21 +132,12 @@ mod tests {
     fn events_run_in_time_order() {
         let mut sim = Sim::new();
         let mut w = World::default();
-        sim.schedule(SimDuration::from_secs(3), |s, w: &mut World| {
-            w.log.push((s.now().0, "c"))
-        });
-        sim.schedule(SimDuration::from_secs(1), |s, w: &mut World| {
-            w.log.push((s.now().0, "a"))
-        });
-        sim.schedule(SimDuration::from_secs(2), |s, w: &mut World| {
-            w.log.push((s.now().0, "b"))
-        });
+        sim.schedule(SimDuration::from_secs(3), |s, w: &mut World| w.log.push((s.now().0, "c")));
+        sim.schedule(SimDuration::from_secs(1), |s, w: &mut World| w.log.push((s.now().0, "a")));
+        sim.schedule(SimDuration::from_secs(2), |s, w: &mut World| w.log.push((s.now().0, "b")));
         let end = sim.run(&mut w);
         assert_eq!(end, SimTime(3_000_000_000));
-        assert_eq!(
-            w.log,
-            vec![(1_000_000_000, "a"), (2_000_000_000, "b"), (3_000_000_000, "c")]
-        );
+        assert_eq!(w.log, vec![(1_000_000_000, "a"), (2_000_000_000, "b"), (3_000_000_000, "c")]);
     }
 
     #[test]
@@ -223,9 +214,7 @@ mod tests {
             let mut w = Vec::new();
             for i in 0..100u64 {
                 // Same delay for many events: tie-break order must hold.
-                sim.schedule(SimDuration::from_nanos(i % 7), move |_, w: &mut Vec<u64>| {
-                    w.push(i)
-                });
+                sim.schedule(SimDuration::from_nanos(i % 7), move |_, w: &mut Vec<u64>| w.push(i));
             }
             sim.run(&mut w);
             w

@@ -192,7 +192,7 @@ mod tests {
     fn late_arrival_does_not_inherit_idle_gap() {
         let mut r = FcfsResource::with_bandwidth("disk", 100.0);
         r.reserve(SimTime::ZERO, 100_000_000); // busy until 1 s
-        // Arrive at t=5s: station idle since 1s; service starts at arrival.
+                                               // Arrive at t=5s: station idle since 1s; service starts at arrival.
         let (s, f) = r.reserve(SimTime(5_000_000_000), 100_000_000);
         assert_eq!(s, SimTime(5_000_000_000));
         assert_eq!(f, SimTime(6_000_000_000));
@@ -257,8 +257,7 @@ mod tests {
     #[test]
     fn aggregate_pool_throughput_scales_with_stations() {
         // 16 stations at 100 MB/s each: 1600 MB served in ~1 s.
-        let mut pool =
-            FcfsPool::new(16, |i| FcfsResource::with_bandwidth(format!("d{i}"), 100.0));
+        let mut pool = FcfsPool::new(16, |i| FcfsResource::with_bandwidth(format!("d{i}"), 100.0));
         let mut last = SimTime::ZERO;
         for _ in 0..16 {
             let (_, _, f) = pool.reserve(SimTime::ZERO, 100_000_000);

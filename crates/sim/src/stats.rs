@@ -5,9 +5,15 @@
 //! exactly that reduction (sample standard deviation, n − 1 denominator).
 
 /// Accumulates observations and reports summary statistics.
+///
+/// Non-finite observations (NaN, ±∞) are never mixed into the moments —
+/// one poisoned trial would turn the whole sweep's mean into NaN. They
+/// are dropped and tallied in [`Summary::dropped_nonfinite`] so the
+/// harness can still report that a trial misbehaved.
 #[derive(Debug, Clone, Default)]
 pub struct Summary {
     values: Vec<f64>,
+    dropped_nonfinite: u64,
 }
 
 impl Summary {
@@ -24,8 +30,16 @@ impl Summary {
     }
 
     pub fn add(&mut self, v: f64) {
-        assert!(v.is_finite(), "non-finite observation {v}");
+        if !v.is_finite() {
+            self.dropped_nonfinite += 1;
+            return;
+        }
         self.values.push(v);
+    }
+
+    /// How many non-finite observations were dropped by [`Summary::add`].
+    pub fn dropped_nonfinite(&self) -> u64 {
+        self.dropped_nonfinite
     }
 
     pub fn count(&self) -> usize {
@@ -79,7 +93,11 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} ± {:.2} (n={})", self.mean(), self.stddev(), self.count())
+        write!(f, "{:.2} ± {:.2} (n={})", self.mean(), self.stddev(), self.count())?;
+        if self.dropped_nonfinite > 0 {
+            write!(f, " [dropped {} non-finite]", self.dropped_nonfinite)?;
+        }
+        Ok(())
     }
 }
 
@@ -115,16 +133,24 @@ mod tests {
 
     #[test]
     fn constant_series_has_zero_spread() {
-        let s = Summary::from_values(std::iter::repeat(7.0).take(5));
+        let s = Summary::from_values(std::iter::repeat_n(7.0, 5));
         assert_eq!(s.stddev(), 0.0);
         assert_eq!(s.cv(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "non-finite")]
-    fn nan_rejected() {
+    fn nonfinite_dropped_not_mixed_in() {
         let mut s = Summary::new();
+        s.add(1.0);
         s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        s.add(f64::NEG_INFINITY);
+        s.add(3.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.dropped_nonfinite(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert!(s.mean().is_finite() && s.stddev().is_finite());
+        assert_eq!(format!("{s}"), "2.00 ± 1.41 (n=2) [dropped 3 non-finite]");
     }
 
     #[test]

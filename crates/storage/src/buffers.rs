@@ -6,6 +6,9 @@
 //! that cannot get a buffer wait in the queue or are rejected, and the
 //! *server* decides when each transfer proceeds (server-directed I/O).
 
+use std::sync::Arc;
+
+use lwfs_obs::Gauge;
 use parking_lot::Mutex;
 
 /// A bounded pool of fixed-size transfer buffers.
@@ -15,17 +18,28 @@ pub struct PinnedBufferPool {
     total: usize,
     /// Times a caller found the pool empty (a flow-control event).
     exhausted: Mutex<u64>,
+    /// Optional occupancy gauge (buffers checked out), updated on every
+    /// acquire and release. Updates are additive (inc/dec, never set) so
+    /// several pools sharing one fabric-level gauge aggregate correctly.
+    gauge: Option<Arc<Gauge>>,
 }
 
 impl PinnedBufferPool {
     /// Create a pool of `count` buffers of `buffer_size` bytes each.
     pub fn new(count: usize, buffer_size: usize) -> Self {
+        Self::with_gauge(count, buffer_size, None)
+    }
+
+    /// Like [`new`](Self::new), but mirrors the in-use buffer count into
+    /// `gauge` (typically `storage.pool_in_use` from the fabric registry).
+    pub fn with_gauge(count: usize, buffer_size: usize, gauge: Option<Arc<Gauge>>) -> Self {
         assert!(count > 0 && buffer_size > 0, "pool must have real buffers");
         Self {
             buffer_size,
             free: Mutex::new((0..count).map(|_| vec![0u8; buffer_size]).collect()),
             total: count,
             exhausted: Mutex::new(0),
+            gauge,
         }
     }
 
@@ -50,7 +64,12 @@ impl PinnedBufferPool {
     pub fn try_acquire(&self) -> Option<PooledBuffer<'_>> {
         let buf = self.free.lock().pop();
         match buf {
-            Some(data) => Some(PooledBuffer { pool: self, data: Some(data) }),
+            Some(data) => {
+                if let Some(g) = &self.gauge {
+                    g.inc();
+                }
+                Some(PooledBuffer { pool: self, data: Some(data) })
+            }
             None => {
                 *self.exhausted.lock() += 1;
                 None
@@ -79,6 +98,9 @@ impl Drop for PooledBuffer<'_> {
     fn drop(&mut self) {
         if let Some(data) = self.data.take() {
             self.pool.free.lock().push(data);
+            if let Some(g) = &self.pool.gauge {
+                g.dec();
+            }
         }
     }
 }
@@ -117,5 +139,19 @@ mod tests {
     #[should_panic]
     fn zero_capacity_rejected() {
         let _ = PinnedBufferPool::new(0, 1024);
+    }
+
+    #[test]
+    fn gauge_tracks_occupancy() {
+        let g = Arc::new(Gauge::new());
+        let pool = PinnedBufferPool::with_gauge(2, 64, Some(Arc::clone(&g)));
+        let b1 = pool.try_acquire().unwrap();
+        assert_eq!(g.get(), 1);
+        let b2 = pool.try_acquire().unwrap();
+        assert_eq!(g.get(), 2);
+        drop(b1);
+        assert_eq!(g.get(), 1);
+        drop(b2);
+        assert_eq!(g.get(), 0);
     }
 }

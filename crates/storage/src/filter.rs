@@ -26,15 +26,11 @@ pub fn apply(filter: &FilterSpec, data: &[u8]) -> (Vec<u8>, u64) {
     let out: Vec<u8> = match filter {
         FilterSpec::Subsample { stride } => {
             let stride = (*stride).max(1) as usize;
-            values
-                .step_by(stride)
-                .flat_map(|v| v.to_le_bytes())
-                .collect()
+            values.step_by(stride).flat_map(|v| v.to_le_bytes()).collect()
         }
-        FilterSpec::Threshold { min_abs } => values
-            .filter(|v| v.abs() >= *min_abs)
-            .flat_map(|v| v.to_le_bytes())
-            .collect(),
+        FilterSpec::Threshold { min_abs } => {
+            values.filter(|v| v.abs() >= *min_abs).flat_map(|v| v.to_le_bytes()).collect()
+        }
         FilterSpec::Stats => {
             let mut min = f32::INFINITY;
             let mut max = f32::NEG_INFINITY;
@@ -79,10 +75,7 @@ mod tests {
     }
 
     fn to_f32s(bytes: &[u8]) -> Vec<f32> {
-        bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect()
     }
 
     #[test]

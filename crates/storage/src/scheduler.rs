@@ -93,13 +93,11 @@ impl RequestScheduler {
         // Stable sort by (has-data-key, object, offset, arrival). Control
         // requests sort first in arrival order; data requests follow in
         // elevator order.
-        batch.sort_by(|a, b| {
-            match (data_key(&a.req), data_key(&b.req)) {
-                (None, None) => a.arrival.cmp(&b.arrival),
-                (None, Some(_)) => std::cmp::Ordering::Less,
-                (Some(_), None) => std::cmp::Ordering::Greater,
-                (Some(ka), Some(kb)) => ka.cmp(&kb).then(a.arrival.cmp(&b.arrival)),
-            }
+        batch.sort_by(|a, b| match (data_key(&a.req), data_key(&b.req)) {
+            (None, None) => a.arrival.cmp(&b.arrival),
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(ka), Some(kb)) => ka.cmp(&kb).then(a.arrival.cmp(&b.arrival)),
         });
 
         // Restore arrival order among *dependent* pairs (bubble the earlier
@@ -131,8 +129,8 @@ impl RequestScheduler {
 mod tests {
     use super::*;
     use lwfs_proto::{
-        Capability, CapabilityBody, ContainerId, Lifetime, MdHandle, OpMask, OpNum,
-        PrincipalId, ProcessId, Signature,
+        Capability, CapabilityBody, ContainerId, Lifetime, MdHandle, OpMask, OpNum, PrincipalId,
+        ProcessId, Signature,
     };
 
     fn cap() -> Capability {

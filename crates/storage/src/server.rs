@@ -16,13 +16,15 @@
 //!         reply WriteDone
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use lwfs_auth::Clock;
 use lwfs_authz::CachedCapVerifier;
+use lwfs_obs::{Counter, OpTrace, Registry};
 use lwfs_portals::{Endpoint, Event, Network, RpcClient, REQUEST_MATCH};
 use lwfs_proto::{
     Capability, ContainerId, Decode as _, Encode as _, Error, FilterSpec, MdHandle, ObjId, OpMask,
@@ -64,31 +66,84 @@ impl Default for StorageConfig {
     }
 }
 
-/// Operation counters (atomics: read concurrently by experiments).
-#[derive(Debug, Default)]
+/// Operation counters (read concurrently by experiments).
+///
+/// Each field is a [`Counter`] registered under `storage.*` in the
+/// fabric's metric registry, so these show up in snapshots alongside
+/// the transport and authorization metrics while remaining directly
+/// readable here (`Counter` keeps the `AtomicU64` surface).
+///
+/// Registry names carry no server id: when several storage servers share
+/// one network, they share these counters, which therefore read as the
+/// *fabric-level aggregate* (the registry view a monitoring scrape
+/// wants). Experiments needing per-server attribution count on the
+/// client side or run single-server clusters.
+#[derive(Debug)]
 pub struct StorageStats {
-    pub creates: AtomicU64,
-    pub removes: AtomicU64,
-    pub writes: AtomicU64,
-    pub reads: AtomicU64,
-    pub filtered_reads: AtomicU64,
+    pub creates: Arc<Counter>,
+    pub removes: Arc<Counter>,
+    pub writes: Arc<Counter>,
+    pub reads: Arc<Counter>,
+    pub filtered_reads: Arc<Counter>,
     /// Input bytes scanned by server-side filters.
-    pub bytes_filtered: AtomicU64,
-    pub syncs: AtomicU64,
-    pub bytes_pulled: AtomicU64,
-    pub bytes_pushed: AtomicU64,
-    pub busy_rejects: AtomicU64,
-    pub txn_commits: AtomicU64,
-    pub txn_aborts: AtomicU64,
-    pub batches: AtomicU64,
+    pub bytes_filtered: Arc<Counter>,
+    pub syncs: Arc<Counter>,
+    pub bytes_pulled: Arc<Counter>,
+    pub bytes_pushed: Arc<Counter>,
+    pub busy_rejects: Arc<Counter>,
+    pub txn_commits: Arc<Counter>,
+    pub txn_aborts: Arc<Counter>,
+    pub batches: Arc<Counter>,
+}
+
+impl Default for StorageStats {
+    fn default() -> Self {
+        Self::with_registry(&Registry::new())
+    }
 }
 
 impl StorageStats {
+    /// Build the stats block with its counters registered under
+    /// `storage.*` in `registry`.
+    pub fn with_registry(registry: &Registry) -> Self {
+        Self {
+            creates: registry.counter("storage.creates"),
+            removes: registry.counter("storage.removes"),
+            writes: registry.counter("storage.writes"),
+            reads: registry.counter("storage.reads"),
+            filtered_reads: registry.counter("storage.filtered_reads"),
+            bytes_filtered: registry.counter("storage.bytes_filtered"),
+            syncs: registry.counter("storage.syncs"),
+            bytes_pulled: registry.counter("storage.bytes_pulled"),
+            bytes_pushed: registry.counter("storage.bytes_pushed"),
+            busy_rejects: registry.counter("storage.busy_rejects"),
+            txn_commits: registry.counter("storage.txn_commits"),
+            txn_aborts: registry.counter("storage.txn_aborts"),
+            batches: registry.counter("storage.batches"),
+        }
+    }
+
     pub fn data_ops(&self) -> u64 {
-        self.creates.load(Ordering::Relaxed)
-            + self.removes.load(Ordering::Relaxed)
-            + self.writes.load(Ordering::Relaxed)
-            + self.reads.load(Ordering::Relaxed)
+        self.creates.get() + self.removes.get() + self.writes.get() + self.reads.get()
+    }
+}
+
+/// The `component.op` label a request is traced under.
+fn op_label(body: &RequestBody) -> &'static str {
+    match body {
+        RequestBody::CreateObj { .. } => "storage.create",
+        RequestBody::RemoveObj { .. } => "storage.remove",
+        RequestBody::Write { .. } => "storage.write",
+        RequestBody::Read { .. } => "storage.read",
+        RequestBody::ReadFiltered { .. } => "storage.read_filtered",
+        RequestBody::GetAttr { .. } => "storage.getattr",
+        RequestBody::Sync { .. } => "storage.sync",
+        RequestBody::ListObjs { .. } => "storage.list",
+        RequestBody::InvalidateCaps { .. } => "storage.invalidate_caps",
+        RequestBody::TxnPrepare { .. } => "storage.txn_prepare",
+        RequestBody::TxnCommit { .. } => "storage.txn_commit",
+        RequestBody::TxnAbort { .. } => "storage.txn_abort",
+        _ => "storage.other",
     }
 }
 
@@ -113,6 +168,8 @@ pub struct StorageServer {
     clock: Arc<dyn Clock>,
     journal: JournalStore<UndoOp>,
     stats: StorageStats,
+    /// The fabric-wide metric registry (shared through the `Network`).
+    obs: Arc<Registry>,
 }
 
 /// Handle to a running storage server thread.
@@ -157,14 +214,20 @@ impl StorageServer {
         verifier: Option<CachedCapVerifier>,
         clock: Arc<dyn Clock>,
     ) -> (StorageHandle, Arc<StorageServer>) {
+        let obs = Arc::clone(net.obs());
         let server = Arc::new(StorageServer {
             site: id,
             store: ObjectStore::new(config.store.clone()),
-            pool: PinnedBufferPool::new(config.pool_buffers, config.chunk_size),
+            pool: PinnedBufferPool::with_gauge(
+                config.pool_buffers,
+                config.chunk_size,
+                Some(obs.gauge("storage.pool_in_use")),
+            ),
             verifier,
             clock,
             journal: JournalStore::new(),
-            stats: StorageStats::default(),
+            stats: StorageStats::with_registry(&obs),
+            obs,
             config,
         });
         let ep = net.register(id);
@@ -207,44 +270,67 @@ impl StorageServer {
     fn run(&self, ep: Endpoint, stop: Arc<AtomicBool>) {
         let client = RpcClient::new(&ep);
         let mut scheduler = RequestScheduler::new();
+        // Per-request traces started at arrival, so `queue_wait` (and the
+        // end-to-end total) covers the time spent queued behind the batch.
+        let mut traces: HashMap<u64, OpTrace<'_>> = HashMap::new();
+        let queue_depth = self.obs.gauge("storage.queue_depth");
+        let dispatch = self.obs.histogram("storage.dispatch_ns");
         let poll = Duration::from_millis(5);
         while !stop.load(Ordering::SeqCst) {
             // Block for the first request of a batch…
-            let first = ep.recv_match(poll, |e| {
-                matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH)
-            });
+            let first = ep.recv_match(
+                poll,
+                |e| matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH),
+            );
             let first = match first {
                 Ok(ev) => ev,
                 Err(Error::Timeout) => continue,
                 Err(_) => break,
             };
-            self.enqueue(&mut scheduler, first);
+            self.enqueue(&mut scheduler, &mut traces, first);
             // …then drain whatever else already arrived (the burst), up to
             // the batch limit, and release in elevator order.
             while scheduler.len() < self.config.batch_limit {
                 match ep.recv_match(Duration::ZERO, |e| {
                     matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH)
                 }) {
-                    Ok(ev) => self.enqueue(&mut scheduler, ev),
+                    Ok(ev) => self.enqueue(&mut scheduler, &mut traces, ev),
                     Err(_) => break,
                 }
             }
-            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            // Additive (not `set`): every server in the network shares
+            // this fabric-level gauge, so it reads as total queued.
+            queue_depth.add(scheduler.len() as i64);
+            self.stats.batches.inc();
             for req in scheduler.drain_elevator() {
-                let body = self.handle(&ep, &client, &req);
+                // Dispatched: the request has left the queue (depth counts
+                // queued requests, not the one in service).
+                queue_depth.dec();
+                let mut trace = traces.remove(&req.req_id);
+                if let Some(t) = trace.as_mut() {
+                    dispatch.record(t.stage("queue_wait"));
+                }
+                let body = self.handle(&ep, &client, &req, trace.as_mut());
                 let rep = Reply::new(req.opnum, body);
-                let _ = ep.send(
-                    req.reply_to,
-                    lwfs_portals::reply_match(req.opnum.0),
-                    rep.to_bytes(),
-                );
+                let _ =
+                    ep.send(req.reply_to, lwfs_portals::reply_match(req.opnum.0), rep.to_bytes());
+                if let Some(mut t) = trace {
+                    t.stage("reply");
+                    t.finish();
+                }
             }
         }
     }
 
-    fn enqueue(&self, scheduler: &mut RequestScheduler, ev: Event) {
+    fn enqueue<'s>(
+        &'s self,
+        scheduler: &mut RequestScheduler,
+        traces: &mut HashMap<u64, OpTrace<'s>>,
+        ev: Event,
+    ) {
         if let Some(data) = ev.message_data() {
             if let Ok(req) = Request::from_bytes(data.clone()) {
+                traces.insert(req.req_id, self.obs.trace(req.req_id, op_label(&req.body)));
                 scheduler.push(req);
             }
         }
@@ -278,11 +364,17 @@ impl StorageServer {
     // Request dispatch
     // ------------------------------------------------------------------
 
-    fn handle(&self, ep: &Endpoint, client: &RpcClient<'_>, req: &Request) -> ReplyBody {
+    fn handle(
+        &self,
+        ep: &Endpoint,
+        client: &RpcClient<'_>,
+        req: &Request,
+        trace: Option<&mut OpTrace<'_>>,
+    ) -> ReplyBody {
         match &req.body {
-            RequestBody::CreateObj { txn, cap, obj } => {
-                self.do_create(client, *txn, cap, *obj).map_or_else(ReplyBody::Err, ReplyBody::ObjCreated)
-            }
+            RequestBody::CreateObj { txn, cap, obj } => self
+                .do_create(client, *txn, cap, *obj)
+                .map_or_else(ReplyBody::Err, ReplyBody::ObjCreated),
             RequestBody::RemoveObj { txn, cap, obj } => {
                 match self.do_remove(client, *txn, cap, *obj) {
                     Ok(()) => ReplyBody::ObjRemoved,
@@ -290,8 +382,18 @@ impl StorageServer {
                 }
             }
             RequestBody::Write { txn, cap, obj, offset, len, md } => {
-                match self.do_write(ep, client, *txn, cap, *obj, *offset, *len, *md, req.reply_to)
-                {
+                match self.do_write(
+                    ep,
+                    client,
+                    *txn,
+                    cap,
+                    *obj,
+                    *offset,
+                    *len,
+                    *md,
+                    req.reply_to,
+                    trace,
+                ) {
                     Ok(n) => ReplyBody::WriteDone { len: n },
                     Err(e) => ReplyBody::Err(e),
                 }
@@ -304,16 +406,25 @@ impl StorageServer {
             }
             RequestBody::ReadFiltered { cap, obj, offset, len, filter, md } => {
                 match self.do_read_filtered(
-                    ep, client, cap, *obj, *offset, *len, filter, *md, req.reply_to,
+                    ep,
+                    client,
+                    cap,
+                    *obj,
+                    *offset,
+                    *len,
+                    filter,
+                    *md,
+                    req.reply_to,
                 ) {
                     Ok((n, scanned)) => ReplyBody::FilteredDone { len: n, scanned },
                     Err(e) => ReplyBody::Err(e),
                 }
             }
             RequestBody::GetAttr { cap, obj } => {
-                match self.authorize(client, cap, OpMask::GETATTR).and_then(|()| {
-                    self.store.getattr(cap.container(), *obj)
-                }) {
+                match self
+                    .authorize(client, cap, OpMask::GETATTR)
+                    .and_then(|()| self.store.getattr(cap.container(), *obj))
+                {
                     Ok(attr) => ReplyBody::Attr(attr),
                     Err(e) => ReplyBody::Err(e),
                 }
@@ -324,18 +435,16 @@ impl StorageServer {
                     .and_then(|()| self.store.sync(*obj))
                 {
                     Ok(_) => {
-                        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+                        self.stats.syncs.inc();
                         ReplyBody::Synced
                     }
                     Err(e) => ReplyBody::Err(e),
                 }
             }
-            RequestBody::ListObjs { cap } => {
-                match self.authorize(client, cap, OpMask::GETATTR) {
-                    Ok(()) => ReplyBody::Objs(self.store.list(cap.container())),
-                    Err(e) => ReplyBody::Err(e),
-                }
-            }
+            RequestBody::ListObjs { cap } => match self.authorize(client, cap, OpMask::GETATTR) {
+                Ok(()) => ReplyBody::Objs(self.store.list(cap.container())),
+                Err(e) => ReplyBody::Err(e),
+            },
             RequestBody::InvalidateCaps { authz_epoch: _, keys } => {
                 let dropped = self.verifier.as_ref().map(|v| v.invalidate(keys)).unwrap_or(0);
                 ReplyBody::CapsInvalidated { dropped }
@@ -344,7 +453,7 @@ impl StorageServer {
             RequestBody::TxnCommit { txn } => match self.journal.commit(*txn) {
                 Ok(_undos) => {
                     // Commit = forget the undo log; effects already applied.
-                    self.stats.txn_commits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.txn_commits.inc();
                     ReplyBody::TxnCommitted
                 }
                 Err(e) => ReplyBody::Err(e),
@@ -356,13 +465,13 @@ impl StorageServer {
                     // entry restores state that existed when it was staged.
                     let _ = self.apply_undo(undo);
                 }
-                self.stats.txn_aborts.fetch_add(1, Ordering::Relaxed);
+                self.stats.txn_aborts.inc();
                 ReplyBody::TxnAborted
             }
             RequestBody::Ping => ReplyBody::Pong,
-            other => ReplyBody::Err(Error::Malformed(format!(
-                "storage service cannot handle {other:?}"
-            ))),
+            other => {
+                ReplyBody::Err(Error::Malformed(format!("storage service cannot handle {other:?}")))
+            }
         }
     }
 
@@ -395,7 +504,7 @@ impl StorageServer {
         if let Some(txn) = txn {
             self.journal.stage(txn, UndoOp::RemoveObject(cap.container(), oid))?;
         }
-        self.stats.creates.fetch_add(1, Ordering::Relaxed);
+        self.stats.creates.inc();
         Ok(oid)
     }
 
@@ -412,12 +521,16 @@ impl StorageServer {
             self.journal.stage(txn, UndoOp::RestoreObject(cap.container(), oid, data))?;
         }
         self.store.remove(cap.container(), oid)?;
-        self.stats.removes.fetch_add(1, Ordering::Relaxed);
+        self.stats.removes.inc();
         Ok(())
     }
 
     /// Server-directed write: pull `len` bytes from the client's MD in
     /// chunks through the pinned pool, writing each chunk to the store.
+    ///
+    /// The per-request `trace` (when present) is decomposed into the
+    /// Figure 6 stages: `authorize`, then one `pull` + `store_write` span
+    /// pair per chunk crossing the pinned pool.
     #[allow(clippy::too_many_arguments)]
     fn do_write(
         &self,
@@ -430,12 +543,16 @@ impl StorageServer {
         len: u64,
         md: MdHandle,
         requester: ProcessId,
+        mut trace: Option<&mut OpTrace<'_>>,
     ) -> Result<u64> {
         self.authorize(client, cap, OpMask::WRITE)?;
         // Pre-flight the object so a bad id fails before moving data.
         let container = self.store.container_of(oid)?;
         if container != cap.container() {
             return Err(Error::AccessDenied);
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.stage("authorize");
         }
         let now = self.clock.now();
         let mut moved: u64 = 0;
@@ -446,22 +563,33 @@ impl StorageServer {
                 None => {
                     // Pool exhausted: reject; the client backs off and
                     // re-sends (flow control of §3.2).
-                    self.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.stats.busy_rejects.inc();
                     return Err(Error::ServerBusy);
                 }
             };
             // One-sided pull from the client's posted descriptor.
             let data = ep.get(requester, md.match_bits, moved, chunk)?;
             buf.as_mut_slice()[..chunk].copy_from_slice(&data);
-            let pre =
-                self.store.write(cap.container(), oid, offset + moved, &buf.as_slice()[..chunk], now)?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.stage("pull");
+            }
+            let pre = self.store.write(
+                cap.container(),
+                oid,
+                offset + moved,
+                &buf.as_slice()[..chunk],
+                now,
+            )?;
             if let Some(txn) = txn {
                 self.journal.stage(txn, UndoOp::UndoWrite(oid, pre))?;
             }
-            self.stats.bytes_pulled.fetch_add(chunk as u64, Ordering::Relaxed);
+            if let Some(t) = trace.as_deref_mut() {
+                t.stage("store_write");
+            }
+            self.stats.bytes_pulled.add(chunk as u64);
             moved += chunk as u64;
         }
-        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.writes.inc();
         Ok(moved)
     }
 
@@ -485,7 +613,7 @@ impl StorageServer {
             let mut buf = match self.pool.try_acquire() {
                 Some(b) => b,
                 None => {
-                    self.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                    self.stats.busy_rejects.inc();
                     return Err(Error::ServerBusy);
                 }
             };
@@ -495,13 +623,13 @@ impl StorageServer {
             }
             buf.as_mut_slice()[..data.len()].copy_from_slice(&data);
             ep.put(requester, md.match_bits, moved, &buf.as_slice()[..data.len()])?;
-            self.stats.bytes_pushed.fetch_add(data.len() as u64, Ordering::Relaxed);
+            self.stats.bytes_pushed.add(data.len() as u64);
             moved += data.len() as u64;
             if data.len() < chunk {
                 break;
             }
         }
-        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.reads.inc();
         Ok(moved)
     }
 
@@ -531,15 +659,15 @@ impl StorageServer {
             let chunk = (result.len() - moved).min(self.config.chunk_size);
             let buf = self.pool.try_acquire();
             if buf.is_none() {
-                self.stats.busy_rejects.fetch_add(1, Ordering::Relaxed);
+                self.stats.busy_rejects.inc();
                 return Err(Error::ServerBusy);
             }
             ep.put(requester, md.match_bits, moved as u64, &result[moved..moved + chunk])?;
             moved += chunk;
         }
-        self.stats.filtered_reads.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes_filtered.fetch_add(scanned, Ordering::Relaxed);
-        self.stats.bytes_pushed.fetch_add(result.len() as u64, Ordering::Relaxed);
+        self.stats.filtered_reads.inc();
+        self.stats.bytes_filtered.add(scanned);
+        self.stats.bytes_pushed.add(result.len() as u64);
         Ok((result.len() as u64, scanned))
     }
 }

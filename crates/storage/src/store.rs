@@ -61,12 +61,7 @@ impl ObjectStore {
     /// Create an object in `container`. A caller-chosen id (needed for
     /// deterministic restart layouts) collides with `ObjectExists` if
     /// taken; otherwise the store allocates the next id.
-    pub fn create(
-        &self,
-        container: ContainerId,
-        want: Option<ObjId>,
-        now: u64,
-    ) -> Result<ObjId> {
+    pub fn create(&self, container: ContainerId, want: Option<ObjId>, now: u64) -> Result<ObjId> {
         let mut st = self.state.lock();
         let oid = match want {
             Some(oid) => {
@@ -125,9 +120,7 @@ impl ObjectStore {
         data: &[u8],
         now: u64,
     ) -> Result<WritePreimage> {
-        let end = offset
-            .checked_add(data.len() as u64)
-            .ok_or(Error::ObjectTooLarge)?;
+        let end = offset.checked_add(data.len() as u64).ok_or(Error::ObjectTooLarge)?;
         if end > self.config.max_object_size {
             return Err(Error::ObjectTooLarge);
         }
@@ -221,11 +214,10 @@ impl ObjectStore {
                 continue;
             }
             if let Some(dir) = &self.config.backing_dir {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| Error::StorageIo(e.to_string()))?;
+                std::fs::create_dir_all(dir).map_err(|e| Error::StorageIo(e.to_string()))?;
                 let path = dir.join(format!("obj-{}.dat", id.0));
-                let mut f = std::fs::File::create(&path)
-                    .map_err(|e| Error::StorageIo(e.to_string()))?;
+                let mut f =
+                    std::fs::File::create(&path).map_err(|e| Error::StorageIo(e.to_string()))?;
                 f.write_all(&obj.data).map_err(|e| Error::StorageIo(e.to_string()))?;
                 f.sync_all().map_err(|e| Error::StorageIo(e.to_string()))?;
             }

@@ -9,8 +9,8 @@ use lwfs_auth::{AuthConfig, AuthService, ManualClock, MockKerberos};
 use lwfs_authz::{AuthzConfig, AuthzServer, AuthzService, CachedCapVerifier, CredVerifier};
 use lwfs_portals::{MdOptions, MemDesc, Network, RpcClient, BULK_SPACE};
 use lwfs_proto::{
-    Capability, CapabilityBody, ContainerId, Error, Lifetime, MdHandle, ObjId, OpMask,
-    PrincipalId, ProcessId, ReplyBody, RequestBody, Signature, TxnId,
+    Capability, CapabilityBody, ContainerId, Error, Lifetime, MdHandle, ObjId, OpMask, PrincipalId,
+    ProcessId, ReplyBody, RequestBody, Signature, TxnId,
 };
 use lwfs_storage::{StorageConfig, StorageServer};
 
@@ -32,13 +32,8 @@ fn open_cap(container: ContainerId, ops: OpMask) -> Capability {
 fn boot_open() -> (Network, lwfs_storage::server::StorageHandle, Arc<StorageServer>) {
     let net = Network::default();
     let clock = Arc::new(ManualClock::new());
-    let (handle, server) = StorageServer::spawn(
-        &net,
-        ProcessId::new(50, 0),
-        StorageConfig::default(),
-        None,
-        clock,
-    );
+    let (handle, server) =
+        StorageServer::spawn(&net, ProcessId::new(50, 0), StorageConfig::default(), None, clock);
     (net, handle, server)
 }
 
@@ -51,6 +46,7 @@ fn create_obj(client: &RpcClient<'_>, srv: ProcessId, cap: Capability) -> ObjId 
 
 /// Client-side write: post an MD with the payload, send the small request,
 /// let the server pull.
+#[allow(clippy::too_many_arguments)]
 fn write_obj(
     client: &RpcClient<'_>,
     ep: &lwfs_portals::Endpoint,
@@ -62,8 +58,7 @@ fn write_obj(
     txn: Option<TxnId>,
 ) -> Result<u64, Error> {
     let mb = ep.match_bits().alloc(BULK_SPACE);
-    ep.post_md(mb, MemDesc::from_vec(payload.to_vec(), MdOptions::for_remote_get()))
-        .unwrap();
+    ep.post_md(mb, MemDesc::from_vec(payload.to_vec(), MdOptions::for_remote_get())).unwrap();
     let r = client.call_retrying(
         srv,
         RequestBody::Write {
@@ -284,9 +279,7 @@ fn commit_without_prepare_is_rejected() {
     let client = RpcClient::new(&ep);
     let cap = open_cap(ContainerId(1), OpMask::ALL);
     let txn = TxnId(8);
-    client
-        .call(handle.id(), RequestBody::CreateObj { txn: Some(txn), cap, obj: None })
-        .unwrap();
+    client.call(handle.id(), RequestBody::CreateObj { txn: Some(txn), cap, obj: None }).unwrap();
     assert!(matches!(
         client.call(handle.id(), RequestBody::TxnCommit { txn }).unwrap_err(),
         Error::Internal(_)
@@ -373,8 +366,7 @@ fn enforcement_with_live_authorization_service() {
     // inside ModPolicy handling, so it has already happened; this is just
     // paranoia against scheduler jitter).
     std::thread::sleep(Duration::from_millis(10));
-    let err =
-        write_obj(&client, &ep, storage_id, write_cap, oid, 0, b"revoked", None).unwrap_err();
+    let err = write_obj(&client, &ep, storage_id, write_cap, oid, 0, b"revoked", None).unwrap_err();
     assert!(
         err == Error::BadCapability || err == Error::CapabilityRevoked,
         "expected security refusal, got {err:?}"

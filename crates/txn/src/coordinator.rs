@@ -9,6 +9,8 @@
 //! participants number O(m) (storage/naming servers touched), never O(n),
 //! in keeping with the scalability rules of §2.3.
 
+use std::time::Instant;
+
 use lwfs_portals::RpcClient;
 use lwfs_proto::{Error, ProcessId, ReplyBody, RequestBody, Result, TxnId};
 
@@ -18,7 +20,9 @@ pub enum TxnOutcome {
     Committed,
     /// Aborted, with the participants (if any) whose "no" votes or errors
     /// caused it.
-    Aborted { no_votes: Vec<ProcessId> },
+    Aborted {
+        no_votes: Vec<ProcessId>,
+    },
 }
 
 impl TxnOutcome {
@@ -55,18 +59,24 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
     ///
     /// Any participant voting no — or any transport error during phase 1 —
     /// aborts the whole transaction at every participant.
+    ///
+    /// Each run is traced on the fabric registry under op `txn` (keyed by
+    /// the transaction id): a `prepare` span covering phase 1, a `commit`
+    /// span covering phase 2, and the end-to-end total — which feed the
+    /// `txn.prepare_ns` / `txn.commit_ns` / `txn.total_ns` histograms.
     pub fn commit(&self, txn: TxnId) -> Result<TxnOutcome> {
+        let obs = self.client.endpoint().obs();
+        let mut trace = obs.trace(txn.0, "txn");
         let mut no_votes = Vec::new();
         for p in &self.participants {
             match self.client.call(*p, RequestBody::TxnPrepare { txn }) {
                 Ok(ReplyBody::TxnVote(true)) => {}
                 Ok(ReplyBody::TxnVote(false)) => no_votes.push(*p),
-                Ok(other) => {
-                    return Err(Error::Internal(format!("bad prepare reply {other:?}")))
-                }
+                Ok(other) => return Err(Error::Internal(format!("bad prepare reply {other:?}"))),
                 Err(_) => no_votes.push(*p),
             }
         }
+        trace.stage("prepare");
 
         if no_votes.is_empty() {
             for p in &self.participants {
@@ -80,9 +90,15 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
                     Err(e) => return Err(e),
                 }
             }
+            trace.stage("commit");
+            obs.counter("txn.commits").inc();
+            trace.finish();
             Ok(TxnOutcome::Committed)
         } else {
+            // Abort latency and the abort count are recorded by `abort`
+            // itself; the trace still captures the end-to-end total.
             self.abort(txn)?;
+            trace.finish();
             Ok(TxnOutcome::Aborted { no_votes })
         }
     }
@@ -90,11 +106,15 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
     /// Abort `txn` at every participant (also used directly by clients that
     /// hit an error before commit).
     pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let obs = self.client.endpoint().obs();
+        let start = Instant::now();
         for p in &self.participants {
             // Best effort: an unreachable participant holds no prepared
             // state we committed to, and presumed-abort cleans it up.
             let _ = self.client.call(*p, RequestBody::TxnAbort { txn });
         }
+        obs.histogram("txn.abort_ns").record_duration(start.elapsed());
+        obs.counter("txn.aborts").inc();
         Ok(())
     }
 }
@@ -217,6 +237,30 @@ mod tests {
         coord.enlist(ProcessId::new(2, 0));
         coord.enlist(ProcessId::new(1, 0));
         assert_eq!(coord.participants().len(), 2);
+    }
+
+    #[test]
+    fn phase_latencies_and_outcomes_feed_registry() {
+        let net = Network::default();
+        let (h1, _c1) = spawn_participant(&net, 1, true);
+        let ep = net.register(ProcessId::new(0, 0));
+        let client = RpcClient::new(&ep);
+        let coord = Coordinator::new(&client, vec![h1.id()]);
+        coord.commit(TxnId(1)).unwrap();
+        let snap = net.obs().snapshot();
+        assert_eq!(snap.counter("txn.commits"), Some(1));
+        assert_eq!(snap.histogram("txn.prepare_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("txn.commit_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("txn.total_ns").unwrap().count, 1);
+
+        let (h2, _c2) = spawn_participant(&net, 2, false);
+        let coord = Coordinator::new(&client, vec![h1.id(), h2.id()]);
+        assert!(!coord.commit(TxnId(2)).unwrap().is_committed());
+        let snap = net.obs().snapshot();
+        assert_eq!(snap.counter("txn.aborts"), Some(1));
+        assert_eq!(snap.histogram("txn.abort_ns").unwrap().count, 1);
+        h1.shutdown();
+        h2.shutdown();
     }
 
     #[test]

@@ -42,11 +42,8 @@ impl TxnLockServer {
         security: Option<LockSecurity>,
     ) -> (ServiceHandle, Arc<LockTable>) {
         let locks = Arc::new(LockTable::new());
-        let svc = TxnLockServer {
-            locks: Arc::clone(&locks),
-            next_txn: AtomicU64::new(1),
-            security,
-        };
+        let svc =
+            TxnLockServer { locks: Arc::clone(&locks), next_txn: AtomicU64::new(1), security };
         (spawn_service(net, id, svc), locks)
     }
 
@@ -227,13 +224,11 @@ mod tests {
 
         // Releasing with the wrong owner fails, right owner succeeds.
         assert_eq!(
-            c2.call(h.id(), RequestBody::LockRelease { cap: lock_cap(), lock: id })
-                .unwrap_err(),
+            c2.call(h.id(), RequestBody::LockRelease { cap: lock_cap(), lock: id }).unwrap_err(),
             Error::AccessDenied
         );
         assert_eq!(
-            c1.call(h.id(), RequestBody::LockRelease { cap: lock_cap(), lock: id })
-                .unwrap(),
+            c1.call(h.id(), RequestBody::LockRelease { cap: lock_cap(), lock: id }).unwrap(),
             ReplyBody::LockReleased
         );
         assert_eq!(locks.held_count(), 0);
@@ -249,8 +244,8 @@ mod tests {
 
         let ep1 = net.register(ProcessId::new(1, 0));
         let c1 = RpcClient::new(&ep1);
-        let id = acquire_lock_waiting(&c1, server, lock_cap(), res, LockMode::Exclusive, 5)
-            .unwrap();
+        let id =
+            acquire_lock_waiting(&c1, server, lock_cap(), res, LockMode::Exclusive, 5).unwrap();
 
         let net2 = net.clone();
         let waiter = std::thread::spawn(move || {

@@ -49,9 +49,7 @@ impl AccessPattern {
             }
             AccessPattern::Strided { base, record, stride, count } => {
                 assert!(*stride >= *record, "records must not overlap");
-                (0..*count)
-                    .map(|i| IoOp { offset: base + i * stride, len: *record })
-                    .collect()
+                (0..*count).map(|i| IoOp { offset: base + i * stride, len: *record }).collect()
             }
             AccessPattern::Random { span, record, count } => {
                 assert!(*span >= *record && *record > 0);

@@ -22,12 +22,7 @@ pub struct CheckpointWorkload {
 impl CheckpointWorkload {
     /// The paper's configuration: 512 MB per process.
     pub fn paper(ranks: usize) -> Self {
-        Self {
-            ranks,
-            bytes_per_rank: 512 * 1_000_000,
-            compute_ns: 60 * 1_000_000_000,
-            epochs: 1,
-        }
+        Self { ranks, bytes_per_rank: 512 * 1_000_000, compute_ns: 60 * 1_000_000_000, epochs: 1 }
     }
 
     /// A scaled-down variant for functional-plane tests (same shape,
@@ -46,9 +41,8 @@ impl CheckpointWorkload {
     /// mix-ups.
     pub fn state(&self, rank: usize, epoch: u64) -> Vec<u8> {
         let len = usize::try_from(self.bytes_per_rank).expect("state fits in memory");
-        let seed = (rank as u64).wrapping_mul(0x9E37_79B9)
-            ^ epoch.wrapping_mul(0x85EB_CA6B)
-            ^ 0xC2B2_AE35;
+        let seed =
+            (rank as u64).wrapping_mul(0x9E37_79B9) ^ epoch.wrapping_mul(0x85EB_CA6B) ^ 0xC2B2_AE35;
         let mut x = seed | 1;
         (0..len)
             .map(|_| {

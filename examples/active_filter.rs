@@ -35,10 +35,8 @@ fn f32s(vals: &[f32]) -> Vec<u8> {
 }
 
 fn main() -> Result<(), Error> {
-    let cluster = LwfsCluster::boot(ClusterConfig {
-        storage_servers: SERVERS,
-        ..Default::default()
-    });
+    let cluster =
+        LwfsCluster::boot(ClusterConfig { storage_servers: SERVERS, ..Default::default() });
     let mut client = cluster.client(0, 0);
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     client.get_cred(ticket)?;

@@ -25,8 +25,7 @@ fn main() -> Result<(), Error> {
     // Capabilities are fully transferable (§3.1.2): alice hands a
     // read+write subset to a collaborator process that never talked to
     // the authentication service at all.
-    let deleg_caps: CapSet = alice
-        .get_caps(cid, OpMask::READ | OpMask::WRITE)?;
+    let deleg_caps: CapSet = alice.get_caps(cid, OpMask::READ | OpMask::WRITE)?;
     let wire = deleg_caps.to_wire();
 
     let bob = cluster.client(1, 0); // unauthenticated!

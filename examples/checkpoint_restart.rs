@@ -25,10 +25,8 @@ fn compute_step(state: &mut [u8], epoch: u64) {
 }
 
 fn main() {
-    let cluster = Arc::new(LwfsCluster::boot(ClusterConfig {
-        storage_servers: 4,
-        ..Default::default()
-    }));
+    let cluster =
+        Arc::new(LwfsCluster::boot(ClusterConfig { storage_servers: 4, ..Default::default() }));
 
     // MAIN() of Figure 8, rank 0: GETCREDS, CREATECONTAINER, GETCAPS.
     let mut rank0 = cluster.client(0, 0);
@@ -61,8 +59,7 @@ fn main() {
                     client.adopt_cred(Credential::from_bytes(wire).unwrap());
                     client.scatter_caps(&group, rank, 0, 901, None).unwrap()
                 };
-                let ck =
-                    LwfsCheckpointer::new(&client, group.clone(), rank, caps, "/ckpt/demo");
+                let ck = LwfsCheckpointer::new(&client, group.clone(), rank, caps, "/ckpt/demo");
 
                 // while not done: state ← COMPUTE(); CHECKPOINT(state …)
                 let mut state = vec![rank as u8; STATE_BYTES];

@@ -33,10 +33,8 @@ fn f32s(vals: &[f32]) -> Vec<u8> {
 }
 
 fn main() {
-    let cluster = Arc::new(LwfsCluster::boot(ClusterConfig {
-        storage_servers: RANKS,
-        ..Default::default()
-    }));
+    let cluster =
+        Arc::new(LwfsCluster::boot(ClusterConfig { storage_servers: RANKS, ..Default::default() }));
     let mut owner = cluster.client(99, 0);
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     owner.get_cred(ticket).unwrap();

@@ -29,7 +29,8 @@ fn main() -> Result<(), Error> {
     // 3. Create a container — the unit of access control — and acquire
     //    capabilities for the operations we need.
     let cid = client.create_container()?;
-    let caps = client.get_caps(cid, OpMask::CREATE | OpMask::WRITE | OpMask::READ | OpMask::GETATTR)?;
+    let caps =
+        client.get_caps(cid, OpMask::CREATE | OpMask::WRITE | OpMask::READ | OpMask::GETATTR)?;
     println!("container {cid} with capabilities {:?}", caps.ops());
 
     // 4. Create an object on storage server 0 and write to it. The write

@@ -69,7 +69,12 @@ fn main() {
                 client.sync(w, &caps, Some(obj)).unwrap();
                 // Register the gather under a survey path.
                 client
-                    .name_create(None, &format!("/survey/gather{w:03}"), caps.container().unwrap(), obj)
+                    .name_create(
+                        None,
+                        &format!("/survey/gather{w:03}"),
+                        caps.container().unwrap(),
+                        obj,
+                    )
                     .unwrap();
                 println!(
                     "writer {w}: {} traces -> server {w} ({} KiB)",

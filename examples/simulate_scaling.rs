@@ -13,7 +13,10 @@ fn main() {
     let calib = Calibration::default();
 
     println!("== dev cluster (the paper's testbed), 512 MB/process ==");
-    println!("{:>8} {:>12} {:>26} {:>26} {:>26}", "clients", "servers", "lwfs MB/s", "fpp MB/s", "shared MB/s");
+    println!(
+        "{:>8} {:>12} {:>26} {:>26} {:>26}",
+        "clients", "servers", "lwfs MB/s", "fpp MB/s", "shared MB/s"
+    );
     for &servers in &[4usize, 16] {
         for &clients in &[4usize, 16, 64] {
             let run = |impl_kind| {

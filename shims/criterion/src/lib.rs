@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`throughput`, `Bencher::iter`,
+//! `iter_batched`, `criterion_group!`, `criterion_main!` — backed by a
+//! simple median-of-runs timer. When invoked with `--test` (as `cargo
+//! test` does for `harness = false` bench targets) each benchmark body
+//! runs once, so benches act as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// How work is batched for `iter_batched`; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median nanoseconds per iteration from the last `iter` call.
+    last_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            std::hint::black_box(routine());
+            self.last_ns = None;
+            return;
+        }
+        // Warm up, then time a few batches and keep the median.
+        let mut iters = 1u64;
+        let warmup_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warmup_deadline {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let per_batch = iters.clamp(1, 10_000);
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = Some(samples[samples.len() / 2]);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            std::hint::black_box(routine(setup()));
+            self.last_ns = None;
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { sample_size: 15, warm_up_time: Duration::from_millis(50), test_mode }
+    }
+}
+
+/// Benchmark driver; collects and prints one line per benchmark.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { config: Config::from_args() }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.config.warm_up_time = t;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, id.as_ref(), None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { config: &self.config, name: name.as_ref().to_string(), throughput: None }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Config,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher { config, last_ns: None };
+    f(&mut b);
+    match b.last_ns {
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Bytes(bytes)) | Some(Throughput::BytesDecimal(bytes)) => {
+                    let gib_s = bytes as f64 / ns * 1e9 / (1u64 << 30) as f64;
+                    format!("  {gib_s:8.3} GiB/s")
+                }
+                Some(Throughput::Elements(n)) => {
+                    let elem_s = n as f64 / ns * 1e9;
+                    format!("  {elem_s:12.0} elem/s")
+                }
+                None => String::new(),
+            };
+            println!("bench {id:<40} {ns:12.1} ns/iter{rate}");
+        }
+        None => println!("bench {id:<40} ok (test mode)"),
+    }
+}
+
+/// Grouped benchmarks sharing a name prefix and optional throughput.
+pub struct BenchmarkGroup<'a> {
+    config: &'a Config,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(self.config, &full, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export used by some call sites; `std::hint::black_box` works too.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("x", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default().sample_size(3).warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

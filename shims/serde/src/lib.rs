@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only as derive annotations on protocol
+//! types; nothing ever serializes through it. `Serialize` and
+//! `Deserialize` are therefore plain marker traits, and the `derive`
+//! feature re-exports the no-op derives from the `serde_derive` shim.
+
+/// Marker for types annotated `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker for types annotated `#[derive(Deserialize)]`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! annotations — no serializer is ever instantiated — so these derives
+//! expand to empty impls of the marker traits in the `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// Extract the identifier of the type a derive is attached to.
+///
+/// Scans past attributes, visibility, and the struct/enum/union keyword;
+/// the next identifier is the type name. This is enough for the simple
+/// data types the workspace derives on.
+fn type_ident(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Collect generic parameter names (e.g. `T`, `U`) so the emitted impl
+/// can repeat them. Lifetimes and bounds are not supported — the
+/// workspace only derives on concrete types.
+fn emit_marker_impls(input: TokenStream, trait_name: &str) -> TokenStream {
+    match type_ident(&input) {
+        Some(name) => format!("impl serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit_marker_impls(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit_marker_impls(input, "Deserialize")
+}

@@ -62,10 +62,7 @@ fn operations_fail_fast_while_partitioned_and_recover_after_heal() {
     let mut plan = FaultPlan::default();
     plan.partitioned.insert(cluster.addrs().storage[0].nid);
     cluster.network().set_faults(plan);
-    assert_eq!(
-        client.write(0, &caps, None, obj, 0, b"blocked").unwrap_err(),
-        Error::Unreachable
-    );
+    assert_eq!(client.write(0, &caps, None, obj, 0, b"blocked").unwrap_err(), Error::Unreachable);
 
     cluster.network().heal();
     client.write(0, &caps, None, obj, 0, b"healed!").unwrap();

@@ -31,20 +31,11 @@ fn threshold_filter_returns_only_events() {
     client.write(0, &caps, None, obj, 0, &f32s(&trace)).unwrap();
 
     let (result, scanned) = client
-        .read_filtered(
-            0,
-            &caps,
-            obj,
-            0,
-            trace.len() * 4,
-            FilterSpec::Threshold { min_abs: 1.0 },
-        )
+        .read_filtered(0, &caps, obj, 0, trace.len() * 4, FilterSpec::Threshold { min_abs: 1.0 })
         .unwrap();
     assert_eq!(scanned, trace.len() as u64 * 4);
-    let events: Vec<f32> = result
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let events: Vec<f32> =
+        result.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
     assert_eq!(events, vec![8.5, -9.25]);
 }
 
@@ -62,9 +53,8 @@ fn filtering_moves_less_than_a_full_read() {
     assert_eq!(full.len(), 400_000);
 
     stats.reset();
-    let (result, scanned) = client
-        .read_filtered(0, &caps, obj, 0, trace.len() * 4, FilterSpec::Stats)
-        .unwrap();
+    let (result, scanned) =
+        client.read_filtered(0, &caps, obj, 0, trace.len() * 4, FilterSpec::Stats).unwrap();
     let filtered_bytes = stats.bytes.load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(result.len(), 16);
     assert_eq!(scanned, 400_000);
@@ -81,9 +71,8 @@ fn stats_filter_computes_reduction() {
     let values = [3.0f32, -1.0, 4.0, 1.5, -9.25];
     client.write(0, &caps, None, obj, 0, &f32s(&values)).unwrap();
 
-    let (block, _) = client
-        .read_filtered(0, &caps, obj, 0, values.len() * 4, FilterSpec::Stats)
-        .unwrap();
+    let (block, _) =
+        client.read_filtered(0, &caps, obj, 0, values.len() * 4, FilterSpec::Stats).unwrap();
     let (min, max, sum, count) = decode_stats(&block).unwrap();
     assert_eq!(min, -9.25);
     assert_eq!(max, 4.0);
@@ -100,10 +89,8 @@ fn subsample_filter_decimates_on_the_server() {
     let (result, _) = client
         .read_filtered(0, &caps, obj, 0, 4000, FilterSpec::Subsample { stride: 100 })
         .unwrap();
-    let decimated: Vec<f32> = result
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let decimated: Vec<f32> =
+        result.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
     assert_eq!(decimated, (0..10).map(|i| (i * 100) as f32).collect::<Vec<_>>());
 }
 
@@ -120,8 +107,6 @@ fn filtered_read_requires_a_read_capability() {
 
     // Write-only capabilities cannot run filters.
     let write_only = client.get_caps(cid, OpMask::WRITE).unwrap();
-    let err = client
-        .read_filtered(0, &write_only, obj, 0, 8, FilterSpec::Stats)
-        .unwrap_err();
+    let err = client.read_filtered(0, &write_only, obj, 0, 8, FilterSpec::Stats).unwrap_err();
     assert_eq!(err, Error::AccessDenied);
 }

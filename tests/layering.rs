@@ -36,8 +36,8 @@ fn pfs_files_are_ordinary_lwfs_objects_underneath() {
         {
             let f2 = pfs_client.open("/layered", OpenMode::Private).unwrap();
             let _ = f2; // layout identical; fetch caps from a fresh open
-            // The public PfsFile API doesn't expose caps; go through the
-            // authorization service as the owner instead:
+                        // The public PfsFile API doesn't expose caps; go through the
+                        // authorization service as the owner instead:
             cluster
                 .lwfs()
                 .authz_service()
@@ -94,7 +94,7 @@ fn checkpoint_library_is_backend_agnostic() {
             group.clone(),
             0,
             style,
-            &format!("/agnostic-{}", style.label()),
+            format!("/agnostic-{}", style.label()),
             2,
             16 * 1024,
         );

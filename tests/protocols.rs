@@ -145,9 +145,7 @@ fn rule3_revocation_is_the_only_om_broadcast_and_it_is_bounded_by_m() {
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     client.get_cred(ticket).unwrap();
     let cid = client.create_container().unwrap();
-    let caps = client
-        .get_caps(cid, OpMask::CREATE | OpMask::WRITE | OpMask::ADMIN)
-        .unwrap();
+    let caps = client.get_caps(cid, OpMask::CREATE | OpMask::WRITE | OpMask::ADMIN).unwrap();
 
     // Cache the write capability at only two of the four servers.
     for server in 0..2 {

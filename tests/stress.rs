@@ -16,10 +16,8 @@ const OPS_PER_THREAD: usize = 200;
 
 #[test]
 fn randomized_object_ops_match_shadow_model() {
-    let cluster = Arc::new(LwfsCluster::boot(ClusterConfig {
-        storage_servers: 3,
-        ..Default::default()
-    }));
+    let cluster =
+        Arc::new(LwfsCluster::boot(ClusterConfig { storage_servers: 3, ..Default::default() }));
     let mut owner = cluster.client(99, 0);
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     owner.get_cred(ticket).unwrap();
@@ -55,9 +53,7 @@ fn randomized_object_ops_match_shadow_model() {
                             let len = rng.gen_range(1..512usize);
                             let data: Vec<u8> =
                                 (0..len).map(|i| ((op * 31 + i) % 251) as u8).collect();
-                            client
-                                .write(key.0, &caps, None, key.1, offset, &data)
-                                .unwrap();
+                            client.write(key.0, &caps, None, key.1, offset, &data).unwrap();
                             let entry = shadow.get_mut(&key).unwrap();
                             let end = offset as usize + len;
                             if entry.len() < end {
@@ -69,9 +65,8 @@ fn randomized_object_ops_match_shadow_model() {
                         65..=89 if !live.is_empty() => {
                             let key = live[rng.gen_range(0..live.len())];
                             let expect = &shadow[&key];
-                            let got = client
-                                .read(key.0, &caps, key.1, 0, expect.len().max(1))
-                                .unwrap();
+                            let got =
+                                client.read(key.0, &caps, key.1, 0, expect.len().max(1)).unwrap();
                             assert_eq!(&got, expect, "thread {t} op {op} object {key:?}");
                         }
                         // Remove (10%).
@@ -91,9 +86,7 @@ fn randomized_object_ops_match_shadow_model() {
                 }
                 // Final sweep: every surviving object matches its shadow.
                 for (key, expect) in &shadow {
-                    let got = client
-                        .read(key.0, &caps, key.1, 0, expect.len().max(1))
-                        .unwrap();
+                    let got = client.read(key.0, &caps, key.1, 0, expect.len().max(1)).unwrap();
                     assert_eq!(&got, expect, "final sweep, thread {t}, object {key:?}");
                 }
                 shadow.len()
@@ -104,8 +97,7 @@ fn randomized_object_ops_match_shadow_model() {
     let survivors: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
     // Every thread's surviving objects are accounted for on the servers
     // (threads never touch each other's objects).
-    let stored: usize =
-        (0..3).map(|i| cluster.storage_server(i).store().object_count()).sum();
+    let stored: usize = (0..3).map(|i| cluster.storage_server(i).store().object_count()).sum();
     assert_eq!(stored, survivors);
     // The capability cache absorbed the whole run: a handful of misses
     // (one per (server, capability) pair), thousands of hits.
@@ -123,10 +115,8 @@ fn randomized_concurrent_transactions_are_atomic() {
     // Threads run small transactions (create + writes) and randomly commit
     // or abort; afterwards every committed object is intact and every
     // aborted one is gone.
-    let cluster = Arc::new(LwfsCluster::boot(ClusterConfig {
-        storage_servers: 2,
-        ..Default::default()
-    }));
+    let cluster =
+        Arc::new(LwfsCluster::boot(ClusterConfig { storage_servers: 2, ..Default::default() }));
     let mut owner = cluster.client(99, 0);
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     owner.get_cred(ticket).unwrap();
@@ -152,9 +142,7 @@ fn randomized_concurrent_transactions_are_atomic() {
                     let server = rng.gen_range(0..2);
                     let obj = client.create_obj(server, &caps, Some(txn), None).unwrap();
                     let payload = format!("t{t}-i{i}");
-                    client
-                        .write(server, &caps, Some(txn), obj, 0, payload.as_bytes())
-                        .unwrap();
+                    client.write(server, &caps, Some(txn), obj, 0, payload.as_bytes()).unwrap();
                     let participants = vec![cluster.addrs().storage[server]];
                     if rng.gen_bool(0.5) {
                         let out = client.txn_commit(txn, participants).unwrap();
@@ -193,10 +181,7 @@ fn rpc_storm_under_message_loss_converges() {
     // every operation, and the final state is exact.
     use lwfs::portals::FaultPlan;
 
-    let cluster = LwfsCluster::boot(ClusterConfig {
-        storage_servers: 1,
-        ..Default::default()
-    });
+    let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: 1, ..Default::default() });
     let mut client = cluster.client(0, 0);
     let ticket = cluster.kdc().kinit("app", "secret").unwrap();
     client.get_cred(ticket).unwrap();
