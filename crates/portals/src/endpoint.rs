@@ -61,6 +61,16 @@ impl Endpoint {
         MatchBitsAlloc { counter: &self.net.match_alloc }
     }
 
+    /// This endpoint's shared operation-number allocator.
+    ///
+    /// Threads sharing one endpoint (e.g. a storage server's worker pool)
+    /// each build an RPC client around this counter so that operation
+    /// numbers are unique endpoint-wide and a reply can only ever match
+    /// the call that issued it.
+    pub fn opnum_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.state.opnums)
+    }
+
     // ------------------------------------------------------------------
     // Memory descriptors
     // ------------------------------------------------------------------

@@ -41,6 +41,18 @@ impl<'a> RpcClient<'a> {
         Self::with_counter(ep, Arc::new(AtomicU64::new(1)))
     }
 
+    /// Build a client drawing opnums from the endpoint's shared allocator.
+    ///
+    /// This is the constructor for threads that share one endpoint —
+    /// every `shared` client over the same endpoint allocates from one
+    /// counter, so concurrent calls from a worker pool can never collide
+    /// on an opnum and replies always match the issuing call. (Two plain
+    /// [`new`](Self::new) clients over one endpoint both start at opnum 1
+    /// and *would* cross-match.)
+    pub fn shared(ep: &'a Endpoint) -> Self {
+        Self::with_counter(ep, ep.opnum_counter())
+    }
+
     /// Build a client around an externally owned opnum counter.
     ///
     /// A long-lived client object that constructs short-lived `RpcClient`s
@@ -290,6 +302,31 @@ mod tests {
         assert_eq!(r2.unwrap(), ReplyBody::Pong);
         assert!(t.join().unwrap().is_ok());
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn shared_clients_draw_from_one_opnum_allocator() {
+        // Worker threads each build their own `RpcClient::shared` over the
+        // server endpoint; the per-endpoint counter guarantees their
+        // concurrent calls can never collide on an opnum (two `new`
+        // clients both start at 1 and would cross-match replies).
+        let net = Network::default();
+        let ep = net.register(ProcessId::new(0, 0));
+        let c1 = RpcClient::shared(&ep);
+        let c2 = RpcClient::shared(&ep);
+        let drawn: Vec<u64> = (0..6)
+            .map(|i| {
+                let c = if i % 2 == 0 { &c1 } else { &c2 };
+                c.next_opnum.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let mut unique = drawn.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), drawn.len(), "interleaved draws never repeat: {drawn:?}");
+        // A plain client keeps its private counter.
+        let private = RpcClient::new(&ep);
+        assert_eq!(private.next_opnum.load(Ordering::Relaxed), 1);
     }
 
     #[test]

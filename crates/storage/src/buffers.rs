@@ -6,6 +6,7 @@
 //! that cannot get a buffer wait in the queue or are rejected, and the
 //! *server* decides when each transfer proceeds (server-directed I/O).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lwfs_obs::Gauge;
@@ -16,8 +17,10 @@ pub struct PinnedBufferPool {
     buffer_size: usize,
     free: Mutex<Vec<Vec<u8>>>,
     total: usize,
-    /// Times a caller found the pool empty (a flow-control event).
-    exhausted: Mutex<u64>,
+    /// Times a caller found the pool empty (a flow-control event). A pure
+    /// counter on the hot acquire path shared by every worker — atomic,
+    /// not a lock.
+    exhausted: AtomicU64,
     /// Optional occupancy gauge (buffers checked out), updated on every
     /// acquire and release. Updates are additive (inc/dec, never set) so
     /// several pools sharing one fabric-level gauge aggregate correctly.
@@ -38,7 +41,7 @@ impl PinnedBufferPool {
             buffer_size,
             free: Mutex::new((0..count).map(|_| vec![0u8; buffer_size]).collect()),
             total: count,
-            exhausted: Mutex::new(0),
+            exhausted: AtomicU64::new(0),
             gauge,
         }
     }
@@ -57,7 +60,7 @@ impl PinnedBufferPool {
 
     /// Times acquisition failed because the pool was empty.
     pub fn exhaustion_count(&self) -> u64 {
-        *self.exhausted.lock()
+        self.exhausted.load(Ordering::Relaxed)
     }
 
     /// Try to take a buffer; `None` when the pool is exhausted.
@@ -71,7 +74,7 @@ impl PinnedBufferPool {
                 Some(PooledBuffer { pool: self, data: Some(data) })
             }
             None => {
-                *self.exhausted.lock() += 1;
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }

@@ -19,16 +19,22 @@
 //! * [`RequestScheduler`] — elevator reordering of independent queued
 //!   requests ("The server can also re-order independent requests to
 //!   improve access to the storage device", §3.2).
+//! * [`ConflictTracker`] / [`WorkQueue`] — the worker-pool dispatch layer:
+//!   a bounded FIFO hand-off from the dispatcher to N workers, with the
+//!   scheduler's dependency relation promoted into an in-flight tracker so
+//!   independent requests overlap and dependent ones keep release order.
 //! * [`StorageServer`] — the service: the RPC surface, the capability
 //!   cache, transaction participation (undo journals + 2PC votes).
 
 pub mod buffers;
+pub mod dispatch;
 pub mod filter;
 pub mod scheduler;
 pub mod server;
 pub mod store;
 
 pub use buffers::PinnedBufferPool;
+pub use dispatch::{AccessSummary, ConflictTracker, WorkQueue};
 pub use filter::{apply as apply_filter, decode_stats};
 pub use scheduler::RequestScheduler;
 pub use server::{StorageConfig, StorageServer, StorageStats};

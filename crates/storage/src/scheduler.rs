@@ -12,6 +12,8 @@
 
 use lwfs_proto::{ObjId, Request, RequestBody};
 
+use crate::dispatch::AccessSummary;
+
 /// A queued request with its arrival sequence.
 #[derive(Debug)]
 struct Queued {
@@ -30,23 +32,22 @@ fn data_key(req: &Request) -> Option<(ObjId, u64)> {
     }
 }
 
-fn range_of(req: &Request) -> Option<(ObjId, u64, u64, bool)> {
-    match &req.body {
-        RequestBody::Write { obj, offset, len, .. } => Some((*obj, *offset, *offset + *len, true)),
-        RequestBody::Read { obj, offset, len, .. } => Some((*obj, *offset, *offset + *len, false)),
-        _ => None,
-    }
+/// The byte range a data request touches, `None` for control requests.
+/// The end offset saturates: `offset + len` near `u64::MAX` must clamp,
+/// not wrap to a tiny value that would fake independence.
+pub fn range_of(req: &Request) -> Option<(ObjId, u64, u64, bool)> {
+    AccessSummary::of(req).range()
 }
 
-fn dependent(a: &Request, b: &Request) -> bool {
-    match (range_of(a), range_of(b)) {
-        (Some((oa, sa, ea, wa)), Some((ob, sb, eb, wb))) => {
-            oa == ob && sa < eb && sb < ea && (wa || wb)
-        }
-        // Control requests (create/remove/sync/…) are conservatively
-        // dependent on everything: they keep their arrival position.
-        _ => true,
-    }
+/// Are `a` and `b` dependent (same object, overlapping ranges, at least
+/// one write — control requests conservatively depend on everything)?
+///
+/// This is the one §3.2 dependency relation: the in-flight
+/// [`ConflictTracker`](crate::dispatch::ConflictTracker) delegates to the
+/// same [`AccessSummary::conflicts`], so elevator ordering and worker-pool
+/// serialization can never disagree.
+pub fn dependent(a: &Request, b: &Request) -> bool {
+    AccessSummary::of(a).conflicts(&AccessSummary::of(b))
 }
 
 /// The request scheduler.
@@ -216,6 +217,26 @@ mod tests {
         s.push(write_req(1, 0, 1));
         assert_eq!(s.drain_elevator().len(), 1);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn near_max_offset_does_not_wrap_dependency_detection() {
+        // Regression: `offset + len` used to wrap, so two writes straddling
+        // u64::MAX looked independent and could be reordered.
+        let near_end = write_req(1, u64::MAX - 1, 16);
+        let overlapping = write_req(1, u64::MAX - 8, 16);
+        assert!(dependent(&near_end, &overlapping), "saturated ranges must overlap");
+        let (_, start, end, write) = range_of(&near_end).unwrap();
+        assert_eq!(start, u64::MAX - 1);
+        assert_eq!(end, u64::MAX, "end saturates instead of wrapping");
+        assert!(write);
+
+        // And the scheduler keeps their arrival order.
+        let mut s = RequestScheduler::new();
+        s.push(write_req(1, u64::MAX - 1, 16));
+        s.push(write_req(1, u64::MAX - 8, 16));
+        let out = s.drain_elevator();
+        assert_eq!(offsets(&out), vec![(1, u64::MAX - 1), (1, u64::MAX - 8)]);
     }
 
     #[test]

@@ -3,18 +3,34 @@
 //!
 //! The server runs its own loop (rather than the generic service runner)
 //! so it can drain bursts of queued requests and release them through the
-//! elevator [`RequestScheduler`]. Each data request then moves its bulk
-//! payload with one-sided operations against the *client's* pinned memory
-//! descriptor, staged through the server's bounded [`PinnedBufferPool`] —
-//! the complete Figure 6 pipeline:
+//! elevator [`RequestScheduler`]. The loop is a **pipelined dispatcher**:
+//! the main thread keeps receiving and batching while a pool of worker
+//! threads runs the full authorize → pull/push → store → reply path, so
+//! independent requests overlap. Dependent requests (same object,
+//! overlapping ranges, ≥1 write — the scheduler's own relation) are held
+//! back by the in-flight [`ConflictTracker`] and still execute in release
+//! order. Each data request moves its bulk payload with one-sided
+//! operations against the *client's* pinned memory descriptor, staged
+//! through the server's bounded [`PinnedBufferPool`] — the complete
+//! Figure 6 pipeline:
 //!
 //! ```text
-//! client: post MD, send small request ─▶ server queue
-//! server: authorize (cap cache / verify-through)
-//!         for each chunk: acquire pinned buffer, GET from client MD,
-//!                         write to object store, release buffer
-//!         reply WriteDone
+//! client:     post MD, send small request ─▶ server queue
+//! dispatcher: drain burst, elevator-order, ticket, hand to workers
+//! worker i:   wait for conflicting earlier tickets (usually none)
+//!             authorize (cap cache / verify-through)
+//!             for each chunk: acquire pinned buffer, GET from client MD,
+//!                             write to object store, release buffer
+//!             reply WriteDone
 //! ```
+//!
+//! With `workers = 1` the pipeline degenerates to exactly the serial
+//! paper-faithful loop: one consumer draining a FIFO of elevator-ordered
+//! tickets. The [`PinnedBufferPool`] stays the admission throttle — more
+//! workers than buffers just means more `ServerBusy` rejections, and the
+//! bounded job queue blocks the dispatcher so the transport's eager queue
+//! (and ultimately the §3.2 client back-off loop) still provides
+//! end-to-end flow control.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,6 +49,7 @@ use lwfs_proto::{
 use lwfs_txn::JournalStore;
 
 use crate::buffers::PinnedBufferPool;
+use crate::dispatch::{AccessSummary, ConflictTracker, WorkQueue};
 use crate::scheduler::RequestScheduler;
 use crate::store::{ObjectStore, StoreConfig, WritePreimage};
 
@@ -50,6 +67,10 @@ pub struct StorageConfig {
     /// operation through the authorization service. Quantifies what the
     /// §3.1.2 caching scheme buys (see the `ablation` harness).
     pub verify_every_op: bool,
+    /// Worker threads running the authorize → transfer → store → reply
+    /// path. `1` reproduces the serial paper-faithful loop exactly;
+    /// the default matches the host's available parallelism.
+    pub workers: usize,
     /// Object-store configuration.
     pub store: StoreConfig,
 }
@@ -61,6 +82,7 @@ impl Default for StorageConfig {
             pool_buffers: 8,
             batch_limit: 64,
             verify_every_op: false,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             store: StoreConfig::default(),
         }
     }
@@ -94,6 +116,9 @@ pub struct StorageStats {
     pub txn_commits: Arc<Counter>,
     pub txn_aborts: Arc<Counter>,
     pub batches: Arc<Counter>,
+    /// Times a worker had to wait for an earlier conflicting in-flight
+    /// request before executing (the serialization cost of dependence).
+    pub conflict_defers: Arc<Counter>,
 }
 
 impl Default for StorageStats {
@@ -120,6 +145,7 @@ impl StorageStats {
             txn_commits: registry.counter("storage.txn_commits"),
             txn_aborts: registry.counter("storage.txn_aborts"),
             batches: registry.counter("storage.batches"),
+            conflict_defers: registry.counter("storage.conflict_defer"),
         }
     }
 
@@ -145,6 +171,14 @@ fn op_label(body: &RequestBody) -> &'static str {
         RequestBody::TxnAbort { .. } => "storage.txn_abort",
         _ => "storage.other",
     }
+}
+
+/// One unit of work handed from the dispatcher to the worker pool: the
+/// request, its conflict-ordering ticket, and its in-progress trace.
+struct Job<'s> {
+    ticket: u64,
+    req: Request,
+    trace: Option<OpTrace<'s>>,
 }
 
 /// Undo journal entries for transactional rollback (§3.4).
@@ -264,17 +298,44 @@ impl StorageServer {
     }
 
     // ------------------------------------------------------------------
-    // Main loop
+    // Main loop: pipelined dispatcher + worker pool
     // ------------------------------------------------------------------
 
     fn run(&self, ep: Endpoint, stop: Arc<AtomicBool>) {
-        let client = RpcClient::new(&ep);
+        let workers = self.config.workers.max(1);
+        // Bounded hand-off: when workers fall behind, the dispatcher blocks
+        // here, the transport's eager queue fills, and clients see
+        // `ServerBusy` — the §3.2 back-pressure chain, undisturbed.
+        let queue: WorkQueue<Job<'_>> =
+            WorkQueue::bounded(self.config.batch_limit.max(workers * 2));
+        let tracker = ConflictTracker::new();
+        std::thread::scope(|s| {
+            for idx in 0..workers {
+                let (ep, queue, tracker) = (&ep, &queue, &tracker);
+                s.spawn(move || self.worker_loop(idx, ep, queue, tracker));
+            }
+            self.dispatch_loop(&ep, &queue, &tracker, &stop);
+            // Stop: let the workers drain what was already dispatched.
+            queue.close();
+        });
+    }
+
+    /// The dispatcher: receive, batch, elevator-order, ticket, hand off.
+    fn dispatch_loop<'s>(
+        &'s self,
+        ep: &Endpoint,
+        queue: &WorkQueue<Job<'s>>,
+        tracker: &ConflictTracker,
+        stop: &AtomicBool,
+    ) {
         let mut scheduler = RequestScheduler::new();
         // Per-request traces started at arrival, so `queue_wait` (and the
         // end-to-end total) covers the time spent queued behind the batch.
-        let mut traces: HashMap<u64, OpTrace<'_>> = HashMap::new();
+        let mut traces: HashMap<u64, OpTrace<'s>> = HashMap::new();
         let queue_depth = self.obs.gauge("storage.queue_depth");
-        let dispatch = self.obs.histogram("storage.dispatch_ns");
+        // Tickets are the elevator release order; the conflict tracker
+        // serializes dependent tickets by it.
+        let mut next_ticket: u64 = 0;
         let poll = Duration::from_millis(5);
         while !stop.load(Ordering::SeqCst) {
             // Block for the first request of a batch…
@@ -303,22 +364,71 @@ impl StorageServer {
             queue_depth.add(scheduler.len() as i64);
             self.stats.batches.inc();
             for req in scheduler.drain_elevator() {
-                // Dispatched: the request has left the queue (depth counts
-                // queued requests, not the one in service).
+                // Dispatched: the request has left the scheduler queue
+                // (depth counts queued requests, not those in service).
                 queue_depth.dec();
-                let mut trace = traces.remove(&req.req_id);
-                if let Some(t) = trace.as_mut() {
-                    dispatch.record(t.stage("queue_wait"));
-                }
-                let body = self.handle(&ep, &client, &req, trace.as_mut());
-                let rep = Reply::new(req.opnum, body);
-                let _ =
-                    ep.send(req.reply_to, lwfs_portals::reply_match(req.opnum.0), rep.to_bytes());
-                if let Some(mut t) = trace {
-                    t.stage("reply");
-                    t.finish();
+                let ticket = next_ticket;
+                next_ticket += 1;
+                let trace = traces.remove(&req.req_id);
+                // Register *before* pushing, in ticket order, so a worker
+                // popping this job sees every earlier in-flight conflict.
+                tracker.register(ticket, AccessSummary::of(&req));
+                if queue.push(Job { ticket, req, trace }).is_err() {
+                    tracker.complete(ticket);
+                    return; // queue closed under us: shutting down
                 }
             }
+        }
+    }
+
+    /// One worker: pop tickets in FIFO order, wait out conflicts with
+    /// earlier in-flight tickets, then run the full request path.
+    ///
+    /// Deadlock-free by construction: jobs are pushed and popped in ticket
+    /// order, so the smallest incomplete ticket is always already on a
+    /// worker — and `wait_turn` only ever waits on smaller tickets.
+    fn worker_loop<'s>(
+        &'s self,
+        idx: usize,
+        ep: &Endpoint,
+        queue: &WorkQueue<Job<'s>>,
+        tracker: &ConflictTracker,
+    ) {
+        // Workers share the endpoint's opnum allocator so their
+        // verify-through RPCs can interleave without reply collisions.
+        let client = RpcClient::shared(ep);
+        let dispatch = self.obs.histogram("storage.dispatch_ns");
+        let worker_dispatch = self.obs.histogram(&format!("storage.worker{idx}.dispatch_ns"));
+        let in_flight = self.obs.gauge("storage.in_flight");
+        let srv_in_flight = self.obs.gauge(&format!("storage.srv{}.in_flight", self.site.nid.0));
+        while let Some(mut job) = queue.pop() {
+            if tracker.wait_turn(job.ticket) {
+                self.stats.conflict_defers.inc();
+            }
+            in_flight.inc();
+            srv_in_flight.inc();
+            if let Some(t) = job.trace.as_mut() {
+                let waited = t.stage("queue_wait");
+                dispatch.record(waited);
+                worker_dispatch.record(waited);
+            }
+            let body = self.handle(ep, &client, &job.req, job.trace.as_mut());
+            let rep = Reply::new(job.req.opnum, body);
+            let _ = ep.send(
+                job.req.reply_to,
+                lwfs_portals::reply_match(job.req.opnum.0),
+                rep.to_bytes(),
+            );
+            if let Some(mut t) = job.trace.take() {
+                t.stage("reply");
+                t.finish();
+            }
+            // Complete only after the reply is on the wire: a dependent
+            // request must not observe the store before our reply orders
+            // ahead of it at the client.
+            tracker.complete(job.ticket);
+            srv_in_flight.dec();
+            in_flight.dec();
         }
     }
 

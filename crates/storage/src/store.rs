@@ -6,6 +6,14 @@
 //! storage device" (Figure 7-b): layout here is simply the object map, and
 //! enforcement is done by the server above this layer.
 //!
+//! The map is **sharded** and every object carries its own lock: an id
+//! lookup takes one short shard-level critical section, and the byte copy
+//! of a read or write then runs under the per-object mutex only. With the
+//! server's worker pool driving many requests at once, operations on
+//! independent objects never contend — only same-object operations (which
+//! the server's conflict tracker already serializes when they overlap)
+//! ever share a lock. Id allocation is a single atomic counter.
+//!
 //! `sync` optionally spills object contents to a backing directory, giving
 //! the functional plane a real `open/write/sync/close` cost profile (the
 //! quantity timed in §4's experiments).
@@ -13,9 +21,16 @@
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use lwfs_proto::{ContainerId, Error, ObjAttr, ObjId, Result};
 use parking_lot::Mutex;
+
+/// Shards in the object map. A fixed power of two well above typical
+/// worker counts, so two workers touching different objects rarely even
+/// share a shard lock (and never hold one across a byte copy).
+const SHARD_COUNT: usize = 16;
 
 /// Store-level configuration.
 #[derive(Debug, Clone)]
@@ -32,72 +47,99 @@ impl Default for StoreConfig {
     }
 }
 
+/// Mutable state of one object, guarded by its own lock.
 #[derive(Debug)]
-struct StoredObject {
-    container: ContainerId,
+struct ObjState {
     data: Vec<u8>,
     create_time: u64,
     modify_time: u64,
     dirty: bool,
 }
 
-#[derive(Debug, Default)]
-struct StoreState {
-    objects: HashMap<ObjId, StoredObject>,
-    next_oid: u64,
+/// One stored object: the immutable container binding outside the lock
+/// (checked without contending with data movement), the byte state inside.
+#[derive(Debug)]
+struct StoredObject {
+    container: ContainerId,
+    state: Mutex<ObjState>,
 }
 
-/// An in-memory (optionally file-sync-backed) object store.
+type ObjRef = Arc<StoredObject>;
+
+/// An in-memory (optionally file-sync-backed) object store with a sharded
+/// object map, per-object locking, and atomic id allocation.
 pub struct ObjectStore {
     config: StoreConfig,
-    state: Mutex<StoreState>,
+    shards: Vec<Mutex<HashMap<ObjId, ObjRef>>>,
+    next_oid: AtomicU64,
 }
 
 impl ObjectStore {
     pub fn new(config: StoreConfig) -> Self {
-        Self { config, state: Mutex::new(StoreState::default()) }
+        Self {
+            config,
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_oid: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, oid: ObjId) -> &Mutex<HashMap<ObjId, ObjRef>> {
+        &self.shards[(oid.0 as usize) % SHARD_COUNT]
+    }
+
+    /// Look up an object, cloning its handle out of the (briefly locked)
+    /// shard so the caller never holds a shard lock across a byte copy.
+    fn lookup(&self, oid: ObjId) -> Result<ObjRef> {
+        self.shard(oid).lock().get(&oid).cloned().ok_or(Error::NoSuchObject(oid))
+    }
+
+    /// Like [`lookup`](Self::lookup), but also enforcing container scoping.
+    fn lookup_scoped(&self, container: ContainerId, oid: ObjId) -> Result<ObjRef> {
+        let obj = self.lookup(oid)?;
+        if obj.container != container {
+            return Err(Error::AccessDenied);
+        }
+        Ok(obj)
     }
 
     /// Create an object in `container`. A caller-chosen id (needed for
     /// deterministic restart layouts) collides with `ObjectExists` if
     /// taken; otherwise the store allocates the next id.
     pub fn create(&self, container: ContainerId, want: Option<ObjId>, now: u64) -> Result<ObjId> {
-        let mut st = self.state.lock();
         let oid = match want {
             Some(oid) => {
-                if st.objects.contains_key(&oid) {
-                    return Err(Error::ObjectExists(oid));
-                }
-                st.next_oid = st.next_oid.max(oid.0 + 1);
+                // Reserve past explicit ids before touching the shard, so a
+                // racing automatic create can never be handed the same id.
+                self.next_oid.fetch_max(oid.0.saturating_add(1), Ordering::Relaxed);
                 oid
             }
-            None => {
-                let oid = ObjId(st.next_oid);
-                st.next_oid += 1;
-                oid
-            }
+            None => ObjId(self.next_oid.fetch_add(1, Ordering::Relaxed)),
         };
-        st.objects.insert(
-            oid,
-            StoredObject {
-                container,
+        let obj = Arc::new(StoredObject {
+            container,
+            state: Mutex::new(ObjState {
                 data: Vec::new(),
                 create_time: now,
                 modify_time: now,
                 dirty: false,
-            },
-        );
+            }),
+        });
+        let mut shard = self.shard(oid).lock();
+        if shard.contains_key(&oid) {
+            return Err(Error::ObjectExists(oid));
+        }
+        shard.insert(oid, obj);
         Ok(oid)
     }
 
     /// Remove an object, enforcing container scoping.
     pub fn remove(&self, container: ContainerId, oid: ObjId) -> Result<()> {
-        let mut st = self.state.lock();
-        match st.objects.get(&oid) {
+        let mut shard = self.shard(oid).lock();
+        match shard.get(&oid) {
             None => Err(Error::NoSuchObject(oid)),
             Some(o) if o.container != container => Err(Error::AccessDenied),
             Some(_) => {
-                st.objects.remove(&oid);
+                shard.remove(&oid);
                 Ok(())
             }
         }
@@ -105,8 +147,7 @@ impl ObjectStore {
 
     /// The container an object belongs to.
     pub fn container_of(&self, oid: ObjId) -> Result<ContainerId> {
-        let st = self.state.lock();
-        st.objects.get(&oid).map(|o| o.container).ok_or(Error::NoSuchObject(oid))
+        Ok(self.lookup(oid)?.container)
     }
 
     /// Write `data` at `offset`, extending (zero-filling any gap). Returns
@@ -124,42 +165,39 @@ impl ObjectStore {
         if end > self.config.max_object_size {
             return Err(Error::ObjectTooLarge);
         }
-        let mut st = self.state.lock();
-        let obj = st.objects.get_mut(&oid).ok_or(Error::NoSuchObject(oid))?;
-        if obj.container != container {
-            return Err(Error::AccessDenied);
-        }
-        let old_len = obj.data.len() as u64;
+        let obj = self.lookup_scoped(container, oid)?;
+        let mut st = obj.state.lock();
+        let old_len = st.data.len() as u64;
         let off = offset as usize;
         let end = end as usize;
-        if obj.data.len() < end {
-            obj.data.resize(end, 0);
+        if st.data.len() < end {
+            st.data.resize(end, 0);
         }
         let overlap_start = off.min(old_len as usize);
         let overlap_end = end.min(old_len as usize);
         let preimage = if overlap_start < overlap_end {
-            obj.data[overlap_start..overlap_end].to_vec()
+            st.data[overlap_start..overlap_end].to_vec()
         } else {
             Vec::new()
         };
-        obj.data[off..end].copy_from_slice(data);
-        obj.modify_time = now;
-        obj.dirty = true;
+        st.data[off..end].copy_from_slice(data);
+        st.modify_time = now;
+        st.dirty = true;
         Ok(WritePreimage { old_len, overlap_offset: overlap_start as u64, overlap: preimage })
     }
 
     /// Undo a write using its preimage: restore overwritten bytes and
     /// truncate back to the previous length.
     pub fn undo_write(&self, oid: ObjId, pre: &WritePreimage) -> Result<()> {
-        let mut st = self.state.lock();
-        let obj = st.objects.get_mut(&oid).ok_or(Error::NoSuchObject(oid))?;
+        let obj = self.lookup(oid)?;
+        let mut st = obj.state.lock();
         let start = pre.overlap_offset as usize;
         let end = start + pre.overlap.len();
-        if end <= obj.data.len() {
-            obj.data[start..end].copy_from_slice(&pre.overlap);
+        if end <= st.data.len() {
+            st.data[start..end].copy_from_slice(&pre.overlap);
         }
-        obj.data.truncate(pre.old_len as usize);
-        obj.dirty = true;
+        st.data.truncate(pre.old_len as usize);
+        st.dirty = true;
         Ok(())
     }
 
@@ -171,46 +209,45 @@ impl ObjectStore {
         offset: u64,
         len: u64,
     ) -> Result<Vec<u8>> {
-        let st = self.state.lock();
-        let obj = st.objects.get(&oid).ok_or(Error::NoSuchObject(oid))?;
-        if obj.container != container {
-            return Err(Error::AccessDenied);
-        }
-        let start = (offset as usize).min(obj.data.len());
-        let end = (offset.saturating_add(len) as usize).min(obj.data.len());
-        Ok(obj.data[start..end].to_vec())
+        let obj = self.lookup_scoped(container, oid)?;
+        let st = obj.state.lock();
+        let start = (offset as usize).min(st.data.len());
+        let end = (offset.saturating_add(len) as usize).min(st.data.len());
+        Ok(st.data[start..end].to_vec())
     }
 
     pub fn getattr(&self, container: ContainerId, oid: ObjId) -> Result<ObjAttr> {
-        let st = self.state.lock();
-        let obj = st.objects.get(&oid).ok_or(Error::NoSuchObject(oid))?;
-        if obj.container != container {
-            return Err(Error::AccessDenied);
-        }
+        let obj = self.lookup_scoped(container, oid)?;
+        let st = obj.state.lock();
         Ok(ObjAttr {
-            size: obj.data.len() as u64,
-            create_time: obj.create_time,
-            modify_time: obj.modify_time,
+            size: st.data.len() as u64,
+            create_time: st.create_time,
+            modify_time: st.modify_time,
         })
+    }
+
+    /// Every object handle, sorted by id for deterministic iteration.
+    fn all_objects(&self) -> Vec<(ObjId, ObjRef)> {
+        let mut objs: Vec<(ObjId, ObjRef)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().iter().map(|(id, o)| (*id, Arc::clone(o))).collect::<Vec<_>>())
+            .collect();
+        objs.sort_by_key(|(id, _)| *id);
+        objs
     }
 
     /// Flush one object (or all) to the backing directory, clearing dirty
     /// bits. Returns the number of objects flushed.
     pub fn sync(&self, oid: Option<ObjId>) -> Result<u64> {
-        let mut st = self.state.lock();
-        let mut flushed = 0;
-        let ids: Vec<ObjId> = match oid {
-            Some(o) => {
-                if !st.objects.contains_key(&o) {
-                    return Err(Error::NoSuchObject(o));
-                }
-                vec![o]
-            }
-            None => st.objects.keys().copied().collect(),
+        let targets: Vec<(ObjId, ObjRef)> = match oid {
+            Some(o) => vec![(o, self.lookup(o)?)],
+            None => self.all_objects(),
         };
-        for id in ids {
-            let obj = st.objects.get_mut(&id).expect("listed above");
-            if !obj.dirty {
+        let mut flushed = 0;
+        for (id, obj) in targets {
+            let mut st = obj.state.lock();
+            if !st.dirty {
                 continue;
             }
             if let Some(dir) = &self.config.backing_dir {
@@ -218,10 +255,10 @@ impl ObjectStore {
                 let path = dir.join(format!("obj-{}.dat", id.0));
                 let mut f =
                     std::fs::File::create(&path).map_err(|e| Error::StorageIo(e.to_string()))?;
-                f.write_all(&obj.data).map_err(|e| Error::StorageIo(e.to_string()))?;
+                f.write_all(&st.data).map_err(|e| Error::StorageIo(e.to_string()))?;
                 f.sync_all().map_err(|e| Error::StorageIo(e.to_string()))?;
             }
-            obj.dirty = false;
+            st.dirty = false;
             flushed += 1;
         }
         Ok(flushed)
@@ -229,24 +266,28 @@ impl ObjectStore {
 
     /// Objects in a container, sorted for deterministic listings.
     pub fn list(&self, container: ContainerId) -> Vec<ObjId> {
-        let st = self.state.lock();
-        let mut ids: Vec<ObjId> = st
-            .objects
+        let mut ids: Vec<ObjId> = self
+            .shards
             .iter()
-            .filter(|(_, o)| o.container == container)
-            .map(|(id, _)| *id)
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .filter(|(_, o)| o.container == container)
+                    .map(|(id, _)| *id)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         ids.sort();
         ids
     }
 
     pub fn object_count(&self) -> usize {
-        self.state.lock().objects.len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Total bytes stored (diagnostics).
     pub fn bytes_stored(&self) -> u64 {
-        self.state.lock().objects.values().map(|o| o.data.len() as u64).sum()
+        self.all_objects().iter().map(|(_, o)| o.state.lock().data.len() as u64).sum()
     }
 }
 
@@ -418,6 +459,58 @@ mod tests {
         s.write(C2, b, 0, &[2u8; 50], 0).unwrap();
         assert_eq!(s.bytes_stored(), 150);
         assert_eq!(s.object_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_automatic_creates_allocate_unique_ids() {
+        let s = Arc::new(store());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    (0..100).map(|_| s.create(C1, None, 0).unwrap()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<ObjId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 400, "atomic allocation never duplicates");
+        assert_eq!(s.object_count(), 400);
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes_land_exactly() {
+        // Many threads hammering distinct objects: per-object locking must
+        // produce the same bytes a serial run would.
+        let s = Arc::new(store());
+        let oids: Vec<ObjId> = (0..8).map(|_| s.create(C1, None, 0).unwrap()).collect();
+        let handles: Vec<_> = oids
+            .iter()
+            .enumerate()
+            .map(|(i, oid)| {
+                let s = Arc::clone(&s);
+                let oid = *oid;
+                std::thread::spawn(move || {
+                    for round in 0..50u64 {
+                        let payload = vec![(i as u8).wrapping_add(round as u8); 64];
+                        s.write(C1, oid, round * 64, &payload, round).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, oid) in oids.iter().enumerate() {
+            let data = s.read(C1, *oid, 0, u64::MAX).unwrap();
+            assert_eq!(data.len(), 50 * 64);
+            for round in 0..50usize {
+                assert!(data[round * 64..(round + 1) * 64]
+                    .iter()
+                    .all(|b| *b == (i as u8).wrapping_add(round as u8)));
+            }
+        }
     }
 
     proptest::proptest! {
