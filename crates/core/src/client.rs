@@ -512,6 +512,28 @@ impl LwfsClient {
         Coordinator::new(&rpc, participants).abort(txn)
     }
 
+    /// Phase 1 only: collect votes without deciding. Returns the
+    /// participants that voted no (empty = unanimous yes). Crash-recovery
+    /// tests use this to leave participants durably prepared and in doubt.
+    pub fn txn_prepare(&self, txn: TxnId, participants: Vec<ProcessId>) -> Result<Vec<ProcessId>> {
+        let rpc = self.rpc();
+        Coordinator::new(&rpc, participants).prepare(txn)
+    }
+
+    /// Drive phase 2 of an already-prepared transaction to `commit` or
+    /// abort — the coordinator's side of resolving participants that
+    /// restarted in doubt. Participants that no longer know the
+    /// transaction are treated as already resolved.
+    pub fn txn_resolve(
+        &self,
+        txn: TxnId,
+        participants: Vec<ProcessId>,
+        commit: bool,
+    ) -> Result<()> {
+        let rpc = self.rpc();
+        Coordinator::new(&rpc, participants).resolve(txn, commit)
+    }
+
     /// Acquire a lock; when `wait`, retries `WouldBlock` with backoff.
     pub fn lock_acquire(
         &self,

@@ -65,6 +65,12 @@ impl Default for ClusterConfig {
 }
 
 /// A running in-process LWFS deployment.
+///
+/// Storage servers can be individually [crashed](Self::crash_storage) and
+/// [restarted](Self::restart_storage); a slot holding `None` is a crashed
+/// server. With [`StorageConfig::wal`] set, each server gets its own
+/// subdirectory of the configured log directory (`srv0`, `srv1`, …) so a
+/// restart replays exactly that server's history.
 pub struct LwfsCluster {
     net: Network,
     addrs: ClusterAddrs,
@@ -75,13 +81,25 @@ pub struct LwfsCluster {
     authz_svc: Arc<AuthzService>,
     namespace: Arc<Namespace>,
     locks: Arc<LockTable>,
-    storage_servers: Vec<Arc<StorageServer>>,
+    storage_servers: Vec<Option<Arc<StorageServer>>>,
+    /// Per-server configs, kept so a crashed slot can be respawned.
+    storage_configs: Vec<StorageConfig>,
     // Handles last: dropped (and joined) after the shared state above.
     _auth: ServiceHandle,
     _authz: ServiceHandle,
     _naming: ServiceHandle,
     _txnlock: ServiceHandle,
-    _storage: Vec<StorageHandle>,
+    _storage: Vec<Option<StorageHandle>>,
+}
+
+/// Specialize the shared storage config for server `i`: each server logs
+/// to its own subdirectory of the configured WAL root.
+fn per_server_config(base: &StorageConfig, i: usize) -> StorageConfig {
+    let mut config = base.clone();
+    if let Some(wal) = &mut config.wal {
+        wal.dir = wal.dir.join(format!("srv{i}"));
+    }
+    config
 }
 
 impl LwfsCluster {
@@ -139,19 +157,22 @@ impl LwfsCluster {
         // verify-through cache bound to the authorization service.
         let mut storage_handles = Vec::with_capacity(config.storage_servers);
         let mut storage_servers = Vec::with_capacity(config.storage_servers);
+        let mut storage_configs = Vec::with_capacity(config.storage_servers);
         let mut storage_addrs = Vec::with_capacity(config.storage_servers);
         for i in 0..config.storage_servers {
             let sid = ProcessId::new(1100 + i as u32, 0);
+            let server_config = per_server_config(&config.storage, i);
             let verifier = CachedCapVerifier::with_registry(sid, authz_id, net.obs());
             let (h, s) = StorageServer::spawn(
                 &net,
                 sid,
-                config.storage.clone(),
+                server_config.clone(),
                 Some(verifier),
                 Arc::clone(&clock),
             );
-            storage_handles.push(h);
-            storage_servers.push(s);
+            storage_handles.push(Some(h));
+            storage_servers.push(Some(s));
+            storage_configs.push(server_config);
             storage_addrs.push(sid);
         }
 
@@ -172,6 +193,7 @@ impl LwfsCluster {
             namespace,
             locks,
             storage_servers,
+            storage_configs,
             _auth: auth_handle,
             _authz: authz_handle,
             _naming: naming_handle,
@@ -217,12 +239,64 @@ impl LwfsCluster {
         &self.locks
     }
 
+    /// # Panics
+    /// Panics if storage server `idx` is currently crashed.
     pub fn storage_server(&self, idx: usize) -> &Arc<StorageServer> {
-        &self.storage_servers[idx]
+        self.storage_servers[idx]
+            .as_ref()
+            .unwrap_or_else(|| panic!("storage server {idx} is crashed"))
     }
 
     pub fn storage_count(&self) -> usize {
         self.storage_servers.len()
+    }
+
+    /// Whether storage server `idx` is currently up.
+    pub fn storage_alive(&self, idx: usize) -> bool {
+        self.storage_servers[idx].is_some()
+    }
+
+    /// Kill storage server `idx`: stop its dispatcher/worker threads and
+    /// tear its endpoint off the fabric, so in-flight and future RPCs to it
+    /// fail like they would against a dead node. In-memory state is lost —
+    /// exactly what the write-ahead log exists to survive. No-op if the
+    /// server is already down.
+    pub fn crash_storage(&mut self, idx: usize) {
+        if let Some(handle) = self._storage[idx].take() {
+            let sid = handle.id();
+            handle.shutdown();
+            // The endpoint is not unregistered by shutdown (the handle does
+            // not own it); remove it so senders see an unreachable node
+            // instead of a silently-draining queue.
+            self.net.unregister(sid);
+        }
+        self.storage_servers[idx] = None;
+    }
+
+    /// Restart a crashed storage server in the same network slot, with the
+    /// same per-server configuration. With a WAL configured the new
+    /// instance recovers its predecessor's acknowledged state before it
+    /// starts serving; without one it comes back empty.
+    ///
+    /// # Panics
+    /// Panics if the server is still running — crash it first.
+    pub fn restart_storage(&mut self, idx: usize) -> &Arc<StorageServer> {
+        assert!(
+            self.storage_servers[idx].is_none(),
+            "storage server {idx} is still running; crash_storage({idx}) first"
+        );
+        let sid = self.addrs.storage[idx];
+        let verifier = CachedCapVerifier::with_registry(sid, self.addrs.authz, self.net.obs());
+        let (h, s) = StorageServer::spawn(
+            &self.net,
+            sid,
+            self.storage_configs[idx].clone(),
+            Some(verifier),
+            Arc::clone(&self.clock),
+        );
+        self._storage[idx] = Some(h);
+        self.storage_servers[idx] = Some(s);
+        self.storage_servers[idx].as_ref().unwrap()
     }
 
     /// Register an application process on compute node `nid` and build its
@@ -255,6 +329,36 @@ mod tests {
     fn client_nid_collision_panics() {
         let cluster = LwfsCluster::boot(ClusterConfig::default());
         let _ = cluster.client(1000, 0);
+    }
+
+    #[test]
+    fn crash_and_restart_cycle_a_storage_slot() {
+        let mut cluster =
+            LwfsCluster::boot(ClusterConfig { storage_servers: 2, ..Default::default() });
+        assert!(cluster.storage_alive(1));
+        cluster.crash_storage(1);
+        assert!(!cluster.storage_alive(1));
+        // The endpoint is gone from the fabric …
+        assert_eq!(cluster.network().endpoint_count(), 5);
+        // … and comes back in the same slot on restart.
+        cluster.restart_storage(1);
+        assert!(cluster.storage_alive(1));
+        assert_eq!(cluster.network().endpoint_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "is crashed")]
+    fn crashed_server_accessor_panics() {
+        let mut cluster = LwfsCluster::boot(ClusterConfig::default());
+        cluster.crash_storage(0);
+        let _ = cluster.storage_server(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "still running")]
+    fn restart_of_running_server_panics() {
+        let mut cluster = LwfsCluster::boot(ClusterConfig::default());
+        cluster.restart_storage(0);
     }
 
     #[test]

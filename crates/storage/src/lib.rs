@@ -29,6 +29,7 @@
 pub mod buffers;
 pub mod dispatch;
 pub mod filter;
+pub mod recovery;
 pub mod scheduler;
 pub mod server;
 pub mod store;
@@ -36,6 +37,7 @@ pub mod store;
 pub use buffers::PinnedBufferPool;
 pub use dispatch::{AccessSummary, ConflictTracker, WorkQueue};
 pub use filter::{apply as apply_filter, decode_stats};
+pub use recovery::RecoveryOutcome;
 pub use scheduler::RequestScheduler;
 pub use server::{StorageConfig, StorageServer, StorageStats};
 pub use store::{ObjectStore, StoreConfig};

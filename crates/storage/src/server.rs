@@ -38,6 +38,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use lwfs_auth::Clock;
 use lwfs_authz::CachedCapVerifier;
 use lwfs_obs::{Counter, OpTrace, Registry};
@@ -46,7 +47,8 @@ use lwfs_proto::{
     Capability, ContainerId, Decode as _, Encode as _, Error, FilterSpec, MdHandle, ObjId, OpMask,
     ProcessId, Reply, ReplyBody, Request, RequestBody, Result, TxnId,
 };
-use lwfs_txn::JournalStore;
+use lwfs_txn::{JournalState, JournalStore};
+use lwfs_wal::{Wal, WalConfig, WalRecord};
 
 use crate::buffers::PinnedBufferPool;
 use crate::dispatch::{AccessSummary, ConflictTracker, WorkQueue};
@@ -73,6 +75,12 @@ pub struct StorageConfig {
     pub workers: usize,
     /// Object-store configuration.
     pub store: StoreConfig,
+    /// Write-ahead logging. When set, every mutation is appended to the
+    /// log *before* its reply is sent, and a server spawned over a
+    /// non-empty log directory replays it — restoring objects and in-doubt
+    /// prepared transactions — before serving the first request. `None`
+    /// (the default) keeps the server purely in-memory.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for StorageConfig {
@@ -84,6 +92,7 @@ impl Default for StorageConfig {
             verify_every_op: false,
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             store: StoreConfig::default(),
+            wal: None,
         }
     }
 }
@@ -181,8 +190,10 @@ struct Job<'s> {
     trace: Option<OpTrace<'s>>,
 }
 
-/// Undo journal entries for transactional rollback (§3.4).
-enum UndoOp {
+/// Undo journal entries for transactional rollback (§3.4). Never logged:
+/// the write-ahead log records forward effects only, and recovery
+/// recomputes these from in-order replay (see [`crate::recovery`]).
+pub(crate) enum UndoOp {
     /// Creation is undone by removal.
     RemoveObject(ContainerId, ObjId),
     /// A write is undone by restoring its preimage.
@@ -201,6 +212,8 @@ pub struct StorageServer {
     verifier: Option<CachedCapVerifier>,
     clock: Arc<dyn Clock>,
     journal: JournalStore<UndoOp>,
+    /// The write-ahead log, when durability is configured.
+    wal: Option<Wal>,
     stats: StorageStats,
     /// The fabric-wide metric registry (shared through the `Network`).
     obs: Arc<Registry>,
@@ -241,6 +254,18 @@ impl StorageServer {
     /// `verifier` is the verify-through capability cache bound to the
     /// authorization service; passing `None` trusts structurally valid
     /// capabilities (unit tests only — a real deployment always verifies).
+    ///
+    /// With [`StorageConfig::wal`] set, the server first **recovers**: it
+    /// opens the log directory (repairing any torn tail), replays the
+    /// record stream into its object store, rolls back transactions the
+    /// crash caught before phase 1, and restores prepared ones in doubt.
+    /// Only then does it register on the network — a client can never
+    /// observe a half-recovered server.
+    ///
+    /// # Panics
+    /// Panics if the log cannot be opened or replayed: serving requests
+    /// from an empty store while a history exists on disk would silently
+    /// discard committed data.
     pub fn spawn(
         net: &Network,
         id: ProcessId,
@@ -249,9 +274,25 @@ impl StorageServer {
         clock: Arc<dyn Clock>,
     ) -> (StorageHandle, Arc<StorageServer>) {
         let obs = Arc::clone(net.obs());
+        let store = ObjectStore::new(config.store.clone());
+        let journal = JournalStore::new();
+        let wal = config.wal.as_ref().map(|wal_cfg| {
+            let start = std::time::Instant::now();
+            let wal = Wal::open(wal_cfg.clone(), &obs)
+                .unwrap_or_else(|e| panic!("storage server {id}: wal open failed: {e}"));
+            let log = lwfs_wal::read_log(wal.dir())
+                .unwrap_or_else(|e| panic!("storage server {id}: wal scan failed: {e}"));
+            let outcome = crate::recovery::replay(&log.records, &store, &journal, clock.now())
+                .unwrap_or_else(|e| panic!("storage server {id}: wal replay failed: {e}"));
+            obs.counter("wal.replay_records").add(outcome.records);
+            obs.gauge("storage.recovery_ms").set(start.elapsed().as_millis() as i64);
+            obs.gauge("storage.recovered_objects").set(store.object_count() as i64);
+            obs.gauge("storage.in_doubt_txns").set(outcome.in_doubt as i64);
+            wal
+        });
         let server = Arc::new(StorageServer {
             site: id,
-            store: ObjectStore::new(config.store.clone()),
+            store,
             pool: PinnedBufferPool::with_gauge(
                 config.pool_buffers,
                 config.chunk_size,
@@ -259,7 +300,8 @@ impl StorageServer {
             ),
             verifier,
             clock,
-            journal: JournalStore::new(),
+            journal,
+            wal,
             stats: StorageStats::with_registry(&obs),
             obs,
             config,
@@ -295,6 +337,40 @@ impl StorageServer {
 
     pub fn pool(&self) -> &PinnedBufferPool {
         &self.pool
+    }
+
+    /// This participant's journal state for `txn` (`None` once committed,
+    /// aborted, or never seen). Crash tests use it to watch a restarted
+    /// server re-enter `Prepared`.
+    pub fn journal_state(&self, txn: TxnId) -> Option<JournalState> {
+        self.journal.state(txn)
+    }
+
+    /// Prepared transactions held **in doubt**, sorted by id — after a
+    /// restart, the set a coordinator must resolve.
+    pub fn in_doubt_txns(&self) -> Vec<TxnId> {
+        self.journal
+            .txns()
+            .into_iter()
+            .filter(|(_, s)| *s == JournalState::Prepared)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// The write-ahead log directory, when durability is configured.
+    pub fn wal_dir(&self) -> Option<&std::path::Path> {
+        self.wal.as_ref().map(|w| w.dir())
+    }
+
+    /// Append `rec` to the write-ahead log (no-op when none is
+    /// configured). Called after the in-memory effect is applied and
+    /// before the reply is sent: an operation is acknowledged only once
+    /// its record is framed (and, per the sync policy, durable).
+    fn log_append(&self, rec: &WalRecord) -> Result<()> {
+        match &self.wal {
+            Some(w) => w.append(rec),
+            None => Ok(()),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -559,16 +635,44 @@ impl StorageServer {
                 let dropped = self.verifier.as_ref().map(|v| v.invalidate(keys)).unwrap_or(0);
                 ReplyBody::CapsInvalidated { dropped }
             }
-            RequestBody::TxnPrepare { txn } => ReplyBody::TxnVote(self.journal.prepare(*txn)),
-            RequestBody::TxnCommit { txn } => match self.journal.commit(*txn) {
-                Ok(_undos) => {
-                    // Commit = forget the undo log; effects already applied.
-                    self.stats.txn_commits.inc();
-                    ReplyBody::TxnCommitted
+            RequestBody::TxnPrepare { txn } => {
+                let vote = self.journal.prepare(*txn);
+                if vote {
+                    // The yes vote must be durable before it reaches the
+                    // coordinator (forces an fsync under every sync policy);
+                    // a vote we cannot persist is a vote we cannot honor
+                    // after a crash, so it becomes a no.
+                    if self.log_append(&WalRecord::TxnPrepare { txn: *txn }).is_err() {
+                        for undo in self.journal.abort(*txn).into_iter().rev() {
+                            let _ = self.apply_undo(undo);
+                        }
+                        return ReplyBody::TxnVote(false);
+                    }
                 }
-                Err(e) => ReplyBody::Err(e),
-            },
+                ReplyBody::TxnVote(vote)
+            }
+            RequestBody::TxnCommit { txn } => {
+                // Log the decision before applying it: if the append fails
+                // the journal stays Prepared (in doubt) and the coordinator
+                // retries or resolves after restart.
+                if self.journal.state(*txn) == Some(JournalState::Prepared) {
+                    if let Err(e) = self.log_append(&WalRecord::TxnCommit { txn: *txn }) {
+                        return ReplyBody::Err(e);
+                    }
+                }
+                match self.journal.commit(*txn) {
+                    Ok(_undos) => {
+                        // Commit = forget the undo log; effects already applied.
+                        self.stats.txn_commits.inc();
+                        ReplyBody::TxnCommitted
+                    }
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
             RequestBody::TxnAbort { txn } => {
+                // Best-effort: a lost abort record costs nothing — replay
+                // presumes abort for transactions with no decision record.
+                let _ = self.log_append(&WalRecord::TxnAbort { txn: *txn });
                 let undos = self.journal.abort(*txn);
                 for undo in undos.into_iter().rev() {
                     // Undo application is best-effort by construction: each
@@ -610,10 +714,12 @@ impl StorageServer {
         want: Option<ObjId>,
     ) -> Result<ObjId> {
         self.authorize(client, cap, OpMask::CREATE)?;
-        let oid = self.store.create(cap.container(), want, self.clock.now())?;
+        let now = self.clock.now();
+        let oid = self.store.create(cap.container(), want, now)?;
         if let Some(txn) = txn {
             self.journal.stage(txn, UndoOp::RemoveObject(cap.container(), oid))?;
         }
+        self.log_append(&WalRecord::Create { txn, container: cap.container(), obj: oid, now })?;
         self.stats.creates.inc();
         Ok(oid)
     }
@@ -631,6 +737,7 @@ impl StorageServer {
             self.journal.stage(txn, UndoOp::RestoreObject(cap.container(), oid, data))?;
         }
         self.store.remove(cap.container(), oid)?;
+        self.log_append(&WalRecord::Remove { txn, container: cap.container(), obj: oid })?;
         self.stats.removes.inc();
         Ok(())
     }
@@ -695,6 +802,19 @@ impl StorageServer {
             }
             if let Some(t) = trace.as_deref_mut() {
                 t.stage("store_write");
+            }
+            // One record per chunk, in pull order: replay reproduces the
+            // exact same sequence of store writes.
+            self.log_append(&WalRecord::Write {
+                txn,
+                container: cap.container(),
+                obj: oid,
+                offset: offset + moved,
+                data: Bytes::copy_from_slice(&buf.as_slice()[..chunk]),
+                now,
+            })?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.stage("wal_append");
             }
             self.stats.bytes_pulled.add(chunk as u64);
             moved += chunk as u64;

@@ -132,7 +132,9 @@ impl ObjectStore {
         Ok(oid)
     }
 
-    /// Remove an object, enforcing container scoping.
+    /// Remove an object, enforcing container scoping. Any backing file a
+    /// previous `sync` spilled is deleted too — a removed object's bytes
+    /// must not linger on disk and resurrect after a replay or re-sync.
     pub fn remove(&self, container: ContainerId, oid: ObjId) -> Result<()> {
         let mut shard = self.shard(oid).lock();
         match shard.get(&oid) {
@@ -140,6 +142,11 @@ impl ObjectStore {
             Some(o) if o.container != container => Err(Error::AccessDenied),
             Some(_) => {
                 shard.remove(&oid);
+                if let Some(dir) = &self.config.backing_dir {
+                    // Best-effort: the object may simply never have been
+                    // synced, in which case there is no file to delete.
+                    let _ = std::fs::remove_file(dir.join(format!("obj-{}.dat", oid.0)));
+                }
                 Ok(())
             }
         }
@@ -239,29 +246,54 @@ impl ObjectStore {
 
     /// Flush one object (or all) to the backing directory, clearing dirty
     /// bits. Returns the number of objects flushed.
+    ///
+    /// The full sweep (`oid: None`) is **best-effort**: an object whose
+    /// flush fails keeps its dirty bit (a later sync retries it) and the
+    /// sweep continues, so one bad object cannot leave every later one
+    /// dirty. Failures are aggregated into a single error reporting how
+    /// many objects did flush.
     pub fn sync(&self, oid: Option<ObjId>) -> Result<u64> {
         let targets: Vec<(ObjId, ObjRef)> = match oid {
             Some(o) => vec![(o, self.lookup(o)?)],
             None => self.all_objects(),
         };
-        let mut flushed = 0;
+        let total = targets.len();
+        let mut flushed = 0u64;
+        let mut failures: Vec<(ObjId, Error)> = Vec::new();
         for (id, obj) in targets {
             let mut st = obj.state.lock();
             if !st.dirty {
                 continue;
             }
-            if let Some(dir) = &self.config.backing_dir {
-                std::fs::create_dir_all(dir).map_err(|e| Error::StorageIo(e.to_string()))?;
-                let path = dir.join(format!("obj-{}.dat", id.0));
-                let mut f =
-                    std::fs::File::create(&path).map_err(|e| Error::StorageIo(e.to_string()))?;
-                f.write_all(&st.data).map_err(|e| Error::StorageIo(e.to_string()))?;
-                f.sync_all().map_err(|e| Error::StorageIo(e.to_string()))?;
+            if let Err(e) = self.flush_object(id, &st.data) {
+                failures.push((id, e));
+                continue; // dirty bit stays set: retried by the next sync
             }
             st.dirty = false;
             flushed += 1;
         }
-        Ok(flushed)
+        match failures.as_slice() {
+            [] => Ok(flushed),
+            [(id, e), rest @ ..] => Err(Error::StorageIo(format!(
+                "sync flushed {flushed}/{total} objects; {} failed (first: obj {} — {e}){}",
+                failures.len(),
+                id.0,
+                if rest.is_empty() { "" } else { ", more elided" },
+            ))),
+        }
+    }
+
+    /// Write one object's bytes to its backing file (no-op without a
+    /// backing directory).
+    fn flush_object(&self, id: ObjId, data: &[u8]) -> Result<()> {
+        let Some(dir) = &self.config.backing_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir).map_err(|e| Error::StorageIo(e.to_string()))?;
+        let path = dir.join(format!("obj-{}.dat", id.0));
+        let mut f = std::fs::File::create(&path).map_err(|e| Error::StorageIo(e.to_string()))?;
+        f.write_all(data).map_err(|e| Error::StorageIo(e.to_string()))?;
+        f.sync_all().map_err(|e| Error::StorageIo(e.to_string()))
     }
 
     /// Objects in a container, sorted for deterministic listings.
@@ -448,6 +480,58 @@ mod tests {
         let read_back = std::fs::read(dir.join(format!("obj-{}.dat", oid.0))).unwrap();
         assert_eq!(read_back, b"persisted bytes");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_spilled_backing_file() {
+        // Regression: `remove` used to leave the spilled file behind, so a
+        // removed object's bytes could resurrect from the backing dir.
+        let dir = std::env::temp_dir().join(format!("lwfs-store-rm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = ObjectStore::new(StoreConfig {
+            max_object_size: 1 << 20,
+            backing_dir: Some(dir.clone()),
+        });
+        let oid = s.create(C1, None, 0).unwrap();
+        s.write(C1, oid, 0, b"soon gone", 0).unwrap();
+        s.sync(Some(oid)).unwrap();
+        let path = dir.join(format!("obj-{}.dat", oid.0));
+        assert!(path.exists());
+        s.remove(C1, oid).unwrap();
+        assert!(!path.exists(), "backing file must die with the object");
+        // Removing a never-synced object must not trip over the missing file.
+        let other = s.create(C1, None, 0).unwrap();
+        s.remove(C1, other).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_sweep_is_best_effort_across_objects() {
+        // Point the backing dir at a path whose parent is a regular file:
+        // every flush fails, but the sweep must still visit every object,
+        // keep all dirty bits, and report the aggregate.
+        let blocker = std::env::temp_dir().join(format!("lwfs-store-blk-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let s = ObjectStore::new(StoreConfig {
+            max_object_size: 1 << 20,
+            backing_dir: Some(blocker.join("sub")),
+        });
+        let a = s.create(C1, None, 0).unwrap();
+        let b = s.create(C1, None, 0).unwrap();
+        s.write(C1, a, 0, b"x", 0).unwrap();
+        s.write(C1, b, 0, b"y", 0).unwrap();
+        let err = s.sync(None).unwrap_err();
+        match &err {
+            Error::StorageIo(msg) => {
+                assert!(msg.contains("flushed 0/2"), "aggregate count missing: {msg}");
+                assert!(msg.contains("2 failed"), "failure count missing: {msg}");
+            }
+            other => panic!("expected StorageIo, got {other:?}"),
+        }
+        // Dirty bits survived: a sync after repairing the path flushes both.
+        std::fs::remove_file(&blocker).unwrap();
+        assert_eq!(s.sync(None).unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&blocker);
     }
 
     #[test]

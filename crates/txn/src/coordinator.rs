@@ -103,6 +103,49 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
         }
     }
 
+    /// Run **phase 1 only**: prepare `txn` at every participant and return
+    /// the set of no-votes (empty means every participant is now durably
+    /// prepared and holds the transaction *in doubt*).
+    ///
+    /// A coordinator that stops here — crash, test harness, or deliberate
+    /// hand-off — leaves the decision to a later [`resolve`] call; prepared
+    /// participants never unilaterally forget.
+    ///
+    /// [`resolve`]: Coordinator::resolve
+    pub fn prepare(&self, txn: TxnId) -> Result<Vec<ProcessId>> {
+        let mut no_votes = Vec::new();
+        for p in &self.participants {
+            match self.client.call(*p, RequestBody::TxnPrepare { txn }) {
+                Ok(ReplyBody::TxnVote(true)) => {}
+                Ok(ReplyBody::TxnVote(false)) => no_votes.push(*p),
+                Ok(other) => return Err(Error::Internal(format!("bad prepare reply {other:?}"))),
+                Err(_) => no_votes.push(*p),
+            }
+        }
+        Ok(no_votes)
+    }
+
+    /// Run **phase 2 only**, announcing an already-decided outcome to
+    /// participants holding `txn` in doubt (e.g. after one of them
+    /// restarted from its write-ahead log).
+    ///
+    /// `NoSuchTxn` replies are tolerated: a participant that already heard
+    /// the verdict — or that aborted under presumed-abort — has nothing
+    /// left to resolve.
+    pub fn resolve(&self, txn: TxnId, commit: bool) -> Result<()> {
+        for p in &self.participants {
+            let body =
+                if commit { RequestBody::TxnCommit { txn } } else { RequestBody::TxnAbort { txn } };
+            match self.client.call(*p, body) {
+                Ok(ReplyBody::TxnCommitted) | Ok(ReplyBody::TxnAborted) => {}
+                Err(Error::NoSuchTxn(_)) => {}
+                Ok(other) => return Err(Error::Internal(format!("bad resolve reply {other:?}"))),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     /// Abort `txn` at every participant (also used directly by clients that
     /// hit an error before commit).
     pub fn abort(&self, txn: TxnId) -> Result<()> {

@@ -102,6 +102,17 @@ impl<Op> JournalStore<Op> {
         self.journals.lock().get(&txn).map(|r| r.state)
     }
 
+    /// Snapshot of every open journal and its state, sorted by transaction
+    /// id. Recovery uses this to separate end-of-log `Active` transactions
+    /// (presumed aborted: roll back and discard) from `Prepared` ones
+    /// (in doubt: hold for the coordinator's verdict).
+    pub fn txns(&self) -> Vec<(TxnId, JournalState)> {
+        let mut v: Vec<(TxnId, JournalState)> =
+            self.journals.lock().iter().map(|(t, r)| (*t, r.state)).collect();
+        v.sort_by_key(|(t, _)| *t);
+        v
+    }
+
     pub fn staged_ops(&self, txn: TxnId) -> usize {
         self.journals.lock().get(&txn).map(|r| r.ops.len()).unwrap_or(0)
     }
@@ -114,6 +125,7 @@ impl<Op> JournalStore<Op> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[derive(Debug, PartialEq, Eq, Clone)]
     enum Op {
@@ -181,6 +193,103 @@ mod tests {
         assert!(js.prepare(t));
         assert_eq!(js.state(t), Some(JournalState::Prepared));
         assert!(js.commit(t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prepare_after_prepare_is_idempotent() {
+        let js: JournalStore<Op> = JournalStore::new();
+        let t = TxnId(6);
+        js.stage(t, Op::Write(1)).unwrap();
+        assert!(js.prepare(t));
+        assert!(js.prepare(t), "re-prepare (coordinator retry) must re-vote yes");
+        assert_eq!(js.state(t), Some(JournalState::Prepared));
+        assert_eq!(js.staged_ops(t), 1, "re-prepare must not disturb staged ops");
+        assert_eq!(js.commit(t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn txns_lists_states_sorted() {
+        let js: JournalStore<Op> = JournalStore::new();
+        js.stage(TxnId(2), Op::Create).unwrap();
+        js.stage(TxnId(1), Op::Create).unwrap();
+        js.prepare(TxnId(1));
+        assert_eq!(
+            js.txns(),
+            vec![(TxnId(1), JournalState::Prepared), (TxnId(2), JournalState::Active)]
+        );
+    }
+
+    #[test]
+    fn concurrent_prepares_from_two_workers_agree() {
+        // Two workers race `prepare` for the same transaction (a
+        // coordinator retry landing on a second worker thread): both must
+        // vote yes and the journal must stay intact.
+        let js: Arc<JournalStore<Op>> = Arc::new(JournalStore::new());
+        let t = TxnId(10);
+        js.stage(t, Op::Write(7)).unwrap();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let js = Arc::clone(&js);
+                std::thread::spawn(move || js.prepare(t))
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+        assert_eq!(js.state(t), Some(JournalState::Prepared));
+        assert_eq!(js.commit(t).unwrap(), vec![Op::Write(7)]);
+    }
+
+    #[test]
+    fn concurrent_commit_without_prepare_never_destroys_journal() {
+        // Two workers race an out-of-order commit: every attempt must be
+        // rejected and the journal must survive all of them.
+        let js: Arc<JournalStore<Op>> = Arc::new(JournalStore::new());
+        let t = TxnId(11);
+        js.stage(t, Op::Create).unwrap();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let js = Arc::clone(&js);
+                std::thread::spawn(move || js.commit(t))
+            })
+            .collect();
+        for h in handles {
+            assert!(matches!(h.join().unwrap(), Err(Error::Internal(_))));
+        }
+        assert_eq!(js.staged_ops(t), 1);
+        js.prepare(t);
+        assert_eq!(js.commit(t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn abort_racing_commit_resolves_to_exactly_one_winner() {
+        // After prepare, one worker commits while another aborts (a
+        // confused coordinator). The store must hand the staged ops to
+        // exactly one of them — never both, never neither — across many
+        // interleavings.
+        for round in 0..200u64 {
+            let js: Arc<JournalStore<Op>> = Arc::new(JournalStore::new());
+            let t = TxnId(round);
+            js.stage(t, Op::Write(round)).unwrap();
+            js.prepare(t);
+            let js_c = Arc::clone(&js);
+            let committer = std::thread::spawn(move || js_c.commit(t));
+            let js_a = Arc::clone(&js);
+            let aborter = std::thread::spawn(move || js_a.abort(t));
+            let committed = committer.join().unwrap();
+            let aborted = aborter.join().unwrap();
+            match committed {
+                Ok(ops) => {
+                    assert_eq!(ops.len(), 1, "round {round}: commit won");
+                    assert!(aborted.is_empty(), "round {round}: abort must see nothing");
+                }
+                Err(Error::NoSuchTxn(_)) => {
+                    assert_eq!(aborted.len(), 1, "round {round}: abort won, owns the ops");
+                }
+                Err(e) => panic!("round {round}: unexpected commit error {e:?}"),
+            }
+            assert_eq!(js.active_txns(), 0, "round {round}: journal must be drained");
+        }
     }
 
     #[test]

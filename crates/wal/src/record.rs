@@ -1,0 +1,237 @@
+//! Redo records — one per state-changing operation at a storage server.
+//!
+//! Records are encoded with the workspace's hand-rolled binary codec (one
+//! discriminant byte, then the fields in order), so the log format shares
+//! the wire format's compactness and its hostile-input hardening.
+
+use bytes::{Buf, Bytes, BytesMut};
+use lwfs_proto::{ContainerId, Decode, Encode, Error, ObjId, Result, TxnId};
+
+/// One durable event in a storage server's history.
+///
+/// Object mutations carry the transaction that staged them (`txn: None`
+/// for immediate, non-transactional operations). Replay applies the
+/// mutations in log order and uses the transaction markers to decide
+/// which staged effects survive: committed ones stay, aborted ones are
+/// rolled back, and a transaction that reached [`TxnPrepare`] without a
+/// phase-2 record is restored *in doubt* for the coordinator to resolve.
+///
+/// [`TxnPrepare`]: WalRecord::TxnPrepare
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Object creation (`now` is the protocol timestamp it was created at).
+    Create { txn: Option<TxnId>, container: ContainerId, obj: ObjId, now: u64 },
+    /// Bytes written at `offset` (one record per chunk crossing the
+    /// server's pinned pool, so replay reproduces the exact write order).
+    Write {
+        txn: Option<TxnId>,
+        container: ContainerId,
+        obj: ObjId,
+        offset: u64,
+        data: Bytes,
+        now: u64,
+    },
+    /// Object removal.
+    Remove { txn: Option<TxnId>, container: ContainerId, obj: ObjId },
+    /// Phase 1: the participant hardened `txn`'s journal and votes yes.
+    /// Forces an fsync under every [`SyncPolicy`](crate::SyncPolicy).
+    TxnPrepare { txn: TxnId },
+    /// Phase 2: `txn`'s staged effects are permanent. Forces an fsync.
+    TxnCommit { txn: TxnId },
+    /// Phase 2: `txn`'s staged effects must be rolled back.
+    TxnAbort { txn: TxnId },
+}
+
+const TAG_CREATE: u8 = 1;
+const TAG_WRITE: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+const TAG_PREPARE: u8 = 4;
+const TAG_COMMIT: u8 = 5;
+const TAG_ABORT: u8 = 6;
+
+impl WalRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            WalRecord::Create { txn, .. }
+            | WalRecord::Write { txn, .. }
+            | WalRecord::Remove { txn, .. } => *txn,
+            WalRecord::TxnPrepare { txn }
+            | WalRecord::TxnCommit { txn }
+            | WalRecord::TxnAbort { txn } => Some(*txn),
+        }
+    }
+
+    /// Whether this record must reach stable storage immediately,
+    /// regardless of the configured sync policy. A participant that voted
+    /// yes (prepare) or learned an outcome (commit) must not forget it.
+    pub fn forces_sync(&self) -> bool {
+        matches!(self, WalRecord::TxnPrepare { .. } | WalRecord::TxnCommit { .. })
+    }
+}
+
+impl Encode for WalRecord {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WalRecord::Create { txn, container, obj, now } => {
+                TAG_CREATE.encode(buf);
+                txn.encode(buf);
+                container.encode(buf);
+                obj.encode(buf);
+                now.encode(buf);
+            }
+            WalRecord::Write { txn, container, obj, offset, data, now } => {
+                TAG_WRITE.encode(buf);
+                txn.encode(buf);
+                container.encode(buf);
+                obj.encode(buf);
+                offset.encode(buf);
+                data.encode(buf);
+                now.encode(buf);
+            }
+            WalRecord::Remove { txn, container, obj } => {
+                TAG_REMOVE.encode(buf);
+                txn.encode(buf);
+                container.encode(buf);
+                obj.encode(buf);
+            }
+            WalRecord::TxnPrepare { txn } => {
+                TAG_PREPARE.encode(buf);
+                txn.encode(buf);
+            }
+            WalRecord::TxnCommit { txn } => {
+                TAG_COMMIT.encode(buf);
+                txn.encode(buf);
+            }
+            WalRecord::TxnAbort { txn } => {
+                TAG_ABORT.encode(buf);
+                txn.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for WalRecord {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            TAG_CREATE => WalRecord::Create {
+                txn: Decode::decode(buf)?,
+                container: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+                now: Decode::decode(buf)?,
+            },
+            TAG_WRITE => WalRecord::Write {
+                txn: Decode::decode(buf)?,
+                container: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                data: Decode::decode(buf)?,
+                now: Decode::decode(buf)?,
+            },
+            TAG_REMOVE => WalRecord::Remove {
+                txn: Decode::decode(buf)?,
+                container: Decode::decode(buf)?,
+                obj: Decode::decode(buf)?,
+            },
+            TAG_PREPARE => WalRecord::TxnPrepare { txn: Decode::decode(buf)? },
+            TAG_COMMIT => WalRecord::TxnCommit { txn: Decode::decode(buf)? },
+            TAG_ABORT => WalRecord::TxnAbort { txn: Decode::decode(buf)? },
+            tag => return Err(Error::Malformed(format!("unknown wal record tag {tag}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: WalRecord) {
+        let bytes = rec.to_bytes();
+        let back = WalRecord::from_bytes(bytes).expect("decode");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(WalRecord::Create {
+            txn: Some(TxnId(7)),
+            container: ContainerId(1),
+            obj: ObjId(42),
+            now: 99,
+        });
+        roundtrip(WalRecord::Create {
+            txn: None,
+            container: ContainerId(0),
+            obj: ObjId(0),
+            now: 0,
+        });
+        roundtrip(WalRecord::Write {
+            txn: None,
+            container: ContainerId(3),
+            obj: ObjId(9),
+            offset: 4096,
+            data: Bytes::from_static(b"checkpoint state"),
+            now: 12,
+        });
+        roundtrip(WalRecord::Remove {
+            txn: Some(TxnId(1)),
+            container: ContainerId(2),
+            obj: ObjId(5),
+        });
+        roundtrip(WalRecord::TxnPrepare { txn: TxnId(77) });
+        roundtrip(WalRecord::TxnCommit { txn: TxnId(77) });
+        roundtrip(WalRecord::TxnAbort { txn: TxnId(78) });
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let bytes = Bytes::from_static(&[200, 0, 0]);
+        assert!(matches!(WalRecord::from_bytes(bytes), Err(Error::Malformed(_))));
+    }
+
+    #[test]
+    fn txn_annotation_and_sync_forcing() {
+        let w = WalRecord::Write {
+            txn: Some(TxnId(4)),
+            container: ContainerId(1),
+            obj: ObjId(1),
+            offset: 0,
+            data: Bytes::new(),
+            now: 0,
+        };
+        assert_eq!(w.txn(), Some(TxnId(4)));
+        assert!(!w.forces_sync());
+        assert!(WalRecord::TxnPrepare { txn: TxnId(1) }.forces_sync());
+        assert!(WalRecord::TxnCommit { txn: TxnId(1) }.forces_sync());
+        assert!(!WalRecord::TxnAbort { txn: TxnId(1) }.forces_sync());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_write_record_roundtrips(
+            txn: u64,
+            container: u64,
+            obj: u64,
+            offset: u64,
+            data in proptest::collection::vec(proptest::num::u8::ANY, 0..256),
+            now: u64,
+        ) {
+            // Odd draws become `None` so both option arms are exercised.
+            let rec = WalRecord::Write {
+                txn: txn.is_multiple_of(2).then_some(TxnId(txn)),
+                container: ContainerId(container),
+                obj: ObjId(obj),
+                offset,
+                data: Bytes::from(data),
+                now,
+            };
+            let back = WalRecord::from_bytes(rec.to_bytes()).unwrap();
+            proptest::prop_assert_eq!(back, rec);
+        }
+
+        #[test]
+        fn prop_decode_junk_never_panics(data in proptest::collection::vec(proptest::num::u8::ANY, 0..128)) {
+            let _ = WalRecord::from_bytes(Bytes::from(data));
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`storage`] | `lwfs-storage` | object storage, server-directed I/O |
 //! | [`naming`] | `lwfs-naming` | path binding service (client extension) |
 //! | [`txn`] | `lwfs-txn` | journals, locks, two-phase commit |
+//! | [`wal`] | `lwfs-wal` | segmented write-ahead log + replay |
 //! | [`core`] | `lwfs-core` | **the LWFS-core client API + cluster** |
 //! | [`pfs`] | `lwfs-pfs` | Lustre-like baseline (MDS + OSTs) |
 //! | [`checkpoint`] | `lwfs-checkpoint` | the §4 case study |
@@ -71,6 +72,7 @@ pub use lwfs_sciio as sciio;
 pub use lwfs_sim as sim;
 pub use lwfs_storage as storage;
 pub use lwfs_txn as txn;
+pub use lwfs_wal as wal;
 pub use lwfs_workload as workload;
 
 /// One-stop imports for applications.
@@ -82,6 +84,7 @@ pub mod prelude {
     pub use lwfs_proto::{
         Capability, ContainerId, Credential, Error, ObjId, OpMask, PrincipalId, ProcessId, TxnId,
     };
+    pub use lwfs_wal::{SyncPolicy, WalConfig};
 }
 
 #[cfg(test)]

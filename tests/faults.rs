@@ -51,6 +51,48 @@ fn partitioned_storage_server_aborts_the_transaction_cleanly() {
 }
 
 #[test]
+fn participant_crash_during_prepare_aborts_and_recovers_clean() {
+    // One participant dies between staging and phase 1: its vote never
+    // arrives, the coordinator aborts, and the crashed server — restarted
+    // from its write-ahead log — presumes abort for the staged work.
+    let wal_root = std::env::temp_dir().join(format!("lwfs-faults-prep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let mut cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 2,
+        storage: lwfs::storage::StorageConfig {
+            wal: Some(lwfs::wal::WalConfig::new(wal_root.clone())),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+
+    let txn = client.txn_begin().unwrap();
+    let o0 = client.create_obj(0, &caps, Some(txn), None).unwrap();
+    let o1 = client.create_obj(1, &caps, Some(txn), None).unwrap();
+    client.write(0, &caps, Some(txn), o0, 0, b"half-done").unwrap();
+    client.write(1, &caps, Some(txn), o1, 0, b"half-done").unwrap();
+
+    // Crash server 1 before phase 1 can reach it.
+    cluster.crash_storage(1);
+    let participants = vec![cluster.addrs().storage[0], cluster.addrs().storage[1]];
+    let no_votes = client.txn_prepare(txn, participants.clone()).unwrap();
+    assert_eq!(no_votes, vec![cluster.addrs().storage[1]], "dead participant is a no vote");
+    client.txn_resolve(txn, vec![cluster.addrs().storage[0]], false).unwrap();
+
+    // The survivor rolled back; the restarted server replays its log and
+    // presumes abort for the transaction that never prepared there.
+    cluster.restart_storage(1);
+    assert_eq!(client.read(0, &caps, o0, 0, 9).unwrap_err(), Error::NoSuchObject(o0));
+    assert_eq!(client.read(1, &caps, o1, 0, 9).unwrap_err(), Error::NoSuchObject(o1));
+    assert_eq!(cluster.storage_server(1).in_doubt_txns(), vec![]);
+    let _ = std::fs::remove_dir_all(&wal_root);
+}
+
+#[test]
 fn operations_fail_fast_while_partitioned_and_recover_after_heal() {
     let cluster = boot(1);
     let mut client = cluster.client(0, 0);
