@@ -18,6 +18,10 @@
 //!    `results/recovery.csv` and `BENCH_recovery.json` (pass `--wal-dir`
 //!    to relocate the logs, `--sync-policy always,every64,os,none` to
 //!    override the policy sweep).
+//! 9. **Replication**: the synchronous log-shipping write cost per group
+//!    size R ∈ {1, 2, 3} and the client-visible failover blip when the
+//!    primary dies mid-stream, writing `results/replication.csv` and
+//!    `BENCH_replication.json`.
 //!
 //! ```text
 //! cargo run --release -p lwfs-bench --bin ablation -- --metrics-out results/ablation_metrics.json
@@ -322,6 +326,60 @@ fn main() {
     write_recovery_json(&recovery_rows, &policy_rows);
     let _ = std::fs::remove_dir_all(&wal_dir);
 
+    // ------------------------------------------------------------------
+    // 9. Replication: per-R write cost and the failover blip.
+    // ------------------------------------------------------------------
+    println!("\n== ablation 9: replication write cost and failover blip ==");
+    let mut repl_csv = CsvOut::new("replication", &["study", "variant", "value", "unit"]);
+
+    println!("-- synchronous ship-before-ack write cost (64 × 64 KB, one group) --");
+    let mut t = Table::new(&["R", "MB/s", "vs R=1"]);
+    let mut repl_rows: Vec<(usize, f64, f64)> = Vec::new();
+    for r in [1usize, 2, 3] {
+        let mbps = replication_write_run(r);
+        let baseline = repl_rows.first().map(|(_, m, _)| *m).unwrap_or(mbps);
+        let rel = mbps / baseline;
+        t.row(&[r.to_string(), format!("{mbps:.0}"), format!("{rel:.2}x")]);
+        repl_csv.row(&[
+            "write_cost".into(),
+            format!("r{r}"),
+            format!("{mbps:.1}"),
+            "mb_per_s".into(),
+        ]);
+        repl_rows.push((r, mbps, rel));
+    }
+    t.print();
+    println!("  (every write waits for all R-1 backups to apply before the ack;");
+    println!("   the cost is the paper's price for losing no acknowledged byte)");
+
+    println!("-- failover blip (R=2, primary killed mid-stream, no restart) --");
+    let blip = failover_blip_run();
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["steady write (µs, median)".into(), format!("{:.0}", blip.steady_us)]);
+    t.row(&["failover blip (ms)".into(), format!("{:.2}", blip.blip_ms)]);
+    t.row(&["writes acked".into(), blip.writes.to_string()]);
+    t.print();
+    repl_csv.row(&[
+        "failover".into(),
+        "steady_write".into(),
+        format!("{:.1}", blip.steady_us),
+        "us".into(),
+    ]);
+    repl_csv.row(&["failover".into(), "blip".into(), format!("{:.3}", blip.blip_ms), "ms".into()]);
+    match repl_csv.finish() {
+        Ok(path) => println!("  CSV written to {}", path.display()),
+        Err(e) => eprintln!("  CSV write failed: {e}"),
+    }
+    write_replication_json(&repl_rows, &blip);
+    shapes.check(
+        format!("no write lost across the failover ({} acked, all verified)", blip.writes),
+        blip.all_verified,
+    );
+    shapes.check(
+        format!("failover blip is a blip, not an outage ({:.2} ms < 5 s)", blip.blip_ms),
+        blip.blip_ms < 5_000.0,
+    );
+
     let ok = shapes.report();
     match csv.finish() {
         Ok(path) => println!("\nCSV written to {}", path.display()),
@@ -570,6 +628,125 @@ fn write_scaling_json(host_parallelism: usize, rows: &[(usize, f64, f64)]) {
     );
     match std::fs::write("BENCH_storage_scaling.json", &json) {
         Ok(()) => println!("  JSON written to BENCH_storage_scaling.json"),
+        Err(e) => eprintln!("  JSON write failed: {e}"),
+    }
+}
+
+/// One replication point: a single group of `r` members, 64 sequential
+/// 64 KB writes to one object. Returns MB/s; asserts the bytes really are
+/// on every replica before returning (the sweep measures the cost of a
+/// guarantee, so it first proves the guarantee held).
+fn replication_write_run(r: usize) -> f64 {
+    use lwfs_core::{ClusterConfig, LwfsCluster};
+    use lwfs_proto::OpMask;
+
+    const WRITES: usize = 64;
+    const CHUNK: usize = 64 * 1024;
+
+    let cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 1,
+        replication: r,
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    let payload = vec![0x7Eu8; CHUNK];
+
+    let start = std::time::Instant::now();
+    for i in 0..WRITES {
+        client.write(0, &caps, None, obj, (i * CHUNK) as u64, &payload).unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    for replica in 0..r {
+        assert_eq!(
+            cluster.storage_server(replica).store().bytes_stored(),
+            (WRITES * CHUNK) as u64,
+            "replica {replica} is missing acknowledged bytes"
+        );
+    }
+    (WRITES * CHUNK) as f64 / 1e6 / secs
+}
+
+struct FailoverBlip {
+    steady_us: f64,
+    blip_ms: f64,
+    writes: usize,
+    all_verified: bool,
+}
+
+/// Stream writes through an R=2 group, kill the primary mid-stream (no
+/// restart), and keep writing against the promoted backup. The "blip" is
+/// the latency of the first post-crash write — the client's detect +
+/// map-refresh + retry cost; "steady" is the median of the rest.
+fn failover_blip_run() -> FailoverBlip {
+    use lwfs_core::{ClusterConfig, LwfsCluster};
+    use lwfs_proto::OpMask;
+
+    const WRITES: usize = 80;
+    const CRASH_AT: usize = WRITES / 2;
+    const CHUNK: usize = 16 * 1024;
+
+    let mut cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 1,
+        replication: 2,
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    let payload = vec![0x42u8; CHUNK];
+
+    let mut lat_us = Vec::with_capacity(WRITES);
+    for i in 0..WRITES {
+        if i == CRASH_AT {
+            cluster.crash_storage(0);
+        }
+        let t0 = std::time::Instant::now();
+        client.write(0, &caps, None, obj, (i * CHUNK) as u64, &payload).unwrap();
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let blip_ms = lat_us[CRASH_AT] / 1000.0;
+    let mut steady: Vec<f64> =
+        lat_us.iter().enumerate().filter(|(i, _)| *i != CRASH_AT).map(|(_, v)| *v).collect();
+    steady.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let steady_us = steady[steady.len() / 2];
+
+    // Every acknowledged byte must read back from the survivor.
+    let back = client.read(0, &caps, obj, 0, WRITES * CHUNK).unwrap();
+    let all_verified = back.len() == WRITES * CHUNK && back.iter().all(|b| *b == 0x42);
+    FailoverBlip { steady_us, blip_ms, writes: WRITES, all_verified }
+}
+
+/// Record the replication sweep for the acceptance artifact.
+fn write_replication_json(rows: &[(usize, f64, f64)], blip: &FailoverBlip) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(r, mbps, rel)| {
+            format!(
+                "    {{\"replication\": {r}, \"mb_per_s\": {mbps:.1}, \
+                 \"relative_to_r1\": {rel:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"replication\",\n  \"write_cost\": [\n{}\n  ],\n  \
+         \"failover\": {{\n    \"steady_write_us\": {:.1},\n    \"blip_ms\": {:.3},\n    \
+         \"writes_acked\": {},\n    \"all_acked_bytes_verified\": {}\n  }}\n}}\n",
+        entries.join(",\n"),
+        blip.steady_us,
+        blip.blip_ms,
+        blip.writes,
+        blip.all_verified
+    );
+    match std::fs::write("BENCH_replication.json", &json) {
+        Ok(()) => println!("  JSON written to BENCH_replication.json"),
         Err(e) => eprintln!("  JSON write failed: {e}"),
     }
 }

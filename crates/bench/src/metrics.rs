@@ -39,8 +39,14 @@ pub fn metrics_out_arg() -> Option<PathBuf> {
 /// environmental condition.
 pub fn run_metrics_probe(path: Option<&Path>) -> std::io::Result<Snapshot> {
     const SERVERS: usize = 2;
-    let cluster =
-        LwfsCluster::boot(ClusterConfig { storage_servers: SERVERS, ..Default::default() });
+    // Two replication groups of two members each: the probe exercises the
+    // log-shipping path on every mutation, so the snapshot carries the
+    // replication gauges (`storage.repl_lag`, `storage.failovers`) too.
+    let mut cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: SERVERS,
+        replication: 2,
+        ..Default::default()
+    });
     let mut client = cluster.client(0, 0);
     let ticket = cluster.kdc().kinit("app", "secret").expect("probe user registered at boot");
     client.get_cred(ticket).expect("get_cred");
@@ -62,13 +68,16 @@ pub fn run_metrics_probe(path: Option<&Path>) -> std::io::Result<Snapshot> {
     // A committed two-phase commit spanning both storage servers and the
     // naming service (the Figure 8 checkpoint pattern).
     let txn = client.txn_begin().expect("txn_begin");
+    let map = cluster.group_map().expect("replicated probe cluster has a group map");
     let mut participants = Vec::new();
     for server in 0..SERVERS {
         let obj = client.create_obj(server, &caps, Some(txn), None).expect("txn create_obj");
         if server == 0 {
             client.name_create(Some(txn), "/probe/ckpt", cid, obj).expect("name_create");
         }
-        participants.push(cluster.addrs().storage[server]);
+        // 2PC names processes, not groups: the participants are the
+        // current group primaries.
+        participants.push(map.groups[server].primary().expect("group has a primary"));
     }
     participants.push(cluster.addrs().naming);
     let outcome = client.txn_commit(txn, participants.clone()).expect("txn_commit");
@@ -82,6 +91,11 @@ pub fn run_metrics_probe(path: Option<&Path>) -> std::io::Result<Snapshot> {
     // Naming reads.
     client.name_lookup("/probe/ckpt").expect("name_lookup");
     client.name_list("/probe").expect("name_list");
+
+    // Kill group 0's primary so the failover path (promotion, client
+    // retry, `storage.failovers`) is represented in the snapshot; the
+    // flush reads below run against the promoted backup.
+    cluster.crash_storage(0);
 
     // Flush: a storage server closes a request's trace *after* sending
     // its reply, so drive one more op through each server — its reply

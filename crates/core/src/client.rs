@@ -12,16 +12,22 @@
 //! the storage server explicitly by index; layering crates (checkpoint,
 //! PFS) implement their own placement.
 
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use lwfs_portals::{collective, Endpoint, Group, MdOptions, MemDesc, RpcClient, BULK_SPACE};
+use lwfs_portals::{
+    collective, reply_match, Endpoint, Event, Group, MdOptions, MemDesc, RpcClient, BULK_SPACE,
+    REQUEST_MATCH,
+};
 use lwfs_proto::{
-    ContainerId, Credential, Error, LockId, LockMode, LockResource, MdHandle, ObjAttr, ObjId,
-    OpMask, ProcessId, ReplyBody, RequestBody, Result, TxnId,
+    ContainerId, Credential, Decode, Encode, Error, GroupMap, LockId, LockMode, LockResource,
+    MdHandle, ObjAttr, ObjId, OpMask, OpNum, ProcessId, Reply, ReplyBody, Request, RequestBody,
+    Result, TxnId,
 };
 use lwfs_txn::{Coordinator, TxnOutcome};
+use parking_lot::Mutex;
 
 use crate::caps::CapSet;
 use crate::cluster::ClusterAddrs;
@@ -33,6 +39,12 @@ pub struct LwfsClient {
     addrs: ClusterAddrs,
     cred: Option<Credential>,
     rpc_timeout: std::time::Duration,
+    /// Cached replication group map (clusters with a directory only);
+    /// refreshed whenever a data operation suggests stale routing.
+    groups: Mutex<Option<GroupMap>>,
+    /// Total time a data operation keeps re-targeting across timeouts,
+    /// `NotPrimary` redirects, and map refreshes before giving up.
+    failover_deadline: Duration,
 }
 
 impl LwfsClient {
@@ -43,6 +55,8 @@ impl LwfsClient {
             addrs,
             cred: None,
             rpc_timeout: std::time::Duration::from_secs(5),
+            groups: Mutex::new(None),
+            failover_deadline: Duration::from_secs(15),
         }
     }
 
@@ -50,6 +64,12 @@ impl LwfsClient {
     /// that inject message loss lower this so retries converge quickly.
     pub fn set_rpc_timeout(&mut self, timeout: std::time::Duration) {
         self.rpc_timeout = timeout;
+    }
+
+    /// Change the total re-targeting budget for data operations on a
+    /// replicated cluster (default 15 s).
+    pub fn set_failover_deadline(&mut self, deadline: Duration) {
+        self.failover_deadline = deadline;
     }
 
     pub fn id(&self) -> ProcessId {
@@ -261,6 +281,158 @@ impl LwfsClient {
             .ok_or_else(|| Error::Internal(format!("no storage server {server}")))
     }
 
+    // ------------------------------------------------------------------
+    // Replication routing
+    //
+    // On a cluster booted with replication, `server` indexes *groups*;
+    // the directory's epoch-numbered map says which physical server
+    // currently leads each group. Mutations go to the primary with one
+    // opnum for the whole retry loop — the servers' reply caches dedup by
+    // `(client, opnum)`, so a re-send after a timeout or a failover can
+    // never double-apply. Reads are served by any in-sync member (every
+    // member is in sync: the primary ships before acking).
+    // ------------------------------------------------------------------
+
+    /// The cached group map, fetched lazily. `None` on clusters without a
+    /// directory (replication = 1): callers fall back to direct addressing.
+    fn group_map(&self) -> Result<Option<GroupMap>> {
+        let Some(dir) = self.addrs.directory else { return Ok(None) };
+        let mut cached = self.groups.lock();
+        if cached.is_none() {
+            *cached = Some(self.fetch_group_map(dir)?);
+        }
+        Ok(cached.clone())
+    }
+
+    /// Force-refresh the cached map from the directory.
+    fn refresh_group_map(&self) -> Result<GroupMap> {
+        let dir = self
+            .addrs
+            .directory
+            .ok_or_else(|| Error::Internal("cluster has no group directory".into()))?;
+        let map = self.fetch_group_map(dir)?;
+        *self.groups.lock() = Some(map.clone());
+        Ok(map)
+    }
+
+    fn fetch_group_map(&self, dir: ProcessId) -> Result<GroupMap> {
+        match self.rpc().call(dir, RequestBody::GetGroupMap)? {
+            ReplyBody::GroupMapReply(map) => Ok(map),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Route a mutation to the primary of group `server`, transparently
+    /// failing over: on a timeout, an unreachable primary, or a
+    /// `NotPrimary` rejection the map is refreshed and the *same request*
+    /// (same opnum) is re-sent to the current primary, until the failover
+    /// deadline converts the transients into `RetriesExhausted`.
+    fn storage_mutate(&self, server: usize, body: RequestBody) -> Result<ReplyBody> {
+        let Some(mut map) = self.group_map()? else {
+            return self.rpc().call_retrying(self.storage_addr(server)?, body);
+        };
+        let opnum = OpNum(self.opnum.fetch_add(1, Ordering::Relaxed));
+        let started = Instant::now();
+        let mut backoff = Duration::from_micros(200);
+        loop {
+            let primary = map
+                .groups
+                .get(server)
+                .ok_or_else(|| Error::Internal(format!("no storage group {server}")))?
+                .primary();
+            let outcome = match primary {
+                // An empty group (every member dead) is a transient state
+                // from the client's perspective: keep polling the map.
+                None => Err(Error::Unreachable),
+                Some(target) => self.send_once(target, opnum, &body, map.epoch),
+            };
+            match outcome {
+                Ok(reply) => return Ok(reply),
+                Err(
+                    e @ (Error::Timeout
+                    | Error::Unreachable
+                    | Error::NotPrimary
+                    | Error::ServerBusy),
+                ) => {
+                    if started.elapsed() >= self.failover_deadline {
+                        return Err(Error::RetriesExhausted);
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(10));
+                    // ServerBusy is back-pressure, not stale routing; all
+                    // other transients warrant a fresh map. A directory
+                    // hiccup is itself transient: keep the old map and
+                    // retry.
+                    if !matches!(e, Error::ServerBusy) {
+                        if let Ok(fresh) = self.refresh_group_map() {
+                            map = fresh;
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One send/receive of a fixed `(opnum, body)` request — the unit the
+    /// failover loop repeats. Unlike [`RpcClient::call`] this never
+    /// allocates a fresh opnum, which is what makes the retries safe to
+    /// dedup server-side.
+    fn send_once(
+        &self,
+        target: ProcessId,
+        opnum: OpNum,
+        body: &RequestBody,
+        epoch: u64,
+    ) -> Result<ReplyBody> {
+        let req = Request::new(opnum, self.ep.id(), body.clone()).with_epoch(epoch);
+        self.ep.send(target, REQUEST_MATCH, req.to_bytes())?;
+        let want = reply_match(opnum.0);
+        let ev = self.ep.recv_match(
+            self.rpc_timeout,
+            |e| matches!(e, Event::Message { match_bits, .. } if *match_bits == want),
+        )?;
+        let data = ev
+            .message_data()
+            .ok_or_else(|| Error::Internal("reply event without payload".into()))?
+            .clone();
+        Reply::from_bytes(data)?.into_result()
+    }
+
+    /// Route a read-only operation to any live member of group `server`,
+    /// preferring the primary and falling back across the backups; a full
+    /// sweep of failures refreshes the map and tries again until the
+    /// failover deadline.
+    fn storage_read(&self, server: usize, body: RequestBody) -> Result<ReplyBody> {
+        let Some(mut map) = self.group_map()? else {
+            return self.rpc().call_retrying(self.storage_addr(server)?, body);
+        };
+        let started = Instant::now();
+        let mut backoff = Duration::from_micros(200);
+        loop {
+            let members = map
+                .groups
+                .get(server)
+                .ok_or_else(|| Error::Internal(format!("no storage group {server}")))?
+                .members
+                .clone();
+            for member in members {
+                match self.rpc().call_retrying(member, body.clone()) {
+                    Err(Error::Timeout | Error::Unreachable | Error::ServerBusy) => continue,
+                    other => return other,
+                }
+            }
+            if started.elapsed() >= self.failover_deadline {
+                return Err(Error::RetriesExhausted);
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(10));
+            if let Ok(fresh) = self.refresh_group_map() {
+                map = fresh;
+            }
+        }
+    }
+
     /// Create an object on storage server `server`.
     pub fn create_obj(
         &self,
@@ -270,10 +442,7 @@ impl LwfsClient {
         want: Option<ObjId>,
     ) -> Result<ObjId> {
         let cap = caps.for_op(OpMask::CREATE)?;
-        match self.rpc().call_retrying(
-            self.storage_addr(server)?,
-            RequestBody::CreateObj { txn, cap, obj: want },
-        )? {
+        match self.storage_mutate(server, RequestBody::CreateObj { txn, cap, obj: want })? {
             ReplyBody::ObjCreated(oid) => Ok(oid),
             other => Err(unexpected(other)),
         }
@@ -287,10 +456,7 @@ impl LwfsClient {
         obj: ObjId,
     ) -> Result<()> {
         let cap = caps.for_op(OpMask::REMOVE)?;
-        match self
-            .rpc()
-            .call_retrying(self.storage_addr(server)?, RequestBody::RemoveObj { txn, cap, obj })?
-        {
+        match self.storage_mutate(server, RequestBody::RemoveObj { txn, cap, obj })? {
             ReplyBody::ObjRemoved => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -310,8 +476,8 @@ impl LwfsClient {
         let cap = caps.for_op(OpMask::WRITE)?;
         let mb = self.ep.match_bits().alloc(BULK_SPACE);
         self.ep.post_md(mb, MemDesc::from_vec(data.to_vec(), MdOptions::for_remote_get()))?;
-        let result = self.rpc().call_retrying(
-            self.storage_addr(server)?,
+        let result = self.storage_mutate(
+            server,
             RequestBody::Write {
                 txn,
                 cap,
@@ -341,8 +507,8 @@ impl LwfsClient {
         let cap = caps.for_op(OpMask::READ)?;
         let mb = self.ep.match_bits().alloc(BULK_SPACE);
         self.ep.post_md(mb, MemDesc::zeroed(len, MdOptions::for_remote_put()))?;
-        let result = self.rpc().call_retrying(
-            self.storage_addr(server)?,
+        let result = self.storage_read(
+            server,
             RequestBody::Read {
                 cap,
                 obj,
@@ -382,8 +548,8 @@ impl LwfsClient {
         // The result is never larger than the scanned range (all filters
         // are contractive), so a `len`-sized landing buffer suffices.
         self.ep.post_md(mb, MemDesc::zeroed(len.max(16), MdOptions::for_remote_put()))?;
-        let result = self.rpc().call_retrying(
-            self.storage_addr(server)?,
+        let result = self.storage_read(
+            server,
             RequestBody::ReadFiltered {
                 cap,
                 obj,
@@ -408,10 +574,7 @@ impl LwfsClient {
 
     pub fn getattr(&self, server: usize, caps: &CapSet, obj: ObjId) -> Result<ObjAttr> {
         let cap = caps.for_op(OpMask::GETATTR)?;
-        match self
-            .rpc()
-            .call_retrying(self.storage_addr(server)?, RequestBody::GetAttr { cap, obj })?
-        {
+        match self.storage_read(server, RequestBody::GetAttr { cap, obj })? {
             ReplyBody::Attr(attr) => Ok(attr),
             other => Err(unexpected(other)),
         }
@@ -420,10 +583,7 @@ impl LwfsClient {
     /// Flush an object (or everything) on a storage server.
     pub fn sync(&self, server: usize, caps: &CapSet, obj: Option<ObjId>) -> Result<()> {
         let cap = caps.for_op(OpMask::WRITE)?;
-        match self
-            .rpc()
-            .call_retrying(self.storage_addr(server)?, RequestBody::Sync { cap, obj })?
-        {
+        match self.storage_read(server, RequestBody::Sync { cap, obj })? {
             ReplyBody::Synced => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -431,7 +591,7 @@ impl LwfsClient {
 
     pub fn list_objs(&self, server: usize, caps: &CapSet) -> Result<Vec<ObjId>> {
         let cap = caps.for_op(OpMask::GETATTR)?;
-        match self.rpc().call_retrying(self.storage_addr(server)?, RequestBody::ListObjs { cap })? {
+        match self.storage_read(server, RequestBody::ListObjs { cap })? {
             ReplyBody::Objs(objs) => Ok(objs),
             other => Err(unexpected(other)),
         }

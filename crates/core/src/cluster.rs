@@ -9,6 +9,7 @@
 //! | 1001       | authorization server                               |
 //! | 1002       | naming server (client-extension service)           |
 //! | 1003       | transaction-id / lock server (client extension)    |
+//! | 1004       | replication group directory (replication > 1 only) |
 //! | 1100..     | storage servers (one per simulated I/O node)       |
 
 use std::sync::Arc;
@@ -16,8 +17,9 @@ use std::sync::Arc;
 use lwfs_auth::{AuthConfig, AuthServer, AuthService, Clock, ManualClock, MockKerberos, WallClock};
 use lwfs_authz::{AuthzConfig, AuthzServer, AuthzService, CachedCapVerifier, CredVerifier};
 use lwfs_naming::{Namespace, NamingServer};
-use lwfs_portals::{Network, NetworkConfig, ServiceHandle};
-use lwfs_proto::{PrincipalId, ProcessId};
+use lwfs_portals::{Network, NetworkConfig, RpcConfig, ServiceHandle};
+use lwfs_proto::{GroupMap, PrincipalId, ProcessId};
+use lwfs_replica::{DirectoryHandle, ReplicaConfig};
 use lwfs_storage::{server::StorageHandle, StorageConfig, StorageServer};
 use lwfs_txn::{LockTable, TxnLockServer};
 
@@ -30,13 +32,33 @@ pub struct ClusterAddrs {
     pub authz: ProcessId,
     pub naming: ProcessId,
     pub txnlock: ProcessId,
+    /// Every *physical* storage server, group-major: with replication `R`,
+    /// group `g` is `storage[g*R .. (g+1)*R]` at boot.
     pub storage: Vec<ProcessId>,
+    /// The replication group directory, present only when the cluster was
+    /// booted with `replication > 1`. Clients with a directory route data
+    /// operations by *group index* through the published [`GroupMap`].
+    pub directory: Option<ProcessId>,
 }
 
 /// Cluster bootstrap configuration.
 pub struct ClusterConfig {
-    /// Number of storage servers (the paper's dev cluster ran 2–16).
+    /// Number of storage servers (the paper's dev cluster ran 2–16). With
+    /// `replication > 1` this is the number of *groups*; the cluster boots
+    /// `storage_servers × replication` physical servers.
     pub storage_servers: usize,
+    /// Replication factor `R` per storage group. `1` (the default) is
+    /// today's standalone behavior: no directory service, no shipping.
+    /// With `R > 1` each group's primary ships every mutation's WAL
+    /// records to its `R-1` backups before acking, the group directory
+    /// (nid 1004) publishes the epoch-numbered member map, and
+    /// [`LwfsCluster::crash_storage`] promotes the senior backup when a
+    /// primary dies.
+    pub replication: usize,
+    /// RPC knobs (reply timeout, resend budget) applied to clients built
+    /// by [`LwfsCluster::client`] and to the storage servers' outbound
+    /// calls, instead of per-call-site constants.
+    pub rpc: RpcConfig,
     /// Per-storage-server configuration.
     pub storage: StorageConfig,
     /// Use a hand-advanced clock (tests) instead of wall time.
@@ -55,6 +77,8 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
             storage_servers: 4,
+            replication: 1,
+            rpc: RpcConfig::default(),
             storage: StorageConfig::default(),
             manual_clock: false,
             network: NetworkConfig::default(),
@@ -84,11 +108,15 @@ pub struct LwfsCluster {
     storage_servers: Vec<Option<Arc<StorageServer>>>,
     /// Per-server configs, kept so a crashed slot can be respawned.
     storage_configs: Vec<StorageConfig>,
+    /// Control-plane handle on the group directory (replication > 1).
+    directory: Option<DirectoryHandle>,
+    rpc: RpcConfig,
     // Handles last: dropped (and joined) after the shared state above.
     _auth: ServiceHandle,
     _authz: ServiceHandle,
     _naming: ServiceHandle,
     _txnlock: ServiceHandle,
+    _directory: Option<ServiceHandle>,
     _storage: Vec<Option<StorageHandle>>,
 }
 
@@ -154,14 +182,28 @@ impl LwfsCluster {
         let (txnlock_handle, locks) = TxnLockServer::spawn(&net, txnlock_id, None);
 
         // Storage partition: every server enforces policy through its own
-        // verify-through cache bound to the authorization service.
-        let mut storage_handles = Vec::with_capacity(config.storage_servers);
-        let mut storage_servers = Vec::with_capacity(config.storage_servers);
-        let mut storage_configs = Vec::with_capacity(config.storage_servers);
-        let mut storage_addrs = Vec::with_capacity(config.storage_servers);
-        for i in 0..config.storage_servers {
-            let sid = ProcessId::new(1100 + i as u32, 0);
-            let server_config = per_server_config(&config.storage, i);
+        // verify-through cache bound to the authorization service. With
+        // replication, each logical group is `r` consecutive physical
+        // servers; the first is the initial primary.
+        let r = config.replication.max(1);
+        let physical = config.storage_servers * r;
+        let storage_addrs: Vec<ProcessId> =
+            (0..physical).map(|i| ProcessId::new(1100 + i as u32, 0)).collect();
+        let mut storage_handles = Vec::with_capacity(physical);
+        let mut storage_servers = Vec::with_capacity(physical);
+        let mut storage_configs = Vec::with_capacity(physical);
+        for (i, &sid) in storage_addrs.iter().enumerate() {
+            let mut server_config = per_server_config(&config.storage, i);
+            server_config.rpc = config.rpc.clone();
+            if r > 1 {
+                let group = (i / r) as u32;
+                server_config.replica = Some(if i % r == 0 {
+                    let backups = storage_addrs[i + 1..(i / r + 1) * r].to_vec();
+                    ReplicaConfig::primary(group, backups)
+                } else {
+                    ReplicaConfig::backup(group)
+                });
+            }
             let verifier = CachedCapVerifier::with_registry(sid, authz_id, net.obs());
             let (h, s) = StorageServer::spawn(
                 &net,
@@ -173,8 +215,21 @@ impl LwfsCluster {
             storage_handles.push(Some(h));
             storage_servers.push(Some(s));
             storage_configs.push(server_config);
-            storage_addrs.push(sid);
         }
+
+        // Group directory: spawned only under replication, so a plain
+        // cluster keeps exactly its historical endpoint census.
+        let directory_id = ProcessId::new(1004, 0);
+        let (directory_handle, directory) = if r > 1 {
+            let (h, d) = lwfs_replica::spawn_directory(
+                &net,
+                directory_id,
+                GroupMap::grouped(&storage_addrs, r),
+            );
+            (Some(h), Some(d))
+        } else {
+            (None, None)
+        };
 
         LwfsCluster {
             net,
@@ -184,6 +239,7 @@ impl LwfsCluster {
                 naming: naming_id,
                 txnlock: txnlock_id,
                 storage: storage_addrs,
+                directory: directory_handle.as_ref().map(|h| h.id()),
             },
             kdc,
             clock,
@@ -194,10 +250,13 @@ impl LwfsCluster {
             locks,
             storage_servers,
             storage_configs,
+            directory,
+            rpc: config.rpc,
             _auth: auth_handle,
             _authz: authz_handle,
             _naming: naming_handle,
             _txnlock: txnlock_handle,
+            _directory: directory_handle,
             _storage: storage_handles,
         }
     }
@@ -271,6 +330,46 @@ impl LwfsCluster {
             self.net.unregister(sid);
         }
         self.storage_servers[idx] = None;
+        self.repair_group(self.addrs.storage[idx]);
+    }
+
+    /// Replication control plane: after `dead` left the fabric, promote
+    /// its group's senior backup (if it led) or shrink the primary's ship
+    /// set (if it backed), then publish the bumped map. No-op without
+    /// replication or when the server was already out of the map.
+    fn repair_group(&self, dead: ProcessId) {
+        let Some(dir) = &self.directory else { return };
+        let mut map = dir.snapshot();
+        let Some(group) = map.group_of(dead) else { return };
+        if map.groups[group].primary() == Some(dead) {
+            if let Some(new_primary) = lwfs_replica::promote(&mut map, group) {
+                let backups = map.groups[group].backups().to_vec();
+                // Promote the server *before* publishing, so a client the
+                // new map redirects always finds a willing primary.
+                if let Some(srv) = self.server_by_id(new_primary) {
+                    srv.promote(map.epoch, backups);
+                }
+                dir.publish(map);
+                self.net.obs().gauge("storage.failovers").inc();
+            }
+            // No surviving backup: the group is lost. The map keeps naming
+            // the dead primary and its clients keep failing — correctly.
+        } else if let Some(primary) = lwfs_replica::remove_backup(&mut map, dead) {
+            if let Some(srv) = self.server_by_id(primary) {
+                srv.drop_backup(dead);
+            }
+            dir.publish(map);
+        }
+    }
+
+    fn server_by_id(&self, id: ProcessId) -> Option<&Arc<StorageServer>> {
+        let idx = self.addrs.storage.iter().position(|s| *s == id)?;
+        self.storage_servers[idx].as_ref()
+    }
+
+    /// The directory's current group map (replication > 1 only).
+    pub fn group_map(&self) -> Option<lwfs_proto::GroupMap> {
+        self.directory.as_ref().map(|d| d.snapshot())
     }
 
     /// Restart a crashed storage server in the same network slot, with the
@@ -281,6 +380,12 @@ impl LwfsCluster {
     /// # Panics
     /// Panics if the server is still running — crash it first.
     pub fn restart_storage(&mut self, idx: usize) -> &Arc<StorageServer> {
+        assert!(
+            self.directory.is_none(),
+            "restart_storage is only supported without replication: a replicated \
+             group heals by promotion, and a restarted stale member would need \
+             re-synchronization this build does not implement"
+        );
         assert!(
             self.storage_servers[idx].is_none(),
             "storage server {idx} is still running; crash_storage({idx}) first"
@@ -307,7 +412,9 @@ impl LwfsCluster {
     pub fn client(&self, nid: u32, pid: u32) -> LwfsClient {
         assert!(nid < 1000, "compute nids are 0..1000; {nid} is in the service partition");
         let ep = self.net.register(ProcessId::new(nid, pid));
-        LwfsClient::new(ep, self.addrs.clone())
+        let mut client = LwfsClient::new(ep, self.addrs.clone());
+        client.set_rpc_timeout(self.rpc.reply_timeout);
+        client
     }
 }
 

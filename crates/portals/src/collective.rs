@@ -28,16 +28,10 @@ fn coll_match(tag: u64, round: u32) -> u64 {
 }
 
 fn send_retry(ep: &Endpoint, to: ProcessId, match_bits: u64, data: Bytes) -> Result<()> {
-    let mut backoff = Duration::from_micros(50);
-    loop {
-        match ep.send(to, match_bits, data.clone()) {
-            Err(Error::ServerBusy) => {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_millis(10));
-            }
-            other => return other,
-        }
-    }
+    // Deadline-capped (a peer that never drains used to spin this loop
+    // forever); the shape matches the historical 50 µs → 10 ms doubling.
+    let policy = crate::retry::RetryPolicy::with_deadline(COLLECTIVE_TIMEOUT);
+    crate::retry::send_with_backoff(ep, to, match_bits, data, &policy)
 }
 
 fn recv_from(ep: &Endpoint, from: ProcessId, match_bits: u64, timeout: Duration) -> Result<Bytes> {

@@ -32,6 +32,7 @@ pub mod collective;
 pub mod endpoint;
 pub mod event;
 pub mod network;
+pub mod retry;
 pub mod rpc;
 pub mod service;
 pub mod stats;
@@ -40,7 +41,8 @@ pub use buffer::{MdOptions, MemDesc};
 pub use endpoint::{Endpoint, MatchBitsAlloc};
 pub use event::Event;
 pub use network::{FaultPlan, Network, NetworkConfig};
-pub use rpc::{RpcClient, RpcServer};
+pub use retry::RetryPolicy;
+pub use rpc::{RpcClient, RpcConfig, RpcServer};
 pub use service::{spawn_service, Service, ServiceHandle};
 pub use stats::NetStats;
 

@@ -23,6 +23,30 @@ use crate::endpoint::Endpoint;
 use crate::event::Event;
 use crate::{reply_match, REQUEST_MATCH};
 
+/// Tunables for the client side of an RPC, settable in one place (e.g.
+/// from `ClusterConfig`) instead of hard-coded per call site. Fault tests
+/// and the failover path shrink `reply_timeout` so a dead primary is
+/// detected in milliseconds rather than the five-second default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcConfig {
+    /// How long to wait for a reply before giving up.
+    pub reply_timeout: Duration,
+    /// Maximum ServerBusy re-sends before surfacing the error.
+    pub max_resends: u32,
+    /// Base backoff between re-sends (doubled each attempt).
+    pub backoff: Duration,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        Self {
+            reply_timeout: Duration::from_secs(5),
+            max_resends: 64,
+            backoff: Duration::from_micros(50),
+        }
+    }
+}
+
 /// Client-side RPC state for one endpoint.
 pub struct RpcClient<'a> {
     ep: &'a Endpoint,
@@ -60,14 +84,23 @@ impl<'a> RpcClient<'a> {
     /// never repeat — a stale reply from a timed-out call can then never
     /// match a later call.
     pub fn with_counter(ep: &'a Endpoint, counter: Arc<AtomicU64>) -> Self {
+        let cfg = RpcConfig::default();
         Self {
             ep,
             next_opnum: counter,
             resends: AtomicU64::new(0),
-            reply_timeout: Duration::from_secs(5),
-            max_resends: 64,
-            backoff: Duration::from_micros(50),
+            reply_timeout: cfg.reply_timeout,
+            max_resends: cfg.max_resends,
+            backoff: cfg.backoff,
         }
+    }
+
+    /// Apply an [`RpcConfig`] (builder style), overriding the defaults.
+    pub fn configured(mut self, cfg: &RpcConfig) -> Self {
+        self.reply_timeout = cfg.reply_timeout;
+        self.max_resends = cfg.max_resends;
+        self.backoff = cfg.backoff;
+        self
     }
 
     pub fn endpoint(&self) -> &Endpoint {
@@ -302,6 +335,25 @@ mod tests {
         assert_eq!(r2.unwrap(), ReplyBody::Pong);
         assert!(t.join().unwrap().is_ok());
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn rpc_config_overrides_all_knobs() {
+        let net = Network::default();
+        let ep = net.register(ProcessId::new(0, 0));
+        let cfg = RpcConfig {
+            reply_timeout: Duration::from_millis(123),
+            max_resends: 7,
+            backoff: Duration::from_micros(9),
+        };
+        let c = RpcClient::new(&ep).configured(&cfg);
+        assert_eq!(c.reply_timeout, cfg.reply_timeout);
+        assert_eq!(c.max_resends, 7);
+        assert_eq!(c.backoff, Duration::from_micros(9));
+        // Defaults stay at the historical values.
+        let d = RpcConfig::default();
+        assert_eq!(d.reply_timeout, Duration::from_secs(5));
+        assert_eq!(d.max_resends, 64);
     }
 
     #[test]

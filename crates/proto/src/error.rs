@@ -61,6 +61,13 @@ pub enum Error {
     StorageIo(String),
     /// Internal invariant violation — always a bug, surfaced loudly.
     Internal(String),
+    /// A bounded retry loop gave up: every attempt failed with a transient
+    /// error and the total deadline expired. Unlike the transient errors it
+    /// wraps, this is terminal — the caller already retried.
+    RetriesExhausted,
+    /// The storage server is a replication backup; mutations must go to the
+    /// group's primary. Clients refresh the group map and re-send.
+    NotPrimary,
 }
 
 impl Error {
@@ -113,6 +120,8 @@ impl std::fmt::Display for Error {
             Error::Timeout => write!(f, "timed out"),
             Error::StorageIo(m) => write!(f, "storage I/O error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::RetriesExhausted => write!(f, "retries exhausted before the deadline"),
+            Error::NotPrimary => write!(f, "server is a replication backup; retry at the primary"),
         }
     }
 }
@@ -132,6 +141,11 @@ mod tests {
         assert!(Error::Timeout.is_transient());
         assert!(!Error::AccessDenied.is_transient());
         assert!(!Error::NoSuchObject(ObjId(1)).is_transient());
+        // RetriesExhausted means a retry loop already gave up on a string of
+        // transient failures — classifying it transient would loop forever.
+        assert!(!Error::RetriesExhausted.is_transient());
+        // NotPrimary needs a group-map refresh, not a blind re-send.
+        assert!(!Error::NotPrimary.is_transient());
     }
 
     #[test]
@@ -148,6 +162,8 @@ mod tests {
             Error::Timeout,
             Error::WouldBlock,
             Error::NoSuchName,
+            Error::RetriesExhausted,
+            Error::NotPrimary,
         ];
         for e in all {
             assert!(!(e.is_security() && e.is_transient()), "{e:?} is both security and transient");

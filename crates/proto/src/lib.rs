@@ -30,8 +30,8 @@ pub use codec::{Decode, Encode};
 pub use error::{Error, Result};
 pub use ids::{ContainerId, Lifetime, NodeId, ObjId, OpNum, Pid, PrincipalId, ProcessId, TxnId};
 pub use message::{
-    FilterSpec, LockId, LockMode, LockResource, MdHandle, ObjAttr, PfsLayout, Reply, ReplyBody,
-    Request, RequestBody,
+    FilterSpec, GroupMap, LockId, LockMode, LockResource, MdHandle, ObjAttr, PfsLayout,
+    ReplicaGroup, Reply, ReplyBody, Request, RequestBody,
 };
 pub use ops::OpMask;
 pub use security::{
@@ -43,7 +43,7 @@ pub use security::{
 /// A decoder that sees a different major version must reject the message;
 /// this reproduction only has one version, but the field keeps the codec
 /// honest about evolution.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Maximum payload a single *request* message may carry inline.
 ///
@@ -61,7 +61,7 @@ mod tests {
 
     #[test]
     fn version_is_stable() {
-        // v2 added the req_id trace field to the request envelope.
-        assert_eq!(PROTOCOL_VERSION, 2);
+        // v2 added the req_id trace field; v3 the group-map epoch.
+        assert_eq!(PROTOCOL_VERSION, 3);
     }
 }

@@ -7,7 +7,7 @@
 //! data never travels inside a request — the server moves it one-sidedly
 //! through a [`MdHandle`] (paper §3.2, Figure 6).
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{Decode, Encode};
@@ -192,6 +192,80 @@ pub struct LockId(pub u64);
 
 crate::impl_codec_newtype!(LockId);
 
+/// One replication group: `members[0]` is the current primary, the rest
+/// are backups in seniority order (promotion takes `members[1]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaGroup {
+    pub members: Vec<ProcessId>,
+}
+
+impl ReplicaGroup {
+    /// The current primary, if the group still has any live member.
+    pub fn primary(&self) -> Option<ProcessId> {
+        self.members.first().copied()
+    }
+
+    /// The backups (everything after the primary).
+    pub fn backups(&self) -> &[ProcessId] {
+        self.members.get(1..).unwrap_or(&[])
+    }
+}
+
+impl Encode for ReplicaGroup {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.members.encode(buf);
+    }
+}
+
+impl Decode for ReplicaGroup {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(ReplicaGroup { members: Decode::decode(buf)? })
+    }
+}
+
+/// The cluster's replication-group directory: which servers form each
+/// group and who currently leads it. `epoch` increments on every
+/// membership change (promotion, backup loss); clients stamp it into
+/// requests so stale routing is observable end to end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupMap {
+    pub epoch: u64,
+    pub groups: Vec<ReplicaGroup>,
+}
+
+impl GroupMap {
+    /// A map with `r` consecutive servers per group, primaries first:
+    /// group `g` owns `servers[g*r .. (g+1)*r]`.
+    pub fn grouped(servers: &[ProcessId], r: usize) -> Self {
+        let r = r.max(1);
+        assert!(
+            servers.len().is_multiple_of(r),
+            "server count {} not divisible by group size {r}",
+            servers.len()
+        );
+        let groups = servers.chunks(r).map(|c| ReplicaGroup { members: c.to_vec() }).collect();
+        GroupMap { epoch: 1, groups }
+    }
+
+    /// The group index a server belongs to, if any.
+    pub fn group_of(&self, id: ProcessId) -> Option<usize> {
+        self.groups.iter().position(|g| g.members.contains(&id))
+    }
+}
+
+impl Encode for GroupMap {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.groups.encode(buf);
+    }
+}
+
+impl Decode for GroupMap {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(GroupMap { epoch: Decode::decode(buf)?, groups: Decode::decode(buf)? })
+    }
+}
+
 /// Request bodies for every LWFS service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
@@ -299,6 +373,35 @@ pub enum RequestBody {
     LockAcquire { cap: Capability, resource: LockResource, mode: LockMode, wait: bool },
     /// Release a granted lock.
     LockRelease { cap: Capability, lock: LockId },
+
+    // ---- replication (storage groups) ----
+    /// Fetch the current replication group map from the group directory.
+    GetGroupMap,
+    /// Primary → backup: one acknowledged mutation's WAL records, in the
+    /// exact CRC frames the primary appended to its own log, shipped
+    /// *before* the client is acked. `reply` is the encoded [`ReplyBody`]
+    /// the primary will send, cached on the backup under
+    /// `(origin, origin_opnum)` so a failed-over client retry of an
+    /// already-acked mutation is answered from the cache, not re-applied.
+    ///
+    /// This is the one server-to-server bulk message in the protocol: it
+    /// deliberately carries record payloads inline (the log stream *is*
+    /// the data), so it is exempt from the `MAX_REQUEST_INLINE` bound that
+    /// keeps client requests tiny.
+    ReplShip {
+        group: u32,
+        epoch: u64,
+        /// Primary-local ship sequence number, echoed in the ack.
+        seq: u64,
+        /// The client whose mutation produced these records.
+        origin: ProcessId,
+        /// The client's request opnum — the dedup key.
+        origin_opnum: OpNum,
+        /// CRC-framed WAL records, byte-identical to the primary's log.
+        records: Vec<Bytes>,
+        /// Encoded `ReplyBody` the primary acks the client with.
+        reply: Bytes,
+    },
 }
 
 /// Reply bodies. `Err` is universal; the rest pair 1:1 with requests.
@@ -357,6 +460,12 @@ pub enum ReplyBody {
     TxnAborted,
     LockGranted(LockId),
     LockReleased,
+    /// The directory's current view of the replication groups.
+    GroupMapReply(GroupMap),
+    /// Backup → primary: the shipped records are durable and applied.
+    ReplAck {
+        seq: u64,
+    },
 }
 
 /// A complete request envelope.
@@ -374,13 +483,23 @@ pub struct Request {
     /// (see `lwfs-obs`). Derived from `(reply_to, opnum)`, which the
     /// transport already guarantees unique per in-flight request.
     pub req_id: u64,
+    /// The group-map epoch the sender routed by (v3). `0` means "no
+    /// replication view" — non-replicated clients and service-to-service
+    /// traffic. Servers use it to spot stale routing after a failover.
+    pub epoch: u64,
     pub body: RequestBody,
 }
 
 impl Request {
     pub fn new(opnum: OpNum, reply_to: ProcessId, body: RequestBody) -> Self {
         let req_id = derive_req_id(reply_to, opnum);
-        Self { version: PROTOCOL_VERSION, opnum, reply_to, req_id, body }
+        Self { version: PROTOCOL_VERSION, opnum, reply_to, req_id, epoch: 0, body }
+    }
+
+    /// Stamp the sender's group-map epoch into the header.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
     }
 }
 
@@ -431,6 +550,7 @@ impl Encode for Request {
         self.opnum.encode(buf);
         self.reply_to.encode(buf);
         self.req_id.encode(buf);
+        self.epoch.encode(buf);
         self.body.encode(buf);
     }
 }
@@ -446,6 +566,7 @@ impl Decode for Request {
             opnum: OpNum::decode(buf)?,
             reply_to: ProcessId::decode(buf)?,
             req_id: u64::decode(buf)?,
+            epoch: u64::decode(buf)?,
             body: RequestBody::decode(buf)?,
         })
     }
@@ -520,6 +641,9 @@ impl Encode for RequestBody {
             43 => TxnAbort { txn } => { txn },
             44 => LockAcquire { cap, resource, mode, wait } => { cap, resource, mode, wait },
             45 => LockRelease { cap, lock } => { cap, lock },
+            50 => GetGroupMap => {},
+            51 => ReplShip { group, epoch, seq, origin, origin_opnum, records, reply } =>
+                { group, epoch, seq, origin, origin_opnum, records, reply },
         );
     }
 }
@@ -613,6 +737,16 @@ impl Decode for RequestBody {
                 wait: Decode::decode(buf)?,
             },
             45 => LockRelease { cap: Decode::decode(buf)?, lock: Decode::decode(buf)? },
+            50 => GetGroupMap,
+            51 => ReplShip {
+                group: Decode::decode(buf)?,
+                epoch: Decode::decode(buf)?,
+                seq: Decode::decode(buf)?,
+                origin: Decode::decode(buf)?,
+                origin_opnum: Decode::decode(buf)?,
+                records: Decode::decode(buf)?,
+                reply: Decode::decode(buf)?,
+            },
             t => return Err(Error::Malformed(format!("unknown request tag {t}"))),
         })
     }
@@ -653,6 +787,8 @@ impl Encode for ReplyBody {
             43 => TxnAborted => {},
             44 => LockGranted(l) => { l },
             45 => LockReleased => {},
+            50 => GroupMapReply(map) => { map },
+            51 => ReplAck { seq } => { seq },
         );
     }
 }
@@ -693,6 +829,8 @@ impl Decode for ReplyBody {
             43 => TxnAborted,
             44 => LockGranted(Decode::decode(buf)?),
             45 => LockReleased,
+            50 => GroupMapReply(Decode::decode(buf)?),
+            51 => ReplAck { seq: Decode::decode(buf)? },
             t => {
                 return std::result::Result::Err(Error::Malformed(format!("unknown reply tag {t}")))
             }
@@ -728,6 +866,8 @@ impl Encode for Error {
             20 => Timeout => {},
             21 => StorageIo(m) => { m },
             22 => Internal(m) => { m },
+            23 => RetriesExhausted => {},
+            24 => NotPrimary => {},
         );
     }
 }
@@ -760,6 +900,8 @@ impl Decode for Error {
             20 => Timeout,
             21 => StorageIo(Decode::decode(buf)?),
             22 => Internal(Decode::decode(buf)?),
+            23 => RetriesExhausted,
+            24 => NotPrimary,
             t => return std::result::Result::Err(Malformed(format!("unknown error tag {t}"))),
         })
     }
@@ -879,7 +1021,29 @@ mod tests {
                 wait: true,
             },
             LockRelease { cap: sample_cap(), lock: LockId(77) },
+            GetGroupMap,
+            ReplShip {
+                group: 1,
+                epoch: 3,
+                seq: 42,
+                origin: ProcessId::new(7, 0),
+                origin_opnum: OpNum(99),
+                records: vec![Bytes::from_static(b"frame-a"), Bytes::from_static(b"frame-b")],
+                reply: Bytes::from_static(b"encoded-reply"),
+            },
         ]
+    }
+
+    fn sample_group_map() -> GroupMap {
+        GroupMap::grouped(
+            &[
+                ProcessId::new(1100, 0),
+                ProcessId::new(1101, 0),
+                ProcessId::new(1102, 0),
+                ProcessId::new(1103, 0),
+            ],
+            2,
+        )
     }
 
     fn all_reply_bodies() -> Vec<ReplyBody> {
@@ -922,6 +1086,8 @@ mod tests {
             TxnAborted,
             LockGranted(LockId(77)),
             LockReleased,
+            GroupMapReply(sample_group_map()),
+            ReplAck { seq: 42 },
         ]
     }
 
@@ -946,8 +1112,13 @@ mod tests {
     #[test]
     fn requests_stay_small() {
         // The control plane must be small for server-directed I/O to work:
-        // a 512 MB write is still a sub-200-byte request.
+        // a 512 MB write is still a sub-200-byte request. ReplShip is the
+        // deliberate exception: the primary→backup log stream carries the
+        // WAL frames inline, so its size scales with the mutation.
         for body in all_request_bodies() {
+            if matches!(body, RequestBody::ReplShip { .. }) {
+                continue;
+            }
             let req = Request::new(OpNum(0), ProcessId::new(0, 0), body.clone());
             assert!(
                 req.encoded_len() <= crate::MAX_REQUEST_INLINE,
@@ -991,6 +1162,25 @@ mod tests {
     }
 
     #[test]
+    fn group_map_structure_and_epoch_stamp() {
+        let map = sample_group_map();
+        assert_eq!(map.epoch, 1);
+        assert_eq!(map.groups.len(), 2);
+        assert_eq!(map.groups[0].primary(), Some(ProcessId::new(1100, 0)));
+        assert_eq!(map.groups[0].backups(), &[ProcessId::new(1101, 0)]);
+        assert_eq!(map.group_of(ProcessId::new(1103, 0)), Some(1));
+        assert_eq!(map.group_of(ProcessId::new(9, 9)), None);
+
+        // Epoch travels in the request header and survives the codec.
+        let req =
+            Request::new(OpNum(1), ProcessId::new(1, 0), RequestBody::GetGroupMap).with_epoch(7);
+        let back = Request::from_bytes(req.to_bytes()).unwrap();
+        assert_eq!(back.epoch, 7);
+        // Requests default to epoch 0 ("no replication view").
+        assert_eq!(Request::new(OpNum(1), ProcessId::new(1, 0), RequestBody::Ping).epoch, 0);
+    }
+
+    #[test]
     fn lock_resource_overlap() {
         let c = ContainerId(1);
         let o = ObjId(1);
@@ -1012,6 +1202,8 @@ mod tests {
             Error::TxnAborted(TxnId(7)),
             Error::StorageIo("disk on fire".into()),
             Error::Internal("bug".into()),
+            Error::RetriesExhausted,
+            Error::NotPrimary,
         ] {
             let rep = Reply::err(OpNum(1), e.clone());
             let back = Reply::from_bytes(rep.to_bytes()).unwrap();

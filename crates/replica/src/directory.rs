@@ -1,0 +1,190 @@
+//! The cluster's **group-map directory**: a tiny service that publishes the
+//! current [`GroupMap`] to anyone who asks.
+//!
+//! The directory is the single authority on replication-group membership.
+//! The cluster control plane holds a [`DirectoryHandle`] and publishes a
+//! new map (with a bumped epoch) on every promotion or backup loss;
+//! clients fetch the map lazily — at first use, and again whenever a
+//! request fails in a way that suggests stale routing (`NotPrimary`,
+//! timeout, unreachable primary).
+//!
+//! This mirrors how the paper's services are composed: membership is just
+//! another lightweight service reached over portals, not a special channel.
+
+use std::sync::Arc;
+
+use lwfs_portals::{spawn_service, Endpoint, Network, Service, ServiceHandle};
+use lwfs_proto::{Error, GroupMap, ProcessId, ReplyBody, Request, RequestBody};
+use parking_lot::RwLock;
+
+/// Server side of the directory: answers `GetGroupMap` with the current map.
+struct GroupDirectory {
+    map: Arc<RwLock<GroupMap>>,
+}
+
+impl Service for GroupDirectory {
+    fn handle(&mut self, _ep: &Endpoint, req: &Request) -> ReplyBody {
+        match &req.body {
+            RequestBody::Ping => ReplyBody::Pong,
+            RequestBody::GetGroupMap => ReplyBody::GroupMapReply(self.map.read().clone()),
+            _ => ReplyBody::Err(Error::Malformed(
+                "group directory answers only group-map lookups".into(),
+            )),
+        }
+    }
+}
+
+/// Control-plane handle for updating and inspecting the published map.
+#[derive(Clone)]
+pub struct DirectoryHandle {
+    map: Arc<RwLock<GroupMap>>,
+}
+
+impl DirectoryHandle {
+    /// Replace the published map. Epochs must move forward: a publish that
+    /// does not advance the epoch is a control-plane bug (two concurrent
+    /// membership changes racing), so it panics rather than letting clients
+    /// observe an ABA view.
+    pub fn publish(&self, next: GroupMap) {
+        let mut cur = self.map.write();
+        assert!(
+            next.epoch > cur.epoch,
+            "group-map epoch must advance: {} -> {}",
+            cur.epoch,
+            next.epoch
+        );
+        *cur = next;
+    }
+
+    /// The currently published map.
+    pub fn snapshot(&self) -> GroupMap {
+        self.map.read().clone()
+    }
+}
+
+/// Spawn the directory service at `id`, seeded with `initial`.
+pub fn spawn_directory(
+    net: &Network,
+    id: ProcessId,
+    initial: GroupMap,
+) -> (ServiceHandle, DirectoryHandle) {
+    let map = Arc::new(RwLock::new(initial));
+    let handle = spawn_service(net, id, GroupDirectory { map: Arc::clone(&map) });
+    (handle, DirectoryHandle { map })
+}
+
+/// Promote the senior backup of `group` after its primary died: drop the
+/// dead head, advance the epoch, and return the new primary. `None` (and
+/// no map change) if the group has no surviving backup.
+pub fn promote(map: &mut GroupMap, group: usize) -> Option<ProcessId> {
+    let g = &mut map.groups[group];
+    if g.members.len() < 2 {
+        return None;
+    }
+    g.members.remove(0);
+    map.epoch += 1;
+    g.members.first().copied()
+}
+
+/// Remove a dead *backup* from whichever group holds it, advancing the
+/// epoch. Returns the group's surviving primary (so the caller can tell it
+/// to stop shipping there). Refuses to remove a primary — that path is
+/// [`promote`].
+pub fn remove_backup(map: &mut GroupMap, id: ProcessId) -> Option<ProcessId> {
+    let group = map.group_of(id)?;
+    let g = &mut map.groups[group];
+    let pos = g.members.iter().position(|m| *m == id)?;
+    if pos == 0 {
+        return None;
+    }
+    g.members.remove(pos);
+    map.epoch += 1;
+    g.primary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lwfs_portals::RpcClient;
+
+    fn pid(n: u32) -> ProcessId {
+        ProcessId::new(n, 0)
+    }
+
+    fn map4() -> GroupMap {
+        GroupMap::grouped(&[pid(1), pid(2), pid(3), pid(4)], 2)
+    }
+
+    #[test]
+    fn directory_serves_published_maps() {
+        let net = Network::default();
+        let (svc, dir) = spawn_directory(&net, pid(99), map4());
+        let ep = net.register(pid(0));
+        let client = RpcClient::new(&ep);
+
+        let got = match client.call(pid(99), RequestBody::GetGroupMap).unwrap() {
+            ReplyBody::GroupMapReply(m) => m,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(got, map4());
+
+        let mut next = map4();
+        promote(&mut next, 0).unwrap();
+        dir.publish(next.clone());
+        let got = match client.call(pid(99), RequestBody::GetGroupMap).unwrap() {
+            ReplyBody::GroupMapReply(m) => m,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(got, next);
+        assert_eq!(got.epoch, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn directory_rejects_foreign_requests() {
+        let net = Network::default();
+        let (svc, _dir) = spawn_directory(&net, pid(99), map4());
+        let ep = net.register(pid(0));
+        let client = RpcClient::new(&ep);
+        assert!(matches!(client.call(pid(99), RequestBody::Ping).unwrap(), ReplyBody::Pong));
+        assert!(matches!(
+            client.call(pid(99), RequestBody::GetCred { mechanism_token: vec![] }),
+            Err(Error::Malformed(_))
+        ));
+        svc.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must advance")]
+    fn stale_publish_panics() {
+        let net = Network::default();
+        let (_svc, dir) = spawn_directory(&net, pid(99), map4());
+        dir.publish(map4()); // same epoch: refused
+    }
+
+    #[test]
+    fn promote_drops_dead_primary_and_bumps_epoch() {
+        let mut map = map4();
+        let new_primary = promote(&mut map, 1).unwrap();
+        assert_eq!(new_primary, pid(4));
+        assert_eq!(map.epoch, 2);
+        assert_eq!(map.groups[1].members, vec![pid(4)]);
+        // Group 0 untouched.
+        assert_eq!(map.groups[0].members, vec![pid(1), pid(2)]);
+        // A singleton group has nobody left to promote.
+        assert!(promote(&mut map, 1).is_none());
+        assert_eq!(map.epoch, 2, "failed promotion must not burn an epoch");
+    }
+
+    #[test]
+    fn remove_backup_leaves_primary_in_place() {
+        let mut map = map4();
+        assert_eq!(remove_backup(&mut map, pid(2)), Some(pid(1)));
+        assert_eq!(map.epoch, 2);
+        assert_eq!(map.groups[0].members, vec![pid(1)]);
+        // Primaries and strangers are refused.
+        assert_eq!(remove_backup(&mut map, pid(1)), None);
+        assert_eq!(remove_backup(&mut map, pid(77)), None);
+        assert_eq!(map.epoch, 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Bounded reply cache for exactly-once retries.
+//!
+//! A client that times out and re-sends a mutation — possibly to a freshly
+//! promoted primary — must not have the operation applied twice. Every
+//! replica caches the encoded reply of each completed mutation keyed by
+//! `(origin, opnum)`; a retry that matches an entry is answered from the
+//! cache without re-executing. The same cache makes WAL shipping
+//! idempotent: a primary whose `ReplShip` timed out after the backup had
+//! already applied it re-ships, hits the backup's cache, and gets a plain
+//! ack instead of a spurious apply failure.
+//!
+//! The key is safe because opnums are allocated from a per-endpoint
+//! monotonic counter that is never reused — a duplicate `(origin, opnum)`
+//! can only be a retry of the *same* logical operation.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use lwfs_proto::{OpNum, ProcessId};
+use parking_lot::Mutex;
+
+/// Default number of replies retained. Retries arrive within an RPC
+/// timeout of the original, so the window only needs to cover the ops in
+/// flight during a failover, not history.
+pub const DEFAULT_REPLY_CACHE_CAP: usize = 4096;
+
+/// Bounded FIFO map from `(origin, opnum)` to the encoded reply body.
+#[derive(Debug)]
+pub struct ReplyCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<(ProcessId, OpNum), Bytes>,
+    order: VecDeque<(ProcessId, OpNum)>,
+    cap: usize,
+}
+
+impl ReplyCache {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "a zero-capacity reply cache can never deduplicate");
+        Self { inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new(), cap }) }
+    }
+
+    /// The cached reply for a retry of `(origin, opnum)`, if still retained.
+    pub fn get(&self, origin: ProcessId, opnum: OpNum) -> Option<Bytes> {
+        self.inner.lock().map.get(&(origin, opnum)).cloned()
+    }
+
+    /// Record the reply for `(origin, opnum)`, evicting the oldest entry at
+    /// capacity. Re-inserting an existing key refreshes the value only.
+    pub fn put(&self, origin: ProcessId, opnum: OpNum, reply: Bytes) {
+        let mut inner = self.inner.lock();
+        let key = (origin, opnum);
+        if inner.map.insert(key, reply).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > inner.cap {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ReplyCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_REPLY_CACHE_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u32) -> ProcessId {
+        ProcessId::new(n, 0)
+    }
+
+    #[test]
+    fn hit_returns_the_cached_reply() {
+        let cache = ReplyCache::new(8);
+        assert!(cache.get(pid(1), OpNum(1)).is_none());
+        cache.put(pid(1), OpNum(1), Bytes::from_static(b"reply"));
+        assert_eq!(cache.get(pid(1), OpNum(1)).unwrap(), Bytes::from_static(b"reply"));
+        // Distinct origin, same opnum: different operation.
+        assert!(cache.get(pid(2), OpNum(1)).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = ReplyCache::new(3);
+        for i in 0..5u64 {
+            cache.put(pid(1), OpNum(i), Bytes::from(vec![i as u8]));
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(pid(1), OpNum(0)).is_none(), "oldest evicted");
+        assert!(cache.get(pid(1), OpNum(1)).is_none());
+        for i in 2..5u64 {
+            assert!(cache.get(pid(1), OpNum(i)).is_some(), "entry {i} retained");
+        }
+    }
+
+    #[test]
+    fn reinsert_does_not_double_count() {
+        let cache = ReplyCache::new(2);
+        cache.put(pid(1), OpNum(1), Bytes::from_static(b"a"));
+        cache.put(pid(1), OpNum(1), Bytes::from_static(b"b"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(pid(1), OpNum(1)).unwrap(), Bytes::from_static(b"b"));
+    }
+}

@@ -57,6 +57,41 @@ pub(crate) fn replay(
     journal: &JournalStore<UndoOp>,
     now: u64,
 ) -> Result<RecoveryOutcome> {
+    apply_records(records, store, journal, now)?;
+
+    // End of log: transactions never prepared are presumed aborted; the
+    // prepared ones are exactly the in-doubt set.
+    let mut outcome = RecoveryOutcome { records: records.len() as u64, ..Default::default() };
+    for (txn, state) in journal.txns() {
+        match state {
+            JournalState::Active => {
+                for undo in journal.abort(txn).into_iter().rev() {
+                    apply_undo(store, undo, now);
+                }
+                outcome.rolled_back += 1;
+            }
+            JournalState::Prepared => outcome.in_doubt += 1,
+        }
+    }
+    Ok(outcome)
+}
+
+/// Apply `records` to live state *without* the end-of-log presumed-abort
+/// pass.
+///
+/// This is the record-application half of [`replay`], split out because a
+/// replication backup feeds shipped records through it continuously: the
+/// backup's log has no "end" while the primary is alive, so transactions
+/// that are merely still open must not be rolled back. Only a genuine
+/// restart ([`replay`]) may presume abort. Keeping both paths on this one
+/// function is the point of log-shipping replication — replicated state
+/// and crash-recovered state are produced by the same code.
+pub(crate) fn apply_records(
+    records: &[WalRecord],
+    store: &ObjectStore,
+    journal: &JournalStore<UndoOp>,
+    now: u64,
+) -> Result<()> {
     for rec in records {
         match rec {
             WalRecord::Create { txn, container, obj, now } => {
@@ -98,22 +133,7 @@ pub(crate) fn replay(
             }
         }
     }
-
-    // End of log: transactions never prepared are presumed aborted; the
-    // prepared ones are exactly the in-doubt set.
-    let mut outcome = RecoveryOutcome { records: records.len() as u64, ..Default::default() };
-    for (txn, state) in journal.txns() {
-        match state {
-            JournalState::Active => {
-                for undo in journal.abort(txn).into_iter().rev() {
-                    apply_undo(store, undo, now);
-                }
-                outcome.rolled_back += 1;
-            }
-            JournalState::Prepared => outcome.in_doubt += 1,
-        }
-    }
-    Ok(outcome)
+    Ok(())
 }
 
 /// Mirror of the live server's best-effort undo application.
@@ -238,6 +258,28 @@ mod tests {
             apply_undo(&store, undo, 0);
         }
         assert!(store.read(C, ObjId(0), 0, 1).is_err());
+    }
+
+    #[test]
+    fn apply_records_keeps_open_txns_active_for_backups() {
+        // The live-backup path must not presume abort: the primary's log
+        // simply hasn't ended yet. A later shipped TxnCommit completes the
+        // transaction exactly as a logged commit would.
+        let (store, journal) = fresh();
+        let recs = vec![create(Some(5), 1), write(Some(5), 1, 0, b"staged")];
+        apply_records(&recs, &store, &journal, 0).unwrap();
+        assert_eq!(journal.state(TxnId(5)), Some(JournalState::Active));
+        assert_eq!(store.read(C, ObjId(1), 0, 16).unwrap(), b"staged");
+
+        apply_records(
+            &[WalRecord::TxnPrepare { txn: TxnId(5) }, WalRecord::TxnCommit { txn: TxnId(5) }],
+            &store,
+            &journal,
+            0,
+        )
+        .unwrap();
+        assert_eq!(journal.state(TxnId(5)), None);
+        assert_eq!(store.read(C, ObjId(1), 0, 16).unwrap(), b"staged");
     }
 
     #[test]

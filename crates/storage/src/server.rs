@@ -36,17 +36,20 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use lwfs_auth::Clock;
 use lwfs_authz::CachedCapVerifier;
 use lwfs_obs::{Counter, OpTrace, Registry};
-use lwfs_portals::{Endpoint, Event, Network, RpcClient, REQUEST_MATCH};
+use lwfs_portals::{
+    retry, Endpoint, Event, Network, RetryPolicy, RpcClient, RpcConfig, REQUEST_MATCH,
+};
 use lwfs_proto::{
     Capability, ContainerId, Decode as _, Encode as _, Error, FilterSpec, MdHandle, ObjId, OpMask,
     ProcessId, Reply, ReplyBody, Request, RequestBody, Result, TxnId,
 };
+use lwfs_replica::{ReplicaConfig, ReplicaState};
 use lwfs_txn::{JournalState, JournalStore};
 use lwfs_wal::{Wal, WalConfig, WalRecord};
 
@@ -81,6 +84,17 @@ pub struct StorageConfig {
     /// prepared transactions — before serving the first request. `None`
     /// (the default) keeps the server purely in-memory.
     pub wal: Option<WalConfig>,
+    /// RPC knobs for the server's *outbound* calls (verify-through to the
+    /// authorization service, WAL shipping to backups). Cluster-level
+    /// configuration threads through here instead of per-call-site
+    /// constants.
+    pub rpc: RpcConfig,
+    /// Replication role, when this server is part of a replicated storage
+    /// group. A primary ships every mutation's WAL records to its backups
+    /// before acknowledging the client; a backup applies shipped records
+    /// and rejects client mutations with [`Error::NotPrimary`]. `None`
+    /// (the default) is a standalone server.
+    pub replica: Option<ReplicaConfig>,
 }
 
 impl Default for StorageConfig {
@@ -93,6 +107,8 @@ impl Default for StorageConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             store: StoreConfig::default(),
             wal: None,
+            rpc: RpcConfig::default(),
+            replica: None,
         }
     }
 }
@@ -128,6 +144,16 @@ pub struct StorageStats {
     /// Times a worker had to wait for an earlier conflicting in-flight
     /// request before executing (the serialization cost of dependence).
     pub conflict_defers: Arc<Counter>,
+    /// Mutations whose WAL records a primary shipped to its backups.
+    pub repl_ships: Arc<Counter>,
+    /// Extra ship attempts beyond the first (lost or rejected ships).
+    pub ship_retries: Arc<Counter>,
+    /// Ships abandoned at the deadline: the backup was dropped from the
+    /// group (availability over replication).
+    pub ship_failures: Arc<Counter>,
+    /// Retried mutations answered from the reply cache instead of being
+    /// re-applied — the exactly-once machinery doing its job.
+    pub dedup_hits: Arc<Counter>,
 }
 
 impl Default for StorageStats {
@@ -155,6 +181,10 @@ impl StorageStats {
             txn_aborts: registry.counter("storage.txn_aborts"),
             batches: registry.counter("storage.batches"),
             conflict_defers: registry.counter("storage.conflict_defer"),
+            repl_ships: registry.counter("storage.repl_ships"),
+            ship_retries: registry.counter("storage.ship_retries"),
+            ship_failures: registry.counter("storage.ship_failures"),
+            dedup_hits: registry.counter("storage.dedup_hits"),
         }
     }
 
@@ -180,6 +210,33 @@ fn op_label(body: &RequestBody) -> &'static str {
         RequestBody::TxnAbort { .. } => "storage.txn_abort",
         _ => "storage.other",
     }
+}
+
+/// Client-visible mutations subject to replication: fenced to the primary,
+/// deduplicated by `(client, opnum)`, and shipped before ack. Reads are
+/// served by any in-sync member; `Sync` and cache control touch no
+/// replicated state.
+fn replicated_mutation(body: &RequestBody) -> bool {
+    matches!(
+        body,
+        RequestBody::CreateObj { .. }
+            | RequestBody::RemoveObj { .. }
+            | RequestBody::Write { .. }
+            | RequestBody::TxnPrepare { .. }
+            | RequestBody::TxnCommit { .. }
+            | RequestBody::TxnAbort { .. }
+    )
+}
+
+fn encode_reply_body(body: &ReplyBody) -> Bytes {
+    let mut buf = BytesMut::new();
+    body.encode(&mut buf);
+    buf.freeze()
+}
+
+fn decode_reply_body(wire: &Bytes) -> Result<ReplyBody> {
+    let mut buf = wire.clone();
+    ReplyBody::decode(&mut buf)
 }
 
 /// One unit of work handed from the dispatcher to the worker pool: the
@@ -214,6 +271,8 @@ pub struct StorageServer {
     journal: JournalStore<UndoOp>,
     /// The write-ahead log, when durability is configured.
     wal: Option<Wal>,
+    /// Replication role/epoch state, when part of a replicated group.
+    replica: Option<ReplicaState>,
     stats: StorageStats,
     /// The fabric-wide metric registry (shared through the `Network`).
     obs: Arc<Registry>,
@@ -290,6 +349,11 @@ impl StorageServer {
             obs.gauge("storage.in_doubt_txns").set(outcome.in_doubt as i64);
             wal
         });
+        let replica = config.replica.clone().map(ReplicaState::new);
+        if let Some(repl) = &replica {
+            obs.gauge("storage.repl_epoch").set(repl.epoch() as i64);
+            obs.gauge("storage.repl_lag").set(0);
+        }
         let server = Arc::new(StorageServer {
             site: id,
             store,
@@ -302,6 +366,7 @@ impl StorageServer {
             clock,
             journal,
             wal,
+            replica,
             stats: StorageStats::with_registry(&obs),
             obs,
             config,
@@ -362,11 +427,50 @@ impl StorageServer {
         self.wal.as_ref().map(|w| w.dir())
     }
 
+    /// Replication state, when this server is part of a replicated group.
+    pub fn replica(&self) -> Option<&ReplicaState> {
+        self.replica.as_ref()
+    }
+
+    /// Control-plane promotion: become the group's primary at `epoch`,
+    /// shipping to `backups` from now on. No-op on a standalone server.
+    /// Requests racing the promotion see either the old backup role (and
+    /// are retried by the client) or the new primary role, never both.
+    pub fn promote(&self, epoch: u64, backups: Vec<ProcessId>) {
+        if let Some(repl) = &self.replica {
+            repl.promote(epoch, backups);
+            self.obs.gauge("storage.repl_epoch").set(epoch as i64);
+        }
+    }
+
+    /// Control-plane removal of a dead backup from this primary's ship
+    /// set. Returns whether it was actually a ship target.
+    pub fn drop_backup(&self, id: ProcessId) -> bool {
+        self.replica.as_ref().is_some_and(|repl| repl.drop_backup(id))
+    }
+
     /// Append `rec` to the write-ahead log (no-op when none is
     /// configured). Called after the in-memory effect is applied and
     /// before the reply is sent: an operation is acknowledged only once
     /// its record is framed (and, per the sync policy, durable).
-    fn log_append(&self, rec: &WalRecord) -> Result<()> {
+    ///
+    /// When this server is a replication primary the record is also
+    /// collected into the request's `recs` buffer so the completed
+    /// mutation can be shipped to the backups — the same bytes the log
+    /// carries — before the client is acked.
+    fn log_append(&self, rec: WalRecord, recs: &mut Vec<WalRecord>) -> Result<()> {
+        if let Some(w) = &self.wal {
+            w.append(&rec)?;
+        }
+        if self.replica.is_some() {
+            recs.push(rec);
+        }
+        Ok(())
+    }
+
+    /// Append a record shipped *to* this backup: log only, no re-ship
+    /// buffer (backups ship to nobody).
+    fn log_append_shipped(&self, rec: &WalRecord) -> Result<()> {
         match &self.wal {
             Some(w) => w.append(rec),
             None => Ok(()),
@@ -472,7 +576,7 @@ impl StorageServer {
     ) {
         // Workers share the endpoint's opnum allocator so their
         // verify-through RPCs can interleave without reply collisions.
-        let client = RpcClient::shared(ep);
+        let client = RpcClient::shared(ep).configured(&self.config.rpc);
         let dispatch = self.obs.histogram("storage.dispatch_ns");
         let worker_dispatch = self.obs.histogram(&format!("storage.worker{idx}.dispatch_ns"));
         let in_flight = self.obs.gauge("storage.in_flight");
@@ -550,6 +654,9 @@ impl StorageServer {
     // Request dispatch
     // ------------------------------------------------------------------
 
+    /// Full request path: replication fencing and dedup around
+    /// [`execute`](Self::execute), then ship-before-ack when this server
+    /// is a group primary.
     fn handle(
         &self,
         ep: &Endpoint,
@@ -557,12 +664,67 @@ impl StorageServer {
         req: &Request,
         trace: Option<&mut OpTrace<'_>>,
     ) -> ReplyBody {
+        if let Some(repl) = &self.replica {
+            if matches!(req.body, RequestBody::ReplShip { .. }) {
+                return self.handle_repl_ship(repl, req);
+            }
+            if replicated_mutation(&req.body) {
+                repl.observe_epoch(req.epoch);
+                if repl.is_backup() {
+                    // Mutations go to the primary; the client refreshes its
+                    // group map and re-sends.
+                    return ReplyBody::Err(Error::NotPrimary);
+                }
+                // A retry of a mutation we already acked (the client failed
+                // over, or our ack was lost) is answered from the cache —
+                // never re-applied.
+                if let Some(cached) = repl.replies.get(req.reply_to, req.opnum) {
+                    self.stats.dedup_hits.inc();
+                    if let Ok(body) = decode_reply_body(&cached) {
+                        return body;
+                    }
+                }
+            }
+        }
+
+        let mut recs = Vec::new();
+        let body = self.execute(ep, client, req, trace, &mut recs);
+
+        if let Some(repl) = &self.replica {
+            if replicated_mutation(&req.body) {
+                // Ship whatever was logged — even when the op ultimately
+                // failed, the backups must mirror any partial effects the
+                // log already carries.
+                if !recs.is_empty() {
+                    self.ship(ep, repl, req, &recs, &body);
+                }
+                // Cache the reply for dedup. Transient errors are *not*
+                // cached: they mean "nothing happened, try again", and a
+                // cached ServerBusy would make the retry loop permanent.
+                if !matches!(&body, ReplyBody::Err(e) if e.is_transient()) {
+                    repl.replies.put(req.reply_to, req.opnum, encode_reply_body(&body));
+                }
+            }
+        }
+        body
+    }
+
+    /// Execute one request against local state, collecting the WAL records
+    /// it produced into `recs` (for replication shipping).
+    fn execute(
+        &self,
+        ep: &Endpoint,
+        client: &RpcClient<'_>,
+        req: &Request,
+        trace: Option<&mut OpTrace<'_>>,
+        recs: &mut Vec<WalRecord>,
+    ) -> ReplyBody {
         match &req.body {
             RequestBody::CreateObj { txn, cap, obj } => self
-                .do_create(client, *txn, cap, *obj)
+                .do_create(client, *txn, cap, *obj, recs)
                 .map_or_else(ReplyBody::Err, ReplyBody::ObjCreated),
             RequestBody::RemoveObj { txn, cap, obj } => {
-                match self.do_remove(client, *txn, cap, *obj) {
+                match self.do_remove(client, *txn, cap, *obj, recs) {
                     Ok(()) => ReplyBody::ObjRemoved,
                     Err(e) => ReplyBody::Err(e),
                 }
@@ -579,6 +741,7 @@ impl StorageServer {
                     *md,
                     req.reply_to,
                     trace,
+                    recs,
                 ) {
                     Ok(n) => ReplyBody::WriteDone { len: n },
                     Err(e) => ReplyBody::Err(e),
@@ -642,7 +805,7 @@ impl StorageServer {
                     // coordinator (forces an fsync under every sync policy);
                     // a vote we cannot persist is a vote we cannot honor
                     // after a crash, so it becomes a no.
-                    if self.log_append(&WalRecord::TxnPrepare { txn: *txn }).is_err() {
+                    if self.log_append(WalRecord::TxnPrepare { txn: *txn }, recs).is_err() {
                         for undo in self.journal.abort(*txn).into_iter().rev() {
                             let _ = self.apply_undo(undo);
                         }
@@ -656,7 +819,7 @@ impl StorageServer {
                 // the journal stays Prepared (in doubt) and the coordinator
                 // retries or resolves after restart.
                 if self.journal.state(*txn) == Some(JournalState::Prepared) {
-                    if let Err(e) = self.log_append(&WalRecord::TxnCommit { txn: *txn }) {
+                    if let Err(e) = self.log_append(WalRecord::TxnCommit { txn: *txn }, recs) {
                         return ReplyBody::Err(e);
                     }
                 }
@@ -672,7 +835,7 @@ impl StorageServer {
             RequestBody::TxnAbort { txn } => {
                 // Best-effort: a lost abort record costs nothing — replay
                 // presumes abort for transactions with no decision record.
-                let _ = self.log_append(&WalRecord::TxnAbort { txn: *txn });
+                let _ = self.log_append(WalRecord::TxnAbort { txn: *txn }, recs);
                 let undos = self.journal.abort(*txn);
                 for undo in undos.into_iter().rev() {
                     // Undo application is best-effort by construction: each
@@ -687,6 +850,142 @@ impl StorageServer {
                 ReplyBody::Err(Error::Malformed(format!("storage service cannot handle {other:?}")))
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication: ship-before-ack and the backup apply path
+    // ------------------------------------------------------------------
+
+    /// Ship one completed mutation's WAL records to every backup and wait
+    /// for their acks — *before* the caller sends the client reply, so an
+    /// acknowledged mutation is always on every in-sync replica.
+    ///
+    /// A backup that cannot ack within the ship deadline is dropped from
+    /// the group (availability over replication): the write completes on
+    /// the surviving members and the control plane republishes the map.
+    fn ship(
+        &self,
+        ep: &Endpoint,
+        repl: &ReplicaState,
+        req: &Request,
+        recs: &[WalRecord],
+        body: &ReplyBody,
+    ) {
+        let backups = repl.backups();
+        if backups.is_empty() {
+            return;
+        }
+        let seq = repl.alloc_seq();
+        let lag = self.obs.gauge("storage.repl_lag");
+        lag.set(repl.lag() as i64);
+        // The frames are byte-identical to what our own log carries; the
+        // backup re-verifies the same CRCs the disk format uses.
+        let frames: Vec<Bytes> = recs.iter().map(lwfs_wal::frame_record).collect();
+        let reply = encode_reply_body(body);
+        let epoch = repl.epoch();
+        let start = Instant::now();
+        // Per-attempt reply timeout well under the total deadline, so a
+        // dropped ship is re-sent (the backup's cache dedups) instead of
+        // eating the whole budget in one wait.
+        let ship_client = RpcClient::shared(ep).configured(&RpcConfig {
+            reply_timeout: (repl.ship_deadline / 4).max(Duration::from_millis(50)),
+            ..self.config.rpc.clone()
+        });
+        for backup in backups {
+            let ship_body = RequestBody::ReplShip {
+                group: repl.group(),
+                epoch,
+                seq,
+                origin: req.reply_to,
+                origin_opnum: req.opnum,
+                records: frames.clone(),
+                reply: reply.clone(),
+            };
+            let policy = RetryPolicy {
+                base: Duration::from_micros(200),
+                cap: Duration::from_millis(20),
+                deadline: repl.ship_deadline,
+            };
+            let mut attempts: u64 = 0;
+            let outcome = retry::with_backoff(
+                &policy,
+                // Unreachable is retryable here: a partition may heal, and
+                // ship-before-ack means we must not ack the client until
+                // the backup has the records or is formally dropped.
+                |e| matches!(e, Error::Timeout | Error::ServerBusy | Error::Unreachable),
+                || {
+                    attempts += 1;
+                    match ship_client.call(backup, ship_body.clone())? {
+                        ReplyBody::ReplAck { .. } => Ok(()),
+                        other => Err(Error::Internal(format!("unexpected ship reply {other:?}"))),
+                    }
+                },
+            );
+            self.stats.repl_ships.inc();
+            if attempts > 1 {
+                self.stats.ship_retries.add(attempts - 1);
+            }
+            if outcome.is_err() {
+                repl.drop_backup(backup);
+                self.stats.ship_failures.inc();
+            }
+        }
+        repl.record_acked(seq);
+        lag.set(repl.lag() as i64);
+        self.obs.histogram("storage.ship_ns").record(start.elapsed().as_nanos() as u64);
+    }
+
+    /// Backup side of the ship: verify, log, apply through the crash
+    /// recovery machinery, cache the primary's reply for dedup, ack.
+    fn handle_repl_ship(&self, repl: &ReplicaState, req: &Request) -> ReplyBody {
+        let RequestBody::ReplShip { group, epoch, seq, origin, origin_opnum, records, reply } =
+            &req.body
+        else {
+            unreachable!("caller matched ReplShip");
+        };
+        if *group != repl.group() {
+            return ReplyBody::Err(Error::Malformed(format!(
+                "ship for group {group} at a member of group {}",
+                repl.group()
+            )));
+        }
+        // Fencing: a ship from a deposed primary (older epoch) is refused;
+        // so is any ship once *we* are the primary.
+        if *epoch < repl.epoch() || repl.is_primary() {
+            return ReplyBody::Err(Error::NotPrimary);
+        }
+        repl.observe_epoch(*epoch);
+        // A re-shipped batch (our earlier ack was lost) is acked from the
+        // cache, never re-applied.
+        if repl.replies.get(*origin, *origin_opnum).is_some() {
+            self.stats.dedup_hits.inc();
+            repl.record_acked(*seq);
+            return ReplyBody::ReplAck { seq: *seq };
+        }
+        let mut recs = Vec::with_capacity(records.len());
+        for frame in records {
+            match lwfs_wal::unframe_record(frame) {
+                Ok(rec) => recs.push(rec),
+                Err(e) => return ReplyBody::Err(e),
+            }
+        }
+        // Our own log first (the records must survive *our* crash before
+        // the primary treats them as replicated), then the same in-order
+        // application crash replay uses — minus its end-of-log
+        // presumed-abort pass, because the primary's log has not ended.
+        for rec in &recs {
+            if let Err(e) = self.log_append_shipped(rec) {
+                return ReplyBody::Err(e);
+            }
+        }
+        if let Err(e) =
+            crate::recovery::apply_records(&recs, &self.store, &self.journal, self.clock.now())
+        {
+            return ReplyBody::Err(e);
+        }
+        repl.replies.put(*origin, *origin_opnum, reply.clone());
+        repl.record_acked(*seq);
+        ReplyBody::ReplAck { seq: *seq }
     }
 
     fn apply_undo(&self, undo: UndoOp) -> Result<()> {
@@ -712,6 +1011,7 @@ impl StorageServer {
         txn: Option<TxnId>,
         cap: &Capability,
         want: Option<ObjId>,
+        recs: &mut Vec<WalRecord>,
     ) -> Result<ObjId> {
         self.authorize(client, cap, OpMask::CREATE)?;
         let now = self.clock.now();
@@ -719,7 +1019,10 @@ impl StorageServer {
         if let Some(txn) = txn {
             self.journal.stage(txn, UndoOp::RemoveObject(cap.container(), oid))?;
         }
-        self.log_append(&WalRecord::Create { txn, container: cap.container(), obj: oid, now })?;
+        self.log_append(
+            WalRecord::Create { txn, container: cap.container(), obj: oid, now },
+            recs,
+        )?;
         self.stats.creates.inc();
         Ok(oid)
     }
@@ -730,6 +1033,7 @@ impl StorageServer {
         txn: Option<TxnId>,
         cap: &Capability,
         oid: ObjId,
+        recs: &mut Vec<WalRecord>,
     ) -> Result<()> {
         self.authorize(client, cap, OpMask::REMOVE)?;
         if let Some(txn) = txn {
@@ -737,7 +1041,7 @@ impl StorageServer {
             self.journal.stage(txn, UndoOp::RestoreObject(cap.container(), oid, data))?;
         }
         self.store.remove(cap.container(), oid)?;
-        self.log_append(&WalRecord::Remove { txn, container: cap.container(), obj: oid })?;
+        self.log_append(WalRecord::Remove { txn, container: cap.container(), obj: oid }, recs)?;
         self.stats.removes.inc();
         Ok(())
     }
@@ -761,6 +1065,7 @@ impl StorageServer {
         md: MdHandle,
         requester: ProcessId,
         mut trace: Option<&mut OpTrace<'_>>,
+        recs: &mut Vec<WalRecord>,
     ) -> Result<u64> {
         self.authorize(client, cap, OpMask::WRITE)?;
         // Pre-flight the object so a bad id fails before moving data.
@@ -805,14 +1110,17 @@ impl StorageServer {
             }
             // One record per chunk, in pull order: replay reproduces the
             // exact same sequence of store writes.
-            self.log_append(&WalRecord::Write {
-                txn,
-                container: cap.container(),
-                obj: oid,
-                offset: offset + moved,
-                data: Bytes::copy_from_slice(&buf.as_slice()[..chunk]),
-                now,
-            })?;
+            self.log_append(
+                WalRecord::Write {
+                    txn,
+                    container: cap.container(),
+                    obj: oid,
+                    offset: offset + moved,
+                    data: Bytes::copy_from_slice(&buf.as_slice()[..chunk]),
+                    now,
+                },
+                recs,
+            )?;
             if let Some(t) = trace.as_deref_mut() {
                 t.stage("wal_append");
             }

@@ -12,13 +12,12 @@ use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use bytes::BytesMut;
 use lwfs_obs::{Counter, Histogram, Registry};
-use lwfs_proto::{Encode as _, Error, Result};
+use lwfs_proto::{Error, Result};
 use parking_lot::Mutex;
 
+use crate::reader;
 use crate::record::WalRecord;
-use crate::{crc32, reader};
 
 /// Eight magic bytes opening every segment file (the trailing byte is the
 /// format version).
@@ -152,12 +151,7 @@ impl Wal {
     /// acknowledges its operation can be sent.
     pub fn append(&self, rec: &WalRecord) -> Result<()> {
         let start = Instant::now();
-        let mut payload = BytesMut::new();
-        rec.encode(&mut payload);
-        let mut frame = BytesMut::with_capacity(payload.len() + 8);
-        (payload.len() as u32).encode(&mut frame);
-        crc32(&payload).encode(&mut frame);
-        frame.extend_from_slice(&payload);
+        let frame = crate::frame_record(rec);
 
         let mut seg = self.seg.lock();
         seg.file.write_all(&frame).map_err(|e| io_err("append", e))?;
@@ -193,6 +187,35 @@ impl Wal {
             self.fsync(&mut seg)?;
         }
         Ok(())
+    }
+
+    /// The sequence number of the live tail segment.
+    pub fn current_segment_seq(&self) -> u64 {
+        self.seg.lock().seq
+    }
+
+    /// Garbage-collect sealed segments whose sequence number is below
+    /// `floor`, returning how many were deleted.
+    ///
+    /// A replication primary calls this once every in-sync backup has
+    /// acknowledged the records up to a segment boundary — the history
+    /// below the floor is then reconstructible from the replicas and need
+    /// not be kept on disk. The live tail segment is never deleted, no
+    /// matter how high the floor: it still receives appends.
+    pub fn retire_segments_below(&self, floor: u64) -> Result<usize> {
+        // Snapshot the tail under the lock so a concurrent rotation cannot
+        // promote a segment into deletion range after we decided the limit.
+        let tail = self.seg.lock().seq;
+        let limit = floor.min(tail);
+        let mut removed = 0;
+        for seq in existing_segments(&self.config.dir)? {
+            if seq < limit {
+                std::fs::remove_file(segment_path(&self.config.dir, seq))
+                    .map_err(|e| io_err("retire segment", e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
     }
 
     fn fsync(&self, seg: &mut Segment) -> Result<()> {
@@ -397,6 +420,45 @@ mod tests {
         drop(wal);
         let log = read_log(&dir).unwrap();
         assert_eq!(log.records.len(), 200);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retire_deletes_sealed_segments_below_floor_never_the_tail() {
+        let dir = tmp_dir("retire");
+        let obs = Registry::new();
+        let mut config = WalConfig::new(&dir);
+        config.segment_bytes = 256; // rotate every few records
+        let wal = Wal::open(config, &obs).unwrap();
+        for i in 0..32 {
+            wal.append(&write_rec(i)).unwrap();
+        }
+        let tail = wal.current_segment_seq();
+        let mut sealed = existing_segments(&dir).unwrap();
+        sealed.sort_unstable();
+        assert!(sealed.len() > 2, "need several segments, got {sealed:?}");
+
+        // A partial floor retires exactly the segments below it.
+        let floor = sealed[1];
+        assert_eq!(wal.retire_segments_below(floor).unwrap(), 1);
+        let mut left = existing_segments(&dir).unwrap();
+        left.sort_unstable();
+        assert_eq!(left, sealed[1..].to_vec());
+
+        // A floor past the end retires every sealed segment but never the
+        // live tail, which keeps accepting appends.
+        assert_eq!(wal.retire_segments_below(u64::MAX).unwrap(), left.len() - 1);
+        let mut survivors = existing_segments(&dir).unwrap();
+        survivors.sort_unstable();
+        assert_eq!(survivors, vec![tail]);
+        wal.append(&write_rec(99)).unwrap();
+        drop(wal);
+        let log = read_log(&dir).unwrap();
+        assert!(log.records.contains(&write_rec(99)));
+
+        // A floor of zero is a no-op.
+        let wal = Wal::open(WalConfig::new(&dir), &obs).unwrap();
+        assert_eq!(wal.retire_segments_below(0).unwrap(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

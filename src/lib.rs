@@ -17,6 +17,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`proto`] | `lwfs-proto` | wire types, ids, capabilities, codec |
+//! | [`replica`] | `lwfs-replica` | replication groups, directory, failover |
 //! | [`portals`] | `lwfs-portals` | Portals-like one-sided substrate |
 //! | [`auth`] | `lwfs-auth` | authentication service |
 //! | [`authz`] | `lwfs-authz` | authorization service + cap caches |
@@ -68,6 +69,7 @@ pub use lwfs_naming as naming;
 pub use lwfs_pfs as pfs;
 pub use lwfs_portals as portals;
 pub use lwfs_proto as proto;
+pub use lwfs_replica as replica;
 pub use lwfs_sciio as sciio;
 pub use lwfs_sim as sim;
 pub use lwfs_storage as storage;

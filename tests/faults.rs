@@ -166,6 +166,56 @@ fn message_loss_surfaces_as_timeouts_not_corruption() {
 }
 
 #[test]
+fn replicated_write_is_not_acked_until_the_backup_acks() {
+    // Ship-before-ack under a partition: with the backup unreachable the
+    // primary keeps retrying the `ReplShip` and the client's write must
+    // NOT complete; the moment the partition heals, a retry lands, the
+    // backup applies, and the ack flows back.
+    let cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 1,
+        replication: 2,
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+
+    let mut plan = FaultPlan::default();
+    plan.partitioned.insert(cluster.addrs().storage[1].nid);
+    cluster.network().set_faults(plan);
+
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let done = Arc::clone(&done);
+        let caps = caps.clone();
+        let client = cluster.client(1, 0);
+        std::thread::spawn(move || {
+            let r = client.write(0, &caps, None, obj, 0, b"held back");
+            done.store(true, std::sync::atomic::Ordering::SeqCst);
+            r
+        })
+    };
+
+    // While the backup is cut off, the write stays unacknowledged.
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        !done.load(std::sync::atomic::Ordering::SeqCst),
+        "write acked while the backup was unreachable"
+    );
+
+    cluster.network().heal();
+    writer.join().unwrap().unwrap();
+    // The ack implies the backup already holds the bytes — and getting
+    // there took at least one ship retry.
+    assert_eq!(cluster.storage_server(1).store().bytes_stored(), 9);
+    let snap = cluster.network().obs().snapshot();
+    assert!(snap.counter("storage.ship_retries").unwrap_or(0) > 0, "no ship retry recorded");
+    assert_eq!(snap.counter("storage.ship_failures").unwrap_or(0), 0);
+}
+
+#[test]
 fn dead_client_does_not_wedge_servers() {
     // A client that posts a descriptor, sends a write request, and then
     // "dies" (never drains events) must not affect other clients.
