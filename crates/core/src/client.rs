@@ -403,6 +403,11 @@ impl LwfsClient {
     /// preferring the primary and falling back across the backups; a full
     /// sweep of failures refreshes the map and tries again until the
     /// failover deadline.
+    ///
+    /// Every probe is stamped with the map epoch: a backup that was
+    /// dropped from the group (and so never saw the epoch advance) fences
+    /// the read with `NotPrimary` instead of serving stale data, and the
+    /// sweep moves on to an in-sync member.
     fn storage_read(&self, server: usize, body: RequestBody) -> Result<ReplyBody> {
         let Some(mut map) = self.group_map()? else {
             return self.rpc().call_retrying(self.storage_addr(server)?, body);
@@ -417,8 +422,11 @@ impl LwfsClient {
                 .members
                 .clone();
             for member in members {
-                match self.rpc().call_retrying(member, body.clone()) {
-                    Err(Error::Timeout | Error::Unreachable | Error::ServerBusy) => continue,
+                let opnum = OpNum(self.opnum.fetch_add(1, Ordering::Relaxed));
+                match self.send_once(member, opnum, &body, map.epoch) {
+                    Err(
+                        Error::Timeout | Error::Unreachable | Error::ServerBusy | Error::NotPrimary,
+                    ) => continue,
                     other => return other,
                 }
             }

@@ -69,6 +69,11 @@ pub struct ClusterConfig {
     /// nanoseconds). `None` keeps the 8-hour default. Tests drive expiry
     /// with a manual clock and a short TTL.
     pub capability_ttl_ns: Option<u64>,
+    /// Override how long a primary retries one WAL ship before dropping
+    /// the backup and reporting it to the directory. `None` keeps the
+    /// replica default (2s); fault tests shorten it so a partitioned
+    /// backup is evicted quickly.
+    pub ship_deadline: Option<std::time::Duration>,
     /// Users to pre-register with the mock KDC: (name, password, principal).
     pub users: Vec<(String, String, PrincipalId)>,
 }
@@ -83,6 +88,7 @@ impl Default for ClusterConfig {
             manual_clock: false,
             network: NetworkConfig::default(),
             capability_ttl_ns: None,
+            ship_deadline: None,
             users: vec![("app".into(), "secret".into(), PrincipalId(1))],
         }
     }
@@ -189,6 +195,10 @@ impl LwfsCluster {
         let physical = config.storage_servers * r;
         let storage_addrs: Vec<ProcessId> =
             (0..physical).map(|i| ProcessId::new(1100 + i as u32, 0)).collect();
+        // The directory's address is baked into every replicated server's
+        // config (drop reports go there), so it is fixed before the spawn
+        // loop even though the service itself comes up after.
+        let directory_id = ProcessId::new(1004, 0);
         let mut storage_handles = Vec::with_capacity(physical);
         let mut storage_servers = Vec::with_capacity(physical);
         let mut storage_configs = Vec::with_capacity(physical);
@@ -197,12 +207,18 @@ impl LwfsCluster {
             server_config.rpc = config.rpc.clone();
             if r > 1 {
                 let group = (i / r) as u32;
-                server_config.replica = Some(if i % r == 0 {
+                let mut replica = if i % r == 0 {
                     let backups = storage_addrs[i + 1..(i / r + 1) * r].to_vec();
                     ReplicaConfig::primary(group, backups)
                 } else {
-                    ReplicaConfig::backup(group)
-                });
+                    // A backup accepts ships only from its group's head.
+                    ReplicaConfig::backup(group, storage_addrs[(i / r) * r])
+                }
+                .with_directory(directory_id);
+                if let Some(deadline) = config.ship_deadline {
+                    replica = replica.with_ship_deadline(deadline);
+                }
+                server_config.replica = Some(replica);
             }
             let verifier = CachedCapVerifier::with_registry(sid, authz_id, net.obs());
             let (h, s) = StorageServer::spawn(
@@ -219,7 +235,6 @@ impl LwfsCluster {
 
         // Group directory: spawned only under replication, so a plain
         // cluster keeps exactly its historical endpoint census.
-        let directory_id = ProcessId::new(1004, 0);
         let (directory_handle, directory) = if r > 1 {
             let (h, d) = lwfs_replica::spawn_directory(
                 &net,
@@ -333,30 +348,72 @@ impl LwfsCluster {
         self.repair_group(self.addrs.storage[idx]);
     }
 
-    /// Replication control plane: after `dead` left the fabric, promote
-    /// its group's senior backup (if it led) or shrink the primary's ship
-    /// set (if it backed), then publish the bumped map. No-op without
-    /// replication or when the server was already out of the map.
+    /// Replication control plane: after `dead` left the fabric, elect the
+    /// most caught-up surviving backup (if the dead server led) or shrink
+    /// the group (if it backed), then publish the bumped map. No-op
+    /// without replication or when the server was already out of the map.
     fn repair_group(&self, dead: ProcessId) {
         let Some(dir) = &self.directory else { return };
         let mut map = dir.snapshot();
         let Some(group) = map.group_of(dead) else { return };
         if map.groups[group].primary() == Some(dead) {
-            if let Some(new_primary) = lwfs_replica::promote(&mut map, group) {
-                let backups = map.groups[group].backups().to_vec();
-                // Promote the server *before* publishing, so a client the
-                // new map redirects always finds a willing primary.
-                if let Some(srv) = self.server_by_id(new_primary) {
-                    srv.promote(map.epoch, backups);
+            // Election is sync-aware: promoting by seniority alone could
+            // pick a member the primary dropped at a ship deadline,
+            // silently losing acknowledged writes. Compare each survivor's
+            // (epoch, applied ship sequence) and lead with the maximum;
+            // peers exactly as caught up stay on as its backups, while a
+            // member even one ship behind may be missing an acknowledged
+            // write and leaves the map — without a re-sync protocol,
+            // dropping it is the only safe disposition.
+            let mut candidates: Vec<(u64, u64, ProcessId)> = map.groups[group]
+                .backups()
+                .iter()
+                .filter_map(|&b| {
+                    let repl = self.server_by_id(b)?.replica()?;
+                    Some((repl.epoch(), repl.applied_seq(), b))
+                })
+                .collect();
+            candidates.sort_unstable();
+            let Some(&(best_epoch, best_seq, chosen)) = candidates.last() else {
+                // No surviving backup: the group is lost. The map keeps
+                // naming the dead primary and its clients keep failing —
+                // correctly.
+                return;
+            };
+            let followers: Vec<ProcessId> = candidates
+                .iter()
+                .filter(|&&(e, s, b)| b != chosen && e == best_epoch && s == best_seq)
+                .map(|&(_, _, b)| b)
+                .collect();
+            lwfs_replica::install_primary(&mut map, group, chosen, &followers);
+            // Order matters: followers learn the new leadership first (so
+            // the new primary's first ship is never refused as a foreign
+            // sender), then the server is promoted *before* publishing, so
+            // a client the new map redirects always finds a willing
+            // primary.
+            for &f in &followers {
+                if let Some(srv) = self.server_by_id(f) {
+                    srv.set_primary(map.epoch, chosen);
                 }
-                dir.publish(map);
-                self.net.obs().gauge("storage.failovers").inc();
             }
-            // No surviving backup: the group is lost. The map keeps naming
-            // the dead primary and its clients keep failing — correctly.
+            if let Some(srv) = self.server_by_id(chosen) {
+                srv.promote(map.epoch, followers.clone());
+            }
+            dir.publish(map);
+            self.net.obs().gauge("storage.failovers").inc();
         } else if let Some(primary) = lwfs_replica::remove_backup(&mut map, dead) {
+            // Walk every survivor up to the new epoch before publishing:
+            // the remaining backups would otherwise fence fresh-map reads
+            // (their epoch only advances with the next ship), and the
+            // primary re-promotes with the shrunken ship set.
+            let backups = map.groups[group].backups().to_vec();
+            for &b in &backups {
+                if let Some(srv) = self.server_by_id(b) {
+                    srv.set_primary(map.epoch, primary);
+                }
+            }
             if let Some(srv) = self.server_by_id(primary) {
-                srv.drop_backup(dead);
+                srv.promote(map.epoch, backups);
             }
             dir.publish(map);
         }

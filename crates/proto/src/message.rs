@@ -402,6 +402,19 @@ pub enum RequestBody {
         /// Encoded `ReplyBody` the primary acks the client with.
         reply: Bytes,
     },
+    /// Primary → directory: `backup` missed a ship past the deadline and
+    /// was dropped from the sender's ship set; republish the map without
+    /// it so clients stop reading from the now out-of-sync member and a
+    /// later promotion can never pick it. The directory only honors this
+    /// from the group's current primary (checked against `reply_to`), and
+    /// the removal is idempotent — a re-sent report of an already-removed
+    /// member returns the current map without burning an epoch.
+    ReportDroppedBackup {
+        group: u32,
+        /// The epoch the primary observed when it dropped the member.
+        epoch: u64,
+        backup: ProcessId,
+    },
 }
 
 /// Reply bodies. `Err` is universal; the rest pair 1:1 with requests.
@@ -644,6 +657,7 @@ impl Encode for RequestBody {
             50 => GetGroupMap => {},
             51 => ReplShip { group, epoch, seq, origin, origin_opnum, records, reply } =>
                 { group, epoch, seq, origin, origin_opnum, records, reply },
+            52 => ReportDroppedBackup { group, epoch, backup } => { group, epoch, backup },
         );
     }
 }
@@ -746,6 +760,11 @@ impl Decode for RequestBody {
                 origin_opnum: Decode::decode(buf)?,
                 records: Decode::decode(buf)?,
                 reply: Decode::decode(buf)?,
+            },
+            52 => ReportDroppedBackup {
+                group: Decode::decode(buf)?,
+                epoch: Decode::decode(buf)?,
+                backup: Decode::decode(buf)?,
             },
             t => return Err(Error::Malformed(format!("unknown request tag {t}"))),
         })
@@ -1031,6 +1050,7 @@ mod tests {
                 records: vec![Bytes::from_static(b"frame-a"), Bytes::from_static(b"frame-b")],
                 reply: Bytes::from_static(b"encoded-reply"),
             },
+            ReportDroppedBackup { group: 1, epoch: 3, backup: ProcessId::new(1103, 0) },
         ]
     }
 

@@ -27,10 +27,44 @@ impl Service for GroupDirectory {
         match &req.body {
             RequestBody::Ping => ReplyBody::Pong,
             RequestBody::GetGroupMap => ReplyBody::GroupMapReply(self.map.read().clone()),
+            RequestBody::ReportDroppedBackup { group, epoch: _, backup } => {
+                self.drop_backup(req.reply_to, *group as usize, *backup)
+            }
             _ => ReplyBody::Err(Error::Malformed(
                 "group directory answers only group-map lookups".into(),
             )),
         }
+    }
+}
+
+impl GroupDirectory {
+    /// A primary reports that it dropped `backup` at the ship deadline:
+    /// republish the map without the member so clients stop reading from
+    /// the out-of-sync replica and a later promotion can never pick it.
+    ///
+    /// Only the group's *current primary* (per the published map) may
+    /// shrink its group — a rogue endpoint that learned the topology from
+    /// the public `GetGroupMap` gets `AccessDenied`. The removal is
+    /// idempotent: re-reporting an already-removed member returns the
+    /// current map without burning an epoch.
+    fn drop_backup(&self, sender: ProcessId, group: usize, backup: ProcessId) -> ReplyBody {
+        let mut map = self.map.write();
+        let Some(g) = map.groups.get(group) else {
+            return ReplyBody::Err(Error::Malformed(format!("no replication group {group}")));
+        };
+        if g.primary() != Some(sender) {
+            return ReplyBody::Err(Error::AccessDenied);
+        }
+        if backup == sender {
+            return ReplyBody::Err(Error::Malformed(
+                "a primary cannot drop itself from its group".into(),
+            ));
+        }
+        if let Some(pos) = g.members.iter().position(|m| *m == backup) {
+            map.groups[group].members.remove(pos);
+            map.epoch += 1;
+        }
+        ReplyBody::GroupMapReply(map.clone())
     }
 }
 
@@ -76,6 +110,10 @@ pub fn spawn_directory(
 /// Promote the senior backup of `group` after its primary died: drop the
 /// dead head, advance the epoch, and return the new primary. `None` (and
 /// no map change) if the group has no surviving backup.
+///
+/// This is the selection-blind fallback; a control plane that can query
+/// survivor sync state uses [`install_primary`] to pick the most
+/// caught-up member instead.
 pub fn promote(map: &mut GroupMap, group: usize) -> Option<ProcessId> {
     let g = &mut map.groups[group];
     if g.members.len() < 2 {
@@ -84,6 +122,27 @@ pub fn promote(map: &mut GroupMap, group: usize) -> Option<ProcessId> {
     g.members.remove(0);
     map.epoch += 1;
     g.members.first().copied()
+}
+
+/// Rebuild `group` around an elected primary: `chosen` leads, `followers`
+/// are the members verified to be fully caught up with it, the epoch
+/// advances. Members *not* listed (dead, unreachable, or behind on
+/// applied ships) leave the map — without a re-sync protocol a stale
+/// member must never serve reads or be promoted later, so dropping it is
+/// the only safe disposition.
+pub fn install_primary(
+    map: &mut GroupMap,
+    group: usize,
+    chosen: ProcessId,
+    followers: &[ProcessId],
+) {
+    let g = &mut map.groups[group];
+    debug_assert!(g.members.contains(&chosen), "elected primary must be a group member");
+    let mut members = Vec::with_capacity(1 + followers.len());
+    members.push(chosen);
+    members.extend(followers.iter().copied());
+    g.members = members;
+    map.epoch += 1;
 }
 
 /// Remove a dead *backup* from whichever group holds it, advancing the
@@ -174,6 +233,80 @@ mod tests {
         // A singleton group has nobody left to promote.
         assert!(promote(&mut map, 1).is_none());
         assert_eq!(map.epoch, 2, "failed promotion must not burn an epoch");
+    }
+
+    #[test]
+    fn install_primary_rebuilds_the_group_around_the_election() {
+        let mut map = map4();
+        // pid(4) won the election; pid(3) (the old senior) was behind and
+        // is dropped from the map entirely.
+        install_primary(&mut map, 1, pid(4), &[]);
+        assert_eq!(map.epoch, 2);
+        assert_eq!(map.groups[1].members, vec![pid(4)]);
+        assert_eq!(map.groups[0].members, vec![pid(1), pid(2)], "group 0 untouched");
+    }
+
+    #[test]
+    fn drop_report_from_the_primary_shrinks_the_group() {
+        let net = Network::default();
+        let (svc, dir) = spawn_directory(&net, pid(99), map4());
+        // The report is only honored from the group's current primary.
+        let primary = net.register(pid(1));
+        let client = RpcClient::new(&primary);
+        let got = match client
+            .call(pid(99), RequestBody::ReportDroppedBackup { group: 0, epoch: 1, backup: pid(2) })
+            .unwrap()
+        {
+            ReplyBody::GroupMapReply(m) => m,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(got.epoch, 2);
+        assert_eq!(got.groups[0].members, vec![pid(1)]);
+        assert_eq!(dir.snapshot(), got, "the published map is the replied map");
+
+        // Idempotent: re-reporting the same member returns the current
+        // map without burning another epoch.
+        let again = match client
+            .call(pid(99), RequestBody::ReportDroppedBackup { group: 0, epoch: 2, backup: pid(2) })
+            .unwrap()
+        {
+            ReplyBody::GroupMapReply(m) => m,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(again.epoch, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn drop_report_from_anyone_else_is_refused() {
+        let net = Network::default();
+        let (svc, dir) = spawn_directory(&net, pid(99), map4());
+        // A backup (or any rogue endpoint) cannot shrink the group.
+        let rogue = net.register(pid(2));
+        let client = RpcClient::new(&rogue);
+        assert_eq!(
+            client
+                .call(
+                    pid(99),
+                    RequestBody::ReportDroppedBackup { group: 0, epoch: 1, backup: pid(1) },
+                )
+                .unwrap_err(),
+            Error::AccessDenied
+        );
+        // And a primary cannot drop itself.
+        let primary = net.register(pid(1));
+        let client = RpcClient::new(&primary);
+        assert!(matches!(
+            client
+                .call(
+                    pid(99),
+                    RequestBody::ReportDroppedBackup { group: 0, epoch: 1, backup: pid(1) },
+                )
+                .unwrap_err(),
+            Error::Malformed(_)
+        ));
+        assert_eq!(dir.snapshot().epoch, 1, "refused reports never change the map");
+        svc.shutdown();
     }
 
     #[test]

@@ -27,8 +27,8 @@
 pub mod directory;
 pub mod reply_cache;
 
-pub use directory::{promote, remove_backup, spawn_directory, DirectoryHandle};
-pub use reply_cache::{ReplyCache, DEFAULT_REPLY_CACHE_CAP};
+pub use directory::{install_primary, promote, remove_backup, spawn_directory, DirectoryHandle};
+pub use reply_cache::{ReplyCache, DEFAULT_MAX_ORIGINS, DEFAULT_PER_ORIGIN_CAP};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -54,6 +54,13 @@ pub struct ReplicaConfig {
     pub epoch: u64,
     /// Initial role.
     pub role: ReplicaRole,
+    /// The group's current primary, as known to a *backup* — the only
+    /// sender whose `ReplShip`s it accepts. `None` on the primary itself.
+    /// Updated by the control plane on promotion ([`ReplicaState::set_primary`]).
+    pub primary: Option<ProcessId>,
+    /// The group directory service a primary reports dropped backups to,
+    /// so the published map never keeps naming an out-of-sync member.
+    pub directory: Option<ProcessId>,
     /// Total time a primary keeps retrying one `ReplShip` before declaring
     /// the backup dead and continuing without it.
     pub ship_deadline: Duration,
@@ -65,12 +72,33 @@ impl ReplicaConfig {
             group,
             epoch: 1,
             role: ReplicaRole::Primary { backups },
+            primary: None,
+            directory: None,
             ship_deadline: Duration::from_secs(2),
         }
     }
 
-    pub fn backup(group: u32) -> Self {
-        Self { group, epoch: 1, role: ReplicaRole::Backup, ship_deadline: Duration::from_secs(2) }
+    pub fn backup(group: u32, primary: ProcessId) -> Self {
+        Self {
+            group,
+            epoch: 1,
+            role: ReplicaRole::Backup,
+            primary: Some(primary),
+            directory: None,
+            ship_deadline: Duration::from_secs(2),
+        }
+    }
+
+    /// Set the directory the server reports membership changes to.
+    pub fn with_directory(mut self, directory: ProcessId) -> Self {
+        self.directory = Some(directory);
+        self
+    }
+
+    /// Override the per-ship total retry budget.
+    pub fn with_ship_deadline(mut self, deadline: Duration) -> Self {
+        self.ship_deadline = deadline;
+        self
     }
 }
 
@@ -86,6 +114,10 @@ pub struct ReplicaState {
     group: u32,
     epoch: AtomicU64,
     role: RwLock<ReplicaRole>,
+    /// The group's current primary as a backup knows it (`None` on the
+    /// primary itself). Ships from any other sender are refused — the
+    /// backup-side authorization check for the one server-to-server op.
+    primary: RwLock<Option<ProcessId>>,
     /// Primary: next ship sequence number (allocated per shipped batch).
     next_seq: AtomicU64,
     /// Highest ship sequence applied locally (backup) or fully acked by
@@ -93,6 +125,8 @@ pub struct ReplicaState {
     acked_seq: AtomicU64,
     /// Reply dedup for client retries and re-shipped batches.
     pub replies: ReplyCache,
+    /// The directory to report dropped backups to (primaries only use it).
+    pub directory: Option<ProcessId>,
     /// See [`ReplicaConfig::ship_deadline`].
     pub ship_deadline: Duration,
 }
@@ -103,9 +137,11 @@ impl ReplicaState {
             group: cfg.group,
             epoch: AtomicU64::new(cfg.epoch),
             role: RwLock::new(cfg.role),
+            primary: RwLock::new(cfg.primary),
             next_seq: AtomicU64::new(1),
             acked_seq: AtomicU64::new(0),
             replies: ReplyCache::default(),
+            directory: cfg.directory,
             ship_deadline: cfg.ship_deadline,
         }
     }
@@ -152,6 +188,27 @@ impl ReplicaState {
         self.acked_seq.fetch_max(seq, Ordering::SeqCst);
     }
 
+    /// Highest ship sequence this replica has applied (backup) or had
+    /// fully acknowledged (primary). The control plane compares this
+    /// across survivors to promote the most caught-up member.
+    pub fn applied_seq(&self) -> u64 {
+        self.acked_seq.load(Ordering::SeqCst)
+    }
+
+    /// The sender this replica accepts `ReplShip`s from (`None` when this
+    /// replica is itself the primary).
+    pub fn known_primary(&self) -> Option<ProcessId> {
+        *self.primary.read()
+    }
+
+    /// Control-plane notification that `primary` now leads the group at
+    /// `epoch` — installed on surviving backups *before* the map is
+    /// published, so the new primary's first ship is never refused.
+    pub fn set_primary(&self, epoch: u64, primary: ProcessId) {
+        self.observe_epoch(epoch);
+        *self.primary.write() = Some(primary);
+    }
+
     /// Ship batches allocated but not yet fully acknowledged — the
     /// replication lag a primary exports as `storage.repl_lag`.
     pub fn lag(&self) -> u64 {
@@ -165,6 +222,7 @@ impl ReplicaState {
         // Order matters: requests fence on the role, so the epoch must be
         // current by the time the first request sees `Primary`.
         self.observe_epoch(epoch);
+        *self.primary.write() = None;
         *self.role.write() = ReplicaRole::Primary { backups };
     }
 
@@ -192,7 +250,7 @@ mod tests {
 
     #[test]
     fn epoch_is_monotonic() {
-        let st = ReplicaState::new(ReplicaConfig::backup(0));
+        let st = ReplicaState::new(ReplicaConfig::backup(0, pid(1)));
         assert_eq!(st.epoch(), 1);
         assert_eq!(st.observe_epoch(5), 5);
         assert_eq!(st.observe_epoch(3), 5, "stale epochs never win");
@@ -201,13 +259,23 @@ mod tests {
 
     #[test]
     fn promotion_swaps_role_and_epoch_atomically() {
-        let st = ReplicaState::new(ReplicaConfig::backup(2));
+        let st = ReplicaState::new(ReplicaConfig::backup(2, pid(1)));
         assert!(st.is_backup());
         assert!(st.backups().is_empty());
+        assert_eq!(st.known_primary(), Some(pid(1)));
         st.promote(7, vec![pid(9)]);
         assert!(st.is_primary());
         assert_eq!(st.epoch(), 7);
         assert_eq!(st.backups(), vec![pid(9)]);
+        assert_eq!(st.known_primary(), None, "a primary has no upstream");
+    }
+
+    #[test]
+    fn set_primary_retargets_ship_acceptance() {
+        let st = ReplicaState::new(ReplicaConfig::backup(0, pid(1)));
+        st.set_primary(4, pid(2));
+        assert_eq!(st.known_primary(), Some(pid(2)));
+        assert_eq!(st.epoch(), 4, "the new leadership epoch is folded in");
     }
 
     #[test]
@@ -216,7 +284,7 @@ mod tests {
         assert!(st.drop_backup(pid(1)));
         assert!(!st.drop_backup(pid(1)), "already gone");
         assert_eq!(st.backups(), vec![pid(2)]);
-        let st = ReplicaState::new(ReplicaConfig::backup(0));
+        let st = ReplicaState::new(ReplicaConfig::backup(0, pid(1)));
         assert!(!st.drop_backup(pid(1)), "backups ship to nobody");
     }
 

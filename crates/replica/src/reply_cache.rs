@@ -12,6 +12,17 @@
 //! The key is safe because opnums are allocated from a per-endpoint
 //! monotonic counter that is never reused — a duplicate `(origin, opnum)`
 //! can only be a retry of the *same* logical operation.
+//!
+//! **Bounding is per origin**, not global: each client keeps its own FIFO
+//! of recent replies, so a sustained write storm from one client can never
+//! evict another client's still-in-flight reply — the failure that would
+//! quietly re-execute a retried, already-acked mutation. A client's own
+//! retry window is its RPC timeout, during which it has at most a handful
+//! of operations outstanding; [`DEFAULT_PER_ORIGIN_CAP`] covers that with
+//! a wide margin. Origins themselves are capped at
+//! [`DEFAULT_MAX_ORIGINS`]; past that the origin with the stalest most
+//! recent insert is evicted whole (a client idle that long is far outside
+//! any retry window).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -19,12 +30,16 @@ use bytes::Bytes;
 use lwfs_proto::{OpNum, ProcessId};
 use parking_lot::Mutex;
 
-/// Default number of replies retained. Retries arrive within an RPC
-/// timeout of the original, so the window only needs to cover the ops in
-/// flight during a failover, not history.
-pub const DEFAULT_REPLY_CACHE_CAP: usize = 4096;
+/// Replies retained per client. Retries arrive within an RPC timeout of
+/// the original, so the window only needs to cover one client's in-flight
+/// operations during a failover, not history.
+pub const DEFAULT_PER_ORIGIN_CAP: usize = 64;
 
-/// Bounded FIFO map from `(origin, opnum)` to the encoded reply body.
+/// Distinct clients tracked before whole-origin eviction kicks in.
+pub const DEFAULT_MAX_ORIGINS: usize = 4096;
+
+/// Map from `(origin, opnum)` to the encoded reply body, bounded per
+/// origin (see the module docs for why per-origin and not global FIFO).
 #[derive(Debug)]
 pub struct ReplyCache {
     inner: Mutex<Inner>,
@@ -32,39 +47,95 @@ pub struct ReplyCache {
 
 #[derive(Debug)]
 struct Inner {
-    map: HashMap<(ProcessId, OpNum), Bytes>,
-    order: VecDeque<(ProcessId, OpNum)>,
-    cap: usize,
+    origins: HashMap<ProcessId, Origin>,
+    per_origin: usize,
+    max_origins: usize,
+    /// Monotonic insert counter, for evicting the coldest origin.
+    clock: u64,
+    /// Total entries across all origins (kept so `len` is O(1)).
+    total: usize,
+}
+
+#[derive(Debug)]
+struct Origin {
+    /// Oldest-first FIFO of this client's recent replies.
+    entries: VecDeque<(OpNum, Bytes)>,
+    /// `Inner::clock` at this origin's most recent insert.
+    last_put: u64,
 }
 
 impl ReplyCache {
-    pub fn new(cap: usize) -> Self {
-        assert!(cap > 0, "a zero-capacity reply cache can never deduplicate");
-        Self { inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new(), cap }) }
+    /// Cache retaining up to `per_origin` replies for each client.
+    pub fn new(per_origin: usize) -> Self {
+        Self::with_limits(per_origin, DEFAULT_MAX_ORIGINS)
+    }
+
+    pub fn with_limits(per_origin: usize, max_origins: usize) -> Self {
+        assert!(per_origin > 0, "a zero-capacity reply cache can never deduplicate");
+        assert!(max_origins > 0, "the cache must admit at least one origin");
+        Self {
+            inner: Mutex::new(Inner {
+                origins: HashMap::new(),
+                per_origin,
+                max_origins,
+                clock: 0,
+                total: 0,
+            }),
+        }
     }
 
     /// The cached reply for a retry of `(origin, opnum)`, if still retained.
     pub fn get(&self, origin: ProcessId, opnum: OpNum) -> Option<Bytes> {
-        self.inner.lock().map.get(&(origin, opnum)).cloned()
+        let inner = self.inner.lock();
+        let o = inner.origins.get(&origin)?;
+        o.entries.iter().find(|(op, _)| *op == opnum).map(|(_, reply)| reply.clone())
     }
 
-    /// Record the reply for `(origin, opnum)`, evicting the oldest entry at
-    /// capacity. Re-inserting an existing key refreshes the value only.
+    /// Record the reply for `(origin, opnum)`, evicting that origin's
+    /// oldest entry at capacity. Re-inserting an existing key refreshes
+    /// the value only.
     pub fn put(&self, origin: ProcessId, opnum: OpNum, reply: Bytes) {
         let mut inner = self.inner.lock();
-        let key = (origin, opnum);
-        if inner.map.insert(key, reply).is_none() {
-            inner.order.push_back(key);
-            if inner.order.len() > inner.cap {
-                if let Some(old) = inner.order.pop_front() {
-                    inner.map.remove(&old);
+        inner.clock += 1;
+        let clock = inner.clock;
+        let per_origin = inner.per_origin;
+        let o = inner
+            .origins
+            .entry(origin)
+            .or_insert_with(|| Origin { entries: VecDeque::new(), last_put: clock });
+        o.last_put = clock;
+        if let Some(slot) = o.entries.iter_mut().find(|(op, _)| *op == opnum) {
+            slot.1 = reply;
+            return;
+        }
+        o.entries.push_back((opnum, reply));
+        let mut added = 1isize;
+        if o.entries.len() > per_origin {
+            o.entries.pop_front();
+            added = 0;
+        }
+        inner.total = (inner.total as isize + added) as usize;
+        if inner.origins.len() > inner.max_origins {
+            // Over the origin cap: drop the client with the stalest most
+            // recent insert (never the one we just served). O(origins),
+            // but only ever paid above `max_origins` distinct clients.
+            if let Some(cold) = inner
+                .origins
+                .iter()
+                .filter(|(id, _)| **id != origin)
+                .min_by_key(|(_, o)| o.last_put)
+                .map(|(id, _)| *id)
+            {
+                if let Some(dropped) = inner.origins.remove(&cold) {
+                    inner.total -= dropped.entries.len();
                 }
             }
         }
     }
 
+    /// Total cached replies across all origins.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.lock().total
     }
 
     pub fn is_empty(&self) -> bool {
@@ -74,7 +145,7 @@ impl ReplyCache {
 
 impl Default for ReplyCache {
     fn default() -> Self {
-        Self::new(DEFAULT_REPLY_CACHE_CAP)
+        Self::new(DEFAULT_PER_ORIGIN_CAP)
     }
 }
 
@@ -117,5 +188,36 @@ mod tests {
         cache.put(pid(1), OpNum(1), Bytes::from_static(b"b"));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(pid(1), OpNum(1)).unwrap(), Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn one_origins_storm_cannot_evict_anothers_reply() {
+        // The review scenario: client 2 acks one write, then client 1
+        // storms thousands of ops. Client 2's failed-over retry must
+        // still hit the cache — a miss would re-execute an acked
+        // mutation.
+        let cache = ReplyCache::new(4);
+        cache.put(pid(2), OpNum(7), Bytes::from_static(b"acked"));
+        for i in 0..10_000u64 {
+            cache.put(pid(1), OpNum(i), Bytes::from_static(b"storm"));
+        }
+        assert_eq!(cache.get(pid(2), OpNum(7)).unwrap(), Bytes::from_static(b"acked"));
+        assert_eq!(cache.len(), 4 + 1, "storm bounded to its own origin");
+    }
+
+    #[test]
+    fn origin_cap_evicts_the_coldest_origin_whole() {
+        let cache = ReplyCache::with_limits(2, 3);
+        for n in 1..=3u32 {
+            cache.put(pid(n), OpNum(1), Bytes::from_static(b"x"));
+        }
+        // Touch origin 1 so origin 2 is the coldest when 4 arrives.
+        cache.put(pid(1), OpNum(2), Bytes::from_static(b"y"));
+        cache.put(pid(4), OpNum(1), Bytes::from_static(b"z"));
+        assert!(cache.get(pid(2), OpNum(1)).is_none(), "coldest origin dropped");
+        assert!(cache.get(pid(1), OpNum(2)).is_some());
+        assert!(cache.get(pid(3), OpNum(1)).is_some());
+        assert!(cache.get(pid(4), OpNum(1)).is_some());
+        assert_eq!(cache.len(), 4);
     }
 }

@@ -449,6 +449,23 @@ impl StorageServer {
         self.replica.as_ref().is_some_and(|repl| repl.drop_backup(id))
     }
 
+    /// Control-plane notification that `primary` leads this server's group
+    /// from `epoch` on: accept ships only from it. Installed on surviving
+    /// backups *before* the new map is published, so the new primary's
+    /// first ship is never refused. No-op on a standalone server.
+    pub fn set_primary(&self, epoch: u64, primary: ProcessId) {
+        if let Some(repl) = &self.replica {
+            repl.set_primary(epoch, primary);
+        }
+    }
+
+    /// This server's highest applied (backup) or fully-acked (primary)
+    /// ship sequence — what the control plane compares across survivors to
+    /// elect the most caught-up member.
+    pub fn applied_seq(&self) -> u64 {
+        self.replica.as_ref().map_or(0, |repl| repl.applied_seq())
+    }
+
     /// Append `rec` to the write-ahead log (no-op when none is
     /// configured). Called after the in-memory effect is applied and
     /// before the reply is sent: an operation is acknowledged only once
@@ -669,10 +686,21 @@ impl StorageServer {
                 return self.handle_repl_ship(repl, req);
             }
             if replicated_mutation(&req.body) {
-                repl.observe_epoch(req.epoch);
                 if repl.is_backup() {
                     // Mutations go to the primary; the client refreshes its
                     // group map and re-sends.
+                    return ReplyBody::Err(Error::NotPrimary);
+                }
+                // Epoch fencing, primary side. The client's epoch is
+                // *compared*, never folded in — an `observe_epoch` here
+                // would let one rogue request inflate our epoch and fence
+                // out every honest client; epochs advance only through the
+                // control plane and authenticated ships. A mutation stamped
+                // below our epoch routed on a retired map: refuse it so the
+                // client refreshes. Epoch 0 means "no epoch info"
+                // (transaction coordinators, unreplicated callers) and
+                // always passes.
+                if req.epoch != 0 && req.epoch < repl.epoch() {
                     return ReplyBody::Err(Error::NotPrimary);
                 }
                 // A retry of a mutation we already acked (the client failed
@@ -684,6 +712,14 @@ impl StorageServer {
                         return body;
                     }
                 }
+            } else if repl.is_backup() && req.epoch > repl.epoch() {
+                // Read-path fencing on a backup: the client routes by a map
+                // newer than any epoch our primary or the control plane has
+                // shown us. We may be the member that map just dropped
+                // (ships stopped reaching us), so refusing is the only safe
+                // answer — the client's sweep moves on to an in-sync
+                // member instead of reading stale data here.
+                return ReplyBody::Err(Error::NotPrimary);
             }
         }
 
@@ -862,7 +898,10 @@ impl StorageServer {
     ///
     /// A backup that cannot ack within the ship deadline is dropped from
     /// the group (availability over replication): the write completes on
-    /// the surviving members and the control plane republishes the map.
+    /// the surviving members and the primary reports the drop to the
+    /// group directory ([`report_dropped_backup`](Self::report_dropped_backup))
+    /// so the republished map stops routing reads to — and can never
+    /// promote — the out-of-sync member.
     fn ship(
         &self,
         ep: &Endpoint,
@@ -928,11 +967,57 @@ impl StorageServer {
             if outcome.is_err() {
                 repl.drop_backup(backup);
                 self.stats.ship_failures.inc();
+                self.report_dropped_backup(ep, repl, backup);
             }
         }
         repl.record_acked(seq);
         lag.set(repl.lag() as i64);
         self.obs.histogram("storage.ship_ns").record(start.elapsed().as_nanos() as u64);
+    }
+
+    /// Tell the group directory that `backup` missed the ship deadline and
+    /// left this primary's ship set, so the map is republished without it:
+    /// clients stop sweeping reads to the out-of-sync replica, and a later
+    /// election can never promote it over members that hold the
+    /// acknowledged writes it missed.
+    ///
+    /// The republished map's epoch comes back in the reply and is folded
+    /// in here; the next ship carries it to the surviving backups, while
+    /// the dropped member — which no longer receives ships — stays behind
+    /// and starts fencing fresh-map reads (see `handle`).
+    fn report_dropped_backup(&self, ep: &Endpoint, repl: &ReplicaState, backup: ProcessId) {
+        let Some(dir) = repl.directory else {
+            return;
+        };
+        let body =
+            RequestBody::ReportDroppedBackup { group: repl.group(), epoch: repl.epoch(), backup };
+        let policy = RetryPolicy {
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(20),
+            deadline: repl.ship_deadline,
+        };
+        let client = RpcClient::shared(ep);
+        let outcome = retry::with_backoff(
+            &policy,
+            |e| matches!(e, Error::Timeout | Error::ServerBusy | Error::Unreachable),
+            || match client.call(dir, body.clone())? {
+                ReplyBody::GroupMapReply(map) => Ok(map.epoch),
+                other => Err(Error::Internal(format!("unexpected directory reply {other:?}"))),
+            },
+        );
+        match outcome {
+            Ok(epoch) => {
+                repl.observe_epoch(epoch);
+                self.obs.counter("storage.drop_reports").inc();
+            }
+            // `AccessDenied` means the published map no longer names us
+            // primary — we were deposed mid-ship and the new leadership
+            // owns membership now. Either way the local ship set already
+            // shrank; the report is best-effort.
+            Err(_) => {
+                self.obs.counter("storage.drop_report_failures").inc();
+            }
+        }
     }
 
     /// Backup side of the ship: verify, log, apply through the crash
@@ -953,6 +1038,15 @@ impl StorageServer {
         // so is any ship once *we* are the primary.
         if *epoch < repl.epoch() || repl.is_primary() {
             return ReplyBody::Err(Error::NotPrimary);
+        }
+        // Sender authorization. Ships apply WAL records without capability
+        // checks, so the one acceptable sender is the group's current
+        // primary — as installed by the control plane at spawn or
+        // promotion, never learned from the wire. A rogue endpoint that
+        // read the topology off the public `GetGroupMap` is refused before
+        // anything is logged, applied, or cached.
+        if repl.known_primary() != Some(req.reply_to) {
+            return ReplyBody::Err(Error::AccessDenied);
         }
         repl.observe_epoch(*epoch);
         // A re-shipped batch (our earlier ack was lost) is acked from the

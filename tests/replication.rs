@@ -200,6 +200,155 @@ fn replication_metrics_are_exported() {
 }
 
 #[test]
+fn a_backup_dropped_at_the_ship_deadline_leaves_the_map_and_is_never_promoted() {
+    // The silent-staleness scenario: a backup misses its ship deadline,
+    // the primary drops it and *reports the drop to the directory*, so
+    // the republished map stops routing reads to the out-of-sync member
+    // — and a later election can never promote it over a member that
+    // holds the acknowledged write it missed.
+    let mut cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 1,
+        replication: 3,
+        ship_deadline: Some(Duration::from_millis(100)),
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    client.write(0, &caps, None, obj, 0, b"before the drop!").unwrap();
+
+    // Cut off the junior backup; the next write misses its ship deadline
+    // there and evicts it from the group.
+    let stale = cluster.addrs().storage[2];
+    let mut plan = FaultPlan::default();
+    plan.partitioned.insert(stale.nid);
+    cluster.network().set_faults(plan);
+    client.write(0, &caps, None, obj, 0, b"after it was cut").unwrap();
+    cluster.network().heal();
+
+    // The map was republished without the member ...
+    let map = cluster.group_map().unwrap();
+    assert_eq!(map.epoch, 2);
+    assert_eq!(map.groups[0].members, vec![cluster.addrs().storage[0], cluster.addrs().storage[1]]);
+    let snap = cluster.network().obs().snapshot();
+    assert_eq!(snap.counter("storage.ship_failures"), Some(1));
+    assert_eq!(snap.counter("storage.drop_reports"), Some(1));
+
+    // ... while the member itself — healed, reachable, happy to answer —
+    // still holds only the pre-drop bytes. It is genuinely stale.
+    assert_eq!(
+        cluster.storage_server(2).store().read(cid, obj, 0, u64::MAX).unwrap(),
+        b"before the drop!"
+    );
+
+    // Reads keep returning the acknowledged bytes, never the stale ones.
+    for _ in 0..4 {
+        assert_eq!(client.read(0, &caps, obj, 0, 16).unwrap(), b"after it was cut");
+    }
+
+    // And when the primary dies, the election promotes the in-sync
+    // survivor: promoting the dropped member would silently roll back an
+    // acknowledged write.
+    cluster.crash_storage(0);
+    let map = cluster.group_map().unwrap();
+    assert_eq!(map.groups[0].primary(), Some(cluster.addrs().storage[1]));
+    assert!(!map.groups[0].members.contains(&stale), "the stale member stays out of the map");
+    assert_eq!(client.read(0, &caps, obj, 0, 16).unwrap(), b"after it was cut");
+    client.write(0, &caps, None, obj, 0, b"still writable..").unwrap();
+    assert_eq!(client.read(0, &caps, obj, 0, 16).unwrap(), b"still writable..");
+}
+
+#[test]
+fn a_ship_from_anyone_but_the_primary_is_refused_before_it_applies() {
+    use lwfs::portals::RpcClient;
+    use lwfs::proto::{OpNum, RequestBody};
+
+    let cluster = boot(1, 2);
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    client.write(0, &caps, None, obj, 0, b"legitimate").unwrap();
+
+    // A rogue process can learn the group and epoch from the public map,
+    // but its crafted ship must be refused before anything is logged,
+    // applied, or cached — ships bypass capability checks, so sender
+    // identity is the only gate.
+    let map = cluster.group_map().unwrap();
+    let backup = cluster.addrs().storage[1];
+    let rogue_id = ProcessId::new(66, 0);
+    let rogue_ep = cluster.network().register(rogue_id);
+    let rogue = RpcClient::new(&rogue_ep);
+    let err = rogue
+        .call(
+            backup,
+            RequestBody::ReplShip {
+                group: 0,
+                epoch: map.epoch,
+                seq: 1000,
+                origin: rogue_id,
+                origin_opnum: OpNum(1),
+                records: vec![],
+                reply: Default::default(),
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err, Error::AccessDenied);
+
+    // Nothing was applied and the reply cache was not poisoned.
+    let backup_srv = cluster.storage_server(1);
+    assert_eq!(backup_srv.store().object_count(), 1);
+    assert!(backup_srv.replica().unwrap().replies.get(rogue_id, OpNum(1)).is_none());
+
+    // Ships from the actual primary keep flowing.
+    client.write(0, &caps, None, obj, 0, b"still ships").unwrap();
+    assert_eq!(backup_srv.store().read(cid, obj, 0, u64::MAX).unwrap(), b"still ships");
+}
+
+#[test]
+fn the_primary_fences_mutations_stamped_with_a_retired_epoch() {
+    use lwfs::portals::{reply_match, Event, REQUEST_MATCH};
+    use lwfs::proto::{Decode as _, Encode as _, OpNum, Reply, Request, RequestBody};
+
+    let mut cluster = boot(1, 2);
+    let mut client = cluster.client(0, 0);
+    login(&cluster, &mut client);
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let cap = caps.for_op(OpMask::CREATE).unwrap();
+
+    // Retire epoch 1: losing the backup republishes the map at epoch 2
+    // and walks the primary up to it.
+    cluster.crash_storage(1);
+    assert_eq!(cluster.group_map().unwrap().epoch, 2);
+
+    // A mutation still stamped with epoch 1 routed on the retired map is
+    // fenced — the sender must refresh; epoch 0 ("no epoch info", the
+    // transaction-coordinator path) still passes.
+    let ep = cluster.network().register(ProcessId::new(77, 0));
+    let primary = cluster.addrs().storage[0];
+    let send = |opnum: u64, epoch: u64| {
+        let body = RequestBody::CreateObj { txn: None, cap, obj: None };
+        let req = Request::new(OpNum(opnum), ep.id(), body).with_epoch(epoch);
+        ep.send(primary, REQUEST_MATCH, req.to_bytes()).unwrap();
+        let want = reply_match(opnum);
+        let ev = ep
+            .recv_match(
+                Duration::from_secs(2),
+                |e| matches!(e, Event::Message { match_bits, .. } if *match_bits == want),
+            )
+            .unwrap();
+        Reply::from_bytes(ev.message_data().unwrap().clone()).unwrap().into_result()
+    };
+    assert_eq!(send(1, 1).unwrap_err(), Error::NotPrimary);
+    assert!(send(2, 2).is_ok(), "the current epoch passes");
+    assert!(send(3, 0).is_ok(), "epoch 0 means no epoch info and always passes");
+}
+
+#[test]
 fn replication_one_is_exactly_the_legacy_cluster() {
     // R=1 (the default) must not grow a directory endpoint or change any
     // data-path behavior: clients address servers directly.
