@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use lwfs_obs::{Counter, Registry};
+use lwfs_obs::{Counter, Registry, SpanRecord};
 use lwfs_portals::RpcClient;
 use lwfs_proto::{Capability, Error, OpMask, ProcessId, ReplyBody, RequestBody, Result};
 
@@ -28,6 +28,10 @@ pub struct CachedCapVerifier {
     cache: CapCache,
     /// VerifyCaps round trips actually issued (the cache-miss path).
     verify_through: Arc<Counter>,
+    /// Registry whose span log receives verify-through spans (see
+    /// [`with_registry`](Self::with_registry)); `None` keeps the miss path
+    /// dark, as under [`new`](Self::new).
+    registry: Option<Arc<Registry>>,
     /// Timeout for VerifyCaps round trips.
     pub verify_timeout: Duration,
 }
@@ -39,19 +43,23 @@ impl CachedCapVerifier {
             authz,
             cache: CapCache::new(),
             verify_through: Arc::new(Counter::new()),
+            registry: None,
             verify_timeout: Duration::from_secs(5),
         }
     }
 
     /// Like [`new`](Self::new), but publishing the cache's hit/miss/
     /// revocation counters and the verify-through counter under
-    /// `authz.cache.*` in `registry`.
-    pub fn with_registry(site: ProcessId, authz: ProcessId, registry: &Registry) -> Self {
+    /// `authz.cache.*` in `registry` — and recording an
+    /// `authz.verify_through` span in the caller's distributed trace for
+    /// every cache-miss round trip.
+    pub fn with_registry(site: ProcessId, authz: ProcessId, registry: &Arc<Registry>) -> Self {
         Self {
             site,
             authz,
             cache: CapCache::with_registry(registry),
             verify_through: registry.counter("authz.cache.verify_through"),
+            registry: Some(Arc::clone(registry)),
             verify_timeout: Duration::from_secs(5),
         }
     }
@@ -93,10 +101,27 @@ impl CachedCapVerifier {
         }
         // 4. Verify through the authorization service (Figure 4-b step 2).
         self.verify_through.inc();
-        let reply = client.call(
-            self.authz,
-            RequestBody::VerifyCaps { caps: vec![*cap], cache_site: self.site },
-        )?;
+        let start_ns = self.registry.as_ref().map(|r| r.spans().now_ns());
+        let reply = client
+            .call(self.authz, RequestBody::VerifyCaps { caps: vec![*cap], cache_site: self.site });
+        // The round trip belongs to the trace of whatever operation forced
+        // the miss: the client carries that context ambiently, so the span
+        // is attributed to the requesting op without extra plumbing.
+        if let (Some(reg), Some(start_ns)) = (&self.registry, start_ns) {
+            let ctx = client.trace();
+            if ctx.trace_id != 0 {
+                reg.spans().record(SpanRecord {
+                    req_id: ctx.parent_req_id,
+                    trace_id: ctx.trace_id,
+                    nid: self.site.nid.0,
+                    op: "authz",
+                    stage: "verify_through",
+                    start_ns,
+                    dur_ns: reg.spans().now_ns().saturating_sub(start_ns),
+                });
+            }
+        }
+        let reply = reply?;
         match reply {
             ReplyBody::CapsVerified { valid } => {
                 if valid.contains(&cap.cache_key()) {

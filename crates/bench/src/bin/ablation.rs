@@ -25,6 +25,7 @@
 //!
 //! ```text
 //! cargo run --release -p lwfs-bench --bin ablation -- --metrics-out results/ablation_metrics.json
+//! cargo run --release -p lwfs-bench --bin ablation -- --trace-out results/ablation_trace.json
 //! ```
 
 use lwfs_bench::{CsvOut, ShapeCheck, Table};

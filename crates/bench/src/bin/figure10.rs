@@ -9,6 +9,7 @@
 //! cargo run --release -p lwfs-bench --bin figure10
 //! cargo run -p lwfs-bench --bin figure10 -- --smoke
 //! cargo run --release -p lwfs-bench --bin figure10 -- --metrics-out results/figure10_metrics.json
+//! cargo run --release -p lwfs-bench --bin figure10 -- --trace-out results/figure10_trace.json
 //! ```
 
 use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};

@@ -8,6 +8,8 @@
 //! cargo run -p lwfs-bench --bin figure9 -- --smoke          # quick grid
 //! cargo run --release -p lwfs-bench --bin figure9 -- \
 //!     --metrics-out results/figure9_metrics.json   # + functional metrics
+//! cargo run --release -p lwfs-bench --bin figure9 -- \
+//!     --trace-out results/figure9_trace.json   # + Chrome/Perfetto trace
 //! ```
 
 use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};

@@ -5,8 +5,9 @@
 //!
 //! 1. run the model (or the functional plane) over the experiment grid,
 //! 2. print the series in the same rows/columns the paper reports,
-//! 3. write a CSV under `results/` (and, with `--metrics-out <path>`, a
-//!    metric-registry JSON dumped by the functional probe in [`metrics`]),
+//! 3. write a CSV under `results/` (and, with `--metrics-out <path>` /
+//!    `--trace-out <path>`, a metric-registry JSON and a Chrome
+//!    `trace_event` JSON dumped by the functional probe in [`metrics`]),
 //! 4. print explicit **shape checks** comparing the measured curve
 //!    features (plateaus, ceilings, ratios, crossovers) against what the
 //!    paper's figures show, each marked `ok` / `MISMATCH`.
@@ -16,7 +17,7 @@ use std::path::{Path, PathBuf};
 
 mod metrics;
 
-pub use metrics::{maybe_dump_metrics, metrics_out_arg, run_metrics_probe};
+pub use metrics::{maybe_dump_metrics, metrics_out_arg, run_metrics_probe, trace_out_arg};
 
 /// A simple aligned-column table printer.
 #[derive(Debug, Default)]

@@ -1,50 +1,96 @@
-//! The `--metrics-out` probe shared by the figure/ablation binaries.
+//! The `--metrics-out` / `--trace-out` probe shared by the figure and
+//! ablation binaries.
 //!
 //! The model-driven binaries (figure9, figure10, ablation) predict
 //! performance analytically — they never boot the functional plane, so
 //! they have no live metric registry of their own. When asked for
-//! metrics, they run this probe instead: boot a small in-process LWFS
-//! cluster, drive a representative mix through every instrumented
-//! subsystem (server-directed writes and reads, a committed and an
-//! aborted two-phase commit, naming ops, capability verification), and
-//! dump the fabric registry — counters, gauges, latency histograms, and
-//! per-request stage spans — as JSON next to the CSV results.
+//! metrics or traces, they run this probe instead: boot a small
+//! in-process LWFS cluster, drive a representative mix through every
+//! instrumented subsystem (server-directed writes and reads, a committed
+//! and an aborted two-phase commit, naming ops, capability verification,
+//! a ship-deadline eviction, a primary failover), and dump the fabric
+//! registry — counters, gauges, latency histograms, per-request stage
+//! spans, and the control-plane event journal — as JSON next to the CSV
+//! results. With `--trace-out` the probe additionally assembles the
+//! span log into distributed traces and writes Chrome `trace_event`
+//! JSON loadable in Perfetto / `about:tracing`.
+//!
+//! The probe is also the acceptance harness for the tracing pipeline:
+//! it asserts that one replicated write produced spans from the client,
+//! the primary (WAL append/fsync, one ship per backup), and the backup
+//! (apply) under a single propagated `trace_id`, and that the induced
+//! eviction was journaled *before* the directory republished the map.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use lwfs_core::{ClusterConfig, LwfsCluster};
-use lwfs_obs::Snapshot;
+use lwfs_obs::{Snapshot, TraceCollector, TOTAL_STAGE};
+use lwfs_portals::FaultPlan;
 use lwfs_proto::OpMask;
+use lwfs_storage::StorageConfig;
+use lwfs_wal::WalConfig;
 
 /// Parse `--metrics-out <path>` (or `--metrics-out=<path>`) from argv.
 pub fn metrics_out_arg() -> Option<PathBuf> {
+    path_arg("--metrics-out")
+}
+
+/// Parse `--trace-out <path>` (or `--trace-out=<path>`) from argv.
+pub fn trace_out_arg() -> Option<PathBuf> {
+    path_arg("--trace-out")
+}
+
+fn path_arg(flag: &str) -> Option<PathBuf> {
+    let prefixed = format!("{flag}=");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--metrics-out" {
+        if a == flag {
             return args.next().map(PathBuf::from);
         }
-        if let Some(p) = a.strip_prefix("--metrics-out=") {
+        if let Some(p) = a.strip_prefix(&prefixed) {
             return Some(PathBuf::from(p));
         }
     }
     None
 }
 
-/// Boot a two-server cluster, exercise every instrumented subsystem, and
-/// return the registry snapshot — written to `path` as JSON when given.
+/// Boot a two-group replicated cluster, exercise every instrumented
+/// subsystem, and return the registry snapshot — written to `metrics` as
+/// registry JSON and to `trace` as Chrome `trace_event` JSON when given.
 ///
 /// # Panics
-/// Panics when any driven operation fails: the probe runs entirely on the
+/// Panics when any driven operation fails or when the tracing pipeline's
+/// acceptance invariants do not hold: the probe runs entirely on the
 /// in-process functional plane, so a failure is a bug, not an
 /// environmental condition.
-pub fn run_metrics_probe(path: Option<&Path>) -> std::io::Result<Snapshot> {
+pub fn run_metrics_probe(
+    metrics: Option<&Path>,
+    trace: Option<&Path>,
+) -> std::io::Result<Snapshot> {
     const SERVERS: usize = 2;
+    // Unique WAL root per probe run: tests run probes concurrently in one
+    // process, and two servers replaying each other's logs would corrupt
+    // both runs.
+    static PROBE_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let wal_root = std::env::temp_dir().join(format!(
+        "lwfs-probe-wal-{}-{}",
+        std::process::id(),
+        PROBE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&wal_root);
+
     // Two replication groups of two members each: the probe exercises the
     // log-shipping path on every mutation, so the snapshot carries the
     // replication gauges (`storage.repl_lag`, `storage.failovers`) too.
+    // The WAL makes the durability stages (`wal.append`, `wal.fsync`)
+    // visible in every mutation's trace; the short ship deadline lets the
+    // probe evict a partitioned backup quickly.
     let mut cluster = LwfsCluster::boot(ClusterConfig {
         storage_servers: SERVERS,
         replication: 2,
+        ship_deadline: Some(std::time::Duration::from_millis(100)),
+        storage: StorageConfig { wal: Some(WalConfig::new(&wal_root)), ..Default::default() },
         ..Default::default()
     });
     let mut client = cluster.client(0, 0);
@@ -92,9 +138,22 @@ pub fn run_metrics_probe(path: Option<&Path>) -> std::io::Result<Snapshot> {
     client.name_lookup("/probe/ckpt").expect("name_lookup");
     client.name_list("/probe").expect("name_list");
 
+    // Partition group 1's backup; the next write to the group misses its
+    // ship deadline there, evicts the member, and reports the drop to the
+    // directory — the journal must show the eviction *before* the
+    // republish that makes it visible.
+    let stale = cluster.addrs().storage[3];
+    let mut plan = FaultPlan::default();
+    plan.partitioned.insert(stale.nid);
+    cluster.network().set_faults(plan);
+    let obj = client.create_obj(1, &caps, None, None).expect("create_obj for eviction");
+    client.write(1, &caps, None, obj, 0, b"ships past the dead backup").expect("eviction write");
+    cluster.network().heal();
+
     // Kill group 0's primary so the failover path (promotion, client
-    // retry, `storage.failovers`) is represented in the snapshot; the
-    // flush reads below run against the promoted backup.
+    // retry, `storage.failovers`, the `failover.promote` journal entry)
+    // is represented in the snapshot; the flush reads below run against
+    // the promoted backup.
     cluster.crash_storage(0);
 
     // Flush: a storage server closes a request's trace *after* sending
@@ -105,19 +164,89 @@ pub fn run_metrics_probe(path: Option<&Path>) -> std::io::Result<Snapshot> {
         client.list_objs(server, &caps).expect("flush list_objs");
     }
     let snap = cluster.network().obs().snapshot();
-    if let Some(path) = path {
+    assert_replicated_write_traced(&snap);
+    assert_eviction_journaled(&snap);
+
+    if let Some(path) = metrics {
         snap.write_json(path)?;
     }
+    if let Some(path) = trace {
+        let mut collector = TraceCollector::new();
+        collector.add_spans(snap.spans.iter().cloned());
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, collector.to_chrome_json())?;
+    }
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&wal_root);
     Ok(snap)
 }
 
-/// When `--metrics-out` was passed, run the probe and report the written
-/// file. Called by the figure/ablation binaries after their model runs.
+/// Acceptance invariant: at least one replicated write was traced end to
+/// end — the client's span, the primary's write (with its WAL append and
+/// fsync and one ship per backup), and the backup's apply all share one
+/// wire-propagated `trace_id` across three distinct nodes.
+fn assert_replicated_write_traced(snap: &Snapshot) {
+    let mut collector = TraceCollector::new();
+    collector.add_spans(snap.spans.iter().cloned());
+    let traced = collector.traces().into_iter().any(|t| {
+        let has = |op: &str, stage: &str| t.spans.iter().any(|s| s.op == op && s.stage == stage);
+        has("client.mutate", TOTAL_STAGE)
+            && has("storage.write", TOTAL_STAGE)
+            && has("wal", "append")
+            && has("wal", "fsync")
+            && has("repl", "ship")
+            && has("storage.repl_ship", "apply")
+            && t.nodes().len() >= 3
+    });
+    assert!(
+        traced,
+        "no trace carries a replicated write end to end \
+         (client + primary wal/ship + backup apply on >= 3 nodes)"
+    );
+}
+
+/// Acceptance invariant: the induced ship-deadline eviction reached the
+/// journal, and did so *before* the directory republished the shrunken
+/// map — the order a post-mortem relies on.
+fn assert_eviction_journaled(snap: &Snapshot) {
+    let evict = snap.events_of_kind("repl.evict_backup");
+    let republish = snap.events_of_kind("directory.republish");
+    assert!(!evict.is_empty(), "ship-deadline eviction missing from the event journal");
+    assert!(!republish.is_empty(), "directory republish missing from the event journal");
+    assert!(
+        evict[0].seq < republish[0].seq,
+        "journal order inverted: republish (seq {}) before eviction (seq {})",
+        republish[0].seq,
+        evict[0].seq
+    );
+    assert!(
+        !snap.events_of_kind("failover.promote").is_empty(),
+        "primary failover missing from the event journal"
+    );
+}
+
+/// When `--metrics-out` or `--trace-out` was passed, run the probe once
+/// and report the written files. Called by the figure/ablation binaries
+/// after their model runs.
 pub fn maybe_dump_metrics() {
-    if let Some(path) = metrics_out_arg() {
-        match run_metrics_probe(Some(&path)) {
-            Ok(_) => println!("metrics written to {}", path.display()),
-            Err(e) => eprintln!("metrics write failed: {e}"),
+    let metrics = metrics_out_arg();
+    let trace = trace_out_arg();
+    if metrics.is_none() && trace.is_none() {
+        return;
+    }
+    match run_metrics_probe(metrics.as_deref(), trace.as_deref()) {
+        Ok(_) => {
+            if let Some(path) = &metrics {
+                println!("metrics written to {}", path.display());
+            }
+            if let Some(path) = &trace {
+                println!("trace written to {}", path.display());
+            }
         }
+        Err(e) => eprintln!("probe output failed: {e}"),
     }
 }

@@ -332,6 +332,13 @@ impl LwfsClient {
             return self.rpc().call_retrying(self.storage_addr(server)?, body);
         };
         let opnum = OpNum(self.opnum.fetch_add(1, Ordering::Relaxed));
+        // The whole retry loop re-sends one `(reply_to, opnum)` pair, so
+        // its request id — and therefore the distributed trace id every
+        // server joins — is known up front. Tracing the loop under that id
+        // puts the client's own sends and map refreshes on the same
+        // timeline as the primary, its WAL, and every backup.
+        let req_id = lwfs_proto::derive_req_id(self.ep.id(), opnum);
+        let mut trace = self.ep.obs().trace(req_id, "client.mutate").on_node(self.ep.id().nid.0);
         let started = Instant::now();
         let mut backoff = Duration::from_micros(200);
         loop {
@@ -346,8 +353,12 @@ impl LwfsClient {
                 None => Err(Error::Unreachable),
                 Some(target) => self.send_once(target, opnum, &body, map.epoch),
             };
+            trace.stage("send");
             match outcome {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => {
+                    trace.finish();
+                    return Ok(reply);
+                }
                 Err(
                     e @ (Error::Timeout
                     | Error::Unreachable
@@ -367,6 +378,7 @@ impl LwfsClient {
                         if let Ok(fresh) = self.refresh_group_map() {
                             map = fresh;
                         }
+                        trace.stage("map_refresh");
                     }
                 }
                 Err(e) => return Err(e),
@@ -412,6 +424,15 @@ impl LwfsClient {
         let Some(mut map) = self.group_map()? else {
             return self.rpc().call_retrying(self.storage_addr(server)?, body);
         };
+        // Each probe allocates a fresh opnum (reads are never deduped), so
+        // the sweep has no single wire-level request id; the trace anchors
+        // on a reserved opnum of its own and stays client-local.
+        let anchor = OpNum(self.opnum.fetch_add(1, Ordering::Relaxed));
+        let mut trace = self
+            .ep
+            .obs()
+            .trace(lwfs_proto::derive_req_id(self.ep.id(), anchor), "client.read")
+            .on_node(self.ep.id().nid.0);
         let started = Instant::now();
         let mut backoff = Duration::from_micros(200);
         loop {
@@ -423,11 +444,16 @@ impl LwfsClient {
                 .clone();
             for member in members {
                 let opnum = OpNum(self.opnum.fetch_add(1, Ordering::Relaxed));
-                match self.send_once(member, opnum, &body, map.epoch) {
+                let outcome = self.send_once(member, opnum, &body, map.epoch);
+                trace.stage("probe");
+                match outcome {
                     Err(
                         Error::Timeout | Error::Unreachable | Error::ServerBusy | Error::NotPrimary,
                     ) => continue,
-                    other => return other,
+                    other => {
+                        trace.finish();
+                        return other;
+                    }
                 }
             }
             if started.elapsed() >= self.failover_deadline {
@@ -438,6 +464,7 @@ impl LwfsClient {
             if let Ok(fresh) = self.refresh_group_map() {
                 map = fresh;
             }
+            trace.stage("map_refresh");
         }
     }
 

@@ -356,6 +356,10 @@ impl LwfsCluster {
         let Some(dir) = &self.directory else { return };
         let mut map = dir.snapshot();
         let Some(group) = map.group_of(dead) else { return };
+        // Control-plane decisions are journaled under the directory's nid:
+        // it is the node whose published map makes them visible.
+        let dir_nid = self.addrs.directory.map_or(0, |d| d.nid.0);
+        let events = self.net.obs().events();
         if map.groups[group].primary() == Some(dead) {
             // Election is sync-aware: promoting by seniority alone could
             // pick a member the primary dropped at a ship deadline,
@@ -386,6 +390,27 @@ impl LwfsCluster {
                 .map(|&(_, _, b)| b)
                 .collect();
             lwfs_replica::install_primary(&mut map, group, chosen, &followers);
+            events.record(
+                dir_nid,
+                "failover.promote",
+                format!(
+                    "group {group}: primary {dead} dead, promoting {chosen} at epoch {} \
+                     with {} followers",
+                    map.epoch,
+                    followers.len()
+                ),
+            );
+            // Members behind the winner may be missing acknowledged writes
+            // and leave the map; journal each so the shrink is auditable.
+            for &(e, s, b) in &candidates {
+                if b != chosen && !(e == best_epoch && s == best_seq) {
+                    events.record(
+                        dir_nid,
+                        "failover.drop_backup",
+                        format!("group {group}: {b} out of sync (epoch {e}, seq {s}), dropped"),
+                    );
+                }
+            }
             // Order matters: followers learn the new leadership first (so
             // the new primary's first ship is never refused as a foreign
             // sender), then the server is promoted *before* publishing, so
@@ -402,6 +427,11 @@ impl LwfsCluster {
             dir.publish(map);
             self.net.obs().gauge("storage.failovers").inc();
         } else if let Some(primary) = lwfs_replica::remove_backup(&mut map, dead) {
+            events.record(
+                dir_nid,
+                "failover.drop_backup",
+                format!("group {group}: backup {dead} dead, removed at epoch {}", map.epoch),
+            );
             // Walk every survivor up to the new epoch before publishing:
             // the remaining backups would otherwise fence fresh-map reads
             // (their epoch only advances with the next ship), and the

@@ -18,10 +18,14 @@
 //! wall-clock nanoseconds (`record_duration`) and simulated-time
 //! nanoseconds (`record` with a `SimDuration`'s nanosecond count).
 
+mod event;
 mod metrics;
 mod registry;
 mod span;
+mod trace;
 
+pub use event::{Event, EventLog};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{OpTrace, Registry, Snapshot};
 pub use span::{SpanLog, SpanRecord, TOTAL_STAGE};
+pub use trace::{FlightRecorder, PinnedTrace, Trace, TraceCollector};

@@ -6,8 +6,10 @@
 //! `storage.write.pull_ns`, `txn.prepare.latency_ns`); snapshots sort
 //! lexicographically, so related metrics group together in exports.
 
+use crate::event::{Event, EventLog};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use crate::span::{SpanLog, SpanRecord, TOTAL_STAGE};
+use crate::trace::FlightRecorder;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -31,6 +33,8 @@ pub struct Registry {
     gauges: Table<Gauge>,
     histograms: Table<Histogram>,
     spans: SpanLog,
+    events: EventLog,
+    flight: FlightRecorder,
 }
 
 impl Registry {
@@ -58,11 +62,27 @@ impl Registry {
         &self.spans
     }
 
-    /// Start tracing one operation; see [`OpTrace`].
+    /// The control-plane event journal shared by every service on this
+    /// registry.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The slow-op flight recorder fed by every finished [`OpTrace`].
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Start tracing one operation; see [`OpTrace`]. The trace starts
+    /// self-rooted (`trace_id = req_id`, node 0); servers handling a
+    /// propagated context chain [`OpTrace::in_trace`]/[`OpTrace::on_node`]
+    /// to attribute the spans.
     pub fn trace(&self, req_id: u64, op: &'static str) -> OpTrace<'_> {
         OpTrace {
             registry: self,
             req_id,
+            trace_id: req_id,
+            nid: 0,
             op,
             origin: Instant::now(),
             origin_ns: self.spans.now_ns(),
@@ -84,6 +104,8 @@ impl Registry {
             h.reset();
         }
         self.spans.clear();
+        self.events.clear();
+        self.flight.clear();
     }
 
     /// Point-in-time copy of every registered metric plus retained spans.
@@ -109,7 +131,13 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
-        Snapshot { counters, gauges, histograms, spans: self.spans.recent(usize::MAX) }
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans: self.spans.recent(usize::MAX),
+            events: self.events.all(),
+        }
     }
 }
 
@@ -123,6 +151,8 @@ impl Registry {
 pub struct OpTrace<'a> {
     registry: &'a Registry,
     req_id: u64,
+    trace_id: u64,
+    nid: u32,
     op: &'static str,
     origin: Instant,
     origin_ns: u64,
@@ -131,6 +161,27 @@ pub struct OpTrace<'a> {
 }
 
 impl OpTrace<'_> {
+    /// Attribute this trace's spans to node `nid` (builder style).
+    pub fn on_node(mut self, nid: u32) -> Self {
+        self.nid = nid;
+        self
+    }
+
+    /// Join the distributed trace `trace_id` instead of self-rooting.
+    /// A zero id (untraced v3 peer) keeps the `req_id` self-root, so the
+    /// cluster degrades to per-hop tracing rather than losing spans.
+    pub fn in_trace(mut self, trace_id: u64) -> Self {
+        if trace_id != 0 {
+            self.trace_id = trace_id;
+        }
+        self
+    }
+
+    /// The distributed trace id this op's spans carry.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
     fn elapsed_ns(&self) -> u64 {
         self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
     }
@@ -153,9 +204,29 @@ impl OpTrace<'_> {
         self.record(stage, self.last_ns, dur_ns);
     }
 
+    /// Record a sub-span under a *different* op name (e.g. `wal.append`
+    /// inside a `storage.write`) covering the wall interval that ended
+    /// just now. Feeds no histogram — subsystems like the WAL already
+    /// time themselves; this only adds the span to the causal trace.
+    /// Does not move the running checkpoint.
+    pub fn span_with_duration(&mut self, op: &'static str, stage: &'static str, dur_ns: u64) {
+        let end = self.elapsed_ns();
+        self.registry.spans.record(SpanRecord {
+            req_id: self.req_id,
+            trace_id: self.trace_id,
+            nid: self.nid,
+            op,
+            stage,
+            start_ns: self.origin_ns + end.saturating_sub(dur_ns),
+            dur_ns,
+        });
+    }
+
     fn record(&self, stage: &'static str, start_off_ns: u64, dur_ns: u64) {
         self.registry.spans.record(SpanRecord {
             req_id: self.req_id,
+            trace_id: self.trace_id,
+            nid: self.nid,
             op: self.op,
             stage,
             start_ns: self.origin_ns + start_off_ns,
@@ -174,7 +245,9 @@ impl OpTrace<'_> {
             return;
         }
         self.finished = true;
-        self.record(TOTAL_STAGE, 0, self.elapsed_ns());
+        let total = self.elapsed_ns();
+        self.record(TOTAL_STAGE, 0, total);
+        self.registry.flight.observe(&self.registry.spans, self.req_id, self.trace_id, total);
     }
 }
 
@@ -193,6 +266,8 @@ pub struct Snapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Retained spans, oldest first.
     pub spans: Vec<SpanRecord>,
+    /// Retained control-plane events, oldest first.
+    pub events: Vec<Event>,
 }
 
 impl Snapshot {
@@ -206,6 +281,11 @@ impl Snapshot {
 
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Retained control-plane events of one kind, oldest first.
+    pub fn events_of_kind(&self, kind: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
     }
 
     /// Human-readable fixed-width table.
@@ -239,6 +319,17 @@ impl Snapshot {
             }
         }
         let _ = writeln!(out, "spans retained: {}", self.spans.len());
+        if !self.events.is_empty() {
+            let _ =
+                writeln!(out, "{:<6} {:>14} {:>6}  {:<24} detail", "event", "ts_ns", "nid", "kind");
+            for e in &self.events {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>14} {:>6}  {:<24} {}",
+                    e.seq, e.ts_ns, e.nid, e.kind, e.detail
+                );
+            }
+        }
         out
     }
 
@@ -277,13 +368,29 @@ impl Snapshot {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(
                 out,
-                "{sep}\n    {{\"req_id\": {}, \"op\": {}, \"stage\": {}, \
-                 \"start_ns\": {}, \"dur_ns\": {}}}",
+                "{sep}\n    {{\"req_id\": {}, \"trace_id\": {}, \"nid\": {}, \"op\": {}, \
+                 \"stage\": {}, \"start_ns\": {}, \"dur_ns\": {}}}",
                 s.req_id,
+                s.trace_id,
+                s.nid,
                 json_str(s.op),
                 json_str(s.stage),
                 s.start_ns,
                 s.dur_ns
+            );
+        }
+        out.push_str("\n  ],\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"seq\": {}, \"ts_ns\": {}, \"nid\": {}, \"kind\": {}, \
+                 \"detail\": {}}}",
+                e.seq,
+                e.ts_ns,
+                e.nid,
+                json_str(e.kind),
+                json_str(&e.detail)
             );
         }
         out.push_str("\n  ]\n}\n");
@@ -301,7 +408,7 @@ impl Snapshot {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

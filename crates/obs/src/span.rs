@@ -3,10 +3,13 @@
 //! Services decompose an operation into named stages (a storage write
 //! becomes queue-wait → authorize → pull → store-write → reply) and
 //! record one [`SpanRecord`] per stage plus a closing `total` span, all
-//! sharing the `req_id` threaded through `lwfs_proto::Request`. The log
-//! is a bounded ring so tracing can stay on permanently.
+//! sharing the `req_id` threaded through `lwfs_proto::Request`. Since
+//! wire v4 every span also carries the *distributed* `trace_id` and the
+//! recording node's `nid`, so one client write correlates across every
+//! process it touched. The log is a bounded ring so tracing can stay on
+//! permanently.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -18,6 +21,12 @@ pub const TOTAL_STAGE: &str = "total";
 pub struct SpanRecord {
     /// Request id from the proto envelope; groups the stages of one op.
     pub req_id: u64,
+    /// Distributed trace id (wire v4): shared by every request in one
+    /// causal chain across nodes. Equals `req_id` for trace roots and
+    /// for per-hop traces from v3 peers.
+    pub trace_id: u64,
+    /// Node id of the process that recorded this span.
+    pub nid: u32,
     /// Operation name, e.g. `storage.write`.
     pub op: &'static str,
     /// Stage within the operation, e.g. `authorize`; [`TOTAL_STAGE`]
@@ -29,10 +38,28 @@ pub struct SpanRecord {
     pub dur_ns: u64,
 }
 
-/// Bounded ring of recent [`SpanRecord`]s.
+/// Ring state guarded by one mutex: the records themselves plus the
+/// indexes that keep [`SpanLog::for_req`]/[`SpanLog::completed_reqs`]
+/// from scanning the whole ring under the lock.
+///
+/// Every record gets a monotonically increasing sequence number;
+/// `base_seq` is the seq of `q[0]`, so `q[seq - base_seq]` addresses any
+/// retained record in O(1). `by_req` maps a request id to its retained
+/// seqs (ascending — eviction always removes the globally smallest seq,
+/// which is necessarily the front of its request's deque), and
+/// `completed` lists the seqs of retained [`TOTAL_STAGE`] records.
+#[derive(Default)]
+struct Ring {
+    q: VecDeque<SpanRecord>,
+    base_seq: u64,
+    by_req: HashMap<u64, VecDeque<u64>>,
+    completed: VecDeque<(u64, u64)>,
+}
+
+/// Bounded ring of recent [`SpanRecord`]s with per-request indexing.
 pub struct SpanLog {
     epoch: Instant,
-    inner: Mutex<VecDeque<SpanRecord>>,
+    inner: Mutex<Ring>,
     capacity: usize,
 }
 
@@ -46,7 +73,10 @@ impl SpanLog {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             epoch: Instant::now(),
-            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            inner: Mutex::new(Ring {
+                q: VecDeque::with_capacity(capacity.min(1024)),
+                ..Ring::default()
+            }),
             capacity: capacity.max(1),
         }
     }
@@ -58,28 +88,66 @@ impl SpanLog {
     }
 
     pub fn record(&self, record: SpanRecord) {
-        let mut q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        if q.len() == self.capacity {
-            q.pop_front();
+        let mut r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if r.q.len() == self.capacity {
+            let evicted = r.q.pop_front().expect("capacity >= 1");
+            let evicted_seq = r.base_seq;
+            r.base_seq += 1;
+            if let Some(seqs) = r.by_req.get_mut(&evicted.req_id) {
+                debug_assert_eq!(seqs.front(), Some(&evicted_seq));
+                seqs.pop_front();
+                if seqs.is_empty() {
+                    r.by_req.remove(&evicted.req_id);
+                }
+            }
+            if r.completed.front().is_some_and(|(s, _)| *s == evicted_seq) {
+                r.completed.pop_front();
+            }
         }
-        q.push_back(record);
+        let seq = r.base_seq + r.q.len() as u64;
+        r.by_req.entry(record.req_id).or_default().push_back(seq);
+        if record.stage == TOTAL_STAGE {
+            r.completed.push_back((seq, record.req_id));
+        }
+        r.q.push_back(record);
     }
 
     /// All retained spans for one request, in recording order.
+    ///
+    /// Indexed: the lock is held for one map lookup plus one clone per
+    /// retained span of *this* request (pre-sized), never a scan of the
+    /// whole ring — this is the flight-recorder hot path.
     pub fn for_req(&self, req_id: u64) -> Vec<SpanRecord> {
-        let q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        q.iter().filter(|s| s.req_id == req_id).cloned().collect()
+        let r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(seqs) = r.by_req.get(&req_id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(seqs.len());
+        out.extend(seqs.iter().map(|seq| r.q[(seq - r.base_seq) as usize].clone()));
+        out
+    }
+
+    /// All retained spans carrying `trace_id`, in recording order.
+    ///
+    /// This *is* an O(retained) scan — it runs once per flight-recorder
+    /// pin (rare by construction: only outlier traces pin) and in
+    /// offline collection, never per-operation.
+    pub fn for_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        r.q.iter().filter(|s| s.trace_id == trace_id).cloned().collect()
     }
 
     /// The most recent `limit` spans, oldest first.
     pub fn recent(&self, limit: usize) -> Vec<SpanRecord> {
-        let q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        let skip = q.len().saturating_sub(limit);
-        q.iter().skip(skip).cloned().collect()
+        let r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let skip = r.q.len().saturating_sub(limit);
+        let mut out = Vec::with_capacity(r.q.len() - skip);
+        out.extend(r.q.iter().skip(skip).cloned());
+        out
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).q.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -87,14 +155,21 @@ impl SpanLog {
     }
 
     pub fn clear(&self) {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        let mut r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let next = r.base_seq + r.q.len() as u64;
+        r.q.clear();
+        r.by_req.clear();
+        r.completed.clear();
+        r.base_seq = next;
     }
 
     /// Request ids that have a [`TOTAL_STAGE`] span retained, in
-    /// recording order.
+    /// recording order. Maintained incrementally — no ring scan.
     pub fn completed_reqs(&self) -> Vec<u64> {
-        let q = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        q.iter().filter(|s| s.stage == TOTAL_STAGE).map(|s| s.req_id).collect()
+        let r = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = Vec::with_capacity(r.completed.len());
+        out.extend(r.completed.iter().map(|(_, req_id)| *req_id));
+        out
     }
 }
 
@@ -109,7 +184,15 @@ mod tests {
     use super::*;
 
     fn rec(req_id: u64, stage: &'static str, start_ns: u64, dur_ns: u64) -> SpanRecord {
-        SpanRecord { req_id, op: "storage.write", stage, start_ns, dur_ns }
+        SpanRecord {
+            req_id,
+            trace_id: req_id,
+            nid: 0,
+            op: "storage.write",
+            stage,
+            start_ns,
+            dur_ns,
+        }
     }
 
     #[test]
@@ -123,6 +206,7 @@ mod tests {
         assert_eq!(one.len(), 3);
         assert!(one.iter().all(|s| s.req_id == 1));
         assert_eq!(log.completed_reqs(), vec![1]);
+        assert!(log.for_req(99).is_empty());
     }
 
     #[test]
@@ -137,5 +221,109 @@ mod tests {
         assert_eq!(recent[1].req_id, 9);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn indexes_survive_eviction_and_clear() {
+        let log = SpanLog::with_capacity(4);
+        // Interleave two requests so eviction splits both their indexes.
+        for i in 0..8u64 {
+            let req = i % 2;
+            let stage = if i >= 6 { TOTAL_STAGE } else { "s" };
+            log.record(rec(req, stage, i, 1));
+        }
+        // Only the last 4 records survive: reqs 0,1,0(total),1(total).
+        assert_eq!(log.for_req(0).len(), 2);
+        assert_eq!(log.for_req(1).len(), 2);
+        assert_eq!(log.completed_reqs(), vec![0, 1]);
+        // Index answers agree with a brute-force scan of `recent`.
+        let all = log.recent(usize::MAX);
+        for req in [0u64, 1] {
+            let scanned: Vec<_> = all.iter().filter(|s| s.req_id == req).cloned().collect();
+            assert_eq!(log.for_req(req), scanned);
+        }
+        // Evicting a request's last span drops its index entry entirely.
+        for i in 0..4u64 {
+            log.record(rec(7, "s", 100 + i, 1));
+        }
+        assert!(log.for_req(0).is_empty());
+        assert!(log.for_req(1).is_empty());
+        assert!(log.completed_reqs().is_empty());
+        log.clear();
+        assert!(log.for_req(7).is_empty());
+        // Recording after clear keeps seq accounting consistent.
+        log.record(rec(8, TOTAL_STAGE, 200, 1));
+        assert_eq!(log.for_req(8).len(), 1);
+        assert_eq!(log.completed_reqs(), vec![8]);
+    }
+
+    #[test]
+    fn for_trace_crosses_req_ids() {
+        let log = SpanLog::default();
+        let mut a = rec(1, "s", 0, 1);
+        a.trace_id = 42;
+        let mut b = rec(2, "apply", 5, 1);
+        b.trace_id = 42;
+        log.record(a);
+        log.record(rec(3, "s", 2, 1));
+        log.record(b);
+        let t = log.for_trace(42);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].req_id, 1);
+        assert_eq!(t[1].req_id, 2);
+    }
+
+    #[test]
+    fn contention_smoke_writers_vs_indexed_readers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // 4 writers stream spans through a small ring while readers
+        // hammer the indexed lookups; the test asserts the indexes stay
+        // internally consistent under constant eviction and that nothing
+        // deadlocks or panics.
+        let log = Arc::new(SpanLog::with_capacity(256));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4u64)
+            .map(|w| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let req = w * 10_000 + (i % 37);
+                        log.record(rec(req, "s", i, 1));
+                        if i % 5 == 0 {
+                            log.record(rec(req, TOTAL_STAGE, i, 2));
+                        }
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2u64)
+            .map(|rdr| {
+                let log = Arc::clone(&log);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut lookups = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for req in (rdr * 10_000)..(rdr * 10_000 + 37) {
+                            let spans = log.for_req(req);
+                            assert!(spans.iter().all(|s| s.req_id == req));
+                            lookups += 1;
+                        }
+                        let done = log.completed_reqs();
+                        assert!(done.len() <= 256);
+                    }
+                    lookups
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+        assert_eq!(log.len(), 256);
     }
 }

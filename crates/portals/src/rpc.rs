@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use lwfs_proto::{
     Decode, Encode, Error, OpNum, ProcessId, Reply, ReplyBody, Request, RequestBody, Result,
+    TraceContext,
 };
 
 use crate::endpoint::Endpoint;
@@ -52,6 +53,13 @@ pub struct RpcClient<'a> {
     ep: &'a Endpoint,
     next_opnum: Arc<AtomicU64>,
     resends: AtomicU64,
+    /// Ambient causal context stamped into every outgoing request (v4
+    /// tracing). Two atomics rather than a `Mutex<TraceContext>` so the
+    /// client stays usable from `&self` across worker threads; the pair is
+    /// not read atomically, which is fine — a worker sets it once before a
+    /// burst of child calls and the ids only ever travel together.
+    trace_id: AtomicU64,
+    parent_req_id: AtomicU64,
     /// How long to wait for a reply before giving up.
     pub reply_timeout: Duration,
     /// Maximum ServerBusy re-sends before surfacing the error.
@@ -89,9 +97,30 @@ impl<'a> RpcClient<'a> {
             ep,
             next_opnum: counter,
             resends: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            parent_req_id: AtomicU64::new(0),
             reply_timeout: cfg.reply_timeout,
             max_resends: cfg.max_resends,
             backoff: cfg.backoff,
+        }
+    }
+
+    /// Set the ambient [`TraceContext`] propagated into every subsequent
+    /// [`call`](Self::call). A server handling a traced request installs
+    /// `{trace_id: req.trace.trace_id, parent_req_id: req.req_id}` here
+    /// before issuing child requests (ReplShip, verify-through, drop
+    /// reports), so the whole fan-out shares one trace. A zero `trace_id`
+    /// clears the context (requests revert to self-rooted traces).
+    pub fn set_trace(&self, ctx: TraceContext) {
+        self.trace_id.store(ctx.trace_id, Ordering::Relaxed);
+        self.parent_req_id.store(ctx.parent_req_id, Ordering::Relaxed);
+    }
+
+    /// The ambient trace context child calls currently inherit.
+    pub fn trace(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id.load(Ordering::Relaxed),
+            parent_req_id: self.parent_req_id.load(Ordering::Relaxed),
         }
     }
 
@@ -118,7 +147,7 @@ impl<'a> RpcClient<'a> {
     /// `ServerBusy` (full request queue) triggers the back-off/re-send loop.
     pub fn call(&self, server: ProcessId, body: RequestBody) -> Result<ReplyBody> {
         let opnum = OpNum(self.next_opnum.fetch_add(1, Ordering::Relaxed));
-        let req = Request::new(opnum, self.ep.id(), body);
+        let req = Request::new(opnum, self.ep.id(), body).with_trace(self.trace());
         let wire = req.to_bytes();
 
         let mut backoff = self.backoff;
@@ -379,6 +408,41 @@ mod tests {
         // A plain client keeps its private counter.
         let private = RpcClient::new(&ep);
         assert_eq!(private.next_opnum.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ambient_trace_context_rides_every_call() {
+        let net = Network::default();
+        let client_ep = net.register(ProcessId::new(0, 0));
+        let server_ep = net.register(ProcessId::new(1, 0));
+        let server_id = server_ep.id();
+
+        let handle = std::thread::spawn(move || {
+            let srv = RpcServer::new(&server_ep);
+            let mut seen = Vec::new();
+            for _ in 0..3 {
+                let req = srv.next_request(Duration::from_secs(2)).unwrap();
+                seen.push((req.req_id, req.trace));
+                srv.reply(&req, ReplyBody::Pong).unwrap();
+            }
+            seen
+        });
+
+        let client = RpcClient::new(&client_ep);
+        // Untraced: the request self-roots at its own req_id.
+        client.call(server_id, RequestBody::Ping).unwrap();
+        // Traced: the ambient context overrides the self-root.
+        let ctx = TraceContext { trace_id: 0xABCD, parent_req_id: 7 };
+        client.set_trace(ctx);
+        client.call(server_id, RequestBody::Ping).unwrap();
+        // Cleared: back to self-rooted.
+        client.set_trace(TraceContext::default());
+        client.call(server_id, RequestBody::Ping).unwrap();
+
+        let seen = handle.join().unwrap();
+        assert_eq!(seen[0].1, TraceContext { trace_id: seen[0].0, parent_req_id: 0 });
+        assert_eq!(seen[1].1, ctx);
+        assert_eq!(seen[2].1, TraceContext { trace_id: seen[2].0, parent_req_id: 0 });
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub use codec::{Decode, Encode};
 pub use error::{Error, Result};
 pub use ids::{ContainerId, Lifetime, NodeId, ObjId, OpNum, Pid, PrincipalId, ProcessId, TxnId};
 pub use message::{
-    FilterSpec, GroupMap, LockId, LockMode, LockResource, MdHandle, ObjAttr, PfsLayout,
-    ReplicaGroup, Reply, ReplyBody, Request, RequestBody,
+    derive_req_id, FilterSpec, GroupMap, LockId, LockMode, LockResource, MdHandle, ObjAttr,
+    PfsLayout, ReplicaGroup, Reply, ReplyBody, Request, RequestBody, TraceContext,
 };
 pub use ops::OpMask;
 pub use security::{
@@ -40,10 +40,15 @@ pub use security::{
 
 /// Protocol version stamped into every encoded message.
 ///
-/// A decoder that sees a different major version must reject the message;
-/// this reproduction only has one version, but the field keeps the codec
-/// honest about evolution.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// A decoder that sees a different major version must reject the message.
+/// The one exception is the v3→v4 trace extension: a v4 decoder accepts a
+/// v3 request (no `trace` field) with a zero [`TraceContext`], so a
+/// mixed-version cluster degrades to per-hop tracing instead of erroring.
+pub const PROTOCOL_VERSION: u16 = 4;
+
+/// Oldest request version a v4 decoder still accepts (see
+/// [`PROTOCOL_VERSION`]).
+pub const MIN_REQUEST_VERSION: u16 = 3;
 
 /// Maximum payload a single *request* message may carry inline.
 ///
@@ -61,7 +66,9 @@ mod tests {
 
     #[test]
     fn version_is_stable() {
-        // v2 added the req_id trace field; v3 the group-map epoch.
-        assert_eq!(PROTOCOL_VERSION, 3);
+        // v2 added the req_id trace field; v3 the group-map epoch; v4 the
+        // propagated TraceContext.
+        assert_eq!(PROTOCOL_VERSION, 4);
+        assert_eq!(MIN_REQUEST_VERSION, 3);
     }
 }

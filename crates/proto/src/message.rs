@@ -15,7 +15,30 @@ use crate::error::{Error, Result};
 use crate::ids::{ContainerId, ObjId, OpNum, PrincipalId, ProcessId, TxnId};
 use crate::ops::OpMask;
 use crate::security::{Capability, CapabilityKey, Credential, Signature};
-use crate::{impl_codec_struct, PROTOCOL_VERSION};
+use crate::{impl_codec_struct, MIN_REQUEST_VERSION, PROTOCOL_VERSION};
+
+/// Causal trace context carried in every request (wire v4).
+///
+/// `trace_id` names the whole distributed operation: the originator (an
+/// `LwfsClient` mutation or a txn coordinator) mints it once, and every
+/// child request a server issues on the operation's behalf — ReplShip to
+/// backups, drop reports to the directory, 2PC prepare/commit fan-out —
+/// carries the *same* id, so one client write yields one trace spanning
+/// every node it touched. `parent_req_id` is the `req_id` of the request
+/// whose handling caused this one (0 at the root), giving the collector
+/// the parent edge for tree assembly.
+///
+/// A zero `trace_id` means "untraced": decoders fill it in for v3 peers,
+/// and `Request::new` self-roots it at the request's own `req_id`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Identity of the distributed operation this request belongs to.
+    pub trace_id: u64,
+    /// `req_id` of the causing request; 0 for trace roots.
+    pub parent_req_id: u64,
+}
+
+impl_codec_struct!(TraceContext { trace_id, parent_req_id });
 
 /// A handle naming a *memory descriptor* pinned on the requesting process.
 ///
@@ -500,13 +523,18 @@ pub struct Request {
     /// replication view" — non-replicated clients and service-to-service
     /// traffic. Servers use it to spot stale routing after a failover.
     pub epoch: u64,
+    /// Causal trace context (v4): which distributed operation this request
+    /// belongs to and which request caused it. Decoded as zero from v3
+    /// peers; `Request::new` self-roots it at `req_id`.
+    pub trace: TraceContext,
     pub body: RequestBody,
 }
 
 impl Request {
     pub fn new(opnum: OpNum, reply_to: ProcessId, body: RequestBody) -> Self {
         let req_id = derive_req_id(reply_to, opnum);
-        Self { version: PROTOCOL_VERSION, opnum, reply_to, req_id, epoch: 0, body }
+        let trace = TraceContext { trace_id: req_id, parent_req_id: 0 };
+        Self { version: PROTOCOL_VERSION, opnum, reply_to, req_id, epoch: 0, trace, body }
     }
 
     /// Stamp the sender's group-map epoch into the header.
@@ -514,11 +542,24 @@ impl Request {
         self.epoch = epoch;
         self
     }
+
+    /// Stamp a propagated trace context over the self-rooted default.
+    /// A zero `trace_id` is ignored — the request keeps its own root, so
+    /// callers can pass through an "untraced" ambient context verbatim.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        if trace.trace_id != 0 {
+            self.trace = trace;
+        }
+        self
+    }
 }
 
 /// Mix `(reply_to, opnum)` into a well-spread 64-bit trace id
 /// (splitmix64 finalizer).
-fn derive_req_id(reply_to: ProcessId, opnum: OpNum) -> u64 {
+///
+/// Public so trace originators (the client's retry loop) can pre-compute
+/// the `req_id` a retried opnum will carry before building the request.
+pub fn derive_req_id(reply_to: ProcessId, opnum: OpNum) -> u64 {
     let packed = ((reply_to.nid.0 as u64) << 32 | reply_to.pid.0 as u64) ^ opnum.0.rotate_left(17);
     let mut z = packed.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -564,6 +605,11 @@ impl Encode for Request {
         self.reply_to.encode(buf);
         self.req_id.encode(buf);
         self.epoch.encode(buf);
+        // The trace field is the v4 extension: a request re-encoded at its
+        // decoded v3 version stays byte-identical for the old wire format.
+        if self.version >= 4 {
+            self.trace.encode(buf);
+        }
         self.body.encode(buf);
     }
 }
@@ -571,15 +617,23 @@ impl Encode for Request {
 impl Decode for Request {
     fn decode(buf: &mut impl Buf) -> Result<Self> {
         let version = u16::decode(buf)?;
-        if version != PROTOCOL_VERSION {
+        if !(MIN_REQUEST_VERSION..=PROTOCOL_VERSION).contains(&version) {
             return Err(Error::Malformed(format!("unsupported protocol version {version}")));
         }
+        let opnum = OpNum::decode(buf)?;
+        let reply_to = ProcessId::decode(buf)?;
+        let req_id = u64::decode(buf)?;
+        let epoch = u64::decode(buf)?;
+        // v3 peers don't send a trace: decode a zero context, degrading the
+        // cluster to per-hop tracing rather than rejecting the request.
+        let trace = if version >= 4 { TraceContext::decode(buf)? } else { TraceContext::default() };
         Ok(Request {
             version,
-            opnum: OpNum::decode(buf)?,
-            reply_to: ProcessId::decode(buf)?,
-            req_id: u64::decode(buf)?,
-            epoch: u64::decode(buf)?,
+            opnum,
+            reply_to,
+            req_id,
+            epoch,
+            trace,
             body: RequestBody::decode(buf)?,
         })
     }
@@ -1165,6 +1219,48 @@ mod tests {
         let mut req = Request::new(OpNum(0), ProcessId::new(0, 0), RequestBody::Ping);
         req.version = 99;
         assert!(Request::from_bytes(req.to_bytes()).is_err());
+        req.version = 2;
+        assert!(Request::from_bytes(req.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn v3_request_decodes_with_zero_trace_and_roundtrips() {
+        // A v3 peer encodes no trace field. Setting version=3 before
+        // encoding produces exactly the old wire format (the encoder gates
+        // the trace on version >= 4).
+        let mut req =
+            Request::new(OpNum(7), ProcessId::new(1, 2), RequestBody::GetGroupMap).with_epoch(5);
+        req.version = 3;
+        let v3_bytes = req.to_bytes();
+
+        let back = Request::from_bytes(v3_bytes.clone()).expect("v3 request must decode");
+        assert_eq!(back.version, 3);
+        assert_eq!(back.trace, TraceContext::default(), "v3 decodes with a zero trace");
+        assert_eq!(back.opnum, req.opnum);
+        assert_eq!(back.req_id, req.req_id);
+        assert_eq!(back.epoch, 5);
+        assert_eq!(back.body, req.body);
+        // Round trip: re-encoding the decoded request reproduces the v3
+        // bytes exactly, so mixed-version relays are lossless.
+        assert_eq!(back.to_bytes(), v3_bytes);
+    }
+
+    #[test]
+    fn trace_defaults_to_self_root_and_propagates() {
+        let req = Request::new(OpNum(7), ProcessId::new(1, 2), RequestBody::Ping);
+        assert_eq!(req.trace, TraceContext { trace_id: req.req_id, parent_req_id: 0 });
+
+        // A propagated context overrides the self-root and survives the
+        // codec; a zero context is ignored.
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, parent_req_id: 42 };
+        let child = Request::new(OpNum(8), ProcessId::new(3, 0), RequestBody::Ping).with_trace(ctx);
+        assert_eq!(child.trace, ctx);
+        let back = Request::from_bytes(child.to_bytes()).unwrap();
+        assert_eq!(back.trace, ctx);
+
+        let kept = Request::new(OpNum(9), ProcessId::new(3, 0), RequestBody::Ping)
+            .with_trace(TraceContext::default());
+        assert_eq!(kept.trace.trace_id, kept.req_id, "zero trace_id keeps the self-root");
     }
 
     #[test]

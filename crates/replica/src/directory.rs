@@ -23,12 +23,12 @@ struct GroupDirectory {
 }
 
 impl Service for GroupDirectory {
-    fn handle(&mut self, _ep: &Endpoint, req: &Request) -> ReplyBody {
+    fn handle(&mut self, ep: &Endpoint, req: &Request) -> ReplyBody {
         match &req.body {
             RequestBody::Ping => ReplyBody::Pong,
             RequestBody::GetGroupMap => ReplyBody::GroupMapReply(self.map.read().clone()),
             RequestBody::ReportDroppedBackup { group, epoch: _, backup } => {
-                self.drop_backup(req.reply_to, *group as usize, *backup)
+                self.drop_backup(ep, req.reply_to, *group as usize, *backup)
             }
             _ => ReplyBody::Err(Error::Malformed(
                 "group directory answers only group-map lookups".into(),
@@ -47,7 +47,13 @@ impl GroupDirectory {
     /// the public `GetGroupMap` gets `AccessDenied`. The removal is
     /// idempotent: re-reporting an already-removed member returns the
     /// current map without burning an epoch.
-    fn drop_backup(&self, sender: ProcessId, group: usize, backup: ProcessId) -> ReplyBody {
+    fn drop_backup(
+        &self,
+        ep: &Endpoint,
+        sender: ProcessId,
+        group: usize,
+        backup: ProcessId,
+    ) -> ReplyBody {
         let mut map = self.map.write();
         let Some(g) = map.groups.get(group) else {
             return ReplyBody::Err(Error::Malformed(format!("no replication group {group}")));
@@ -63,6 +69,17 @@ impl GroupDirectory {
         if let Some(pos) = g.members.iter().position(|m| *m == backup) {
             map.groups[group].members.remove(pos);
             map.epoch += 1;
+            // Journal the membership change at the moment the shrunken map
+            // becomes fetchable — sequenced after the primary's own
+            // `repl.evict_backup` event, which fired before the report.
+            ep.obs().events().record(
+                ep.id().nid.0,
+                "directory.republish",
+                format!(
+                    "group {group}: {backup} removed on report from {sender}, epoch {}",
+                    map.epoch
+                ),
+            );
         }
         ReplyBody::GroupMapReply(map.clone())
     }

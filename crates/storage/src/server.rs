@@ -47,11 +47,11 @@ use lwfs_portals::{
 };
 use lwfs_proto::{
     Capability, ContainerId, Decode as _, Encode as _, Error, FilterSpec, MdHandle, ObjId, OpMask,
-    ProcessId, Reply, ReplyBody, Request, RequestBody, Result, TxnId,
+    ProcessId, Reply, ReplyBody, Request, RequestBody, Result, TraceContext, TxnId,
 };
 use lwfs_replica::{ReplicaConfig, ReplicaState};
 use lwfs_txn::{JournalState, JournalStore};
-use lwfs_wal::{Wal, WalConfig, WalRecord};
+use lwfs_wal::{AppendTiming, Wal, WalConfig, WalRecord};
 
 use crate::buffers::PinnedBufferPool;
 use crate::dispatch::{AccessSummary, ConflictTracker, WorkQueue};
@@ -208,7 +208,22 @@ fn op_label(body: &RequestBody) -> &'static str {
         RequestBody::TxnPrepare { .. } => "storage.txn_prepare",
         RequestBody::TxnCommit { .. } => "storage.txn_commit",
         RequestBody::TxnAbort { .. } => "storage.txn_abort",
+        RequestBody::ReplShip { .. } => "storage.repl_ship",
         _ => "storage.other",
+    }
+}
+
+/// Attach the WAL append/fsync intervals just measured to the request's
+/// causal trace (no-op when the request is untraced; the fsync span is
+/// omitted when the sync policy deferred the flush).
+fn wal_spans(trace: &mut Option<&mut OpTrace<'_>>, timing: AppendTiming) {
+    if let Some(t) = trace.as_deref_mut() {
+        if timing.append_ns > 0 {
+            t.span_with_duration("wal", "append", timing.append_ns);
+        }
+        if timing.fsync_ns > 0 {
+            t.span_with_duration("wal", "fsync", timing.fsync_ns);
+        }
     }
 }
 
@@ -347,6 +362,18 @@ impl StorageServer {
             obs.gauge("storage.recovery_ms").set(start.elapsed().as_millis() as i64);
             obs.gauge("storage.recovered_objects").set(store.object_count() as i64);
             obs.gauge("storage.in_doubt_txns").set(outcome.in_doubt as i64);
+            if outcome.records > 0 {
+                obs.events().record(
+                    id.nid.0,
+                    "wal.recovery",
+                    format!(
+                        "replayed {} records: {} objects restored, {} txns in doubt",
+                        outcome.records,
+                        store.object_count(),
+                        outcome.in_doubt
+                    ),
+                );
+            }
             wal
         });
         let replica = config.replica.clone().map(ReplicaState::new);
@@ -438,8 +465,14 @@ impl StorageServer {
     /// are retried by the client) or the new primary role, never both.
     pub fn promote(&self, epoch: u64, backups: Vec<ProcessId>) {
         if let Some(repl) = &self.replica {
+            let prev = repl.epoch();
             repl.promote(epoch, backups);
             self.obs.gauge("storage.repl_epoch").set(epoch as i64);
+            self.obs.events().record(
+                self.site.nid.0,
+                "repl.epoch_bump",
+                format!("group {}: epoch {prev} -> {epoch} (promoted to primary)", repl.group()),
+            );
         }
     }
 
@@ -475,22 +508,23 @@ impl StorageServer {
     /// collected into the request's `recs` buffer so the completed
     /// mutation can be shipped to the backups — the same bytes the log
     /// carries — before the client is acked.
-    fn log_append(&self, rec: WalRecord, recs: &mut Vec<WalRecord>) -> Result<()> {
-        if let Some(w) = &self.wal {
-            w.append(&rec)?;
-        }
+    fn log_append(&self, rec: WalRecord, recs: &mut Vec<WalRecord>) -> Result<AppendTiming> {
+        let timing = match &self.wal {
+            Some(w) => w.append(&rec)?,
+            None => AppendTiming::default(),
+        };
         if self.replica.is_some() {
             recs.push(rec);
         }
-        Ok(())
+        Ok(timing)
     }
 
     /// Append a record shipped *to* this backup: log only, no re-ship
     /// buffer (backups ship to nobody).
-    fn log_append_shipped(&self, rec: &WalRecord) -> Result<()> {
+    fn log_append_shipped(&self, rec: &WalRecord) -> Result<AppendTiming> {
         match &self.wal {
             Some(w) => w.append(rec),
-            None => Ok(()),
+            None => Ok(AppendTiming::default()),
         }
     }
 
@@ -609,6 +643,14 @@ impl StorageServer {
                 dispatch.record(waited);
                 worker_dispatch.record(waited);
             }
+            // Every child request this job issues (verify-through to the
+            // authorization service, ships, drop reports) carries the
+            // incoming trace with this request as the parent — the causal
+            // chain is *propagated*, never re-derived.
+            client.set_trace(TraceContext {
+                trace_id: job.req.trace.trace_id,
+                parent_req_id: job.req.req_id,
+            });
             let body = self.handle(ep, &client, &job.req, job.trace.as_mut());
             let rep = Reply::new(job.req.opnum, body);
             let _ = ep.send(
@@ -637,7 +679,13 @@ impl StorageServer {
     ) {
         if let Some(data) = ev.message_data() {
             if let Ok(req) = Request::from_bytes(data.clone()) {
-                traces.insert(req.req_id, self.obs.trace(req.req_id, op_label(&req.body)));
+                traces.insert(
+                    req.req_id,
+                    self.obs
+                        .trace(req.req_id, op_label(&req.body))
+                        .on_node(self.site.nid.0)
+                        .in_trace(req.trace.trace_id),
+                );
                 scheduler.push(req);
             }
         }
@@ -679,11 +727,11 @@ impl StorageServer {
         ep: &Endpoint,
         client: &RpcClient<'_>,
         req: &Request,
-        trace: Option<&mut OpTrace<'_>>,
+        mut trace: Option<&mut OpTrace<'_>>,
     ) -> ReplyBody {
         if let Some(repl) = &self.replica {
             if matches!(req.body, RequestBody::ReplShip { .. }) {
-                return self.handle_repl_ship(repl, req);
+                return self.handle_repl_ship(repl, req, trace);
             }
             if replicated_mutation(&req.body) {
                 if repl.is_backup() {
@@ -724,7 +772,7 @@ impl StorageServer {
         }
 
         let mut recs = Vec::new();
-        let body = self.execute(ep, client, req, trace, &mut recs);
+        let body = self.execute(ep, client, req, trace.as_deref_mut(), &mut recs);
 
         if let Some(repl) = &self.replica {
             if replicated_mutation(&req.body) {
@@ -732,7 +780,7 @@ impl StorageServer {
                 // failed, the backups must mirror any partial effects the
                 // log already carries.
                 if !recs.is_empty() {
-                    self.ship(ep, repl, req, &recs, &body);
+                    self.ship(ep, repl, req, &recs, &body, trace);
                 }
                 // Cache the reply for dedup. Transient errors are *not*
                 // cached: they mean "nothing happened, try again", and a
@@ -752,15 +800,15 @@ impl StorageServer {
         ep: &Endpoint,
         client: &RpcClient<'_>,
         req: &Request,
-        trace: Option<&mut OpTrace<'_>>,
+        mut trace: Option<&mut OpTrace<'_>>,
         recs: &mut Vec<WalRecord>,
     ) -> ReplyBody {
         match &req.body {
             RequestBody::CreateObj { txn, cap, obj } => self
-                .do_create(client, *txn, cap, *obj, recs)
+                .do_create(client, *txn, cap, *obj, trace, recs)
                 .map_or_else(ReplyBody::Err, ReplyBody::ObjCreated),
             RequestBody::RemoveObj { txn, cap, obj } => {
-                match self.do_remove(client, *txn, cap, *obj, recs) {
+                match self.do_remove(client, *txn, cap, *obj, trace, recs) {
                     Ok(()) => ReplyBody::ObjRemoved,
                     Err(e) => ReplyBody::Err(e),
                 }
@@ -841,11 +889,14 @@ impl StorageServer {
                     // coordinator (forces an fsync under every sync policy);
                     // a vote we cannot persist is a vote we cannot honor
                     // after a crash, so it becomes a no.
-                    if self.log_append(WalRecord::TxnPrepare { txn: *txn }, recs).is_err() {
-                        for undo in self.journal.abort(*txn).into_iter().rev() {
-                            let _ = self.apply_undo(undo);
+                    match self.log_append(WalRecord::TxnPrepare { txn: *txn }, recs) {
+                        Ok(timing) => wal_spans(&mut trace, timing),
+                        Err(_) => {
+                            for undo in self.journal.abort(*txn).into_iter().rev() {
+                                let _ = self.apply_undo(undo);
+                            }
+                            return ReplyBody::TxnVote(false);
                         }
-                        return ReplyBody::TxnVote(false);
                     }
                 }
                 ReplyBody::TxnVote(vote)
@@ -855,8 +906,9 @@ impl StorageServer {
                 // the journal stays Prepared (in doubt) and the coordinator
                 // retries or resolves after restart.
                 if self.journal.state(*txn) == Some(JournalState::Prepared) {
-                    if let Err(e) = self.log_append(WalRecord::TxnCommit { txn: *txn }, recs) {
-                        return ReplyBody::Err(e);
+                    match self.log_append(WalRecord::TxnCommit { txn: *txn }, recs) {
+                        Ok(timing) => wal_spans(&mut trace, timing),
+                        Err(e) => return ReplyBody::Err(e),
                     }
                 }
                 match self.journal.commit(*txn) {
@@ -871,7 +923,9 @@ impl StorageServer {
             RequestBody::TxnAbort { txn } => {
                 // Best-effort: a lost abort record costs nothing — replay
                 // presumes abort for transactions with no decision record.
-                let _ = self.log_append(WalRecord::TxnAbort { txn: *txn }, recs);
+                if let Ok(timing) = self.log_append(WalRecord::TxnAbort { txn: *txn }, recs) {
+                    wal_spans(&mut trace, timing);
+                }
                 let undos = self.journal.abort(*txn);
                 for undo in undos.into_iter().rev() {
                     // Undo application is best-effort by construction: each
@@ -909,6 +963,7 @@ impl StorageServer {
         req: &Request,
         recs: &[WalRecord],
         body: &ReplyBody,
+        mut trace: Option<&mut OpTrace<'_>>,
     ) {
         let backups = repl.backups();
         if backups.is_empty() {
@@ -923,6 +978,9 @@ impl StorageServer {
         let reply = encode_reply_body(body);
         let epoch = repl.epoch();
         let start = Instant::now();
+        // The ship is a child of the mutation being replicated: the backup
+        // traces its apply under the same trace id.
+        let trace_ctx = TraceContext { trace_id: req.trace.trace_id, parent_req_id: req.req_id };
         // Per-attempt reply timeout well under the total deadline, so a
         // dropped ship is re-sent (the backup's cache dedups) instead of
         // eating the whole budget in one wait.
@@ -930,6 +988,7 @@ impl StorageServer {
             reply_timeout: (repl.ship_deadline / 4).max(Duration::from_millis(50)),
             ..self.config.rpc.clone()
         });
+        ship_client.set_trace(trace_ctx);
         for backup in backups {
             let ship_body = RequestBody::ReplShip {
                 group: repl.group(),
@@ -946,6 +1005,7 @@ impl StorageServer {
                 deadline: repl.ship_deadline,
             };
             let mut attempts: u64 = 0;
+            let backup_start = Instant::now();
             let outcome = retry::with_backoff(
                 &policy,
                 // Unreachable is retryable here: a partition may heal, and
@@ -960,6 +1020,15 @@ impl StorageServer {
                     }
                 },
             );
+            let ship_ns = backup_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(t) = trace.as_deref_mut() {
+                // One span per backup; the retry window gets its own span
+                // so outlier traces show *where* the deadline went.
+                t.span_with_duration("repl", "ship", ship_ns);
+                if attempts > 1 {
+                    t.span_with_duration("repl", "ship_retry", ship_ns);
+                }
+            }
             self.stats.repl_ships.inc();
             if attempts > 1 {
                 self.stats.ship_retries.add(attempts - 1);
@@ -967,7 +1036,19 @@ impl StorageServer {
             if outcome.is_err() {
                 repl.drop_backup(backup);
                 self.stats.ship_failures.inc();
-                self.report_dropped_backup(ep, repl, backup);
+                // Journal the eviction *before* reporting it: the event
+                // order (evict → directory republish) is the causal story
+                // an operator reads back after an availability incident.
+                self.obs.events().record(
+                    self.site.nid.0,
+                    "repl.evict_backup",
+                    format!(
+                        "group {} epoch {epoch}: backup {backup} missed the ship deadline \
+                         after {attempts} attempts",
+                        repl.group()
+                    ),
+                );
+                self.report_dropped_backup(ep, repl, backup, trace_ctx);
             }
         }
         repl.record_acked(seq);
@@ -985,7 +1066,13 @@ impl StorageServer {
     /// in here; the next ship carries it to the surviving backups, while
     /// the dropped member — which no longer receives ships — stays behind
     /// and starts fencing fresh-map reads (see `handle`).
-    fn report_dropped_backup(&self, ep: &Endpoint, repl: &ReplicaState, backup: ProcessId) {
+    fn report_dropped_backup(
+        &self,
+        ep: &Endpoint,
+        repl: &ReplicaState,
+        backup: ProcessId,
+        trace_ctx: TraceContext,
+    ) {
         let Some(dir) = repl.directory else {
             return;
         };
@@ -997,6 +1084,8 @@ impl StorageServer {
             deadline: repl.ship_deadline,
         };
         let client = RpcClient::shared(ep);
+        // The drop report is a child of the mutation whose ship failed.
+        client.set_trace(trace_ctx);
         let outcome = retry::with_backoff(
             &policy,
             |e| matches!(e, Error::Timeout | Error::ServerBusy | Error::Unreachable),
@@ -1022,7 +1111,16 @@ impl StorageServer {
 
     /// Backup side of the ship: verify, log, apply through the crash
     /// recovery machinery, cache the primary's reply for dedup, ack.
-    fn handle_repl_ship(&self, repl: &ReplicaState, req: &Request) -> ReplyBody {
+    ///
+    /// The ship request arrives stamped with the originating mutation's
+    /// [`TraceContext`], so the `log`/`apply` stages recorded here land in
+    /// the *client's* trace — the backup is one more node on its timeline.
+    fn handle_repl_ship(
+        &self,
+        repl: &ReplicaState,
+        req: &Request,
+        mut trace: Option<&mut OpTrace<'_>>,
+    ) -> ReplyBody {
         let RequestBody::ReplShip { group, epoch, seq, origin, origin_opnum, records, reply } =
             &req.body
         else {
@@ -1067,15 +1165,27 @@ impl StorageServer {
         // the primary treats them as replicated), then the same in-order
         // application crash replay uses — minus its end-of-log
         // presumed-abort pass, because the primary's log has not ended.
+        let mut timing = AppendTiming::default();
         for rec in &recs {
-            if let Err(e) = self.log_append_shipped(rec) {
-                return ReplyBody::Err(e);
+            match self.log_append_shipped(rec) {
+                Ok(t) => {
+                    timing.append_ns += t.append_ns;
+                    timing.fsync_ns += t.fsync_ns;
+                }
+                Err(e) => return ReplyBody::Err(e),
             }
         }
+        if let Some(t) = trace.as_mut() {
+            t.stage("log");
+        }
+        wal_spans(&mut trace, timing);
         if let Err(e) =
             crate::recovery::apply_records(&recs, &self.store, &self.journal, self.clock.now())
         {
             return ReplyBody::Err(e);
+        }
+        if let Some(t) = trace.as_mut() {
+            t.stage("apply");
         }
         repl.replies.put(*origin, *origin_opnum, reply.clone());
         repl.record_acked(*seq);
@@ -1105,18 +1215,23 @@ impl StorageServer {
         txn: Option<TxnId>,
         cap: &Capability,
         want: Option<ObjId>,
+        mut trace: Option<&mut OpTrace<'_>>,
         recs: &mut Vec<WalRecord>,
     ) -> Result<ObjId> {
         self.authorize(client, cap, OpMask::CREATE)?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.stage("authorize");
+        }
         let now = self.clock.now();
         let oid = self.store.create(cap.container(), want, now)?;
         if let Some(txn) = txn {
             self.journal.stage(txn, UndoOp::RemoveObject(cap.container(), oid))?;
         }
-        self.log_append(
+        let timing = self.log_append(
             WalRecord::Create { txn, container: cap.container(), obj: oid, now },
             recs,
         )?;
+        wal_spans(&mut trace, timing);
         self.stats.creates.inc();
         Ok(oid)
     }
@@ -1127,15 +1242,21 @@ impl StorageServer {
         txn: Option<TxnId>,
         cap: &Capability,
         oid: ObjId,
+        mut trace: Option<&mut OpTrace<'_>>,
         recs: &mut Vec<WalRecord>,
     ) -> Result<()> {
         self.authorize(client, cap, OpMask::REMOVE)?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.stage("authorize");
+        }
         if let Some(txn) = txn {
             let data = self.store.read(cap.container(), oid, 0, u64::MAX)?;
             self.journal.stage(txn, UndoOp::RestoreObject(cap.container(), oid, data))?;
         }
         self.store.remove(cap.container(), oid)?;
-        self.log_append(WalRecord::Remove { txn, container: cap.container(), obj: oid }, recs)?;
+        let timing =
+            self.log_append(WalRecord::Remove { txn, container: cap.container(), obj: oid }, recs)?;
+        wal_spans(&mut trace, timing);
         self.stats.removes.inc();
         Ok(())
     }
@@ -1204,7 +1325,7 @@ impl StorageServer {
             }
             // One record per chunk, in pull order: replay reproduces the
             // exact same sequence of store writes.
-            self.log_append(
+            let timing = self.log_append(
                 WalRecord::Write {
                     txn,
                     container: cap.container(),
@@ -1218,6 +1339,7 @@ impl StorageServer {
             if let Some(t) = trace.as_deref_mut() {
                 t.stage("wal_append");
             }
+            wal_spans(&mut trace, timing);
             self.stats.bytes_pulled.add(chunk as u64);
             moved += chunk as u64;
         }

@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use lwfs_portals::RpcClient;
-use lwfs_proto::{Error, ProcessId, ReplyBody, RequestBody, Result, TxnId};
+use lwfs_proto::{Error, ProcessId, ReplyBody, RequestBody, Result, TraceContext, TxnId};
 
 /// Outcome of a completed two-phase commit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +42,15 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
         Self { client, participants }
     }
 
+    /// Root the distributed trace at the transaction id: every prepare,
+    /// commit, and abort RPC this coordinator issues carries
+    /// `trace_id = txn.0`, so the participants' spans — including their
+    /// WAL appends and, on replicated groups, their ships — assemble into
+    /// one transaction-wide trace.
+    fn trace_as(&self, txn: TxnId) {
+        self.client.set_trace(TraceContext { trace_id: txn.0, parent_req_id: 0 });
+    }
+
     pub fn participants(&self) -> &[ProcessId] {
         &self.participants
     }
@@ -66,7 +75,8 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
     /// `txn.prepare_ns` / `txn.commit_ns` / `txn.total_ns` histograms.
     pub fn commit(&self, txn: TxnId) -> Result<TxnOutcome> {
         let obs = self.client.endpoint().obs();
-        let mut trace = obs.trace(txn.0, "txn");
+        self.trace_as(txn);
+        let mut trace = obs.trace(txn.0, "txn").on_node(self.client.endpoint().id().nid.0);
         let mut no_votes = Vec::new();
         for p in &self.participants {
             match self.client.call(*p, RequestBody::TxnPrepare { txn }) {
@@ -113,6 +123,9 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
     ///
     /// [`resolve`]: Coordinator::resolve
     pub fn prepare(&self, txn: TxnId) -> Result<Vec<ProcessId>> {
+        let obs = self.client.endpoint().obs();
+        self.trace_as(txn);
+        let mut trace = obs.trace(txn.0, "txn.phase1").on_node(self.client.endpoint().id().nid.0);
         let mut no_votes = Vec::new();
         for p in &self.participants {
             match self.client.call(*p, RequestBody::TxnPrepare { txn }) {
@@ -122,6 +135,8 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
                 Err(_) => no_votes.push(*p),
             }
         }
+        trace.stage("prepare");
+        trace.finish();
         Ok(no_votes)
     }
 
@@ -133,6 +148,9 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
     /// the verdict — or that aborted under presumed-abort — has nothing
     /// left to resolve.
     pub fn resolve(&self, txn: TxnId, commit: bool) -> Result<()> {
+        let obs = self.client.endpoint().obs();
+        self.trace_as(txn);
+        let mut trace = obs.trace(txn.0, "txn.phase2").on_node(self.client.endpoint().id().nid.0);
         for p in &self.participants {
             let body =
                 if commit { RequestBody::TxnCommit { txn } } else { RequestBody::TxnAbort { txn } };
@@ -143,6 +161,8 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
                 Err(e) => return Err(e),
             }
         }
+        trace.stage("resolve");
+        trace.finish();
         Ok(())
     }
 
@@ -150,6 +170,7 @@ impl<'a, 'ep> Coordinator<'a, 'ep> {
     /// hit an error before commit).
     pub fn abort(&self, txn: TxnId) -> Result<()> {
         let obs = self.client.endpoint().obs();
+        self.trace_as(txn);
         let start = Instant::now();
         for p in &self.participants {
             // Best effort: an unreachable participant holds no prepared

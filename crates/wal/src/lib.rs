@@ -35,7 +35,7 @@ pub mod writer;
 
 pub use reader::{read_log, ReadStats, ReplayLog};
 pub use record::WalRecord;
-pub use writer::{SyncPolicy, Wal, WalConfig};
+pub use writer::{AppendTiming, SyncPolicy, Wal, WalConfig};
 
 use bytes::{Bytes, BytesMut};
 use lwfs_proto::{Decode as _, Encode as _, Error, Result};

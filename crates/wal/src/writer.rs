@@ -97,6 +97,18 @@ struct Segment {
     unsynced: u32,
 }
 
+/// Wall-clock cost of one [`Wal::append`], returned to the caller so the
+/// storage server can attach `wal.append` / `wal.fsync` spans to the
+/// request's distributed trace without re-measuring (the histograms the
+/// WAL feeds itself stay the aggregate view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendTiming {
+    /// Whole append, including any fsync it performed.
+    pub append_ns: u64,
+    /// Portion spent in fsync; 0 when the policy deferred the sync.
+    pub fsync_ns: u64,
+}
+
 /// The shared append handle. Clone-free: the storage server holds it and
 /// workers borrow it.
 pub struct Wal {
@@ -148,10 +160,13 @@ impl Wal {
     /// Append one record, making it durable according to the sync policy
     /// (records with [`WalRecord::forces_sync`] are always synced before
     /// this returns). The record is fully framed before the reply that
-    /// acknowledges its operation can be sent.
-    pub fn append(&self, rec: &WalRecord) -> Result<()> {
+    /// acknowledges its operation can be sent. Returns the wall-clock
+    /// [`AppendTiming`] so callers can trace the append without
+    /// re-measuring.
+    pub fn append(&self, rec: &WalRecord) -> Result<AppendTiming> {
         let start = Instant::now();
         let frame = crate::frame_record(rec);
+        let mut fsync_ns = 0u64;
 
         let mut seg = self.seg.lock();
         seg.file.write_all(&frame).map_err(|e| io_err("append", e))?;
@@ -164,20 +179,21 @@ impl Wal {
                 SyncPolicy::Os => false,
             };
         if must_sync {
-            self.fsync(&mut seg)?;
+            fsync_ns += self.fsync(&mut seg)?;
         }
         if seg.bytes >= self.config.segment_bytes {
             // Seal the segment (sync its tail so "sealed implies clean"
             // holds even under `Os`) and rotate.
             if seg.unsynced > 0 {
-                self.fsync(&mut seg)?;
+                fsync_ns += self.fsync(&mut seg)?;
             }
             *seg = open_segment(&self.config.dir, seg.seq + 1)?;
         }
         self.appends.inc();
         self.appended_bytes.add(frame.len() as u64);
-        self.append_ns.record_duration(start.elapsed());
-        Ok(())
+        let append_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.append_ns.record(append_ns);
+        Ok(AppendTiming { append_ns, fsync_ns })
     }
 
     /// Force everything appended so far to stable storage.
@@ -218,13 +234,15 @@ impl Wal {
         Ok(removed)
     }
 
-    fn fsync(&self, seg: &mut Segment) -> Result<()> {
+    /// Fsync the segment, returning the elapsed nanoseconds.
+    fn fsync(&self, seg: &mut Segment) -> Result<u64> {
         let start = Instant::now();
         seg.file.sync_data().map_err(|e| io_err("fsync", e))?;
         seg.unsynced = 0;
         self.fsyncs.inc();
-        self.fsync_ns.record_duration(start.elapsed());
-        Ok(())
+        let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.fsync_ns.record(ns);
+        Ok(ns)
     }
 }
 

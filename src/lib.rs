@@ -24,6 +24,7 @@
 //! | [`storage`] | `lwfs-storage` | object storage, server-directed I/O |
 //! | [`naming`] | `lwfs-naming` | path binding service (client extension) |
 //! | [`txn`] | `lwfs-txn` | journals, locks, two-phase commit |
+//! | [`obs`] | `lwfs-obs` | metrics, distributed traces, event journal |
 //! | [`wal`] | `lwfs-wal` | segmented write-ahead log + replay |
 //! | [`core`] | `lwfs-core` | **the LWFS-core client API + cluster** |
 //! | [`pfs`] | `lwfs-pfs` | Lustre-like baseline (MDS + OSTs) |
@@ -66,6 +67,7 @@ pub use lwfs_core as core;
 pub use lwfs_iolib as iolib;
 pub use lwfs_models as models;
 pub use lwfs_naming as naming;
+pub use lwfs_obs as obs;
 pub use lwfs_pfs as pfs;
 pub use lwfs_portals as portals;
 pub use lwfs_proto as proto;
