@@ -95,6 +95,9 @@ impl Service for AuthzServer {
                 }
             }
             RequestBody::Ping => ReplyBody::Pong,
+            RequestBody::GetTelemetry { events_from } => {
+                ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(ep.obs(), *events_from))
+            }
             other => ReplyBody::Err(lwfs_proto::Error::Malformed(format!(
                 "authorization service cannot handle {other:?}"
             ))),

@@ -26,6 +26,7 @@
 //! ```text
 //! cargo run --release -p lwfs-bench --bin ablation -- --metrics-out results/ablation_metrics.json
 //! cargo run --release -p lwfs-bench --bin ablation -- --trace-out results/ablation_trace.json
+//! cargo run --release -p lwfs-bench --bin ablation -- --telemetry-out results/ablation_telemetry.jsonl
 //! ```
 
 use lwfs_bench::{CsvOut, ShapeCheck, Table};
@@ -533,8 +534,9 @@ fn write_recovery_json(recovery: &[(usize, u64, f64)], policies: &[(String, f64,
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"recovery\",\n  \"recovery_time\": [\n{}\n  ],\n  \
+        "{{\n  \"meta\": {},\n  \"bench\": \"recovery\",\n  \"recovery_time\": [\n{}\n  ],\n  \
          \"sync_policy_write_cost\": [\n{}\n  ]\n}}\n",
+        lwfs_bench::bench_meta(&[("storage_servers", 1)]),
         recovery_entries.join(",\n"),
         policy_entries.join(",\n")
     );
@@ -621,9 +623,11 @@ fn write_scaling_json(host_parallelism: usize, rows: &[(usize, f64, f64)]) {
         .collect();
     let best = rows.iter().map(|(_, _, s)| *s).fold(0.0f64, f64::max);
     let json = format!(
-        "{{\n  \"bench\": \"storage_scaling\",\n  \"host_parallelism\": {host_parallelism},\n  \
+        "{{\n  \"meta\": {},\n  \"bench\": \"storage_scaling\",\n  \
+         \"host_parallelism\": {host_parallelism},\n  \
          \"clients\": 4,\n  \"best_speedup_vs_1\": {best:.3},\n  \
          \"speedup_meaningful\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        lwfs_bench::bench_meta(&[("storage_servers", 1), ("clients", 4)]),
         host_parallelism >= 4,
         entries.join(",\n")
     );
@@ -737,9 +741,13 @@ fn write_replication_json(rows: &[(usize, f64, f64)], blip: &FailoverBlip) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"replication\",\n  \"write_cost\": [\n{}\n  ],\n  \
+        "{{\n  \"meta\": {},\n  \"bench\": \"replication\",\n  \"write_cost\": [\n{}\n  ],\n  \
          \"failover\": {{\n    \"steady_write_us\": {:.1},\n    \"blip_ms\": {:.3},\n    \
          \"writes_acked\": {},\n    \"all_acked_bytes_verified\": {}\n  }}\n}}\n",
+        lwfs_bench::bench_meta(&[(
+            "max_replication",
+            rows.iter().map(|(r, _, _)| *r as u64).max().unwrap_or(1)
+        )]),
         entries.join(",\n"),
         blip.steady_us,
         blip.blip_ms,

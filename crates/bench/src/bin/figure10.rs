@@ -10,6 +10,7 @@
 //! cargo run -p lwfs-bench --bin figure10 -- --smoke
 //! cargo run --release -p lwfs-bench --bin figure10 -- --metrics-out results/figure10_metrics.json
 //! cargo run --release -p lwfs-bench --bin figure10 -- --trace-out results/figure10_trace.json
+//! cargo run --release -p lwfs-bench --bin figure10 -- --telemetry-out results/figure10_telemetry.jsonl
 //! ```
 
 use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};

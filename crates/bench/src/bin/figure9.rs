@@ -10,6 +10,8 @@
 //!     --metrics-out results/figure9_metrics.json   # + functional metrics
 //! cargo run --release -p lwfs-bench --bin figure9 -- \
 //!     --trace-out results/figure9_trace.json   # + Chrome/Perfetto trace
+//! cargo run --release -p lwfs-bench --bin figure9 -- \
+//!     --telemetry-out results/figure9_telemetry.jsonl   # + monitored probe
 //! ```
 
 use lwfs_bench::{pm, CsvOut, ShapeCheck, Table};

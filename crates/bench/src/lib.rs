@@ -16,8 +16,12 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 mod metrics;
+mod telemetry;
 
-pub use metrics::{maybe_dump_metrics, metrics_out_arg, run_metrics_probe, trace_out_arg};
+pub use metrics::{
+    bench_meta, maybe_dump_metrics, metrics_out_arg, run_metrics_probe, trace_out_arg,
+};
+pub use telemetry::{run_telemetry_probe, telemetry_out_arg, TelemetryReport, LAG_RULE};
 
 /// A simple aligned-column table printer.
 #[derive(Debug, Default)]

@@ -41,7 +41,7 @@ pub fn trace_out_arg() -> Option<PathBuf> {
     path_arg("--trace-out")
 }
 
-fn path_arg(flag: &str) -> Option<PathBuf> {
+pub(crate) fn path_arg(flag: &str) -> Option<PathBuf> {
     let prefixed = format!("{flag}=");
     let mut args = std::env::args();
     while let Some(a) = args.next() {
@@ -53,6 +53,24 @@ fn path_arg(flag: &str) -> Option<PathBuf> {
         }
     }
     None
+}
+
+/// The JSON `meta` object stamped onto every bench output: wall-clock
+/// run timestamp, wire protocol version, and whatever census pairs the
+/// caller adds (storage-server count, endpoint count, model scale) —
+/// enough to tell two archived artifacts apart without external context.
+pub fn bench_meta(census: &[(&str, u64)]) -> String {
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut meta =
+        format!("{{\"unix_ts\": {unix_ts}, \"protocol_version\": {}", lwfs_proto::PROTOCOL_VERSION);
+    for (k, v) in census {
+        meta.push_str(&format!(", \"{k}\": {v}"));
+    }
+    meta.push('}');
+    meta
 }
 
 /// Boot a two-group replicated cluster, exercise every instrumented
@@ -168,7 +186,11 @@ pub fn run_metrics_probe(
     assert_eviction_journaled(&snap);
 
     if let Some(path) = metrics {
-        snap.write_json(path)?;
+        let meta = bench_meta(&[
+            ("storage_servers", (SERVERS * 2) as u64),
+            ("endpoints", cluster.network().endpoint_count() as u64),
+        ]);
+        snap.write_json_with_meta(path, &meta)?;
     }
     if let Some(path) = trace {
         let mut collector = TraceCollector::new();
@@ -229,24 +251,34 @@ fn assert_eviction_journaled(snap: &Snapshot) {
     );
 }
 
-/// When `--metrics-out` or `--trace-out` was passed, run the probe once
-/// and report the written files. Called by the figure/ablation binaries
-/// after their model runs.
+/// When `--metrics-out`, `--trace-out`, or `--telemetry-out` was passed,
+/// run the corresponding probe and report the written files. Called by
+/// the figure/ablation binaries after their model runs.
 pub fn maybe_dump_metrics() {
     let metrics = metrics_out_arg();
     let trace = trace_out_arg();
-    if metrics.is_none() && trace.is_none() {
-        return;
-    }
-    match run_metrics_probe(metrics.as_deref(), trace.as_deref()) {
-        Ok(_) => {
-            if let Some(path) = &metrics {
-                println!("metrics written to {}", path.display());
+    if metrics.is_some() || trace.is_some() {
+        match run_metrics_probe(metrics.as_deref(), trace.as_deref()) {
+            Ok(_) => {
+                if let Some(path) = &metrics {
+                    println!("metrics written to {}", path.display());
+                }
+                if let Some(path) = &trace {
+                    println!("trace written to {}", path.display());
+                }
             }
-            if let Some(path) = &trace {
-                println!("trace written to {}", path.display());
-            }
+            Err(e) => eprintln!("probe output failed: {e}"),
         }
-        Err(e) => eprintln!("probe output failed: {e}"),
+    }
+    if let Some(path) = crate::telemetry::telemetry_out_arg() {
+        match crate::telemetry::run_telemetry_probe(Some(&path)) {
+            Ok(report) => println!(
+                "telemetry written to {} ({} windows) and {}",
+                path.display(),
+                report.windows,
+                path.with_extension("prom").display()
+            ),
+            Err(e) => eprintln!("telemetry probe failed: {e}"),
+        }
     }
 }

@@ -1,0 +1,205 @@
+//! The `--telemetry-out` probe: a live run of the whole telemetry plane.
+//!
+//! Boots a WAL-backed, R=2 replicated cluster, attaches a
+//! [`ClusterMonitor`] polling every node over the wire (`GetTelemetry`),
+//! and drives a write storm while a backup is partitioned away. The
+//! probe is the acceptance harness for the monitoring pipeline: it
+//! asserts that
+//!
+//! * the monitor's windowed JSONL series shows the replication-lag gauge
+//!   nonzero while the primary retries ships at the dead backup,
+//! * the declarative lag rule journaled its `alert.fire` **before** the
+//!   `repl.evict_backup` event it predicts (the monitor saw the cluster
+//!   degrading before the cluster acted on it), and
+//! * the Prometheus exposition of the final scrape is well-formed.
+//!
+//! With an output path the JSONL time series lands there and the
+//! Prometheus text beside it under the `.prom` extension.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use lwfs_core::{ClusterConfig, HealthRule, LwfsCluster, MonitorConfig};
+use lwfs_portals::FaultPlan;
+use lwfs_proto::OpMask;
+use lwfs_storage::StorageConfig;
+use lwfs_wal::WalConfig;
+
+/// Parse `--telemetry-out <path>` (or `--telemetry-out=<path>`) from argv.
+pub fn telemetry_out_arg() -> Option<PathBuf> {
+    crate::metrics::path_arg("--telemetry-out")
+}
+
+/// What [`run_telemetry_probe`] observed, for callers that assert more.
+pub struct TelemetryReport {
+    /// Completed aggregation windows.
+    pub windows: u64,
+    /// One line per window (the `--telemetry-out` payload).
+    pub jsonl: Vec<String>,
+    /// Prometheus text exposition of the final scrape.
+    pub prometheus: String,
+    /// Journal seq of the lag rule's `alert.fire`.
+    pub lag_alert_seq: u64,
+    /// Journal seq of the induced `repl.evict_backup`.
+    pub evict_seq: u64,
+}
+
+/// Name of the replication-lag rule the probe installs.
+pub const LAG_RULE: &str = "repl_lag_sustained";
+
+/// Boot the replicated cluster, run the monitored write storm, and
+/// return (and optionally write) the telemetry artifacts.
+///
+/// # Panics
+/// Panics when the monitoring pipeline's acceptance invariants do not
+/// hold — the probe runs entirely in-process, so a failure is a bug,
+/// not an environmental condition.
+pub fn run_telemetry_probe(out: Option<&Path>) -> std::io::Result<TelemetryReport> {
+    const SERVERS: usize = 2;
+    static PROBE_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let wal_root = std::env::temp_dir().join(format!(
+        "lwfs-telemetry-wal-{}-{}",
+        std::process::id(),
+        PROBE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&wal_root);
+
+    // Two groups of two; the 100 ms ship deadline keeps the induced
+    // eviction quick while still spanning many 10 ms monitor windows —
+    // the window the lag rule must fire inside.
+    let cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: SERVERS,
+        replication: 2,
+        ship_deadline: Some(Duration::from_millis(100)),
+        storage: StorageConfig { wal: Some(WalConfig::new(&wal_root)), ..Default::default() },
+        ..Default::default()
+    });
+    let monitor = cluster.spawn_monitor(MonitorConfig {
+        interval: Duration::from_millis(10),
+        window_limit: 512,
+        stale_after: 3,
+        rules: vec![HealthRule::gauge_above(LAG_RULE, "storage.repl_lag", 0, 2)],
+    });
+
+    let mut client = cluster.client(0, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").expect("probe user registered at boot");
+    client.get_cred(ticket).expect("get_cred");
+    let cid = client.create_container().expect("create_container");
+    let caps = client.get_caps(cid, OpMask::ALL).expect("get_caps");
+
+    // Warm-up traffic on both groups, and let the monitor complete a few
+    // quiet windows first so the fired streak is unambiguous.
+    let payload = vec![0x3Cu8; 64 * 1024];
+    let mut objs = Vec::new();
+    for server in 0..SERVERS {
+        let obj = client.create_obj(server, &caps, None, None).expect("create_obj");
+        client.write(server, &caps, None, obj, 0, &payload).expect("warm-up write");
+        objs.push(obj);
+    }
+    wait_until(Duration::from_secs(10), || monitor.windows() >= 3);
+
+    // Partition group 1's backup, then storm the cluster. The first
+    // write to group 1 hangs in ship retries for the full deadline —
+    // `storage.repl_lag` stays above zero the whole time, the 10 ms
+    // windows see it repeatedly, the rule fires, and only then does the
+    // primary give up and journal the eviction.
+    let victim = cluster.addrs().storage[3];
+    let mut plan = FaultPlan::default();
+    plan.partitioned.insert(victim.nid);
+    cluster.network().set_faults(plan);
+    for round in 0..8u64 {
+        for (server, &obj) in objs.iter().enumerate() {
+            client
+                .write(server, &caps, None, obj, round * payload.len() as u64, &payload)
+                .expect("storm write");
+        }
+    }
+    cluster.network().heal();
+
+    // The storm is synchronous, so the eviction already happened; give
+    // the monitor a couple more windows to scrape the journal tail.
+    let after_storm = monitor.windows();
+    wait_until(Duration::from_secs(10), || monitor.windows() >= after_storm + 2);
+
+    let events = cluster.network().obs().events().all();
+    let lag_alert = events
+        .iter()
+        .find(|e| e.kind == "alert.fire" && e.detail.contains(&format!("rule={LAG_RULE}")))
+        .unwrap_or_else(|| panic!("lag rule never fired; journal: {events:?}"));
+    let evict = events
+        .iter()
+        .find(|e| e.kind == "repl.evict_backup")
+        .expect("partitioned backup was never evicted");
+    assert!(
+        lag_alert.seq < evict.seq,
+        "monitor alerted after the eviction it predicts: alert seq {} >= evict seq {}",
+        lag_alert.seq,
+        evict.seq
+    );
+
+    let jsonl = monitor.jsonl();
+    assert!(
+        jsonl.iter().any(|l| jsonl_gauge_positive(l, "storage_repl_lag")),
+        "no window recorded nonzero storage.repl_lag; lines: {}",
+        jsonl.len()
+    );
+    let prometheus = monitor.prometheus();
+    assert!(prometheus.contains("# TYPE"), "empty Prometheus exposition");
+
+    let report = TelemetryReport {
+        windows: monitor.windows(),
+        jsonl,
+        prometheus,
+        lag_alert_seq: lag_alert.seq,
+        evict_seq: evict.seq,
+    };
+
+    if let Some(path) = out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        // First JSONL line is the run's meta stamp; every later line is
+        // one aggregation window.
+        let mut body = format!(
+            "{{\"meta\": {}}}\n",
+            crate::metrics::bench_meta(&[("storage_servers", (SERVERS * 2) as u64)])
+        );
+        body.push_str(&report.jsonl.join("\n"));
+        body.push('\n');
+        std::fs::write(path, body)?;
+        let mut prom = format!(
+            "# meta: {}\n",
+            crate::metrics::bench_meta(&[("storage_servers", (SERVERS * 2) as u64)])
+        );
+        prom.push_str(&report.prometheus);
+        std::fs::write(path.with_extension("prom"), prom)?;
+    }
+
+    monitor.shutdown();
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&wal_root);
+    Ok(report)
+}
+
+/// Does this JSONL window line report gauge `key` above zero?
+fn jsonl_gauge_positive(line: &str, key: &str) -> bool {
+    let needle = format!("\"{key}\": ");
+    let Some(pos) = line.find(&needle) else { return false };
+    let rest = &line[pos + needle.len()..];
+    let num: String = rest.chars().take_while(|c| c.is_ascii_digit() || *c == '-').collect();
+    num.parse::<i64>().map(|v| v > 0).unwrap_or(false)
+}
+
+fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done()
+}

@@ -41,6 +41,20 @@ pub struct ClusterAddrs {
     pub directory: Option<ProcessId>,
 }
 
+impl ClusterAddrs {
+    /// Scrape targets for a [`ClusterMonitor`](crate::ClusterMonitor):
+    /// every storage server, the naming and authorization services, and
+    /// the group directory when present. (The authentication and
+    /// txn-lock services do not answer `GetTelemetry`.)
+    pub fn monitor_targets(&self) -> Vec<ProcessId> {
+        let mut targets = self.storage.clone();
+        targets.push(self.naming);
+        targets.push(self.authz);
+        targets.extend(self.directory);
+        targets
+    }
+}
+
 /// Cluster bootstrap configuration.
 pub struct ClusterConfig {
     /// Number of storage servers (the paper's dev cluster ran 2–16). With
@@ -489,6 +503,13 @@ impl LwfsCluster {
         self._storage[idx] = Some(h);
         self.storage_servers[idx] = Some(s);
         self.storage_servers[idx].as_ref().unwrap()
+    }
+
+    /// Spawn a [`ClusterMonitor`](crate::ClusterMonitor) scraping this
+    /// cluster's telemetry-capable services
+    /// ([`ClusterAddrs::monitor_targets`]).
+    pub fn spawn_monitor(&self, config: crate::MonitorConfig) -> crate::ClusterMonitor {
+        crate::ClusterMonitor::spawn(&self.net, self.addrs.monitor_targets(), config)
     }
 
     /// Register an application process on compute node `nid` and build its

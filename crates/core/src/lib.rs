@@ -27,7 +27,12 @@
 pub mod caps;
 pub mod client;
 pub mod cluster;
+pub mod monitor;
 
 pub use caps::CapSet;
 pub use client::LwfsClient;
 pub use cluster::{ClusterAddrs, ClusterConfig, LwfsCluster};
+pub use monitor::{
+    default_rules, AlertState, ClusterMonitor, Condition, HealthRule, MonitorConfig, TargetHealth,
+    MONITOR_NID,
+};

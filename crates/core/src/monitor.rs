@@ -1,0 +1,675 @@
+//! The cluster health monitor: a polling scraper over the wire telemetry
+//! plane.
+//!
+//! The monitor registers its own endpoint (nid [`MONITOR_NID`], beside
+//! the directory in the service partition) and periodically sends
+//! `GetTelemetry` to every scrape target — storage servers, the naming
+//! and authorization services, and the group directory. Each tick it:
+//!
+//! 1. **Detects failures by scrape staleness.** A target that misses
+//!    [`MonitorConfig::stale_after`] consecutive scrapes is declared
+//!    stale — the classic poll-based failure detector. Recovery clears
+//!    the state. Both transitions journal `alert.fire` / `alert.clear`
+//!    events so post-mortems see detector output in causal order with
+//!    the cluster events it predicted.
+//! 2. **Feeds windowed aggregation.** The scraped cumulative snapshot
+//!    becomes a [`MetricFrame`] on the monitor's own timeline; the
+//!    [`WindowTracker`] subtracts consecutive frames into
+//!    [`WindowDelta`]s (per-window rates, gauge levels, interval
+//!    quantiles — see `lwfs_obs::window`).
+//! 3. **Evaluates declarative health rules** ([`HealthRule`]) of the
+//!    form "`storage.repl_lag > 0` for 2 consecutive windows" or
+//!    "`p99(storage.write.total_ns) > SLO`". A rule that crosses its
+//!    streak journals `alert.fire` once; the first clean window after
+//!    that journals `alert.clear`. Because the journal is globally
+//!    sequenced, a test can assert the lag alert fired *before* the
+//!    eviction it predicts.
+//! 4. **Exports.** Every completed window appends one JSONL line
+//!    (`lwfs_obs::export::window_to_jsonl`), and the latest scrape
+//!    renders on demand as a Prometheus text exposition
+//!    ([`MonitorHandle::prometheus`]).
+//!
+//! ### One registry, many endpoints
+//!
+//! An in-process cluster shares a single metric registry across every
+//! service on the fabric, so the snapshots scraped from two live targets
+//! are *identical*. The monitor therefore takes the first successful
+//! scrape of each tick as the cluster view — merging them would
+//! N-multiply every counter — and uses the remaining per-target scrapes
+//! purely as liveness probes. Per-node attribution still works because
+//! node-scoped series carry the node in the metric name
+//! (`storage.srv1100.in_flight`), which the exporters turn into a
+//! `nid` label.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lwfs_obs::{HistogramInterval, MetricFrame, WindowDelta, WindowTracker};
+use lwfs_portals::{Network, RpcClient};
+use lwfs_proto::{ProcessId, ReplyBody, RequestBody, TelemetrySnapshot};
+use parking_lot::Mutex;
+
+/// The monitor's node id: in the service partition, after the directory.
+pub const MONITOR_NID: u32 = 1005;
+
+/// What a [`HealthRule`] tests against each completed window.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// Gauge level at window end above a threshold (e.g. `repl_lag`
+    /// watermark, WAL fsync backlog, queue depth).
+    GaugeAbove { gauge: String, threshold: i64 },
+    /// Counter increments per second over the window above a threshold.
+    RateAbove { counter: String, per_sec: f64 },
+    /// Window-interval p99 of a latency histogram above an SLO.
+    P99AboveNs { histogram: String, threshold_ns: u64 },
+}
+
+impl Condition {
+    /// The observed value when the condition holds on `w`, else `None`.
+    fn observe(&self, w: &WindowDelta) -> Option<String> {
+        match self {
+            Condition::GaugeAbove { gauge, threshold } => {
+                let v = w.gauge(gauge)?;
+                (v > *threshold).then(|| format!("{gauge}={v} > {threshold}"))
+            }
+            Condition::RateAbove { counter, per_sec } => {
+                let rate = w.rate_per_sec(counter);
+                (rate > *per_sec).then(|| format!("{counter}={rate:.1}/s > {per_sec:.1}/s"))
+            }
+            Condition::P99AboveNs { histogram, threshold_ns } => {
+                let h = w.histogram(histogram)?;
+                if h.is_empty() {
+                    return None;
+                }
+                let p99 = h.quantile(0.99);
+                (p99 > *threshold_ns)
+                    .then(|| format!("p99({histogram})={p99}ns > {threshold_ns}ns"))
+            }
+        }
+    }
+}
+
+/// One declarative health rule: a [`Condition`] that must hold for
+/// `for_windows` consecutive windows before the alert fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthRule {
+    /// Stable rule name, carried in the `alert.fire` / `alert.clear`
+    /// journal detail.
+    pub name: String,
+    pub condition: Condition,
+    /// Consecutive windows the condition must hold. A debounce: one
+    /// window of replication lag during a burst is normal, two in a row
+    /// means shipping is not keeping up.
+    pub for_windows: usize,
+}
+
+impl HealthRule {
+    pub fn gauge_above(name: &str, gauge: &str, threshold: i64, for_windows: usize) -> Self {
+        Self {
+            name: name.into(),
+            condition: Condition::GaugeAbove { gauge: gauge.into(), threshold },
+            for_windows: for_windows.max(1),
+        }
+    }
+
+    pub fn rate_above(name: &str, counter: &str, per_sec: f64, for_windows: usize) -> Self {
+        Self {
+            name: name.into(),
+            condition: Condition::RateAbove { counter: counter.into(), per_sec },
+            for_windows: for_windows.max(1),
+        }
+    }
+
+    pub fn p99_above(name: &str, histogram: &str, threshold_ns: u64, for_windows: usize) -> Self {
+        Self {
+            name: name.into(),
+            condition: Condition::P99AboveNs { histogram: histogram.into(), threshold_ns },
+            for_windows: for_windows.max(1),
+        }
+    }
+}
+
+/// The default rule set: replication lag sustained across two windows,
+/// a WAL fsync backlog, and a storage-write p99 SLO.
+pub fn default_rules() -> Vec<HealthRule> {
+    vec![
+        HealthRule::gauge_above("repl_lag_sustained", "storage.repl_lag", 0, 2),
+        HealthRule::gauge_above("storage_queue_backlog", "storage.queue_depth", 256, 2),
+        HealthRule::p99_above(
+            "write_p99_slo",
+            "storage.write.total_ns",
+            Duration::from_millis(50).as_nanos() as u64,
+            2,
+        ),
+    ]
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Scrape/window interval.
+    pub interval: Duration,
+    /// Windows retained by the tracker (and the JSONL buffer bound).
+    pub window_limit: usize,
+    /// Consecutive missed scrapes before a target is declared stale.
+    pub stale_after: u32,
+    pub rules: Vec<HealthRule>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(50),
+            window_limit: 128,
+            stale_after: 3,
+            rules: default_rules(),
+        }
+    }
+}
+
+/// Liveness of one scrape target, derived purely from scrape outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetHealth {
+    pub id: ProcessId,
+    /// Consecutive failed scrapes (0 = last scrape succeeded).
+    pub missed: u32,
+    /// `missed >= stale_after`: the failure detector has declared the
+    /// target down until a scrape succeeds again.
+    pub stale: bool,
+}
+
+/// Current state of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlertState {
+    pub rule: String,
+    pub firing: bool,
+    /// Consecutive windows the condition has held.
+    pub streak: usize,
+}
+
+struct RuleState {
+    rule: HealthRule,
+    streak: usize,
+    firing: bool,
+}
+
+struct TargetState {
+    id: ProcessId,
+    missed: u32,
+    stale: bool,
+}
+
+#[derive(Default)]
+struct MonitorState {
+    tracker: WindowTracker,
+    /// Journal cursor: next event seq the monitor has not yet scraped.
+    events_cursor: u64,
+    last_scrape: Option<TelemetrySnapshot>,
+    jsonl: Vec<String>,
+    ticks: u64,
+    windows: u64,
+}
+
+struct MonitorInner {
+    net: Network,
+    targets: Vec<ProcessId>,
+    config: MonitorConfig,
+    state: Mutex<MonitorState>,
+    target_states: Mutex<Vec<TargetState>>,
+    rule_states: Mutex<Vec<RuleState>>,
+    stop: AtomicBool,
+}
+
+impl MonitorInner {
+    /// One scrape-and-aggregate tick. Returns the fresh cluster snapshot
+    /// when at least one target answered.
+    fn tick(&self, client: &RpcClient<'_>, epoch: Instant) {
+        let obs = Arc::clone(self.net.obs());
+        let mut cluster_view: Option<TelemetrySnapshot> = None;
+        let cursor = self.state.lock().events_cursor;
+        for (i, &target) in self.targets.iter().enumerate() {
+            let reply = client.call(target, RequestBody::GetTelemetry { events_from: cursor });
+            let ok = matches!(reply, Ok(ReplyBody::Telemetry(_)));
+            if let Ok(ReplyBody::Telemetry(snap)) = reply {
+                obs.counter("monitor.scrapes").inc();
+                // All live targets share the fabric registry, so the
+                // first answer *is* the cluster view; the rest of the
+                // sweep only feeds the failure detector.
+                if cluster_view.is_none() {
+                    cluster_view = Some(snap);
+                }
+            } else {
+                obs.counter("monitor.scrape_failures").inc();
+            }
+            self.update_target(i, ok, &obs);
+        }
+
+        let stale = self.target_states.lock().iter().filter(|t| t.stale).count();
+        obs.gauge("monitor.stale_targets").set(stale as i64);
+
+        let Some(snap) = cluster_view else { return };
+        let ts_ns = epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let frame = frame_from_snapshot(&snap, ts_ns);
+
+        let mut state = self.state.lock();
+        state.ticks += 1;
+        if let Some(last) = snap.events.last() {
+            state.events_cursor = last.seq + 1;
+        }
+        // Borrow dance: evaluate rules on a clone-free reference, then
+        // mutate the JSONL buffer.
+        let line = state
+            .tracker
+            .observe(frame)
+            .map(|w| jsonl_with_events(lwfs_obs::export::window_to_jsonl(w), &snap.events));
+        let window_done = if let Some(line) = line {
+            state.jsonl.push(line);
+            let limit = self.config.window_limit.max(1);
+            if state.jsonl.len() > limit {
+                let excess = state.jsonl.len() - limit;
+                state.jsonl.drain(..excess);
+            }
+            state.windows += 1;
+            true
+        } else {
+            false
+        };
+        state.last_scrape = Some(snap);
+        let latest = state.tracker.latest().cloned();
+        drop(state);
+
+        if window_done {
+            obs.counter("monitor.windows").inc();
+            if let Some(w) = latest {
+                self.evaluate_rules(&w, &obs);
+            }
+        }
+    }
+
+    fn update_target(&self, idx: usize, ok: bool, obs: &lwfs_obs::Registry) {
+        let mut targets = self.target_states.lock();
+        let t = &mut targets[idx];
+        if ok {
+            if t.stale {
+                obs.events().record(
+                    MONITOR_NID,
+                    "alert.clear",
+                    format!("rule=stale_target: {} answering again", t.id),
+                );
+            }
+            t.missed = 0;
+            t.stale = false;
+        } else {
+            t.missed = t.missed.saturating_add(1);
+            if !t.stale && t.missed >= self.config.stale_after {
+                t.stale = true;
+                obs.events().record(
+                    MONITOR_NID,
+                    "alert.fire",
+                    format!("rule=stale_target: {} missed {} consecutive scrapes", t.id, t.missed),
+                );
+            }
+        }
+    }
+
+    fn evaluate_rules(&self, w: &WindowDelta, obs: &lwfs_obs::Registry) {
+        let mut rules = self.rule_states.lock();
+        for rs in rules.iter_mut() {
+            match rs.rule.condition.observe(w) {
+                Some(observed) => {
+                    rs.streak += 1;
+                    if !rs.firing && rs.streak >= rs.rule.for_windows {
+                        rs.firing = true;
+                        obs.events().record(
+                            MONITOR_NID,
+                            "alert.fire",
+                            format!(
+                                "rule={}: {} for {} consecutive windows",
+                                rs.rule.name, observed, rs.streak
+                            ),
+                        );
+                        obs.counter("monitor.alerts_fired").inc();
+                    }
+                }
+                None => {
+                    if rs.firing {
+                        obs.events().record(
+                            MONITOR_NID,
+                            "alert.clear",
+                            format!("rule={}: condition no longer holds", rs.rule.name),
+                        );
+                    }
+                    rs.firing = false;
+                    rs.streak = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Rebuild a scraped wire snapshot as a cumulative [`MetricFrame`] on the
+/// monitor's timeline.
+fn frame_from_snapshot(snap: &TelemetrySnapshot, ts_ns: u64) -> MetricFrame {
+    MetricFrame::new(
+        ts_ns,
+        snap.counters.clone(),
+        snap.gauges.clone(),
+        snap.histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    HistogramInterval::from_parts(h.count, h.sum, h.max, h.buckets.clone()),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Splice the tick's scraped journal tail into the window's JSONL line:
+/// the exported time series then carries the causal story (alert
+/// firings, evictions, failovers) next to the metric deltas that explain
+/// them, and a post-mortem needs only the one artifact.
+fn jsonl_with_events(line: String, events: &[lwfs_proto::TelemetryEvent]) -> String {
+    use std::fmt::Write as _;
+    if events.is_empty() {
+        return line;
+    }
+    let mut out = line;
+    out.truncate(out.len().saturating_sub(1)); // re-open the window object
+    out.push_str(", \"events\": [");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\": {}, \"ts_ns\": {}, \"nid\": {}, \"kind\": {}, \"detail\": {}}}",
+            e.seq,
+            e.ts_ns,
+            e.nid,
+            lwfs_obs::export::json_string(&e.kind),
+            lwfs_obs::export::json_string(&e.detail)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A running [`ClusterMonitor`]'s control handle. Dropping it stops the
+/// scrape thread and unregisters the monitor endpoint.
+pub struct ClusterMonitor {
+    inner: Arc<MonitorInner>,
+    thread: Option<JoinHandle<()>>,
+    id: ProcessId,
+}
+
+impl ClusterMonitor {
+    /// Spawn the monitor at nid [`MONITOR_NID`], scraping `targets` every
+    /// [`MonitorConfig::interval`].
+    ///
+    /// # Panics
+    /// Panics if the monitor endpoint is already registered (spawn one
+    /// monitor per fabric).
+    pub fn spawn(net: &Network, targets: Vec<ProcessId>, config: MonitorConfig) -> Self {
+        let id = ProcessId::new(MONITOR_NID, 0);
+        let ep = net.register(id);
+        let target_states =
+            targets.iter().map(|&id| TargetState { id, missed: 0, stale: false }).collect();
+        let rule_states = config
+            .rules
+            .iter()
+            .map(|r| RuleState { rule: r.clone(), streak: 0, firing: false })
+            .collect();
+        let window_limit = config.window_limit;
+        let inner = Arc::new(MonitorInner {
+            net: net.clone(),
+            targets,
+            config,
+            state: Mutex::new(MonitorState {
+                tracker: WindowTracker::new(window_limit),
+                ..Default::default()
+            }),
+            target_states: Mutex::new(target_states),
+            rule_states: Mutex::new(rule_states),
+            stop: AtomicBool::new(false),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("lwfs-monitor".into())
+            .spawn(move || {
+                // Bounded scrape timeout: a wedged or overloaded node must
+                // count as a missed scrape (the staleness detector's
+                // signal), not stall the tick and stretch every window.
+                // Storage answers scrapes from its dispatcher, so a healthy
+                // node replies well inside even one polling interval.
+                let client = RpcClient::shared(&ep).configured(&lwfs_portals::RpcConfig {
+                    reply_timeout: thread_inner.config.interval.max(Duration::from_millis(5)),
+                    ..Default::default()
+                });
+                let epoch = Instant::now();
+                while !thread_inner.stop.load(Ordering::SeqCst) {
+                    thread_inner.tick(&client, epoch);
+                    // Short sleeps between stop checks keep shutdown
+                    // prompt even with long scrape intervals.
+                    let mut remaining = thread_inner.config.interval;
+                    let step = Duration::from_millis(5);
+                    while remaining > Duration::ZERO && !thread_inner.stop.load(Ordering::SeqCst) {
+                        let d = remaining.min(step);
+                        std::thread::sleep(d);
+                        remaining = remaining.saturating_sub(d);
+                    }
+                }
+            })
+            .expect("spawn monitor thread");
+        Self { inner, thread: Some(thread), id }
+    }
+
+    /// Liveness of every scrape target, in target order.
+    pub fn health(&self) -> Vec<TargetHealth> {
+        self.inner
+            .target_states
+            .lock()
+            .iter()
+            .map(|t| TargetHealth { id: t.id, missed: t.missed, stale: t.stale })
+            .collect()
+    }
+
+    /// Current state of every rule, in rule order.
+    pub fn alerts(&self) -> Vec<AlertState> {
+        self.inner
+            .rule_states
+            .lock()
+            .iter()
+            .map(|r| AlertState { rule: r.rule.name.clone(), firing: r.firing, streak: r.streak })
+            .collect()
+    }
+
+    /// Completed windows so far.
+    pub fn windows(&self) -> u64 {
+        self.inner.state.lock().windows
+    }
+
+    /// Scrape ticks that produced a cluster view.
+    pub fn ticks(&self) -> u64 {
+        self.inner.state.lock().ticks
+    }
+
+    /// The retained JSONL time-series lines (one per completed window,
+    /// oldest first, bounded by [`MonitorConfig::window_limit`]).
+    pub fn jsonl(&self) -> Vec<String> {
+        self.inner.state.lock().jsonl.clone()
+    }
+
+    /// Write the retained JSONL lines to `path` (parent directories are
+    /// created).
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut out = self.inner.state.lock().jsonl.join("\n");
+        out.push('\n');
+        std::fs::write(path, out)
+    }
+
+    /// Prometheus text exposition of the latest scraped cluster view
+    /// (empty string before the first successful scrape).
+    pub fn prometheus(&self) -> String {
+        let state = self.inner.state.lock();
+        let Some(snap) = &state.last_scrape else { return String::new() };
+        lwfs_obs::export::to_prometheus(&wire_to_obs_snapshot(snap))
+    }
+
+    /// The most recently completed window.
+    pub fn latest_window(&self) -> Option<WindowDelta> {
+        self.inner.state.lock().tracker.latest().cloned()
+    }
+
+    /// Stop the scrape thread and unregister the monitor endpoint.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.inner.net.unregister(self.id);
+    }
+}
+
+impl Drop for ClusterMonitor {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Project a scraped wire snapshot onto the exporter's [`Snapshot`]
+/// shape: metrics only — scraped event kinds are owned `String`s and the
+/// journal renders through its own path, not the exposition.
+fn wire_to_obs_snapshot(snap: &TelemetrySnapshot) -> lwfs_obs::Snapshot {
+    lwfs_obs::Snapshot {
+        counters: snap.counters.clone(),
+        gauges: snap.gauges.clone(),
+        histograms: snap
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let iv = HistogramInterval::from_parts(h.count, h.sum, h.max, h.buckets.clone());
+                (name.clone(), iv.summary())
+            })
+            .collect(),
+        spans: Vec::new(),
+        events: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, LwfsCluster};
+
+    fn wait_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if done() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        done()
+    }
+
+    fn fast_config() -> MonitorConfig {
+        MonitorConfig { interval: Duration::from_millis(10), ..Default::default() }
+    }
+
+    #[test]
+    fn monitor_scrapes_and_windows_a_cluster() {
+        let cluster = LwfsCluster::boot(ClusterConfig::default());
+        let monitor = cluster.spawn_monitor(fast_config());
+        assert!(wait_until(Duration::from_secs(5), || monitor.windows() >= 3));
+
+        // Drive some traffic so counters move between windows.
+        let mut client = cluster.client(0, 0);
+        let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+        client.get_cred(ticket).unwrap();
+        let _cid = client.create_container().unwrap();
+
+        let health = monitor.health();
+        assert!(!health.is_empty());
+        assert!(health.iter().all(|h| !h.stale), "all targets live: {health:?}");
+
+        let prom = monitor.prometheus();
+        assert!(prom.contains("# TYPE"), "{prom}");
+        let jsonl = monitor.jsonl();
+        assert!(!jsonl.is_empty());
+        assert!(jsonl[0].contains("\"ts_ns\""));
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn staleness_detector_fires_and_clears_on_partition() {
+        let cluster = LwfsCluster::boot(ClusterConfig { storage_servers: 2, ..Default::default() });
+        let monitor = cluster.spawn_monitor(MonitorConfig {
+            interval: Duration::from_millis(10),
+            stale_after: 2,
+            ..Default::default()
+        });
+        assert!(wait_until(Duration::from_secs(5), || monitor.windows() >= 1));
+
+        // Partition one storage server; the detector must declare it.
+        let victim = cluster.addrs().storage[1];
+        let mut plan = lwfs_portals::FaultPlan::default();
+        plan.partitioned.insert(victim.nid);
+        cluster.network().set_faults(plan);
+        assert!(wait_until(Duration::from_secs(5), || {
+            monitor.health().iter().any(|h| h.id == victim && h.stale)
+        }));
+        let fired = cluster.network().obs().events().of_kind("alert.fire");
+        assert!(fired.iter().any(|e| e.detail.contains("rule=stale_target")), "{fired:?}");
+
+        // Heal: the detector clears.
+        cluster.network().heal();
+        assert!(wait_until(Duration::from_secs(5), || {
+            monitor.health().iter().all(|h| !h.stale)
+        }));
+        let cleared = cluster.network().obs().events().of_kind("alert.clear");
+        assert!(cleared.iter().any(|e| e.detail.contains("rule=stale_target")));
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn gauge_rule_fires_after_streak_and_clears() {
+        let cluster = LwfsCluster::boot(ClusterConfig::default());
+        let obs = Arc::clone(cluster.network().obs());
+        let monitor = cluster.spawn_monitor(MonitorConfig {
+            interval: Duration::from_millis(10),
+            rules: vec![HealthRule::gauge_above("lag_watch", "storage.repl_lag", 0, 2)],
+            ..Default::default()
+        });
+
+        obs.gauge("storage.repl_lag").set(5);
+        assert!(wait_until(Duration::from_secs(5), || {
+            monitor.alerts().iter().any(|a| a.rule == "lag_watch" && a.firing)
+        }));
+        let fired = obs.events().of_kind("alert.fire");
+        assert!(fired.iter().any(|e| e.detail.contains("rule=lag_watch")), "{fired:?}");
+
+        obs.gauge("storage.repl_lag").set(0);
+        assert!(wait_until(Duration::from_secs(5), || {
+            monitor.alerts().iter().all(|a| !a.firing)
+        }));
+        assert!(obs
+            .events()
+            .of_kind("alert.clear")
+            .iter()
+            .any(|e| e.detail.contains("rule=lag_watch")));
+        monitor.shutdown();
+    }
+}

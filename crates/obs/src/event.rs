@@ -73,6 +73,21 @@ impl EventLog {
         self.inner.lock().unwrap_or_else(|p| p.into_inner()).1.iter().cloned().collect()
     }
 
+    /// Retained events with `seq >= from`, oldest first — the journal
+    /// cursor a polling scraper advances (to last seen seq + 1) so each
+    /// scrape ships only the tail it has not yet seen. `from = 0` returns
+    /// everything retained.
+    pub fn from_seq(&self, from: u64) -> Vec<Event> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .1
+            .iter()
+            .filter(|e| e.seq >= from)
+            .cloned()
+            .collect()
+    }
+
     /// Retained events of one kind, oldest first.
     pub fn of_kind(&self, kind: &str) -> Vec<Event> {
         self.inner

@@ -19,13 +19,17 @@
 //! nanoseconds (`record` with a `SimDuration`'s nanosecond count).
 
 mod event;
+pub mod export;
 mod metrics;
 mod registry;
 mod span;
 mod trace;
+pub mod window;
 
 pub use event::{Event, EventLog};
+pub use export::{metric_key, prometheus_escape_label, MetricKey};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{OpTrace, Registry, Snapshot};
+pub use registry::{ObsConfig, OpTrace, Registry, Snapshot};
 pub use span::{SpanLog, SpanRecord, TOTAL_STAGE};
 pub use trace::{FlightRecorder, PinnedTrace, Trace, TraceCollector};
+pub use window::{HistogramInterval, MetricFrame, WindowDelta, WindowTracker};

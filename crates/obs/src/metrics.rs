@@ -109,7 +109,7 @@ const SUBS: usize = 1 << SUB_BITS; // 8
 const LINEAR_CUTOFF: u64 = 1 << SUB_BITS;
 /// Octaves for exponents SUB_BITS..=63, SUBS buckets each, plus the
 /// exact low range.
-const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS; // 496
+pub(crate) const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS; // 496
 
 #[inline]
 fn bucket_index(v: u64) -> usize {
@@ -123,8 +123,10 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Midpoint of the bucket's value range — the reported representative.
+/// Shared with the `window` module so interval quantiles report the same
+/// representatives as the live histogram.
 #[inline]
-fn bucket_mid(index: usize) -> u64 {
+pub(crate) fn bucket_mid(index: usize) -> u64 {
     if index < SUBS {
         index as u64
     } else {
@@ -244,6 +246,23 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Sparse `(bucket_index, count)` pairs of every nonzero bucket,
+    /// ascending by index — the *mergeable* form of the histogram. Two
+    /// cumulative bucket lists from the same histogram subtract into an
+    /// exact interval, and interval lists from different nodes add into
+    /// an exact union, neither losing more resolution than the log-linear
+    /// layout itself.
+    pub fn bucket_counts(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let v = b.load(Ordering::Relaxed);
+                (v != 0).then_some((i as u32, v))
+            })
+            .collect()
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {

@@ -26,6 +26,29 @@ fn get_or_insert<T: Default>(table: &Table<T>, name: &str) -> Arc<T> {
     fresh
 }
 
+/// Ring and recorder sizing for a [`Registry`].
+///
+/// The defaults match the historical hard-coded values; soak runs under a
+/// polling monitor raise them (threaded from the cluster config) so hours
+/// of spans and events survive without the rings silently wrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Span ring length ([`SpanLog::with_capacity`]).
+    pub span_capacity: usize,
+    /// Event journal length ([`EventLog::with_capacity`]).
+    pub event_capacity: usize,
+    /// Flight-recorder pin threshold in nanoseconds (`0` = pure top-K).
+    pub flight_threshold_ns: u64,
+    /// Maximum pinned outlier traces.
+    pub flight_top_k: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self { span_capacity: 4096, event_capacity: 1024, flight_threshold_ns: 0, flight_top_k: 8 }
+    }
+}
+
 /// Process-wide (or per-`Network`) metric registry.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -40,6 +63,18 @@ pub struct Registry {
 impl Registry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A registry with explicitly sized rings and flight recorder.
+    pub fn with_config(config: &ObsConfig) -> Self {
+        Self {
+            counters: Table::default(),
+            gauges: Table::default(),
+            histograms: Table::default(),
+            spans: SpanLog::with_capacity(config.span_capacity),
+            events: EventLog::with_capacity(config.event_capacity),
+            flight: FlightRecorder::new(config.flight_threshold_ns, config.flight_top_k),
+        }
     }
 
     /// Get or create the counter registered under `name`.
@@ -106,6 +141,37 @@ impl Registry {
         self.spans.clear();
         self.events.clear();
         self.flight.clear();
+    }
+
+    /// Cumulative bucket-level capture of every metric for windowed
+    /// aggregation — the local-node entry point into the `window` module
+    /// (scraped remote nodes build the same frame from wire parts).
+    /// `ts_ns` comes from the caller so frames of many nodes share one
+    /// monitor-side timeline.
+    pub fn frame(&self, ts_ns: u64) -> crate::window::MetricFrame {
+        use crate::window::HistogramInterval;
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), HistogramInterval::from_histogram(v)))
+            .collect();
+        crate::window::MetricFrame::new(ts_ns, counters, gauges, histograms)
     }
 
     /// Point-in-time copy of every registered metric plus retained spans.
@@ -288,6 +354,50 @@ impl Snapshot {
         self.events.iter().filter(|e| e.kind == kind).collect()
     }
 
+    /// Roll another node's snapshot into this one, producing a cluster
+    /// series from per-node series: counters and gauges with the same
+    /// name add, histograms combine summary-wise (count/sum/max exact;
+    /// quantiles count-weighted, so the merged p99 is an *estimate* —
+    /// exact cross-node quantiles go through the bucket-level
+    /// [`HistogramInterval`](crate::window::HistogramInterval) merge
+    /// instead). Spans and events concatenate; events re-sort by
+    /// timestamp since per-node `seq` counters are not comparable.
+    pub fn merge(&mut self, other: &Snapshot) {
+        fn fold<V: Copy, M: FnMut(&mut V, V)>(
+            dst: &mut Vec<(String, V)>,
+            src: &[(String, V)],
+            mut combine: M,
+        ) {
+            for (name, v) in src {
+                match dst.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, cur)) => combine(cur, *v),
+                    None => dst.push((name.clone(), *v)),
+                }
+            }
+            dst.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        fold(&mut self.counters, &other.counters, |a, b| *a += b);
+        fold(&mut self.gauges, &other.gauges, |a, b| *a += b);
+        fold(&mut self.histograms, &other.histograms, |a, b| {
+            let total = a.count + b.count;
+            if total > 0 {
+                let (wa, wb) = (a.count as f64, b.count as f64);
+                let weight =
+                    |x: u64, y: u64| ((x as f64 * wa + y as f64 * wb) / (wa + wb)).round() as u64;
+                a.p50 = weight(a.p50, b.p50);
+                a.p95 = weight(a.p95, b.p95);
+                a.p99 = weight(a.p99, b.p99);
+            }
+            a.count = total;
+            a.sum += b.sum;
+            a.max = a.max.max(b.max);
+            a.mean = if total == 0 { 0.0 } else { a.sum as f64 / total as f64 };
+        });
+        self.spans.extend(other.spans.iter().cloned());
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| (e.ts_ns, e.seq));
+    }
+
     /// Human-readable fixed-width table.
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
@@ -331,6 +441,26 @@ impl Snapshot {
             }
         }
         out
+    }
+
+    /// JSON export with a leading `"meta"` object. `meta` must be a
+    /// complete JSON value (the bench layer builds it with run timestamp,
+    /// protocol version, and node census — things this dependency-free
+    /// crate cannot know itself).
+    pub fn to_json_with_meta(&self, meta: &str) -> String {
+        let body = self.to_json();
+        debug_assert!(body.starts_with("{\n"));
+        body.replacen("{\n", &format!("{{\n  \"meta\": {meta},\n"), 1)
+    }
+
+    /// Like [`Snapshot::write_json`] but stamped with a `meta` object.
+    pub fn write_json_with_meta(&self, path: &std::path::Path, meta: &str) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json_with_meta(meta))
     }
 
     /// JSON export (hand-rolled: the workspace has no JSON dependency).
@@ -510,5 +640,55 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn with_config_sizes_rings() {
+        let r = Registry::with_config(&ObsConfig {
+            span_capacity: 2,
+            event_capacity: 3,
+            flight_threshold_ns: 0,
+            flight_top_k: 1,
+        });
+        for i in 0..5u64 {
+            let mut t = r.trace(i, "storage.write");
+            t.stage("only");
+        }
+        assert_eq!(r.spans().recent(usize::MAX).len(), 2);
+        for i in 0..5u32 {
+            r.events().record(i, "repl.epoch_bump", "x");
+        }
+        assert_eq!(r.events().len(), 3);
+        assert!(r.flight().pinned().len() <= 1);
+    }
+
+    #[test]
+    fn snapshot_merge_rolls_up_nodes() {
+        let (a, b) = (Registry::new(), Registry::new());
+        a.counter("storage.writes").add(3);
+        b.counter("storage.writes").add(4);
+        b.counter("naming.ops").add(1);
+        a.gauge("storage.repl_lag").set(2);
+        b.gauge("storage.repl_lag").set(5);
+        a.histogram("storage.write.total_ns").record(100);
+        b.histogram("storage.write.total_ns").record(300);
+        a.events().record(0, "wal.recovery", "a");
+        b.events().record(1, "failover.promote", "b");
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("storage.writes"), Some(7));
+        assert_eq!(merged.counter("naming.ops"), Some(1));
+        assert_eq!(merged.gauge("storage.repl_lag"), Some(7));
+        let h = merged.histogram("storage.write.total_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 400);
+        assert_eq!(h.max, 300);
+        assert_eq!(merged.events.len(), 2);
+        // Names stay sorted so exports remain stable.
+        let names: Vec<_> = merged.counters.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 }

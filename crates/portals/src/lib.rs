@@ -36,6 +36,7 @@ pub mod retry;
 pub mod rpc;
 pub mod service;
 pub mod stats;
+pub mod telemetry;
 
 pub use buffer::{MdOptions, MemDesc};
 pub use endpoint::{Endpoint, MatchBitsAlloc};
@@ -45,6 +46,7 @@ pub use retry::RetryPolicy;
 pub use rpc::{RpcClient, RpcConfig, RpcServer};
 pub use service::{spawn_service, Service, ServiceHandle};
 pub use stats::NetStats;
+pub use telemetry::telemetry_snapshot;
 
 use lwfs_proto::ProcessId;
 

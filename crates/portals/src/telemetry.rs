@@ -1,0 +1,85 @@
+//! Wire side of the telemetry scrape: serialize a fabric's [`Registry`]
+//! into the `GetTelemetry` reply shape.
+//!
+//! Every service that answers `GetTelemetry` (storage, directory, authz,
+//! naming) calls [`telemetry_snapshot`] on its endpoint's registry, so
+//! the reply format has exactly one producer. Histograms go out in sparse
+//! bucket form — the mergeable representation the monitor's windowed
+//! aggregation subtracts and merges exactly (see `lwfs_obs::window`).
+//! Spans are deliberately excluded: they are bulky, carry interned
+//! `&'static str` names that cannot be decoded from the wire, and already
+//! have their own export path through the trace collector.
+
+use lwfs_obs::Registry;
+use lwfs_proto::{TelemetryEvent, TelemetryHistogram, TelemetrySnapshot};
+
+/// Serialize `reg` for a `GetTelemetry` reply: cumulative counters and
+/// gauges, bucket-level histograms, and the event-journal tail with
+/// `seq >= events_from` (the scraper's cursor, so a polling monitor
+/// ships the journal incrementally).
+pub fn telemetry_snapshot(reg: &Registry, events_from: u64) -> TelemetrySnapshot {
+    let frame = reg.frame(0);
+    TelemetrySnapshot {
+        counters: frame.counters,
+        gauges: frame.gauges,
+        histograms: frame
+            .histograms
+            .into_iter()
+            .map(|(name, iv)| {
+                (
+                    name,
+                    TelemetryHistogram {
+                        count: iv.count,
+                        sum: iv.sum,
+                        max: iv.max,
+                        buckets: iv.buckets,
+                    },
+                )
+            })
+            .collect(),
+        events: reg
+            .events()
+            .from_seq(events_from)
+            .into_iter()
+            .map(|e| TelemetryEvent {
+                seq: e.seq,
+                ts_ns: e.ts_ns,
+                nid: e.nid,
+                kind: e.kind.to_string(),
+                detail: e.detail,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_carries_metrics_and_journal_tail() {
+        let reg = Registry::new();
+        reg.counter("storage.writes").add(9);
+        reg.gauge("storage.repl_lag").set(4);
+        reg.histogram("storage.write.total_ns").record(1234);
+        reg.events().record(1100, "repl.evict_backup", "backup 1101");
+        reg.events().record(1004, "directory.republish", "epoch 2");
+
+        let snap = telemetry_snapshot(&reg, 0);
+        assert!(snap.counters.contains(&("storage.writes".to_string(), 9)));
+        assert!(snap.gauges.contains(&("storage.repl_lag".to_string(), 4)));
+        let (_, h) = snap.histograms.iter().find(|(n, _)| n == "storage.write.total_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 1234);
+        assert!(!h.buckets.is_empty());
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].kind, "repl.evict_backup");
+
+        // The cursor skips already-shipped journal entries.
+        let tail = telemetry_snapshot(&reg, snap.events[0].seq + 1);
+        assert_eq!(tail.events.len(), 1);
+        assert_eq!(tail.events[0].kind, "directory.republish");
+        // Metrics are cumulative regardless of the cursor.
+        assert_eq!(tail.counters, snap.counters);
+    }
+}

@@ -31,7 +31,8 @@ pub use error::{Error, Result};
 pub use ids::{ContainerId, Lifetime, NodeId, ObjId, OpNum, Pid, PrincipalId, ProcessId, TxnId};
 pub use message::{
     derive_req_id, FilterSpec, GroupMap, LockId, LockMode, LockResource, MdHandle, ObjAttr,
-    PfsLayout, ReplicaGroup, Reply, ReplyBody, Request, RequestBody, TraceContext,
+    PfsLayout, ReplicaGroup, Reply, ReplyBody, Request, RequestBody, TelemetryEvent,
+    TelemetryHistogram, TelemetrySnapshot, TraceContext,
 };
 pub use ops::OpMask;
 pub use security::{

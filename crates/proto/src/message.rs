@@ -289,6 +289,49 @@ impl Decode for GroupMap {
     }
 }
 
+/// One histogram in on-wire, *mergeable* form: the sparse nonzero buckets
+/// of the log-linear layout (`lwfs-obs`), not a fixed quantile summary.
+/// Carrying buckets means a monitor can subtract two scrapes to get an
+/// exact per-window interval and merge intervals across nodes without
+/// quantile drift beyond the layout's own resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryHistogram {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// `(bucket_index, count)` pairs, nonzero buckets only, ascending index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl_codec_struct!(TelemetryHistogram { count, sum, max, buckets });
+
+/// One sequenced journal entry in on-wire form. Unlike the in-process
+/// [`lwfs-obs` `Event`], `kind` is an owned string: static-str interning
+/// doesn't survive the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryEvent {
+    pub seq: u64,
+    pub ts_ns: u64,
+    pub nid: u32,
+    pub kind: String,
+    pub detail: String,
+}
+
+impl_codec_struct!(TelemetryEvent { seq, ts_ns, nid, kind, detail });
+
+/// A node's answer to `GetTelemetry`: cumulative counters/gauges/histograms
+/// plus the tail of the sequenced event journal. Span logs are deliberately
+/// excluded — they are bulky and served by the trace-export path instead.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, TelemetryHistogram)>,
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl_codec_struct!(TelemetrySnapshot { counters, gauges, histograms, events });
+
 /// Request bodies for every LWFS service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
@@ -438,6 +481,22 @@ pub enum RequestBody {
         epoch: u64,
         backup: ProcessId,
     },
+
+    // ---- telemetry (monitoring plane) ----
+    /// Ask any node for its current metrics snapshot and journal tail.
+    ///
+    /// This is the monitoring plane's scrape, deliberately shaped like
+    /// every other LWFS control message (paper §2.3): tiny, connectionless,
+    /// answerable by every service. Like verify-through it is an
+    /// *annotation op* — it records no `total` span of its own, so a
+    /// scraping monitor does not perturb the latency series it reads.
+    GetTelemetry {
+        /// Journal cursor: only events with `seq >= events_from` are
+        /// returned (`0` = everything retained), so a polling monitor
+        /// ships the journal incrementally instead of re-sending the
+        /// whole ring every interval.
+        events_from: u64,
+    },
 }
 
 /// Reply bodies. `Err` is universal; the rest pair 1:1 with requests.
@@ -502,6 +561,8 @@ pub enum ReplyBody {
     ReplAck {
         seq: u64,
     },
+    /// The node's metrics snapshot and journal tail.
+    Telemetry(TelemetrySnapshot),
 }
 
 /// A complete request envelope.
@@ -712,6 +773,7 @@ impl Encode for RequestBody {
             51 => ReplShip { group, epoch, seq, origin, origin_opnum, records, reply } =>
                 { group, epoch, seq, origin, origin_opnum, records, reply },
             52 => ReportDroppedBackup { group, epoch, backup } => { group, epoch, backup },
+            53 => GetTelemetry { events_from } => { events_from },
         );
     }
 }
@@ -820,6 +882,7 @@ impl Decode for RequestBody {
                 epoch: Decode::decode(buf)?,
                 backup: Decode::decode(buf)?,
             },
+            53 => GetTelemetry { events_from: Decode::decode(buf)? },
             t => return Err(Error::Malformed(format!("unknown request tag {t}"))),
         })
     }
@@ -862,6 +925,7 @@ impl Encode for ReplyBody {
             45 => LockReleased => {},
             50 => GroupMapReply(map) => { map },
             51 => ReplAck { seq } => { seq },
+            52 => Telemetry(snap) => { snap },
         );
     }
 }
@@ -904,6 +968,7 @@ impl Decode for ReplyBody {
             45 => LockReleased,
             50 => GroupMapReply(Decode::decode(buf)?),
             51 => ReplAck { seq: Decode::decode(buf)? },
+            52 => Telemetry(Decode::decode(buf)?),
             t => {
                 return std::result::Result::Err(Error::Malformed(format!("unknown reply tag {t}")))
             }
@@ -1105,7 +1170,31 @@ mod tests {
                 reply: Bytes::from_static(b"encoded-reply"),
             },
             ReportDroppedBackup { group: 1, epoch: 3, backup: ProcessId::new(1103, 0) },
+            GetTelemetry { events_from: 17 },
         ]
+    }
+
+    fn sample_telemetry() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: vec![("storage.writes".into(), 42), ("wal.appends".into(), 7)],
+            gauges: vec![("storage.repl_lag".into(), 3), ("storage.queue_depth".into(), -1)],
+            histograms: vec![(
+                "storage.write.total_ns".into(),
+                TelemetryHistogram {
+                    count: 9,
+                    sum: 4500,
+                    max: 900,
+                    buckets: vec![(3, 4), (17, 5)],
+                },
+            )],
+            events: vec![TelemetryEvent {
+                seq: 18,
+                ts_ns: 1_000_000,
+                nid: 1100,
+                kind: "repl.evict_backup".into(),
+                detail: "group 0 epoch 3".into(),
+            }],
+        }
     }
 
     fn sample_group_map() -> GroupMap {
@@ -1162,6 +1251,7 @@ mod tests {
             LockReleased,
             GroupMapReply(sample_group_map()),
             ReplAck { seq: 42 },
+            Telemetry(sample_telemetry()),
         ]
     }
 

@@ -30,6 +30,9 @@ impl Service for GroupDirectory {
             RequestBody::ReportDroppedBackup { group, epoch: _, backup } => {
                 self.drop_backup(ep, req.reply_to, *group as usize, *backup)
             }
+            RequestBody::GetTelemetry { events_from } => {
+                ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(ep.obs(), *events_from))
+            }
             _ => ReplyBody::Err(Error::Malformed(
                 "group directory answers only group-map lookups".into(),
             )),

@@ -579,14 +579,14 @@ impl StorageServer {
                 Err(Error::Timeout) => continue,
                 Err(_) => break,
             };
-            self.enqueue(&mut scheduler, &mut traces, first);
+            self.enqueue(ep, &mut scheduler, &mut traces, first);
             // …then drain whatever else already arrived (the burst), up to
             // the batch limit, and release in elevator order.
             while scheduler.len() < self.config.batch_limit {
                 match ep.recv_match(Duration::ZERO, |e| {
                     matches!(e, Event::Message { match_bits, .. } if *match_bits == REQUEST_MATCH)
                 }) {
-                    Ok(ev) => self.enqueue(&mut scheduler, &mut traces, ev),
+                    Ok(ev) => self.enqueue(ep, &mut scheduler, &mut traces, ev),
                     Err(_) => break,
                 }
             }
@@ -673,12 +673,34 @@ impl StorageServer {
 
     fn enqueue<'s>(
         &'s self,
+        ep: &Endpoint,
         scheduler: &mut RequestScheduler,
         traces: &mut HashMap<u64, OpTrace<'s>>,
         ev: Event,
     ) {
         if let Some(data) = ev.message_data() {
             if let Ok(req) = Request::from_bytes(data.clone()) {
+                // Telemetry scrapes are annotation traffic, answered
+                // straight from the dispatcher: a control request would
+                // conflict-serialize behind every in-flight mutation, so a
+                // queued scrape stalls for exactly as long as the stalled
+                // write it is trying to observe — the monitor would lose
+                // its window cadence at the moment the cluster degrades.
+                // Answering here also keeps the scrape out of the trace
+                // and latency series it reads.
+                if let RequestBody::GetTelemetry { events_from } = &req.body {
+                    let body = ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(
+                        &self.obs,
+                        *events_from,
+                    ));
+                    let rep = Reply::new(req.opnum, body);
+                    let _ = ep.send(
+                        req.reply_to,
+                        lwfs_portals::reply_match(req.opnum.0),
+                        rep.to_bytes(),
+                    );
+                    return;
+                }
                 traces.insert(
                     req.req_id,
                     self.obs
@@ -936,6 +958,9 @@ impl StorageServer {
                 ReplyBody::TxnAborted
             }
             RequestBody::Ping => ReplyBody::Pong,
+            RequestBody::GetTelemetry { events_from } => {
+                ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(&self.obs, *events_from))
+            }
             other => {
                 ReplyBody::Err(Error::Malformed(format!("storage service cannot handle {other:?}")))
             }
