@@ -37,6 +37,25 @@ impl Clock for WallClock {
     }
 }
 
+/// Wall-clock time anchored at the Unix epoch.
+///
+/// [`WallClock`] measures from construction, so two OS processes disagree
+/// by their start offset — a capability minted in one process can look
+/// not-yet-valid in another. Multi-process deployments use this clock so
+/// every node reads the same timeline (clock sync is a given on a single
+/// host; a real deployment would lean on NTP the same way).
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+}
+
 /// A hand-advanced clock for tests. Cloning shares the same time.
 #[derive(Clone, Default)]
 pub struct ManualClock {

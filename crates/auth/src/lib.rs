@@ -27,7 +27,7 @@ pub mod mechanism;
 pub mod server;
 pub mod service;
 
-pub use clock::{Clock, ManualClock, WallClock};
+pub use clock::{Clock, ManualClock, SystemClock, WallClock};
 pub use mechanism::{AuthMechanism, MechError, MockKerberos};
 pub use server::AuthServer;
 pub use service::{AuthConfig, AuthService};

@@ -34,6 +34,6 @@ pub mod service;
 pub use analysis::AmortizedReport;
 pub use cache::{CapCache, CapCacheStats};
 pub use policy::{AclEntry, PolicyStore};
-pub use remote::CachedCapVerifier;
+pub use remote::{CachedCapVerifier, RemoteCredVerifier};
 pub use server::AuthzServer;
 pub use service::{AuthzConfig, AuthzService, AuthzStats, CredVerifier, RevocationNotice};

@@ -14,10 +14,44 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lwfs_obs::{Counter, Registry, SpanRecord};
-use lwfs_portals::RpcClient;
-use lwfs_proto::{Capability, Error, OpMask, ProcessId, ReplyBody, RequestBody, Result};
+use lwfs_portals::{Endpoint, RpcClient};
+use lwfs_proto::{
+    Capability, Credential, Error, OpMask, PrincipalId, ProcessId, ReplyBody, RequestBody, Result,
+};
 
 use crate::cache::{CapCache, CapCacheStats};
+use crate::service::CredVerifier;
+
+/// A [`CredVerifier`] that forwards to a *remote* authentication service
+/// over the `VerifyCred` RPC.
+///
+/// In a co-located deployment the authorization service holds an
+/// `Arc<AuthService>` directly; when authentication runs as its own
+/// process, this shim preserves the Figure 5 trust arrow across the wire:
+/// authorization still consults authentication for every first-contact
+/// credential, it just does so with a message. The verifier owns a
+/// dedicated endpoint (a client pid on the authorization node) so
+/// verification traffic never contends with the service's request queue.
+pub struct RemoteCredVerifier {
+    ep: Endpoint,
+    auth: ProcessId,
+}
+
+impl RemoteCredVerifier {
+    pub fn new(ep: Endpoint, auth: ProcessId) -> Self {
+        Self { ep, auth }
+    }
+}
+
+impl CredVerifier for RemoteCredVerifier {
+    fn verify_credential(&self, cred: &Credential) -> Result<PrincipalId> {
+        let client = RpcClient::new(&self.ep);
+        match client.call(self.auth, RequestBody::VerifyCred { cred: *cred })? {
+            ReplyBody::CredOk { principal } => Ok(principal),
+            other => Err(Error::Internal(format!("unexpected VerifyCred reply {other:?}"))),
+        }
+    }
+}
 
 /// A verifier bound to one enforcement site and one authorization server.
 pub struct CachedCapVerifier {

@@ -21,6 +21,9 @@ use lwfs_workload::ExperimentGrid;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if lwfs_bench::transport_arg() == lwfs_core::TransportKind::Tcp {
+        println!("(--transport tcp: functional probes run over the socket fabric)\n");
+    }
     let grid = if smoke { ExperimentGrid::smoke() } else { ExperimentGrid::paper() };
     let machine = Machine::dev_cluster();
     let calib = Calibration::default();

@@ -23,6 +23,28 @@ pub use metrics::{
 };
 pub use telemetry::{run_telemetry_probe, telemetry_out_arg, TelemetryReport, LAG_RULE};
 
+/// Parse `--transport <kind>` (or `--transport=<kind>`) from argv: which
+/// fabric the functional-plane runs and probes boot over. Defaults to the
+/// in-process transport; `tcp` routes every cross-node message through
+/// loopback sockets (and, where a binary supports it, real OS processes).
+///
+/// # Panics
+/// Panics on an unknown transport name — a silently-ignored flag would
+/// report in-process numbers as socket numbers.
+pub fn transport_arg() -> lwfs_core::TransportKind {
+    let args: Vec<String> = std::env::args().collect();
+    let raw = args
+        .iter()
+        .position(|a| a == "--transport")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| args.iter().find_map(|a| a.strip_prefix("--transport=").map(str::to_string)));
+    match raw {
+        Some(name) => lwfs_core::TransportKind::parse(&name)
+            .unwrap_or_else(|| panic!("unknown --transport {name:?} (try: inprocess, tcp)")),
+        None => lwfs_core::TransportKind::default(),
+    }
+}
+
 /// A simple aligned-column table printer.
 #[derive(Debug, Default)]
 pub struct Table {

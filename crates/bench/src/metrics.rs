@@ -109,6 +109,7 @@ pub fn run_metrics_probe(
         replication: 2,
         ship_deadline: Some(std::time::Duration::from_millis(100)),
         storage: StorageConfig { wal: Some(WalConfig::new(&wal_root)), ..Default::default() },
+        transport: crate::transport_arg(),
         ..Default::default()
     });
     let mut client = cluster.client(0, 0);

@@ -73,6 +73,7 @@ pub fn run_telemetry_probe(out: Option<&Path>) -> std::io::Result<TelemetryRepor
         replication: 2,
         ship_deadline: Some(Duration::from_millis(100)),
         storage: StorageConfig { wal: Some(WalConfig::new(&wal_root)), ..Default::default() },
+        transport: crate::transport_arg(),
         ..Default::default()
     });
     let monitor = cluster.spawn_monitor(MonitorConfig {

@@ -12,18 +12,32 @@
 //! | 1004       | replication group directory (replication > 1 only) |
 //! | 1100..     | storage servers (one per simulated I/O node)       |
 
+use std::collections::HashMap;
+use std::net::TcpListener;
 use std::sync::Arc;
 
 use lwfs_auth::{AuthConfig, AuthServer, AuthService, Clock, ManualClock, MockKerberos, WallClock};
 use lwfs_authz::{AuthzConfig, AuthzServer, AuthzService, CachedCapVerifier, CredVerifier};
+use lwfs_fabric::{FabricConfig, Manifest, SocketFabric};
 use lwfs_naming::{Namespace, NamingServer};
 use lwfs_portals::{Network, NetworkConfig, RpcConfig, ServiceHandle};
-use lwfs_proto::{GroupMap, PrincipalId, ProcessId};
+use lwfs_proto::{GroupMap, NodeId, PrincipalId, ProcessId};
 use lwfs_replica::{DirectoryHandle, ReplicaConfig};
 use lwfs_storage::{server::StorageHandle, StorageConfig, StorageServer};
 use lwfs_txn::{LockTable, TxnLockServer};
 
 use crate::client::LwfsClient;
+
+/// Realm of the deterministic mock KDC every cluster flavor boots.
+///
+/// Public because process-mode deployments re-create the KDC in each
+/// process: the same realm + [`KDC_SEED`] + user set yields the same MAC
+/// key, so a ticket minted by the launcher's KDC copy verifies at the
+/// authentication node's copy without any key exchange.
+pub const KDC_REALM: &str = "LWFS.LOCAL";
+
+/// Key seed of the deterministic mock KDC (see [`KDC_REALM`]).
+pub const KDC_SEED: u64 = 0xFEED_F00D;
 
 /// Well-known service addresses for a booted cluster.
 #[derive(Debug, Clone)]
@@ -52,6 +66,41 @@ impl ClusterAddrs {
         targets.push(self.authz);
         targets.extend(self.directory);
         targets
+    }
+}
+
+/// Which fabric carries cross-node traffic.
+///
+/// Every protocol is transport-agnostic: the portals API is the seam, and
+/// the cluster merely decides what sits under it. The default in-process
+/// transport is byte-identical to previous builds (no socket code runs at
+/// all); [`Tcp`](TransportKind::Tcp) gives each *service node* its own
+/// [`Network`] and [`SocketFabric`] on a loopback port, so every
+/// cross-node message — storage dispatch, WAL ships, verify-through,
+/// telemetry scrapes — crosses a real socket as CRC-checked frames.
+///
+/// The per-node networks are [siblings](Network::sibling): they share the
+/// metric registry, traffic counters and fault plan, so the harness keeps
+/// its God's-eye view (`cluster.network().set_faults(..)` partitions the
+/// whole cluster; benches read one set of counters) while the data path
+/// runs over sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// All endpoints on one in-process network (the historical behavior).
+    #[default]
+    InProcess,
+    /// One network + socket fabric per service node, linked over 127.0.0.1.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parse a `--transport` CLI value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inprocess" | "in-process" | "local" => Some(Self::InProcess),
+            "tcp" | "socket" => Some(Self::Tcp),
+            _ => None,
+        }
     }
 }
 
@@ -90,6 +139,10 @@ pub struct ClusterConfig {
     pub ship_deadline: Option<std::time::Duration>,
     /// Users to pre-register with the mock KDC: (name, password, principal).
     pub users: Vec<(String, String, PrincipalId)>,
+    /// Which fabric carries cross-node traffic. The default in-process
+    /// transport preserves historical behavior exactly; `Tcp` runs every
+    /// cross-node message over loopback sockets.
+    pub transport: TransportKind,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +157,7 @@ impl Default for ClusterConfig {
             capability_ttl_ns: None,
             ship_deadline: None,
             users: vec![("app".into(), "secret".into(), PrincipalId(1))],
+            transport: TransportKind::default(),
         }
     }
 }
@@ -117,6 +171,10 @@ impl Default for ClusterConfig {
 /// restart replays exactly that server's history.
 pub struct LwfsCluster {
     net: Network,
+    /// Per-service-node sibling networks (tcp transport only): nid → net.
+    /// Empty under the in-process transport, where `net` hosts everything.
+    node_nets: HashMap<u32, Network>,
+    transport: TransportKind,
     addrs: ClusterAddrs,
     kdc: Arc<MockKerberos>,
     clock: Arc<dyn Clock>,
@@ -138,6 +196,10 @@ pub struct LwfsCluster {
     _txnlock: ServiceHandle,
     _directory: Option<ServiceHandle>,
     _storage: Vec<Option<StorageHandle>>,
+    /// Socket fabrics (tcp transport only), shut down explicitly on drop:
+    /// a fabric and its network hold each other, so waiting for refcounts
+    /// would leak the acceptor and connection threads.
+    fabrics: Vec<Arc<SocketFabric>>,
 }
 
 /// Specialize the shared storage config for server `i`: each server logs
@@ -155,6 +217,59 @@ impl LwfsCluster {
     pub fn boot(config: ClusterConfig) -> Self {
         let net = Network::new(config.network.clone());
 
+        // Under the tcp transport each service node gets its own sibling
+        // network behind a socket fabric. Ports are allocated (and the
+        // manifest completed) before any fabric attaches, so the first
+        // cross-node call — whenever it happens — finds its peer dialable.
+        let r0 = config.replication.max(1);
+        let physical0 = config.storage_servers * r0;
+        let mut service_nids: Vec<u32> = vec![1000, 1001, 1002, 1003];
+        if r0 > 1 {
+            service_nids.push(1004);
+        }
+        service_nids.extend((0..physical0).map(|i| 1100 + i as u32));
+        let (node_nets, fabrics) = match config.transport {
+            TransportKind::InProcess => (HashMap::new(), Vec::new()),
+            TransportKind::Tcp => {
+                let mut listeners = Vec::with_capacity(service_nids.len());
+                let mut manifest = Manifest::new();
+                for &nid in &service_nids {
+                    let listener =
+                        TcpListener::bind("127.0.0.1:0").expect("binding service listener");
+                    manifest.insert(NodeId(nid), listener.local_addr().unwrap());
+                    listeners.push((nid, listener));
+                }
+                let mut nets = HashMap::new();
+                let mut fabrics = Vec::with_capacity(listeners.len() + 1);
+                for (nid, listener) in listeners {
+                    let node_net = net.sibling();
+                    let fabric = SocketFabric::attach_with_listener(
+                        &node_net,
+                        NodeId(nid),
+                        listener,
+                        manifest.clone(),
+                        FabricConfig::default(),
+                    )
+                    .expect("attaching service fabric");
+                    nets.insert(nid, node_net);
+                    fabrics.push(fabric);
+                }
+                // The compute-side fabric: clients and the monitor live on
+                // the root network and dial services via the manifest;
+                // services answer over learned routes, never dialing back,
+                // so this node needs no manifest entry. Nid 999 is the top
+                // of the compute partition and is only used for the
+                // connection handshake.
+                let compute =
+                    SocketFabric::attach(&net, NodeId(999), manifest, FabricConfig::default())
+                        .expect("attaching compute fabric");
+                fabrics.push(compute);
+                (nets, fabrics)
+            }
+        };
+        let net_for =
+            |nid: u32| -> Network { node_nets.get(&nid).cloned().unwrap_or_else(|| net.clone()) };
+
         let manual = config.manual_clock.then(ManualClock::new);
         let clock: Arc<dyn Clock> = match &manual {
             Some(m) => Arc::new(m.clone()),
@@ -162,13 +277,13 @@ impl LwfsCluster {
         };
 
         // External authentication mechanism + authentication service.
-        let kdc = Arc::new(MockKerberos::new("LWFS.LOCAL", 0xFEED_F00D));
+        let kdc = Arc::new(MockKerberos::new(KDC_REALM, KDC_SEED));
         for (name, pw, principal) in &config.users {
             kdc.add_user(name, pw, *principal);
         }
         let auth_id = ProcessId::new(1000, 0);
         let (auth_handle, auth_svc) = AuthServer::spawn(
-            &net,
+            &net_for(1000),
             auth_id,
             AuthService::new(
                 AuthConfig::default(),
@@ -181,7 +296,7 @@ impl LwfsCluster {
         // (Figure 5's trust arrow).
         let authz_id = ProcessId::new(1001, 0);
         let (authz_handle, authz_svc) = AuthzServer::spawn(
-            &net,
+            &net_for(1001),
             authz_id,
             AuthzService::new(
                 AuthzConfig {
@@ -197,9 +312,9 @@ impl LwfsCluster {
 
         // Client-extension services.
         let naming_id = ProcessId::new(1002, 0);
-        let (naming_handle, namespace) = NamingServer::spawn(&net, naming_id);
+        let (naming_handle, namespace) = NamingServer::spawn(&net_for(1002), naming_id);
         let txnlock_id = ProcessId::new(1003, 0);
-        let (txnlock_handle, locks) = TxnLockServer::spawn(&net, txnlock_id, None);
+        let (txnlock_handle, locks) = TxnLockServer::spawn(&net_for(1003), txnlock_id, None);
 
         // Storage partition: every server enforces policy through its own
         // verify-through cache bound to the authorization service. With
@@ -236,7 +351,7 @@ impl LwfsCluster {
             }
             let verifier = CachedCapVerifier::with_registry(sid, authz_id, net.obs());
             let (h, s) = StorageServer::spawn(
-                &net,
+                &net_for(sid.nid.0),
                 sid,
                 server_config.clone(),
                 Some(verifier),
@@ -251,7 +366,7 @@ impl LwfsCluster {
         // cluster keeps exactly its historical endpoint census.
         let (directory_handle, directory) = if r > 1 {
             let (h, d) = lwfs_replica::spawn_directory(
-                &net,
+                &net_for(1004),
                 directory_id,
                 GroupMap::grouped(&storage_addrs, r),
             );
@@ -262,6 +377,8 @@ impl LwfsCluster {
 
         LwfsCluster {
             net,
+            node_nets,
+            transport: config.transport,
             addrs: ClusterAddrs {
                 auth: auth_id,
                 authz: authz_id,
@@ -287,11 +404,27 @@ impl LwfsCluster {
             _txnlock: txnlock_handle,
             _directory: directory_handle,
             _storage: storage_handles,
+            fabrics,
         }
     }
 
+    /// The root network: the only network under the in-process transport;
+    /// the compute-node network (clients, monitor) under tcp. Either way
+    /// it carries the *shared* observability plane — metric registry,
+    /// traffic counters, fault plan — for the whole cluster.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The transport this cluster was booted with.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// The network hosting node `nid`'s endpoints (the root network under
+    /// the in-process transport).
+    fn node_net(&self, nid: u32) -> &Network {
+        self.node_nets.get(&nid).unwrap_or(&self.net)
     }
 
     pub fn addrs(&self) -> &ClusterAddrs {
@@ -355,8 +488,11 @@ impl LwfsCluster {
             handle.shutdown();
             // The endpoint is not unregistered by shutdown (the handle does
             // not own it); remove it so senders see an unreachable node
-            // instead of a silently-draining queue.
-            self.net.unregister(sid);
+            // instead of a silently-draining queue. Under tcp the node's
+            // fabric stays up — frames addressed to the dead server are
+            // dropped on delivery (no endpoint), which is what a dead
+            // process looks like from the wire.
+            self.node_net(sid.nid.0).unregister(sid);
         }
         self.storage_servers[idx] = None;
         self.repair_group(self.addrs.storage[idx]);
@@ -493,8 +629,9 @@ impl LwfsCluster {
         );
         let sid = self.addrs.storage[idx];
         let verifier = CachedCapVerifier::with_registry(sid, self.addrs.authz, self.net.obs());
+        let net = self.node_net(sid.nid.0).clone();
         let (h, s) = StorageServer::spawn(
-            &self.net,
+            &net,
             sid,
             self.storage_configs[idx].clone(),
             Some(verifier),
@@ -523,6 +660,18 @@ impl LwfsCluster {
         let mut client = LwfsClient::new(ep, self.addrs.clone());
         client.set_rpc_timeout(self.rpc.reply_timeout);
         client
+    }
+}
+
+impl Drop for LwfsCluster {
+    fn drop(&mut self) {
+        // Socket fabrics and their networks reference each other, so shut
+        // the fabrics down explicitly (closing connections, stopping the
+        // acceptor and reader/writer threads) instead of waiting for a
+        // refcount that never reaches zero. No-op in-process.
+        for fabric in &self.fabrics {
+            fabric.shutdown();
+        }
     }
 }
 
@@ -574,6 +723,48 @@ mod tests {
     fn restart_of_running_server_panics() {
         let mut cluster = LwfsCluster::boot(ClusterConfig::default());
         cluster.restart_storage(0);
+    }
+
+    #[test]
+    fn tcp_transport_serves_end_to_end_io() {
+        let cluster = LwfsCluster::boot(ClusterConfig {
+            storage_servers: 2,
+            transport: TransportKind::Tcp,
+            ..Default::default()
+        });
+        assert_eq!(cluster.transport(), TransportKind::Tcp);
+        // Services live on their own per-node networks, not the root one.
+        assert_eq!(cluster.network().endpoint_count(), 0);
+        let mut client = cluster.client(1, 0);
+        let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+        client.get_cred(ticket).unwrap();
+        let cid = client.create_container().unwrap();
+        let caps = client.get_caps(cid, lwfs_proto::OpMask::ALL).unwrap();
+        let obj = client.create_obj(0, &caps, None, None).unwrap();
+        client.write(0, &caps, None, obj, 0, b"over the wire").unwrap();
+        assert_eq!(client.read(0, &caps, obj, 0, 13).unwrap(), b"over the wire");
+    }
+
+    #[test]
+    fn tcp_transport_replicates_and_fails_over() {
+        let mut cluster = LwfsCluster::boot(ClusterConfig {
+            storage_servers: 1,
+            replication: 2,
+            transport: TransportKind::Tcp,
+            ..Default::default()
+        });
+        let mut client = cluster.client(1, 0);
+        let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+        client.get_cred(ticket).unwrap();
+        let cid = client.create_container().unwrap();
+        let caps = client.get_caps(cid, lwfs_proto::OpMask::ALL).unwrap();
+        let obj = client.create_obj(0, &caps, None, None).unwrap();
+        client.write(0, &caps, None, obj, 0, b"replicated").unwrap();
+        // The WAL ship crossed a socket: the backup holds the bytes.
+        assert!(cluster.storage_server(1).store().bytes_stored() > 0);
+        // Kill the primary; the promoted backup serves the read.
+        cluster.crash_storage(0);
+        assert_eq!(client.read(0, &caps, obj, 0, 10).unwrap(), b"replicated");
     }
 
     #[test]

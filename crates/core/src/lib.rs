@@ -28,11 +28,13 @@ pub mod caps;
 pub mod client;
 pub mod cluster;
 pub mod monitor;
+pub mod proc;
 
 pub use caps::CapSet;
 pub use client::LwfsClient;
-pub use cluster::{ClusterAddrs, ClusterConfig, LwfsCluster};
+pub use cluster::{ClusterAddrs, ClusterConfig, LwfsCluster, TransportKind};
 pub use monitor::{
     default_rules, AlertState, ClusterMonitor, Condition, HealthRule, MonitorConfig, TargetHealth,
     MONITOR_NID,
 };
+pub use proc::{ProcessCluster, ProcessClusterConfig};

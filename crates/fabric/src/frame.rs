@@ -1,0 +1,453 @@
+//! Wire framing: `[len: u32 LE] [crc32: u32 LE] [payload]`.
+//!
+//! Each frame carries one [`FabricMsg`], encoded with the same hand-rolled
+//! little-endian codec as every `lwfs_proto` message. The CRC covers the
+//! payload only; a frame whose checksum does not match is *poison* — a
+//! torn write or corrupted stream — and the connection that produced it
+//! must be dropped, because byte alignment can no longer be trusted.
+//!
+//! [`FrameReader`] is the incremental decoder: feed it whatever chunks
+//! `read(2)` produces (split frames, coalesced frames, single bytes) and
+//! pull complete messages out as they materialize.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lwfs_proto::{Decode, Encode, Error, NodeId, ProcessId, Result};
+
+/// Frames longer than this are rejected before buffering: no legitimate
+/// message approaches it (bulk transfers are chunked well below), so a
+/// larger length prefix means a corrupt or hostile stream.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per message (length + checksum).
+pub const HEADER_LEN: usize = 8;
+
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) — the same polynomial
+// the WAL uses for its record frames, implemented independently so the
+// transport has no dependency on the storage stack.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// One message on a fabric connection.
+///
+/// `Send` is fire-and-forget; `Put`/`Get` carry a sender-allocated token
+/// that the matching `PutAck`/`GetReply` echoes, so one connection
+/// multiplexes any number of in-flight one-sided operations. `Hello`
+/// opens every connection (it names the dialing node before any routed
+/// traffic); `SetFaults` is the control-plane broadcast that installs a
+/// fault plan on the receiving node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricMsg {
+    /// First frame on every connection: the dialing node's id.
+    Hello { nid: NodeId },
+    /// An eager message for `to`'s event queue.
+    Send { from: ProcessId, to: ProcessId, match_bits: u64, data: Bytes },
+    /// One-sided write into a descriptor posted on the receiving node.
+    Put { token: u64, from: ProcessId, to: ProcessId, match_bits: u64, offset: u64, data: Bytes },
+    /// One-sided read from a descriptor posted on the receiving node.
+    Get { token: u64, from: ProcessId, to: ProcessId, match_bits: u64, offset: u64, len: u64 },
+    /// Outcome of a `Put` with the same token.
+    PutAck { token: u64, err: Option<Error> },
+    /// Outcome of a `Get` with the same token (`data` is empty on error).
+    GetReply { token: u64, err: Option<Error>, data: Bytes },
+    /// Install a fault plan on the receiving node (drops roll on the
+    /// initiator side; partitions and dead sets are checked on both).
+    SetFaults { drop_rate: f64, partitioned: Vec<NodeId>, dead: Vec<ProcessId> },
+}
+
+impl Encode for FabricMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            FabricMsg::Hello { nid } => {
+                buf.put_u8(0);
+                nid.encode(buf);
+            }
+            FabricMsg::Send { from, to, match_bits, data } => {
+                buf.put_u8(1);
+                from.encode(buf);
+                to.encode(buf);
+                match_bits.encode(buf);
+                data.encode(buf);
+            }
+            FabricMsg::Put { token, from, to, match_bits, offset, data } => {
+                buf.put_u8(2);
+                token.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+                match_bits.encode(buf);
+                offset.encode(buf);
+                data.encode(buf);
+            }
+            FabricMsg::Get { token, from, to, match_bits, offset, len } => {
+                buf.put_u8(3);
+                token.encode(buf);
+                from.encode(buf);
+                to.encode(buf);
+                match_bits.encode(buf);
+                offset.encode(buf);
+                len.encode(buf);
+            }
+            FabricMsg::PutAck { token, err } => {
+                buf.put_u8(4);
+                token.encode(buf);
+                err.encode(buf);
+            }
+            FabricMsg::GetReply { token, err, data } => {
+                buf.put_u8(5);
+                token.encode(buf);
+                err.encode(buf);
+                data.encode(buf);
+            }
+            FabricMsg::SetFaults { drop_rate, partitioned, dead } => {
+                buf.put_u8(6);
+                drop_rate.encode(buf);
+                partitioned.encode(buf);
+                dead.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for FabricMsg {
+    fn decode(buf: &mut impl Buf) -> Result<Self> {
+        Ok(match u8::decode(buf)? {
+            0 => FabricMsg::Hello { nid: Decode::decode(buf)? },
+            1 => FabricMsg::Send {
+                from: Decode::decode(buf)?,
+                to: Decode::decode(buf)?,
+                match_bits: Decode::decode(buf)?,
+                data: Decode::decode(buf)?,
+            },
+            2 => FabricMsg::Put {
+                token: Decode::decode(buf)?,
+                from: Decode::decode(buf)?,
+                to: Decode::decode(buf)?,
+                match_bits: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                data: Decode::decode(buf)?,
+            },
+            3 => FabricMsg::Get {
+                token: Decode::decode(buf)?,
+                from: Decode::decode(buf)?,
+                to: Decode::decode(buf)?,
+                match_bits: Decode::decode(buf)?,
+                offset: Decode::decode(buf)?,
+                len: Decode::decode(buf)?,
+            },
+            4 => FabricMsg::PutAck { token: Decode::decode(buf)?, err: Decode::decode(buf)? },
+            5 => FabricMsg::GetReply {
+                token: Decode::decode(buf)?,
+                err: Decode::decode(buf)?,
+                data: Decode::decode(buf)?,
+            },
+            6 => FabricMsg::SetFaults {
+                drop_rate: Decode::decode(buf)?,
+                partitioned: Decode::decode(buf)?,
+                dead: Decode::decode(buf)?,
+            },
+            t => return Err(Error::Malformed(format!("unknown fabric frame tag {t}"))),
+        })
+    }
+}
+
+impl FabricMsg {
+    /// Encode into a complete wire frame (header + payload).
+    pub fn to_frame(&self) -> Bytes {
+        let payload = self.to_bytes();
+        let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
+        out.put_u32_le(payload.len() as u32);
+        out.put_u32_le(crc32(&payload));
+        out.put_slice(&payload);
+        out.freeze()
+    }
+}
+
+/// Incremental frame decoder for one connection's byte stream.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: BytesMut,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes as they arrive off the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pull the next complete message, if one has fully arrived.
+    ///
+    /// `Ok(None)` means "incomplete — feed more bytes". An error means the
+    /// stream itself is poisoned (oversized length prefix, checksum
+    /// mismatch, undecodable payload): the caller must drop the
+    /// connection, since frame alignment is unrecoverable.
+    pub fn next_msg(&mut self) -> Result<Option<FabricMsg>> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(Error::Malformed(format!("fabric frame of {len} bytes exceeds limit")));
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let want_crc = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
+        self.buf.advance(HEADER_LEN);
+        let payload = self.buf.split_to(len).freeze();
+        let got_crc = crc32(&payload);
+        if got_crc != want_crc {
+            return Err(Error::Malformed(format!(
+                "fabric frame checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+            )));
+        }
+        FabricMsg::from_bytes(payload).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msgs() -> Vec<FabricMsg> {
+        vec![
+            FabricMsg::Hello { nid: NodeId(1100) },
+            FabricMsg::Send {
+                from: ProcessId::new(3, 0),
+                to: ProcessId::new(1100, 0),
+                match_bits: 0x1,
+                data: Bytes::from_static(b"request bytes"),
+            },
+            FabricMsg::Put {
+                token: 7,
+                from: ProcessId::new(1100, 0),
+                to: ProcessId::new(3, 0),
+                match_bits: 0x2000_0000_0000_0001,
+                offset: 64,
+                data: Bytes::from_static(b"bulk"),
+            },
+            FabricMsg::Get {
+                token: 8,
+                from: ProcessId::new(1100, 0),
+                to: ProcessId::new(3, 0),
+                match_bits: 0x2000_0000_0000_0002,
+                offset: 0,
+                len: 4096,
+            },
+            FabricMsg::PutAck { token: 7, err: None },
+            FabricMsg::PutAck { token: 9, err: Some(Error::AccessDenied) },
+            FabricMsg::GetReply { token: 8, err: None, data: Bytes::from_static(b"payload") },
+            FabricMsg::SetFaults {
+                drop_rate: 0.25,
+                partitioned: vec![NodeId(1101)],
+                dead: vec![ProcessId::new(1102, 0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips_through_a_frame() {
+        let mut r = FrameReader::new();
+        for msg in msgs() {
+            r.feed(&msg.to_frame());
+            assert_eq!(r.next_msg().unwrap(), Some(msg));
+            assert_eq!(r.buffered(), 0);
+        }
+        assert_eq!(r.next_msg().unwrap(), None);
+    }
+
+    #[test]
+    fn coalesced_frames_all_decode() {
+        let mut wire = Vec::new();
+        for msg in msgs() {
+            wire.extend_from_slice(&msg.to_frame());
+        }
+        let mut r = FrameReader::new();
+        r.feed(&wire);
+        let mut got = Vec::new();
+        while let Some(m) = r.next_msg().unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, msgs());
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery_decodes() {
+        let msg = msgs().remove(1);
+        let frame = msg.to_frame();
+        let mut r = FrameReader::new();
+        for (i, b) in frame.iter().enumerate() {
+            r.feed(std::slice::from_ref(b));
+            let out = r.next_msg().unwrap();
+            if i + 1 == frame.len() {
+                assert_eq!(out, Some(msg.clone()));
+            } else {
+                assert_eq!(out, None, "complete message after {} of {} bytes", i + 1, frame.len());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let frame = msgs()[1].to_frame();
+        for flip in HEADER_LEN..frame.len() {
+            let mut bad = frame.to_vec();
+            bad[flip] ^= 0x40;
+            let mut r = FrameReader::new();
+            r.feed(&bad);
+            assert!(r.next_msg().is_err(), "flipped byte {flip} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn corrupted_crc_field_is_detected() {
+        let mut bad = msgs()[0].to_frame().to_vec();
+        bad[5] ^= 0xFF;
+        let mut r = FrameReader::new();
+        r.feed(&bad);
+        assert!(r.next_msg().is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_poison() {
+        let mut r = FrameReader::new();
+        r.feed(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        r.feed(&[0u8; 4]);
+        assert!(r.next_msg().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_send_roundtrips(
+            from_nid: u32, from_pid: u32, to_nid: u32, to_pid: u32,
+            match_bits: u64, data: Vec<u8>,
+        ) {
+            let msg = FabricMsg::Send {
+                from: ProcessId::new(from_nid, from_pid),
+                to: ProcessId::new(to_nid, to_pid),
+                match_bits,
+                data: Bytes::from(data),
+            };
+            let mut r = FrameReader::new();
+            r.feed(&msg.to_frame());
+            proptest::prop_assert_eq!(r.next_msg().unwrap(), Some(msg));
+            proptest::prop_assert_eq!(r.buffered(), 0);
+        }
+
+        #[test]
+        fn prop_random_split_points_reassemble(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(proptest::num::u8::ANY, 0..256), 1..8),
+            cut: u16,
+        ) {
+            // Several frames concatenated, then split at an arbitrary
+            // point: both halves fed separately must yield exactly the
+            // original messages.
+            let msgs: Vec<FabricMsg> = payloads
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| FabricMsg::Send {
+                    from: ProcessId::new(i as u32, 0),
+                    to: ProcessId::new(1100, 0),
+                    match_bits: i as u64,
+                    data: Bytes::from(p),
+                })
+                .collect();
+            let mut wire = Vec::new();
+            for m in &msgs {
+                wire.extend_from_slice(&m.to_frame());
+            }
+            let cut = (cut as usize) % (wire.len() + 1);
+            let mut r = FrameReader::new();
+            let mut got = Vec::new();
+            r.feed(&wire[..cut]);
+            while let Some(m) = r.next_msg().unwrap() {
+                got.push(m);
+            }
+            r.feed(&wire[cut..]);
+            while let Some(m) = r.next_msg().unwrap() {
+                got.push(m);
+            }
+            proptest::prop_assert_eq!(got, msgs);
+            proptest::prop_assert_eq!(r.buffered(), 0);
+        }
+
+        #[test]
+        fn prop_torn_tail_is_incomplete_not_error(data: Vec<u8>, keep in 0usize..64) {
+            // A frame cut short (torn write) must read as "incomplete",
+            // never as a decoded message; only a *corrupted* complete
+            // frame is an error.
+            let msg = FabricMsg::Send {
+                from: ProcessId::new(1, 0),
+                to: ProcessId::new(2, 0),
+                match_bits: 9,
+                data: Bytes::from(data),
+            };
+            let frame = msg.to_frame();
+            let keep = keep.min(frame.len().saturating_sub(1));
+            let mut r = FrameReader::new();
+            r.feed(&frame[..keep]);
+            proptest::prop_assert_eq!(r.next_msg().unwrap(), None);
+        }
+
+        #[test]
+        fn prop_single_bitflip_never_decodes_silently(
+            data in proptest::collection::vec(proptest::num::u8::ANY, 0..128),
+            flip_byte: u16, flip_bit in 0u8..8,
+        ) {
+            let msg = FabricMsg::Send {
+                from: ProcessId::new(1, 0),
+                to: ProcessId::new(2, 0),
+                match_bits: 1,
+                data: Bytes::from(data),
+            };
+            let frame = msg.to_frame();
+            let idx = HEADER_LEN + (flip_byte as usize) % (frame.len() - HEADER_LEN).max(1);
+            if idx < frame.len() {
+                let mut bad = frame.to_vec();
+                bad[idx] ^= 1 << flip_bit;
+                let mut r = FrameReader::new();
+                r.feed(&bad);
+                proptest::prop_assert!(r.next_msg().is_err());
+            }
+        }
+    }
+}

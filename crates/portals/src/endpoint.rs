@@ -105,40 +105,24 @@ impl Endpoint {
 
     /// Write `data` into the descriptor `target` posted under `match_bits`,
     /// starting at `offset`. Completes without the target thread running.
+    ///
+    /// A target the local registry does not hold is routed through the
+    /// attached [`RemoteFabric`](crate::transport::RemoteFabric) (a
+    /// blocking round trip); with no remote transport it is
+    /// [`Error::Unreachable`], the historical in-process behavior.
     pub fn put(&self, target: ProcessId, match_bits: u64, offset: u64, data: &[u8]) -> Result<()> {
         self.net.check_reachable(self.id, target)?;
-        let state = self.net.lookup(target)?;
-        let (md, unlink) = {
-            let mds = state.mds.lock();
-            let md = mds
-                .get(&match_bits)
-                .ok_or_else(|| Error::Malformed(format!("no md at {match_bits:#x} on {target}")))?
-                .clone();
-            drop(mds);
-            if !md.options().allow_put {
-                return Err(Error::AccessDenied);
-            }
-            md.remote_write(offset, data)?;
-            let unlink = md.consume_op();
-            (md, unlink)
-        };
-        if unlink {
-            state.mds.lock().remove(&match_bits);
+        if self.net.endpoints.read().contains_key(&target) {
+            return self.net.local_put(self.id, target, match_bits, offset, data);
         }
-        self.net.stats.record_put(self.id, data.len());
-        if md.options().deliver_events {
-            // Best effort: a full event queue loses the notification, which
-            // is exactly what a real NIC event queue overflow does.
-            let _ = state.deliver(
-                Event::PutEnd { from: self.id, match_bits, offset, len: data.len() },
-                || {},
-            );
+        match self.net.remote() {
+            Some(fabric) => fabric.put(self.id, target, match_bits, offset, data),
+            None => Err(Error::Unreachable),
         }
-        Ok(())
     }
 
     /// Read `len` bytes at `offset` from the descriptor `target` posted
-    /// under `match_bits`.
+    /// under `match_bits`. Remote targets as in [`Endpoint::put`].
     pub fn get(
         &self,
         target: ProcessId,
@@ -147,32 +131,13 @@ impl Endpoint {
         len: usize,
     ) -> Result<Vec<u8>> {
         self.net.check_reachable(self.id, target)?;
-        let state = self.net.lookup(target)?;
-        let (md, data, unlink) = {
-            let mds = state.mds.lock();
-            let md = mds
-                .get(&match_bits)
-                .ok_or_else(|| Error::Malformed(format!("no md at {match_bits:#x} on {target}")))?
-                .clone();
-            drop(mds);
-            if !md.options().allow_get {
-                return Err(Error::AccessDenied);
-            }
-            let data = md.remote_read(offset, len)?;
-            let unlink = md.consume_op();
-            (md, data, unlink)
-        };
-        if unlink {
-            state.mds.lock().remove(&match_bits);
+        if self.net.endpoints.read().contains_key(&target) {
+            return self.net.local_get(self.id, target, match_bits, offset, len);
         }
-        self.net.stats.record_get(self.id, data.len());
-        if md.options().deliver_events {
-            let _ = state.deliver(
-                Event::GetEnd { from: self.id, match_bits, offset, len: data.len() },
-                || {},
-            );
+        match self.net.remote() {
+            Some(fabric) => fabric.get(self.id, target, match_bits, offset, len),
+            None => Err(Error::Unreachable),
         }
-        Ok(data)
     }
 
     // ------------------------------------------------------------------
@@ -183,7 +148,9 @@ impl Endpoint {
     ///
     /// Fails with [`Error::ServerBusy`] when the target queue is full —
     /// callers implementing the paper's flow-control loop back off and
-    /// re-send (§3.2).
+    /// re-send (§3.2). On the socket transport the same error reports a
+    /// full per-connection *write* queue; a full queue on the remote side
+    /// drops the frame silently and the sender finds out via timeout.
     pub fn send(&self, target: ProcessId, match_bits: u64, data: Bytes) -> Result<()> {
         self.net.check_reachable(self.id, target)?;
         if self.net.roll_drop() {
@@ -191,18 +158,12 @@ impl Endpoint {
             self.net.stats.record_drop();
             return Ok(());
         }
-        let state = self.net.lookup(target)?;
-        let len = data.len();
-        // Statistics are recorded inside `deliver`, before the message is
-        // visible to the receiver, so counters are always consistent with
-        // what any observer has seen.
-        if state.deliver(Event::Message { from: self.id, match_bits, data }, || {
-            self.net.stats.record_send(self.id, len)
-        }) {
-            Ok(())
-        } else {
-            self.net.stats.record_reject();
-            Err(Error::ServerBusy)
+        if self.net.endpoints.read().contains_key(&target) {
+            return self.net.local_send(self.id, target, match_bits, data);
+        }
+        match self.net.remote() {
+            Some(fabric) => fabric.send(self.id, target, match_bits, data),
+            None => Err(Error::Unreachable),
         }
     }
 

@@ -37,6 +37,7 @@ pub mod rpc;
 pub mod service;
 pub mod stats;
 pub mod telemetry;
+pub mod transport;
 
 pub use buffer::{MdOptions, MemDesc};
 pub use endpoint::{Endpoint, MatchBitsAlloc};
@@ -47,6 +48,7 @@ pub use rpc::{RpcClient, RpcConfig, RpcServer};
 pub use service::{spawn_service, Service, ServiceHandle};
 pub use stats::NetStats;
 pub use telemetry::telemetry_snapshot;
+pub use transport::RemoteFabric;
 
 use lwfs_proto::ProcessId;
 

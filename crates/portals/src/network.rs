@@ -4,6 +4,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use lwfs_obs::Registry;
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::{Rng, SeedableRng};
@@ -15,6 +16,7 @@ use crate::buffer::MemDesc;
 use crate::endpoint::Endpoint;
 use crate::event::Event;
 use crate::stats::NetStats;
+use crate::transport::RemoteFabric;
 
 /// Configuration for a network instance.
 #[derive(Debug, Clone)]
@@ -104,15 +106,26 @@ pub(crate) struct NetworkInner {
     /// Shared metric registry; every service on this fabric registers
     /// its `component.op.stat` metrics here (see `lwfs-obs`).
     pub obs: Arc<Registry>,
-    pub stats: NetStats,
-    pub faults: RwLock<FaultPlan>,
+    /// Behind an `Arc` so [`Network::sibling`] fabrics (one per simulated
+    /// node, linked by a socket transport in one test process) share one
+    /// counter plane the way the historical single network did.
+    pub stats: Arc<NetStats>,
+    pub faults: Arc<RwLock<FaultPlan>>,
     pub rng: Mutex<ChaCha8Rng>,
-    pub match_alloc: AtomicU64,
+    pub match_alloc: Arc<AtomicU64>,
+    /// Transport for processes the local registry does not know. `None`
+    /// (the default) keeps the historical in-process behavior: unknown
+    /// targets are simply [`Error::Unreachable`].
+    pub remote: RwLock<Option<Arc<dyn RemoteFabric>>>,
 }
 
 impl NetworkInner {
     pub fn lookup(&self, id: ProcessId) -> Result<Arc<EndpointState>> {
         self.endpoints.read().get(&id).cloned().ok_or(Error::Unreachable)
+    }
+
+    pub fn remote(&self) -> Option<Arc<dyn RemoteFabric>> {
+        self.remote.read().clone()
     }
 
     /// Returns `true` if a probabilistic drop fires.
@@ -131,6 +144,101 @@ impl NetworkInner {
             Ok(())
         }
     }
+
+    /// Execute a one-sided write against a *local* descriptor. Shared by
+    /// [`Endpoint::put`] and the inbound half of a remote fabric, so both
+    /// transports enforce identical MD semantics (permissions, auto-unlink,
+    /// completion events, byte accounting).
+    pub fn local_put(
+        &self,
+        from: ProcessId,
+        target: ProcessId,
+        match_bits: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        let state = self.lookup(target)?;
+        let md = state
+            .mds
+            .lock()
+            .get(&match_bits)
+            .ok_or_else(|| Error::Malformed(format!("no md at {match_bits:#x} on {target}")))?
+            .clone();
+        if !md.options().allow_put {
+            return Err(Error::AccessDenied);
+        }
+        md.remote_write(offset, data)?;
+        if md.consume_op() {
+            state.mds.lock().remove(&match_bits);
+        }
+        self.stats.record_put(from, data.len());
+        if md.options().deliver_events {
+            // Best effort: a full event queue loses the notification, which
+            // is exactly what a real NIC event queue overflow does.
+            let _ =
+                state.deliver(Event::PutEnd { from, match_bits, offset, len: data.len() }, || {});
+        }
+        Ok(())
+    }
+
+    /// Execute a one-sided read against a *local* descriptor (see
+    /// [`NetworkInner::local_put`]).
+    pub fn local_get(
+        &self,
+        from: ProcessId,
+        target: ProcessId,
+        match_bits: u64,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let state = self.lookup(target)?;
+        let md = state
+            .mds
+            .lock()
+            .get(&match_bits)
+            .ok_or_else(|| Error::Malformed(format!("no md at {match_bits:#x} on {target}")))?
+            .clone();
+        if !md.options().allow_get {
+            return Err(Error::AccessDenied);
+        }
+        let data = md.remote_read(offset, len)?;
+        if md.consume_op() {
+            state.mds.lock().remove(&match_bits);
+        }
+        self.stats.record_get(from, data.len());
+        if md.options().deliver_events {
+            let _ =
+                state.deliver(Event::GetEnd { from, match_bits, offset, len: data.len() }, || {});
+        }
+        Ok(data)
+    }
+
+    /// Deliver an eager message to a *local* endpoint's bounded queue.
+    /// Shared by [`Endpoint::send`] and the inbound half of a remote
+    /// fabric. A full queue is [`Error::ServerBusy`]; on the wire that
+    /// verdict cannot reach the sender synchronously, so the fabric drops
+    /// the frame and the sender discovers the loss via its reply timeout.
+    pub fn local_send(
+        &self,
+        from: ProcessId,
+        target: ProcessId,
+        match_bits: u64,
+        data: Bytes,
+    ) -> Result<()> {
+        let state = self.lookup(target)?;
+        let len = data.len();
+        // Statistics are recorded inside `deliver`, before the message is
+        // visible to the receiver, so counters are always consistent with
+        // what any observer has seen.
+        if state.deliver(Event::Message { from, match_bits, data }, || {
+            self.stats.record_send(from, len)
+        }) {
+            Ok(())
+        } else {
+            self.stats.record_reject();
+            Err(Error::ServerBusy)
+        }
+    }
 }
 
 /// An in-process network fabric.
@@ -146,18 +254,64 @@ impl Network {
     pub fn new(config: NetworkConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(config.fault_seed);
         let obs = Arc::new(Registry::with_config(&config.obs));
-        let stats = NetStats::with_registry(&obs);
+        let stats = Arc::new(NetStats::with_registry(&obs));
         Self {
             inner: Arc::new(NetworkInner {
                 config,
                 endpoints: RwLock::new(HashMap::new()),
                 obs,
                 stats,
-                faults: RwLock::new(FaultPlan::default()),
+                faults: Arc::new(RwLock::new(FaultPlan::default())),
                 rng: Mutex::new(rng),
-                match_alloc: AtomicU64::new(1),
+                match_alloc: Arc::new(AtomicU64::new(1)),
+                remote: RwLock::new(None),
             }),
         }
+    }
+
+    /// A new fabric for *another node of the same cluster*: its own
+    /// endpoint registry (processes on that node) but the observability
+    /// plane — metric registry, transport counters, fault plan, match-bit
+    /// allocator — shared with `self`.
+    ///
+    /// This is how a one-process test cluster runs one `Network` per
+    /// simulated machine, linked by a socket fabric, while the harness
+    /// keeps the God's-eye view a single shared network historically gave
+    /// it: one `set_faults` partitions every node, one registry snapshot
+    /// sees every service.
+    pub fn sibling(&self) -> Network {
+        let config = self.inner.config.clone();
+        let rng = ChaCha8Rng::seed_from_u64(config.fault_seed);
+        Self {
+            inner: Arc::new(NetworkInner {
+                config,
+                endpoints: RwLock::new(HashMap::new()),
+                obs: Arc::clone(&self.inner.obs),
+                stats: Arc::clone(&self.inner.stats),
+                faults: Arc::clone(&self.inner.faults),
+                rng: Mutex::new(rng),
+                match_alloc: Arc::clone(&self.inner.match_alloc),
+                remote: RwLock::new(None),
+            }),
+        }
+    }
+
+    /// Attach the transport used for processes this registry does not
+    /// hold. Operations addressed to unknown targets are routed through
+    /// it instead of failing with [`Error::Unreachable`].
+    pub fn set_remote(&self, fabric: Arc<dyn RemoteFabric>) {
+        *self.inner.remote.write() = Some(fabric);
+    }
+
+    /// Detach the remote transport (used on teardown so the fabric's
+    /// threads are not kept alive by the network's reference).
+    pub fn clear_remote(&self) {
+        *self.inner.remote.write() = None;
+    }
+
+    /// Whether `id` is registered on *this* network instance.
+    pub fn has_local(&self, id: ProcessId) -> bool {
+        self.inner.endpoints.read().contains_key(&id)
     }
 
     /// Register a process and obtain its endpoint.
@@ -200,6 +354,60 @@ impl Network {
     /// Convenience: clear all injected faults.
     pub fn heal(&self) {
         self.set_faults(FaultPlan::default());
+    }
+
+    /// The active fault plan (shared with sibling fabrics).
+    pub fn faults(&self) -> FaultPlan {
+        self.inner.faults.read().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound entry points for a remote fabric
+    // ------------------------------------------------------------------
+    //
+    // Traffic arriving over a [`RemoteFabric`] re-enters the local
+    // delivery path here. Reachability is re-checked on the receiving
+    // side: the initiator checked its own plan before the frame left, so
+    // under one broadcast plan a partition is symmetric — frames already
+    // in flight when the partition lands are discarded at the boundary,
+    // exactly as the in-process fabric refuses them at the send site.
+
+    /// Deliver an eager message that arrived over the remote transport.
+    pub fn deliver_send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        match_bits: u64,
+        data: Bytes,
+    ) -> Result<()> {
+        self.inner.check_reachable(from, to)?;
+        self.inner.local_send(from, to, match_bits, data)
+    }
+
+    /// Execute a one-sided write that arrived over the remote transport.
+    pub fn deliver_put(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        match_bits: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.inner.check_reachable(from, to)?;
+        self.inner.local_put(from, to, match_bits, offset, data)
+    }
+
+    /// Execute a one-sided read that arrived over the remote transport.
+    pub fn deliver_get(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        match_bits: u64,
+        offset: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        self.inner.check_reachable(from, to)?;
+        self.inner.local_get(from, to, match_bits, offset, len)
     }
 
     /// Number of registered endpoints.

@@ -246,6 +246,15 @@ impl BytesMut {
         Bytes::from(self.data)
     }
 
+    /// Split off the first `len` unread bytes into their own buffer,
+    /// leaving the remainder in `self`.
+    pub fn split_to(&mut self, len: usize) -> BytesMut {
+        assert!(len <= self.len(), "split_to out of range");
+        let out = BytesMut { data: self.data[self.pos..self.pos + len].to_vec(), pos: 0 };
+        self.pos += len;
+        out
+    }
+
     /// Take the full contents, leaving `self` empty (the workspace only
     /// uses this as "split everything off").
     pub fn split(&mut self) -> BytesMut {

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use lwfs::core::TransportKind;
 use lwfs::portals::FaultPlan;
 use lwfs::prelude::*;
 
@@ -167,13 +168,28 @@ fn message_loss_surfaces_as_timeouts_not_corruption() {
 
 #[test]
 fn replicated_write_is_not_acked_until_the_backup_acks() {
-    // Ship-before-ack under a partition: with the backup unreachable the
-    // primary keeps retrying the `ReplShip` and the client's write must
-    // NOT complete; the moment the partition heals, a retry lands, the
-    // backup applies, and the ack flows back.
+    replicated_write_partition_holds_ack(TransportKind::InProcess);
+}
+
+#[test]
+fn replicated_write_is_not_acked_until_the_backup_acks_over_tcp() {
+    // Fault-injection parity: the same partition plan, installed through
+    // the same harness call, must produce the same held-ack behavior when
+    // the ship crosses a real socket instead of the in-process queue.
+    replicated_write_partition_holds_ack(TransportKind::Tcp);
+}
+
+/// Ship-before-ack under a partition: with the backup unreachable the
+/// primary keeps retrying the `ReplShip` and the client's write must
+/// NOT complete; the moment the partition heals, a retry lands, the
+/// backup applies, and the ack flows back. Runs under either transport —
+/// the fault plan is shared across every node's network, so one
+/// `set_faults` partitions the whole cluster either way.
+fn replicated_write_partition_holds_ack(transport: TransportKind) {
     let cluster = LwfsCluster::boot(ClusterConfig {
         storage_servers: 1,
         replication: 2,
+        transport,
         ..Default::default()
     });
     let mut client = cluster.client(0, 0);
@@ -213,6 +229,39 @@ fn replicated_write_is_not_acked_until_the_backup_acks() {
     let snap = cluster.network().obs().snapshot();
     assert!(snap.counter("storage.ship_retries").unwrap_or(0) > 0, "no ship retry recorded");
     assert_eq!(snap.counter("storage.ship_failures").unwrap_or(0), 0);
+}
+
+#[test]
+fn restart_refusal_under_replication_is_transport_invariant() {
+    // A replicated group heals by promotion; restarting a stale member
+    // would need a re-sync protocol this build does not implement, so
+    // `restart_storage` refuses — and the refusal must read identically
+    // whether the cluster runs in-process or over sockets.
+    let mut messages = Vec::new();
+    for transport in [TransportKind::InProcess, TransportKind::Tcp] {
+        let mut cluster = LwfsCluster::boot(ClusterConfig {
+            storage_servers: 1,
+            replication: 2,
+            transport,
+            ..Default::default()
+        });
+        cluster.crash_storage(1);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.restart_storage(1);
+        }))
+        .expect_err("restart_storage must refuse under replication");
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("only supported without replication"),
+            "unexpected refusal under {transport:?}: {msg}"
+        );
+        messages.push(msg);
+    }
+    assert_eq!(messages[0], messages[1], "refusal differs between transports");
 }
 
 #[test]

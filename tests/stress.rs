@@ -252,6 +252,65 @@ fn worker_pool_keeps_objects_exact_under_parallel_clients() {
 }
 
 #[test]
+fn cross_process_replication_write_storm() {
+    // The whole cluster as real OS processes: one R=2 storage group plus
+    // auth/authz/naming/txnlock/directory, each spawned from the
+    // `lwfs-node` binary, with this test process holding only a client
+    // fabric. Every op below — kinit verification, capability issue,
+    // verify-through, create, replicated writes with WAL ships, reads —
+    // crosses process boundaries over TCP.
+    use lwfs::core::{ProcessCluster, ProcessClusterConfig};
+
+    let mut cluster = ProcessCluster::launch(ProcessClusterConfig {
+        node_bin: env!("CARGO_BIN_EXE_lwfs-node").into(),
+        storage_servers: 1,
+        replication: 2,
+        ..Default::default()
+    })
+    .expect("launching process cluster");
+    // 7 service processes (auth, authz, naming, txnlock, directory, two
+    // storage servers) plus this launcher: real OS-level parallelism.
+    assert_eq!(cluster.host_parallelism(), 8);
+
+    let mut client = cluster.client(1, 0);
+    let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+    client.get_cred(ticket).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+
+    // The write storm: every write is WAL-shipped to the backup process
+    // before the ack comes back over the wire.
+    const WRITES: u64 = 32;
+    const CHUNK: usize = 16 * 1024;
+    let payload = vec![0xC3u8; CHUNK];
+    for i in 0..WRITES {
+        let n = client.write(0, &caps, None, obj, i * CHUNK as u64, &payload).unwrap();
+        assert_eq!(n, CHUNK as u64);
+    }
+    let back = client.read(0, &caps, obj, 0, WRITES as usize * CHUNK).unwrap();
+    assert_eq!(back.len(), WRITES as usize * CHUNK);
+    assert!(back.iter().all(|b| *b == 0xC3), "storm bytes corrupted crossing processes");
+
+    // SIGKILL the backup process: the primary's next ship fails on the
+    // wire, it reports the drop to the directory over the fabric, and
+    // writes proceed against the shrunken group. The first write may need
+    // to outwait the primary's ship deadline.
+    assert!(cluster.kill_storage(1), "backup process was not running");
+    let mut attempts = 0;
+    loop {
+        match client.write(0, &caps, None, obj, 0, &payload) {
+            Ok(_) => break,
+            Err(Error::Timeout) | Err(Error::ServerBusy) if attempts < 50 => attempts += 1,
+            Err(e) => panic!("write after backup kill: {e:?}"),
+        }
+    }
+    assert_eq!(client.read(0, &caps, obj, 0, CHUNK).unwrap(), payload);
+    assert_eq!(cluster.host_parallelism(), 7, "exactly the killed backup should be gone");
+    cluster.shutdown();
+}
+
+#[test]
 fn rpc_storm_under_message_loss_converges() {
     // 10% message loss: a retry wrapper over the RPC layer still completes
     // every operation, and the final state is exact.
