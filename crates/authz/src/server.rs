@@ -58,6 +58,39 @@ impl AuthzServer {
         }
         let _ = self.invalidate_timeout;
     }
+
+    /// Push revocation-epoch updates to every registered enforcement site.
+    ///
+    /// Best-effort, like invalidations: epochs are max-merged on receipt,
+    /// and a site that misses a push learns the new epoch from the next
+    /// one (or rejects nothing extra in the meantime — legacy verification
+    /// still stands behind it in `Signed` mode).
+    fn push_epochs(&self, ep: &Endpoint, epochs: Vec<lwfs_proto::EpochBump>) {
+        if epochs.is_empty() {
+            return;
+        }
+        let sites = self.service.enforcement_sites();
+        if sites.is_empty() {
+            return;
+        }
+        ep.obs().events().record(
+            ep.id().nid.0,
+            "cap.epoch_bump",
+            format!("{} container(s) to {} site(s)", epochs.len(), sites.len()),
+        );
+        let client = RpcClient::new(ep);
+        for site in sites {
+            let _ = client.call(site, RequestBody::PushEpochs { epochs: epochs.clone() });
+        }
+    }
+
+    /// The epoch bumps implied by a change to `container`, if any.
+    fn bump_of(&self, container: lwfs_proto::ContainerId) -> Vec<lwfs_proto::EpochBump> {
+        match self.service.revocation_epoch(container) {
+            0 => Vec::new(),
+            epoch => vec![lwfs_proto::EpochBump { container, epoch }],
+        }
+    }
 }
 
 impl Service for AuthzServer {
@@ -68,12 +101,15 @@ impl Service for AuthzServer {
                 Err(e) => ReplyBody::Err(e),
             },
             RequestBody::RemoveContainer { cap } => match self.service.remove_container(cap) {
-                Ok(()) => ReplyBody::ContainerRemoved,
+                Ok(()) => {
+                    self.push_epochs(ep, self.bump_of(cap.container()));
+                    ReplyBody::ContainerRemoved
+                }
                 Err(e) => ReplyBody::Err(e),
             },
             RequestBody::GetCaps { cred, container, ops } => {
-                match self.service.get_caps(cred, *container, *ops) {
-                    Ok(caps) => ReplyBody::Caps(caps),
+                match self.service.get_caps_with_tokens(cred, *container, *ops) {
+                    Ok((caps, tokens)) => ReplyBody::Caps { caps, tokens },
                     Err(e) => ReplyBody::Err(e),
                 }
             }
@@ -87,9 +123,20 @@ impl Service for AuthzServer {
                 match self.service.mod_policy(cap, *container, *principal, *grant, *revoke) {
                     Ok((notices, _new_ops)) => {
                         self.push_invalidations(ep, notices);
+                        self.push_epochs(ep, self.bump_of(*container));
                         // Fresh capabilities are re-acquired by their owner
                         // with GetCaps; the policy change itself returns none.
                         ReplyBody::PolicyChanged { new_caps: vec![] }
+                    }
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
+            RequestBody::BumpEpochs { cap, containers } => {
+                match self.service.bump_epochs(cap, containers) {
+                    Ok(epochs) => {
+                        let bumped = epochs.len() as u64;
+                        self.push_epochs(ep, epochs);
+                        ReplyBody::EpochsBumped { bumped }
                     }
                     Err(e) => ReplyBody::Err(e),
                 }
@@ -146,7 +193,7 @@ mod tests {
         ops: OpMask,
     ) -> Vec<Capability> {
         match client.call(server, RequestBody::GetCaps { cred, container: cid, ops }).unwrap() {
-            ReplyBody::Caps(caps) => caps,
+            ReplyBody::Caps { caps, .. } => caps,
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -3,11 +3,13 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use lwfs_auth::{AuthService, Clock};
+use lwfs_cap::{CapClaims, CapIssuer, CapMode};
 use lwfs_proto::security::siphash::MacKey;
 use lwfs_proto::{
-    Capability, CapabilityBody, CapabilityKey, ContainerId, Credential, Error, Lifetime, OpMask,
-    PrincipalId, ProcessId, Result,
+    Capability, CapabilityBody, CapabilityKey, ContainerId, Credential, EpochBump, Error, Lifetime,
+    OpMask, PrincipalId, ProcessId, Result,
 };
 use parking_lot::Mutex;
 
@@ -62,6 +64,8 @@ pub struct AuthzStats {
     pub caps_revoked: u64,
     /// Invalidation notices generated (back-pointer walks).
     pub invalidations_sent: u64,
+    /// Container revocation-epoch bumps (signed-cap revocation events).
+    pub epoch_bumps: u64,
 }
 
 /// What a policy change requires the server to do: tell each caching
@@ -86,6 +90,10 @@ struct AuthzState {
     next_serial: u64,
     /// Credential-verification cache: credential serial → principal.
     cred_cache: HashMap<u64, PrincipalId>,
+    /// Per-container revocation epochs for signed capabilities. Absent =
+    /// epoch 0. Bumped on any revocation touching the container; storage
+    /// servers reject tokens minted under an older epoch.
+    revocation_epochs: HashMap<ContainerId, u64>,
     stats: AuthzStats,
 }
 
@@ -96,6 +104,16 @@ pub struct AuthzService {
     ttl: u64,
     verifier: Arc<dyn CredVerifier>,
     clock: Arc<dyn Clock>,
+    /// When present, the service is also a signed-capability *issuer*: it
+    /// holds the ed25519 signing key and mints a self-certifying token next
+    /// to every opaque capability (paper trust shape inverted — see
+    /// `lwfs-cap`).
+    issuer: Option<CapIssuer>,
+    cap_mode: CapMode,
+    /// Storage servers to push revocation-epoch updates to (signed modes).
+    /// Populated by the cluster at boot; the legacy back-pointer walk does
+    /// not need it.
+    enforcement_sites: Mutex<Vec<ProcessId>>,
     state: Mutex<AuthzState>,
 }
 
@@ -111,14 +129,44 @@ impl AuthzService {
             ttl: config.capability_ttl,
             verifier,
             clock,
+            issuer: None,
+            cap_mode: CapMode::Legacy,
+            enforcement_sites: Mutex::new(Vec::new()),
             state: Mutex::new(AuthzState {
                 policy: PolicyStore::new(),
                 issued: HashMap::new(),
                 next_serial: 0,
                 cred_cache: HashMap::new(),
+                revocation_epochs: HashMap::new(),
                 stats: AuthzStats::default(),
             }),
         }
+    }
+
+    /// Turn the service into a signed-capability issuer.
+    pub fn with_issuer(mut self, issuer: CapIssuer, mode: CapMode) -> Self {
+        self.issuer = Some(issuer);
+        self.cap_mode = mode;
+        self
+    }
+
+    pub fn cap_mode(&self) -> CapMode {
+        self.cap_mode
+    }
+
+    /// The issuer's verifying key, for distribution to storage servers.
+    pub fn issuer_public(&self) -> Option<lwfs_cap::PublicKey> {
+        self.issuer.as_ref().map(|i| i.public())
+    }
+
+    /// Tell the service which storage servers enforce signed caps, so epoch
+    /// bumps can be pushed to them.
+    pub fn set_enforcement_sites(&self, sites: Vec<ProcessId>) {
+        *self.enforcement_sites.lock() = sites;
+    }
+
+    pub fn enforcement_sites(&self) -> Vec<ProcessId> {
+        self.enforcement_sites.lock().clone()
     }
 
     pub fn epoch(&self) -> u64 {
@@ -175,7 +223,44 @@ impl AuthzService {
             st.issued.get_mut(&s).expect("serial just listed").revoked = true;
             st.stats.caps_revoked += 1;
         }
+        // Signed caps for the container die with it.
+        Self::bump_epoch_locked(&mut st, cap.container());
         Ok(())
+    }
+
+    /// The current revocation epoch of a container (0 = never revoked).
+    pub fn revocation_epoch(&self, container: ContainerId) -> u64 {
+        self.state.lock().revocation_epochs.get(&container).copied().unwrap_or(0)
+    }
+
+    fn bump_epoch_locked(st: &mut AuthzState, container: ContainerId) -> u64 {
+        let slot = st.revocation_epochs.entry(container).or_insert(0);
+        *slot += 1;
+        st.stats.epoch_bumps += 1;
+        *slot
+    }
+
+    /// Bulk-bump revocation epochs — the revocation-storm path. The caller
+    /// must hold a valid ADMIN capability, and its principal must have
+    /// ADMIN rights on *every* listed container (all-or-nothing: a storm
+    /// that silently skipped containers would report revocation it did not
+    /// perform).
+    pub fn bump_epochs(
+        &self,
+        cap: &Capability,
+        containers: &[ContainerId],
+    ) -> Result<Vec<EpochBump>> {
+        self.check_capability(cap, OpMask::ADMIN)?;
+        let mut st = self.state.lock();
+        for &c in containers {
+            if !st.policy.allowed_ops(c, cap.body.principal)?.contains(OpMask::ADMIN) {
+                return Err(Error::AccessDenied);
+            }
+        }
+        Ok(containers
+            .iter()
+            .map(|&c| EpochBump { container: c, epoch: Self::bump_epoch_locked(&mut st, c) })
+            .collect())
     }
 
     /// Issue capabilities for `ops` on `container` (Figure 4-a, step 1).
@@ -218,6 +303,40 @@ impl AuthzService {
             caps.push(cap);
         }
         Ok(caps)
+    }
+
+    /// [`get_caps`](Self::get_caps), plus — when this service was built
+    /// [`with_issuer`](Self::with_issuer) and the cluster runs a signed
+    /// cap mode — one self-certifying token per capability.
+    ///
+    /// The token binds the same `{container, op, lifetime, principal,
+    /// serial}` tuple as the legacy capability and additionally the
+    /// container's current revocation epoch, so a later epoch bump
+    /// invalidates it everywhere without a round-trip. `tokens` is either
+    /// empty (legacy mode) or parallel to `caps`.
+    pub fn get_caps_with_tokens(
+        &self,
+        cred: &Credential,
+        container: ContainerId,
+        ops: OpMask,
+    ) -> Result<(Vec<Capability>, Vec<Bytes>)> {
+        let caps = self.get_caps(cred, container, ops)?;
+        let issuer = match &self.issuer {
+            Some(issuer) if self.cap_mode.signed() => issuer,
+            _ => return Ok((caps, Vec::new())),
+        };
+        let epoch = self.revocation_epoch(container);
+        let tokens = caps
+            .iter()
+            .map(|cap| {
+                let claims = CapClaims::container(container, cap.body.ops, cap.body.lifetime)
+                    .with_epoch(epoch)
+                    .with_principal(cap.body.principal)
+                    .with_serial(cap.body.serial);
+                Bytes::from(issuer.mint(claims))
+            })
+            .collect();
+        Ok((caps, tokens))
     }
 
     /// Structural + liveness checks for one capability.
@@ -320,6 +439,13 @@ impl AuthzService {
             }
         }
         st.stats.caps_revoked += revoked_count;
+        // Signed tokens are epoch-scoped per container, so any revocation
+        // bumps the whole container's epoch. Coarser than the per-op legacy
+        // kill list — still-authorized holders re-fetch caps — but it is
+        // what lets storage reject stale tokens without a round-trip.
+        if !revoke.is_empty() {
+            Self::bump_epoch_locked(&mut st, container);
+        }
         let notices: Vec<RevocationNotice> =
             per_site.into_iter().map(|(site, keys)| RevocationNotice { site, keys }).collect();
         st.stats.invalidations_sent += notices.len() as u64;

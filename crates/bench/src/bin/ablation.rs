@@ -22,6 +22,12 @@
 //!    size R ∈ {1, 2, 3} and the client-visible failover blip when the
 //!    primary dies mid-stream, writing `results/replication.csv` and
 //!    `BENCH_replication.json`.
+//! 10. **Self-certifying capabilities** (DESIGN §16): a write storm under
+//!     `Legacy` vs `Signed` with the storage cap cache disabled — legacy
+//!     pays one verify-through RPC per op, signed pays **zero** authz
+//!     messages on the data path — plus the local cap-verify p50 and a
+//!     revocation storm's time-to-reject, writing `results/caps.csv` and
+//!     `BENCH_caps.json`.
 //!
 //! ```text
 //! cargo run --release -p lwfs-bench --bin ablation -- --metrics-out results/ablation_metrics.json
@@ -412,6 +418,80 @@ fn main() {
         ),
         blip.blip_ms < blip_bound_ms,
     );
+
+    // ------------------------------------------------------------------
+    // 10. Self-certifying capabilities: local verify vs verify-through.
+    // ------------------------------------------------------------------
+    println!("\n== ablation 10: self-certifying capabilities (cap cache disabled) ==");
+    let mut caps_csv = CsvOut::new("caps", &["study", "variant", "value", "unit"]);
+    let mut t = Table::new(&["mode", "MB/s", "authz msgs (storm)", "cap verify p50"]);
+    let mut caps_rows: Vec<CapsModeRow> = Vec::new();
+    for mode in [lwfs_cap::CapMode::Legacy, lwfs_cap::CapMode::Signed] {
+        let row = caps_mode_run(mode);
+        t.row(&[
+            mode.as_str().into(),
+            format!("{:.0}", row.mb_per_s),
+            row.authz_msgs.to_string(),
+            row.verify_p50_ns.map_or("-".into(), |ns| format!("{ns} ns")),
+        ]);
+        caps_csv.row(&[
+            "write_storm".into(),
+            mode.as_str().into(),
+            format!("{:.1}", row.mb_per_s),
+            "mb_per_s".into(),
+        ]);
+        caps_csv.row(&[
+            "authz_msgs".into(),
+            mode.as_str().into(),
+            row.authz_msgs.to_string(),
+            "msgs".into(),
+        ]);
+        caps_rows.push(row);
+    }
+    t.print();
+    println!("  (cache disabled so legacy pays verify-through per op; signed");
+    println!("   verifies the ed25519 token locally and never calls authz)");
+    shapes.check(
+        format!(
+            "legacy without the cache pays verify-through on the data path ({} msgs)",
+            caps_rows[0].authz_msgs
+        ),
+        caps_rows[0].authz_msgs > 0,
+    );
+    shapes.check(
+        format!(
+            "signed mode sends ZERO authz messages on the data path ({} msgs)",
+            caps_rows[1].authz_msgs
+        ),
+        caps_rows[1].authz_msgs == 0,
+    );
+
+    println!("-- revocation storm: one BumpEpochs over every container --");
+    let storm = revocation_storm_run();
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["containers bumped".into(), storm.containers.to_string()]);
+    t.row(&["bump RPC (ms)".into(), format!("{:.2}", storm.bump_ms)]);
+    t.row(&["time to reject (ms)".into(), format!("{:.2}", storm.time_to_reject_ms)]);
+    t.print();
+    caps_csv.row(&[
+        "revocation".into(),
+        "time_to_reject".into(),
+        format!("{:.3}", storm.time_to_reject_ms),
+        "ms".into(),
+    ]);
+    shapes.check(
+        format!(
+            "a bumped epoch rejects previously-valid caps within one reply timeout \
+             ({:.1} ms < {:.0} ms)",
+            storm.time_to_reject_ms, storm.reply_timeout_ms
+        ),
+        storm.all_rejected && storm.time_to_reject_ms < storm.reply_timeout_ms,
+    );
+    match caps_csv.finish() {
+        Ok(path) => println!("  CSV written to {}", path.display()),
+        Err(e) => eprintln!("  CSV write failed: {e}"),
+    }
+    write_caps_json(&caps_rows, &storm);
 
     let ok = shapes.report();
     match csv.finish() {
@@ -934,4 +1014,161 @@ fn functional_cache_ablation() -> (u64, u64) {
     let cached = run(false);
     let uncached = run(true);
     (cached, uncached)
+}
+
+struct CapsModeRow {
+    mode: lwfs_cap::CapMode,
+    mb_per_s: f64,
+    /// Messages the authorization server sent while the storm ran — the
+    /// verify-through traffic a data path incurs in this mode.
+    authz_msgs: u64,
+    verify_p50_ns: Option<u64>,
+}
+
+/// One capability-mode point: 200 × 64 KB writes with the storage cap
+/// cache *disabled* (`verify_every_op`), so the data-path authorization
+/// cost of each mode is fully visible rather than amortized away.
+fn caps_mode_run(mode: lwfs_cap::CapMode) -> CapsModeRow {
+    use lwfs_core::{ClusterConfig, LwfsCluster};
+    use lwfs_proto::OpMask;
+    use lwfs_storage::StorageConfig;
+
+    const WRITES: usize = 200;
+    const CHUNK: usize = 64 * 1024;
+
+    let cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 1,
+        cap_mode: mode,
+        storage: StorageConfig { verify_every_op: true, ..StorageConfig::default() },
+        transport: lwfs_bench::transport_arg(),
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    client.get_cred(cluster.kdc().kinit("app", "secret").unwrap()).unwrap();
+    let cid = client.create_container().unwrap();
+    let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+    let obj = client.create_obj(0, &caps, None, None).unwrap();
+    client.write(0, &caps, None, obj, 0, b"warm").unwrap();
+    let payload = vec![0x5Au8; CHUNK];
+
+    let stats = cluster.network().stats();
+    stats.reset();
+    let start = std::time::Instant::now();
+    for i in 0..WRITES {
+        client.write(0, &caps, None, obj, (i * CHUNK) as u64, &payload).unwrap();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let authz_msgs = stats.sent_by(cluster.addrs().authz);
+    let verify_p50_ns =
+        cluster.network().obs().snapshot().histogram("cap.verify_ns").map(|h| h.p50);
+    CapsModeRow { mode, mb_per_s: (WRITES * CHUNK) as f64 / 1e6 / secs, authz_msgs, verify_p50_ns }
+}
+
+struct RevocationStorm {
+    containers: usize,
+    bump_ms: f64,
+    time_to_reject_ms: f64,
+    reply_timeout_ms: f64,
+    all_rejected: bool,
+}
+
+/// Mint signed caps over many containers, prove they work, then bulk-bump
+/// every container's revocation epoch in one `BumpEpochs` and measure how
+/// long until the previously-valid caps are refused at storage. The push
+/// is synchronous with the bump reply, so rejection should land well
+/// inside one reply timeout — that bound is the acceptance check.
+fn revocation_storm_run() -> RevocationStorm {
+    use lwfs_core::{ClusterConfig, LwfsCluster};
+    use lwfs_portals::RpcClient;
+    use lwfs_proto::{Error, OpMask, ProcessId, ReplyBody, RequestBody};
+
+    const CONTAINERS: usize = 32;
+
+    let cluster = LwfsCluster::boot(ClusterConfig {
+        storage_servers: 1,
+        cap_mode: lwfs_cap::CapMode::Signed,
+        transport: lwfs_bench::transport_arg(),
+        ..Default::default()
+    });
+    let mut client = cluster.client(0, 0);
+    client.get_cred(cluster.kdc().kinit("app", "secret").unwrap()).unwrap();
+
+    let work: Vec<_> = (0..CONTAINERS)
+        .map(|_| {
+            let cid = client.create_container().unwrap();
+            let caps = client.get_caps(cid, OpMask::ALL).unwrap();
+            let obj = client.create_obj(0, &caps, None, None).unwrap();
+            client.write(0, &caps, None, obj, 0, b"valid before the storm").unwrap();
+            (cid, caps, obj)
+        })
+        .collect();
+    let admin = work[0].1.for_op(OpMask::ADMIN).unwrap();
+    let containers: Vec<_> = work.iter().map(|(cid, _, _)| *cid).collect();
+
+    let ep = cluster.network().register(ProcessId::new(98, 0));
+    let rpc = RpcClient::new(&ep);
+    let start = std::time::Instant::now();
+    let reply = rpc
+        .call(cluster.addrs().authz, RequestBody::BumpEpochs { cap: admin, containers })
+        .unwrap();
+    let bump_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        matches!(reply, ReplyBody::EpochsBumped { bumped } if bumped == CONTAINERS as u64),
+        "bulk bump covered every container"
+    );
+
+    // The old CapSets still hold pre-bump tokens: every write must now be
+    // refused locally (stale epoch), without a single retry loop fired.
+    let mut all_rejected = true;
+    for (_, caps, obj) in &work {
+        match client.write(0, caps, None, *obj, 0, b"after the storm") {
+            Err(Error::CapabilityRevoked) => {}
+            other => {
+                all_rejected = false;
+                eprintln!("  revoked cap was not refused: {other:?}");
+            }
+        }
+    }
+    let time_to_reject_ms = start.elapsed().as_secs_f64() * 1e3;
+    RevocationStorm {
+        containers: CONTAINERS,
+        bump_ms,
+        time_to_reject_ms,
+        reply_timeout_ms: lwfs_portals::RpcConfig::default().reply_timeout.as_secs_f64() * 1e3,
+        all_rejected,
+    }
+}
+
+/// Record the capability ablation for the acceptance artifact.
+fn write_caps_json(rows: &[CapsModeRow], storm: &RevocationStorm) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"mode\": \"{}\", \"mb_per_s\": {:.1}, \"authz_msgs_during_storm\": {}, \
+                 \"verify_p50_ns\": {}}}",
+                r.mode.as_str(),
+                r.mb_per_s,
+                r.authz_msgs,
+                r.verify_p50_ns.map_or("null".into(), |ns| ns.to_string()),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"meta\": {},\n  \"bench\": \"caps\",\n  \"write_storm\": [\n{}\n  ],\n  \
+         \"revocation_storm\": {{\n    \"containers\": {},\n    \"bump_ms\": {:.3},\n    \
+         \"time_to_reject_ms\": {:.3},\n    \"reply_timeout_ms\": {:.0},\n    \
+         \"all_previously_valid_caps_rejected\": {}\n  }}\n}}\n",
+        lwfs_bench::bench_meta(&[("containers_bumped", storm.containers as u64)]),
+        entries.join(",\n"),
+        storm.containers,
+        storm.bump_ms,
+        storm.time_to_reject_ms,
+        storm.reply_timeout_ms,
+        storm.all_rejected,
+    );
+    match std::fs::write("BENCH_caps.json", &json) {
+        Ok(()) => println!("  JSON written to BENCH_caps.json"),
+        Err(e) => eprintln!("  JSON write failed: {e}"),
+    }
 }

@@ -1,0 +1,768 @@
+//! Ed25519 signatures (RFC 8032), implemented from the specification.
+//!
+//! No crypto crates exist in the build environment, so the whole scheme is
+//! carried in-tree, in the same spirit as the SipHash MAC in `lwfs-proto`:
+//! field arithmetic over GF(2^255 − 19) in five 51-bit limbs with `u128`
+//! products, extended twisted-Edwards point arithmetic, and scalar
+//! arithmetic modulo the group order ℓ. Correctness is pinned by the
+//! RFC 8032 §7.1 test vectors.
+//!
+//! Scope note: this implementation is **not constant-time** — scalar
+//! multiplication is plain double-and-add. For the LWFS reproduction the
+//! signer (the authorization service) and verifiers (storage servers) are
+//! trusted infrastructure nodes; timing side channels are out of scope,
+//! wire-format security is not.
+
+use std::sync::OnceLock;
+
+use crate::sha512::{sha512, Sha512};
+
+/// Length of an encoded public key.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length of a detached signature (`R || S`).
+pub const SIGNATURE_LEN: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Field arithmetic over GF(2^255 − 19), radix 2^51.
+// ---------------------------------------------------------------------------
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// A field element as five 51-bit limbs, little-endian. Limbs are kept
+/// below 2^52 between operations (weakly reduced); `to_bytes` performs the
+/// strong reduction.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_u64(x: u64) -> Fe {
+        Fe([x & MASK51, x >> 51, 0, 0, 0])
+    }
+
+    /// One carry pass; accepts limbs up to 2^63 and leaves them < 2^52.
+    fn weak_reduce(mut l: [u64; 5]) -> Fe {
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        let c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        let c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        let c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        let c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += c * 19;
+        Fe(l)
+    }
+
+    fn add(&self, b: &Fe) -> Fe {
+        let a = &self.0;
+        let b = &b.0;
+        Fe::weak_reduce([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]])
+    }
+
+    /// `self - b`, computed as `self + 16p - b` so no limb underflows.
+    fn sub(&self, b: &Fe) -> Fe {
+        // 16p in radix 2^51: limb 0 is 16·(2^51 − 19), the rest 16·(2^51 − 1).
+        const LO: u64 = 36028797018963664;
+        const HI: u64 = 36028797018963952;
+        let a = &self.0;
+        let b = &b.0;
+        Fe::weak_reduce([
+            a[0] + LO - b[0],
+            a[1] + HI - b[1],
+            a[2] + HI - b[2],
+            a[3] + HI - b[3],
+            a[4] + HI - b[4],
+        ])
+    }
+
+    fn neg(&self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    fn mul(&self, b: &Fe) -> Fe {
+        #[inline]
+        fn m(a: u64, b: u64) -> u128 {
+            a as u128 * b as u128
+        }
+        let a = &self.0;
+        let b = &b.0;
+        // 19·b_i fits u64 for weakly reduced limbs (< 2^52 · 19 < 2^57).
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+
+        let r0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let r1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        let mut out = [0u64; 5];
+        let mut c = r0;
+        out[0] = c as u64 & MASK51;
+        c = r1 + (c >> 51);
+        out[1] = c as u64 & MASK51;
+        c = r2 + (c >> 51);
+        out[2] = c as u64 & MASK51;
+        c = r3 + (c >> 51);
+        out[3] = c as u64 & MASK51;
+        c = r4 + (c >> 51);
+        out[4] = c as u64 & MASK51;
+        out[0] += (c >> 51) as u64 * 19;
+        let carry = out[0] >> 51;
+        out[0] &= MASK51;
+        out[1] += carry;
+        Fe(out)
+    }
+
+    fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// `self^e` for a little-endian 256-bit exponent, square-and-multiply.
+    fn pow(&self, e: &[u8; 32]) -> Fe {
+        let mut r = Fe::ONE;
+        for i in (0..256).rev() {
+            r = r.square();
+            if (e[i / 8] >> (i % 8)) & 1 == 1 {
+                r = r.mul(self);
+            }
+        }
+        r
+    }
+
+    fn invert(&self) -> Fe {
+        // p − 2 = 2^255 − 21.
+        let mut e = [0xffu8; 32];
+        e[0] = 0xeb;
+        e[31] = 0x7f;
+        self.pow(&e)
+    }
+
+    fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |r: &[u8]| u64::from_le_bytes(r.try_into().unwrap());
+        Fe([
+            load(&b[0..8]) & MASK51,
+            (load(&b[6..14]) >> 3) & MASK51,
+            (load(&b[12..20]) >> 6) & MASK51,
+            (load(&b[19..27]) >> 1) & MASK51,
+            (load(&b[24..32]) >> 12) & MASK51,
+        ])
+    }
+
+    /// Canonical (fully reduced) little-endian encoding.
+    fn to_bytes(self) -> [u8; 32] {
+        let mut l = Fe::weak_reduce(self.0).0;
+        // Compute q = floor(value / p) ∈ {0, 1} via the (value + 19) carry
+        // chain, then add 19q and drop bit 255 — i.e. subtract pq.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        let c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        let c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        let c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        l[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let words = [
+            l[0] | (l[1] << 51),
+            (l[1] >> 13) | (l[2] << 38),
+            (l[2] >> 26) | (l[3] << 25),
+            (l[3] >> 39) | (l[4] << 12),
+        ];
+        for (i, w) in words.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    fn eq_fe(&self, other: &Fe) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+/// The Edwards curve constant d = −121665/121666.
+fn fe_d() -> &'static Fe {
+    static D: OnceLock<Fe> = OnceLock::new();
+    D.get_or_init(|| Fe::from_u64(121665).neg().mul(&Fe::from_u64(121666).invert()))
+}
+
+/// 2d, used by the extended-coordinates addition formula.
+fn fe_d2() -> &'static Fe {
+    static D2: OnceLock<Fe> = OnceLock::new();
+    D2.get_or_init(|| {
+        let d = fe_d();
+        d.add(d)
+    })
+}
+
+/// √−1 = 2^((p−1)/4), used to fix the square-root candidate.
+fn fe_sqrt_m1() -> &'static Fe {
+    static S: OnceLock<Fe> = OnceLock::new();
+    S.get_or_init(|| {
+        // (p − 1)/4 = 2^253 − 5.
+        let mut e = [0xffu8; 32];
+        e[0] = 0xfb;
+        e[31] = 0x1f;
+        Fe::from_u64(2).pow(&e)
+    })
+}
+
+/// √(u/v) per RFC 8032 §5.1.3: candidate x = u v³ (u v⁷)^((p−5)/8), fixed
+/// up by √−1 when v x² = −u. `None` when u/v is not a square.
+fn sqrt_ratio(u: &Fe, v: &Fe) -> Option<Fe> {
+    let v3 = v.square().mul(v);
+    let v7 = v3.square().mul(v);
+    // (p − 5)/8 = 2^252 − 3.
+    let mut e = [0xffu8; 32];
+    e[0] = 0xfd;
+    e[31] = 0x0f;
+    let x = u.mul(&v3).mul(&u.mul(&v7).pow(&e));
+    let vx2 = v.mul(&x.square());
+    if vx2.eq_fe(u) {
+        Some(x)
+    } else if vx2.eq_fe(&u.neg()) {
+        Some(x.mul(fe_sqrt_m1()))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic modulo ℓ = 2^252 + 27742317777372353535851937790883648493.
+// ---------------------------------------------------------------------------
+
+/// Group order ℓ as four little-endian 64-bit limbs.
+const L: [u64; 4] = [0x5812631a5cf5d3ed, 0x14def9dea2f79cd6, 0, 0x1000000000000000];
+
+/// A scalar in [0, ℓ), four little-endian 64-bit limbs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Scalar([u64; 4]);
+
+fn sc_geq_l(a: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > L[i] {
+            return true;
+        }
+        if a[i] < L[i] {
+            return false;
+        }
+    }
+    true
+}
+
+fn sc_sub_l(a: &mut [u64; 4]) {
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d, b1) = a[i].overflowing_sub(L[i]);
+        let (d, b2) = d.overflowing_sub(borrow);
+        a[i] = d;
+        borrow = (b1 | b2) as u64;
+    }
+}
+
+impl Scalar {
+    /// Reduce an arbitrary little-endian bit string modulo ℓ, one bit at a
+    /// time (r ← 2r + bit, conditional subtract). Scalar operations happen a
+    /// handful of times per signature; simplicity wins over speed here.
+    fn reduce_bits(bytes: &[u8]) -> Scalar {
+        let mut r = [0u64; 4];
+        for i in (0..bytes.len() * 8).rev() {
+            // r < ℓ < 2^253, so 2r + 1 < 2^254 never overflows the limbs.
+            let mut carry = (bytes[i / 8] >> (i % 8)) & 1;
+            for limb in r.iter_mut() {
+                let top = (*limb >> 63) as u8;
+                *limb = (*limb << 1) | carry as u64;
+                carry = top;
+            }
+            if sc_geq_l(&r) {
+                sc_sub_l(&mut r);
+            }
+        }
+        Scalar(r)
+    }
+
+    /// Interpret 64 hash bytes as a little-endian integer, reduced mod ℓ.
+    fn from_bytes_wide(b: &[u8; 64]) -> Scalar {
+        Scalar::reduce_bits(b)
+    }
+
+    /// A canonical 32-byte encoding: value must already be < ℓ.
+    fn from_canonical_bytes(b: &[u8; 32]) -> Option<Scalar> {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(b[i * 8..(i + 1) * 8].try_into().unwrap());
+        }
+        if sc_geq_l(&limbs) {
+            None
+        } else {
+            Some(Scalar(limbs))
+        }
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        out
+    }
+
+    fn add(&self, other: &Scalar) -> Scalar {
+        let mut r = [0u64; 4];
+        let mut carry = 0u64;
+        for (i, slot) in r.iter_mut().enumerate() {
+            let (s, c1) = self.0[i].overflowing_add(other.0[i]);
+            let (s, c2) = s.overflowing_add(carry);
+            *slot = s;
+            carry = (c1 | c2) as u64;
+        }
+        // Both inputs < ℓ < 2^253, so the sum fits and one subtract suffices.
+        debug_assert_eq!(carry, 0);
+        if sc_geq_l(&r) {
+            sc_sub_l(&mut r);
+        }
+        Scalar(r)
+    }
+
+    fn mul(&self, other: &Scalar) -> Scalar {
+        // Schoolbook 256×256 → 512-bit product, then bitwise reduction.
+        let mut wide = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let t = wide[i + j] as u128 + self.0[i] as u128 * other.0[j] as u128 + carry;
+                wide[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            wide[i + 4] = carry as u64;
+        }
+        let mut bytes = [0u8; 64];
+        for (i, limb) in wide.iter().enumerate() {
+            bytes[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        Scalar::from_bytes_wide(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Point arithmetic: extended twisted Edwards coordinates (X : Y : Z : T),
+// x = X/Z, y = Y/Z, xy = T/Z, on −x² + y² = 1 + d x² y².
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    fn identity() -> Point {
+        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The standard base point B (y = 4/5, x even).
+    fn base() -> &'static Point {
+        static B: OnceLock<Point> = OnceLock::new();
+        B.get_or_init(|| {
+            let mut enc = [0x66u8; 32];
+            enc[0] = 0x58;
+            Point::decompress(&enc).expect("base point decodes")
+        })
+    }
+
+    /// add-2008-hwcd-3 for a = −1.
+    fn add(&self, q: &Point) -> Point {
+        let a = self.y.sub(&self.x).mul(&q.y.sub(&q.x));
+        let b = self.y.add(&self.x).mul(&q.y.add(&q.x));
+        let c = self.t.mul(fe_d2()).mul(&q.t);
+        let d = self.z.mul(&q.z);
+        let d = d.add(&d);
+        let e = b.sub(&a);
+        let f = d.sub(&c);
+        let g = d.add(&c);
+        let h = b.add(&a);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// dbl-2008-hwcd for a = −1.
+    fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c2 = self.z.square();
+        let c = c2.add(&c2);
+        let d = a.neg();
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = d.add(&b);
+        let f = g.sub(&c);
+        let h = d.sub(&b);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Plain double-and-add over the 256-bit scalar encoding (not
+    /// constant-time; see the module note).
+    fn mul(&self, s: &Scalar) -> Point {
+        let bytes = s.to_bytes();
+        let mut acc = Point::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if (bytes[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// RFC 8032 §5.1.3 decoding. Rejects non-canonical y and the x = 0
+    /// encodings with the sign bit set.
+    fn decompress(enc: &[u8; 32]) -> Option<Point> {
+        let sign = enc[31] >> 7 == 1;
+        let mut y_bytes = *enc;
+        y_bytes[31] &= 0x7f;
+        let y = Fe::from_bytes(&y_bytes);
+        // Canonical check: re-encoding must reproduce the input.
+        if y.to_bytes() != y_bytes {
+            return None;
+        }
+        let y2 = y.square();
+        let u = y2.sub(&Fe::ONE);
+        let v = fe_d().mul(&y2).add(&Fe::ONE);
+        let mut x = sqrt_ratio(&u, &v)?;
+        if x.is_zero() && sign {
+            return None;
+        }
+        if x.is_negative() != sign {
+            x = x.neg();
+        }
+        Some(Point { x, y, z: Fe::ONE, t: x.mul(&y) })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys and signatures.
+// ---------------------------------------------------------------------------
+
+/// An ed25519 verifying key: the compressed point plus its decompression.
+#[derive(Clone, Copy)]
+pub struct PublicKey {
+    point: Point,
+    bytes: [u8; 32],
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({:02x}{:02x}..)", self.bytes[0], self.bytes[1])
+    }
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+impl Eq for PublicKey {}
+
+impl PublicKey {
+    /// Decode a compressed public key; `None` if it is not a curve point.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<PublicKey> {
+        Some(PublicKey { point: Point::decompress(bytes)?, bytes: *bytes })
+    }
+
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+
+    /// Verify a detached signature over `msg`.
+    ///
+    /// Cofactorless verification (`[S]B = R + [k]A`), with a canonical-S
+    /// check — malleable encodings (S ≥ ℓ) are rejected.
+    pub fn verify(&self, msg: &[u8], sig: &[u8; 64]) -> bool {
+        let r_bytes: [u8; 32] = sig[..32].try_into().unwrap();
+        let s_bytes: [u8; 32] = sig[32..].try_into().unwrap();
+        let Some(s) = Scalar::from_canonical_bytes(&s_bytes) else {
+            return false;
+        };
+        let Some(r_point) = Point::decompress(&r_bytes) else {
+            return false;
+        };
+        let mut h = Sha512::new();
+        h.update(&r_bytes).update(&self.bytes).update(msg);
+        let k = Scalar::from_bytes_wide(&h.finish());
+        let lhs = Point::base().mul(&s);
+        let rhs = r_point.add(&self.point.mul(&k));
+        lhs.compress() == rhs.compress()
+    }
+}
+
+/// A signing keypair. The 32-byte seed is the RFC 8032 private key.
+pub struct Keypair {
+    /// Clamped secret scalar a, reduced mod ℓ (B has order ℓ, so reduction
+    /// does not change a·B).
+    secret: Scalar,
+    /// The second half of SHA-512(seed), the deterministic-nonce prefix.
+    prefix: [u8; 32],
+    public: PublicKey,
+}
+
+impl std::fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Keypair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+impl Keypair {
+    /// Deterministic key generation from a 32-byte seed (RFC 8032 §5.1.5).
+    pub fn from_seed(seed: &[u8; 32]) -> Keypair {
+        let h = sha512(seed);
+        let mut scalar_bytes: [u8; 32] = h[..32].try_into().unwrap();
+        scalar_bytes[0] &= 248;
+        scalar_bytes[31] &= 127;
+        scalar_bytes[31] |= 64;
+        let secret = Scalar::reduce_bits(&scalar_bytes);
+        let public_point = Point::base().mul(&secret);
+        let bytes = public_point.compress();
+        Keypair {
+            secret,
+            prefix: h[32..].try_into().unwrap(),
+            public: PublicKey { point: public_point, bytes },
+        }
+    }
+
+    /// Derive a seed (and keypair) from a shared 64-bit cluster secret —
+    /// the same mock-KDC trust-root idiom as `MockKerberos`: every process
+    /// that knows the deployment seed derives the same keys without any
+    /// key-distribution protocol. splitmix64 expansion of the seed.
+    pub fn from_cluster_seed(seed: u64) -> Keypair {
+        let mut bytes = [0u8; 32];
+        let mut state = seed;
+        for chunk in bytes.chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Keypair::from_seed(&bytes)
+    }
+
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Sign `msg`, producing the 64-byte detached signature `R || S`.
+    pub fn sign(&self, msg: &[u8]) -> [u8; 64] {
+        let mut h = Sha512::new();
+        h.update(&self.prefix).update(msg);
+        let r = Scalar::from_bytes_wide(&h.finish());
+        let r_bytes = Point::base().mul(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(&r_bytes).update(&self.public.bytes).update(msg);
+        let k = Scalar::from_bytes_wide(&h.finish());
+        let s = r.add(&k.mul(&self.secret));
+
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_bytes);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        unhex(s).try_into().unwrap()
+    }
+
+    fn rfc8032_case(seed_hex: &str, pk_hex: &str, msg_hex: &str, sig_hex: &str) {
+        let kp = Keypair::from_seed(&unhex32(seed_hex));
+        assert_eq!(kp.public().as_bytes(), &unhex32(pk_hex), "public key");
+        let msg = unhex(msg_hex);
+        let sig = kp.sign(&msg);
+        assert_eq!(sig.to_vec(), unhex(sig_hex), "signature");
+        assert!(kp.public().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn rfc8032_test_1_empty_message() {
+        rfc8032_case(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            "",
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e065224901555fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b",
+        );
+    }
+
+    #[test]
+    fn rfc8032_test_2_one_byte() {
+        rfc8032_case(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            "72",
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00",
+        );
+    }
+
+    #[test]
+    fn rfc8032_test_3_two_bytes() {
+        rfc8032_case(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            "af82",
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a",
+        );
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Keypair::from_cluster_seed(7);
+        let sig = kp.sign(b"payload");
+        assert!(kp.public().verify(b"payload", &sig));
+        assert!(!kp.public().verify(b"payloae", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::from_cluster_seed(7);
+        let sig = kp.sign(b"payload");
+        for i in [0usize, 17, 31, 32, 45, 63] {
+            let mut bad = sig;
+            bad[i] ^= 1;
+            assert!(!kp.public().verify(b"payload", &bad), "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = Keypair::from_cluster_seed(1);
+        let b = Keypair::from_cluster_seed(2);
+        assert_ne!(a.public().as_bytes(), b.public().as_bytes());
+        let sig = a.sign(b"msg");
+        assert!(!b.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        // Forge S' = S + ℓ: same value mod ℓ, non-canonical encoding. A
+        // verifier without the canonical check would accept it (signature
+        // malleability); ours must not.
+        let kp = Keypair::from_cluster_seed(3);
+        let sig = kp.sign(b"m");
+        let s = &sig[32..];
+        let l_bytes = {
+            let mut b = [0u8; 32];
+            for (i, limb) in L.iter().enumerate() {
+                b[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_le_bytes());
+            }
+            b
+        };
+        let mut s_plus_l = [0u8; 32];
+        let mut carry = 0u16;
+        for i in 0..32 {
+            let t = s[i] as u16 + l_bytes[i] as u16 + carry;
+            s_plus_l[i] = t as u8;
+            carry = t >> 8;
+        }
+        if carry == 0 {
+            // S + ℓ still fits 256 bits (it always does: S < ℓ < 2^253).
+            let mut forged = sig;
+            forged[32..].copy_from_slice(&s_plus_l);
+            assert!(!kp.public().verify(b"m", &forged));
+        }
+    }
+
+    #[test]
+    fn keys_from_distinct_cluster_seeds_differ() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..8u64 {
+            assert!(seen.insert(*Keypair::from_cluster_seed(seed).public().as_bytes()));
+        }
+    }
+
+    #[test]
+    fn field_roundtrip_and_identity_ops() {
+        let a = Fe::from_u64(123456789);
+        assert!(a.eq_fe(&Fe::from_bytes(&a.to_bytes())));
+        assert!(a.mul(&a.invert()).eq_fe(&Fe::ONE));
+        assert!(a.sub(&a).eq_fe(&Fe::ZERO));
+        assert!(a.add(&a.neg()).eq_fe(&Fe::ZERO));
+    }
+
+    #[test]
+    fn scalar_reduction_matches_wide_zero_extension() {
+        // A canonical scalar re-reduced from its 64-byte zero extension is
+        // itself.
+        let s = Scalar::from_bytes_wide(&[0xA7u8; 64]);
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&s.to_bytes());
+        assert_eq!(Scalar::from_bytes_wide(&wide), s);
+    }
+
+    #[test]
+    fn base_point_has_order_l() {
+        // ℓ·B = identity, (ℓ−1)·B = −B.
+        let l_scalar = Scalar(L);
+        // ℓ ≡ 0 mod ℓ, so go through raw bit math instead: multiply by the
+        // unreduced encoding of ℓ.
+        let b = Point::base();
+        let mut acc = Point::identity();
+        let bytes = l_scalar.to_bytes();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if (bytes[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.add(b);
+            }
+        }
+        assert_eq!(acc.compress(), Point::identity().compress());
+    }
+}

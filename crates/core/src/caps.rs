@@ -10,14 +10,29 @@ use bytes::Bytes;
 use lwfs_proto::{Capability, ContainerId, Decode as _, Encode as _, Error, OpMask, Result};
 
 /// A process's capabilities for one container.
+///
+/// Since wire v5 each capability may be paired with a *self-certifying
+/// token* — the ed25519-signed blob a storage server can verify locally.
+/// `tokens` is always parallel to `caps`; an empty `Bytes` marks a
+/// capability with no token (legacy clusters mint none at all).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CapSet {
     caps: Vec<Capability>,
+    tokens: Vec<Bytes>,
 }
 
 impl CapSet {
     pub fn new(caps: Vec<Capability>) -> Self {
-        Self { caps }
+        let tokens = vec![Bytes::new(); caps.len()];
+        Self { caps, tokens }
+    }
+
+    /// Build a set pairing each capability with its signed token. A
+    /// `tokens` list shorter than `caps` (e.g. empty, from a legacy
+    /// issuer) is padded with empty blobs.
+    pub fn with_tokens(caps: Vec<Capability>, mut tokens: Vec<Bytes>) -> Self {
+        tokens.resize(caps.len(), Bytes::new());
+        Self { caps, tokens }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -28,14 +43,30 @@ impl CapSet {
         self.caps.len()
     }
 
-    /// Merge in newly acquired capabilities.
+    /// Merge in newly acquired capabilities (without tokens).
     pub fn extend(&mut self, caps: impl IntoIterator<Item = Capability>) {
         self.caps.extend(caps);
+        self.tokens.resize(self.caps.len(), Bytes::new());
     }
 
     /// The capability granting `op` (the first one claiming every bit).
     pub fn for_op(&self, op: OpMask) -> Result<Capability> {
         self.caps.iter().find(|c| c.grants(op)).copied().ok_or(Error::AccessDenied)
+    }
+
+    /// The signed token paired with the capability [`for_op`](Self::for_op)
+    /// would select; empty when that capability has none (legacy issuer).
+    pub fn token_for_op(&self, op: OpMask) -> Bytes {
+        self.caps
+            .iter()
+            .position(|c| c.grants(op))
+            .and_then(|i| self.tokens.get(i).cloned())
+            .unwrap_or_default()
+    }
+
+    /// Whether any capability in the set carries a signed token.
+    pub fn has_tokens(&self) -> bool {
+        self.tokens.iter().any(|t| !t.is_empty())
     }
 
     /// The container these capabilities govern (errors on an empty or
@@ -57,21 +88,30 @@ impl CapSet {
         self.caps.iter()
     }
 
-    /// Serialize for the scatter step (capabilities are fully transferable;
-    /// the wire form is just their codec encoding).
+    /// Serialize for the scatter step (capabilities — and their signed
+    /// tokens, which are fully transferable bearer proofs too — travel as
+    /// their codec encodings).
     pub fn to_wire(&self) -> Bytes {
-        self.caps.to_bytes()
+        let mut buf = bytes::BytesMut::new();
+        self.caps.encode(&mut buf);
+        self.tokens.encode(&mut buf);
+        buf.freeze()
     }
 
-    /// Deserialize a scattered capability set.
+    /// Deserialize a scattered capability set. A blob from a pre-token
+    /// producer (bare capability list, no trailer) decodes with no tokens.
     pub fn from_wire(data: Bytes) -> Result<Self> {
-        Ok(Self { caps: Vec::<Capability>::from_bytes(data)? })
+        use bytes::Buf as _;
+        let mut buf = data;
+        let caps = Vec::<Capability>::decode(&mut buf)?;
+        let tokens = if buf.has_remaining() { Vec::<Bytes>::decode(&mut buf)? } else { Vec::new() };
+        Ok(Self::with_tokens(caps, tokens))
     }
 }
 
 impl FromIterator<Capability> for CapSet {
     fn from_iter<T: IntoIterator<Item = Capability>>(iter: T) -> Self {
-        Self { caps: iter.into_iter().collect() }
+        Self::new(iter.into_iter().collect())
     }
 }
 
@@ -130,6 +170,33 @@ mod tests {
         let wire = set.to_wire();
         let back = CapSet::from_wire(wire).unwrap();
         assert_eq!(back, set);
+    }
+
+    #[test]
+    fn tokens_follow_their_capability() {
+        let set = CapSet::with_tokens(
+            vec![cap(1, OpMask::READ, 1), cap(1, OpMask::WRITE, 2)],
+            vec![Bytes::from_static(b"r-token"), Bytes::from_static(b"w-token")],
+        );
+        assert!(set.has_tokens());
+        assert_eq!(set.token_for_op(OpMask::WRITE), Bytes::from_static(b"w-token"));
+        assert_eq!(set.token_for_op(OpMask::READ), Bytes::from_static(b"r-token"));
+        assert!(set.token_for_op(OpMask::ADMIN).is_empty());
+
+        // Tokens survive the scatter wire format next to their caps.
+        let back = CapSet::from_wire(set.to_wire()).unwrap();
+        assert_eq!(back, set);
+
+        // A short (legacy) token list pads out; lookups stay safe.
+        let legacy = CapSet::with_tokens(vec![cap(1, OpMask::READ, 1)], vec![]);
+        assert!(!legacy.has_tokens());
+        assert!(legacy.token_for_op(OpMask::READ).is_empty());
+
+        // A pre-token wire blob (bare cap list) still decodes.
+        let bare = vec![cap(1, OpMask::READ, 9)].to_bytes();
+        let from_bare = CapSet::from_wire(bare).unwrap();
+        assert_eq!(from_bare.len(), 1);
+        assert!(!from_bare.has_tokens());
     }
 
     #[test]

@@ -153,7 +153,7 @@ impl LwfsClient {
     pub fn get_caps(&self, container: ContainerId, ops: OpMask) -> Result<CapSet> {
         let cred = self.cred()?;
         match self.rpc().call(self.addrs.authz, RequestBody::GetCaps { cred, container, ops })? {
-            ReplyBody::Caps(caps) => Ok(CapSet::new(caps)),
+            ReplyBody::Caps { caps, tokens } => Ok(CapSet::with_tokens(caps, tokens)),
             other => Err(unexpected(other)),
         }
     }
@@ -326,10 +326,17 @@ impl LwfsClient {
     /// failing over: on a timeout, an unreachable primary, or a
     /// `NotPrimary` rejection the map is refreshed and the *same request*
     /// (same opnum) is re-sent to the current primary, until the failover
-    /// deadline converts the transients into `RetriesExhausted`.
-    fn storage_mutate(&self, server: usize, body: RequestBody) -> Result<ReplyBody> {
+    /// deadline converts the transients into `RetriesExhausted`. The
+    /// signed capability token rides the request envelope (empty =
+    /// legacy, no token).
+    fn storage_mutate_with_token(
+        &self,
+        server: usize,
+        body: RequestBody,
+        token: Bytes,
+    ) -> Result<ReplyBody> {
         let Some(mut map) = self.group_map()? else {
-            return self.rpc().call_retrying(self.storage_addr(server)?, body);
+            return self.rpc().call_retrying_with_token(self.storage_addr(server)?, body, token);
         };
         let opnum = OpNum(self.opnum.fetch_add(1, Ordering::Relaxed));
         // The whole retry loop re-sends one `(reply_to, opnum)` pair, so
@@ -351,7 +358,7 @@ impl LwfsClient {
                 // An empty group (every member dead) is a transient state
                 // from the client's perspective: keep polling the map.
                 None => Err(Error::Unreachable),
-                Some(target) => self.send_once(target, opnum, &body, map.epoch),
+                Some(target) => self.send_once(target, opnum, &body, map.epoch, &token),
             };
             trace.stage("send");
             match outcome {
@@ -396,8 +403,11 @@ impl LwfsClient {
         opnum: OpNum,
         body: &RequestBody,
         epoch: u64,
+        token: &Bytes,
     ) -> Result<ReplyBody> {
-        let req = Request::new(opnum, self.ep.id(), body.clone()).with_epoch(epoch);
+        let req = Request::new(opnum, self.ep.id(), body.clone())
+            .with_epoch(epoch)
+            .with_token(token.clone());
         self.ep.send(target, REQUEST_MATCH, req.to_bytes())?;
         let want = reply_match(opnum.0);
         let ev = self.ep.recv_match(
@@ -420,9 +430,14 @@ impl LwfsClient {
     /// dropped from the group (and so never saw the epoch advance) fences
     /// the read with `NotPrimary` instead of serving stale data, and the
     /// sweep moves on to an in-sync member.
-    fn storage_read(&self, server: usize, body: RequestBody) -> Result<ReplyBody> {
+    fn storage_read_with_token(
+        &self,
+        server: usize,
+        body: RequestBody,
+        token: Bytes,
+    ) -> Result<ReplyBody> {
         let Some(mut map) = self.group_map()? else {
-            return self.rpc().call_retrying(self.storage_addr(server)?, body);
+            return self.rpc().call_retrying_with_token(self.storage_addr(server)?, body, token);
         };
         // Each probe allocates a fresh opnum (reads are never deduped), so
         // the sweep has no single wire-level request id; the trace anchors
@@ -444,7 +459,7 @@ impl LwfsClient {
                 .clone();
             for member in members {
                 let opnum = OpNum(self.opnum.fetch_add(1, Ordering::Relaxed));
-                let outcome = self.send_once(member, opnum, &body, map.epoch);
+                let outcome = self.send_once(member, opnum, &body, map.epoch, &token);
                 trace.stage("probe");
                 match outcome {
                     Err(
@@ -477,7 +492,12 @@ impl LwfsClient {
         want: Option<ObjId>,
     ) -> Result<ObjId> {
         let cap = caps.for_op(OpMask::CREATE)?;
-        match self.storage_mutate(server, RequestBody::CreateObj { txn, cap, obj: want })? {
+        let token = caps.token_for_op(OpMask::CREATE);
+        match self.storage_mutate_with_token(
+            server,
+            RequestBody::CreateObj { txn, cap, obj: want },
+            token,
+        )? {
             ReplyBody::ObjCreated(oid) => Ok(oid),
             other => Err(unexpected(other)),
         }
@@ -491,7 +511,12 @@ impl LwfsClient {
         obj: ObjId,
     ) -> Result<()> {
         let cap = caps.for_op(OpMask::REMOVE)?;
-        match self.storage_mutate(server, RequestBody::RemoveObj { txn, cap, obj })? {
+        let token = caps.token_for_op(OpMask::REMOVE);
+        match self.storage_mutate_with_token(
+            server,
+            RequestBody::RemoveObj { txn, cap, obj },
+            token,
+        )? {
             ReplyBody::ObjRemoved => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -511,7 +536,7 @@ impl LwfsClient {
         let cap = caps.for_op(OpMask::WRITE)?;
         let mb = self.ep.match_bits().alloc(BULK_SPACE);
         self.ep.post_md(mb, MemDesc::from_vec(data.to_vec(), MdOptions::for_remote_get()))?;
-        let result = self.storage_mutate(
+        let result = self.storage_mutate_with_token(
             server,
             RequestBody::Write {
                 txn,
@@ -521,6 +546,7 @@ impl LwfsClient {
                 len: data.len() as u64,
                 md: MdHandle { match_bits: mb },
             },
+            caps.token_for_op(OpMask::WRITE),
         );
         self.ep.unlink_md(mb);
         match result? {
@@ -542,7 +568,7 @@ impl LwfsClient {
         let cap = caps.for_op(OpMask::READ)?;
         let mb = self.ep.match_bits().alloc(BULK_SPACE);
         self.ep.post_md(mb, MemDesc::zeroed(len, MdOptions::for_remote_put()))?;
-        let result = self.storage_read(
+        let result = self.storage_read_with_token(
             server,
             RequestBody::Read {
                 cap,
@@ -551,6 +577,7 @@ impl LwfsClient {
                 len: len as u64,
                 md: MdHandle { match_bits: mb },
             },
+            caps.token_for_op(OpMask::READ),
         );
         let md = self
             .ep
@@ -583,7 +610,7 @@ impl LwfsClient {
         // The result is never larger than the scanned range (all filters
         // are contractive), so a `len`-sized landing buffer suffices.
         self.ep.post_md(mb, MemDesc::zeroed(len.max(16), MdOptions::for_remote_put()))?;
-        let result = self.storage_read(
+        let result = self.storage_read_with_token(
             server,
             RequestBody::ReadFiltered {
                 cap,
@@ -593,6 +620,7 @@ impl LwfsClient {
                 filter,
                 md: MdHandle { match_bits: mb },
             },
+            caps.token_for_op(OpMask::READ),
         );
         let md = self.ep.unlink_md(mb).ok_or_else(|| {
             Error::Internal("filtered-read descriptor vanished during transfer".into())
@@ -609,7 +637,8 @@ impl LwfsClient {
 
     pub fn getattr(&self, server: usize, caps: &CapSet, obj: ObjId) -> Result<ObjAttr> {
         let cap = caps.for_op(OpMask::GETATTR)?;
-        match self.storage_read(server, RequestBody::GetAttr { cap, obj })? {
+        let token = caps.token_for_op(OpMask::GETATTR);
+        match self.storage_read_with_token(server, RequestBody::GetAttr { cap, obj }, token)? {
             ReplyBody::Attr(attr) => Ok(attr),
             other => Err(unexpected(other)),
         }
@@ -618,7 +647,8 @@ impl LwfsClient {
     /// Flush an object (or everything) on a storage server.
     pub fn sync(&self, server: usize, caps: &CapSet, obj: Option<ObjId>) -> Result<()> {
         let cap = caps.for_op(OpMask::WRITE)?;
-        match self.storage_read(server, RequestBody::Sync { cap, obj })? {
+        let token = caps.token_for_op(OpMask::WRITE);
+        match self.storage_read_with_token(server, RequestBody::Sync { cap, obj }, token)? {
             ReplyBody::Synced => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -626,7 +656,8 @@ impl LwfsClient {
 
     pub fn list_objs(&self, server: usize, caps: &CapSet) -> Result<Vec<ObjId>> {
         let cap = caps.for_op(OpMask::GETATTR)?;
-        match self.storage_read(server, RequestBody::ListObjs { cap })? {
+        let token = caps.token_for_op(OpMask::GETATTR);
+        match self.storage_read_with_token(server, RequestBody::ListObjs { cap }, token)? {
             ReplyBody::Objs(objs) => Ok(objs),
             other => Err(unexpected(other)),
         }

@@ -18,12 +18,13 @@ use std::sync::Arc;
 
 use lwfs_auth::{AuthConfig, AuthServer, AuthService, Clock, ManualClock, MockKerberos, WallClock};
 use lwfs_authz::{AuthzConfig, AuthzServer, AuthzService, CachedCapVerifier, CredVerifier};
+use lwfs_cap::{CapClaims, CapIssuer, CapMode};
 use lwfs_fabric::{FabricConfig, Manifest, SocketFabric};
 use lwfs_naming::{Namespace, NamingServer};
 use lwfs_portals::{Network, NetworkConfig, RpcConfig, ServiceHandle};
 use lwfs_proto::{GroupMap, NodeId, PrincipalId, ProcessId};
 use lwfs_replica::{DirectoryHandle, ReplicaConfig};
-use lwfs_storage::{server::StorageHandle, StorageConfig, StorageServer};
+use lwfs_storage::{server::StorageHandle, SignedCapConfig, StorageConfig, StorageServer};
 use lwfs_txn::{LockTable, TxnLockServer};
 
 use crate::client::LwfsClient;
@@ -38,6 +39,12 @@ pub const KDC_REALM: &str = "LWFS.LOCAL";
 
 /// Key seed of the deterministic mock KDC (see [`KDC_REALM`]).
 pub const KDC_SEED: u64 = 0xFEED_F00D;
+
+/// Seed of the cluster's capability signing key (KDC-style determinism:
+/// every process of a deployment derives the same ed25519 keypair, so the
+/// authorization node signs and every storage node — holding only the
+/// *public* half — verifies, with no key-exchange step at boot).
+pub const CAP_SEED: u64 = 0xCAB1_51D5;
 
 /// Well-known service addresses for a booted cluster.
 #[derive(Debug, Clone)]
@@ -143,6 +150,22 @@ pub struct ClusterConfig {
     /// transport preserves historical behavior exactly; `Tcp` runs every
     /// cross-node message over loopback sockets.
     pub transport: TransportKind,
+    /// Capability enforcement mode. `Legacy` (the default) is the v4-era
+    /// verify-through scheme; `Signed` mints ed25519 tokens that storage
+    /// servers verify locally (falling back to verify-through for unsigned
+    /// requests); `Require` additionally refuses unsigned data operations.
+    pub cap_mode: CapMode,
+    /// Clock-skew tolerance for signed-token start times. OS processes of
+    /// one deployment start seconds apart; without tolerance a fresh token
+    /// minted on a slightly-ahead clock is rejected as not-yet-valid.
+    /// Widens `not_before` only — expiry is never extended.
+    pub clock_skew: std::time::Duration,
+}
+
+/// Default clock-skew tolerance for signed-token start times, shared by
+/// every deployment flavor (in-process, tcp, and process mode).
+pub fn default_clock_skew() -> std::time::Duration {
+    std::time::Duration::from_secs(1)
 }
 
 impl Default for ClusterConfig {
@@ -158,6 +181,8 @@ impl Default for ClusterConfig {
             ship_deadline: None,
             users: vec![("app".into(), "secret".into(), PrincipalId(1))],
             transport: TransportKind::default(),
+            cap_mode: CapMode::default(),
+            clock_skew: default_clock_skew(),
         }
     }
 }
@@ -295,20 +320,29 @@ impl LwfsCluster {
         // Authorization service, trusting the authentication service
         // (Figure 5's trust arrow).
         let authz_id = ProcessId::new(1001, 0);
-        let (authz_handle, authz_svc) = AuthzServer::spawn(
-            &net_for(1001),
-            authz_id,
-            AuthzService::new(
-                AuthzConfig {
-                    capability_ttl: config
-                        .capability_ttl_ns
-                        .unwrap_or(AuthzConfig::default().capability_ttl),
-                    ..Default::default()
-                },
-                Arc::new(Arc::clone(&auth_svc)) as Arc<dyn CredVerifier>,
-                Arc::clone(&clock),
-            ),
+        let mut authz_service = AuthzService::new(
+            AuthzConfig {
+                capability_ttl: config
+                    .capability_ttl_ns
+                    .unwrap_or(AuthzConfig::default().capability_ttl),
+                ..Default::default()
+            },
+            Arc::new(Arc::clone(&auth_svc)) as Arc<dyn CredVerifier>,
+            Arc::clone(&clock),
         );
+        // Signed modes: the authorization service becomes the cluster's
+        // token issuer. The keypair is seed-derived (like the KDC key), so
+        // process-mode nodes reconstruct it without a key exchange; only
+        // the public half ever reaches storage.
+        let issuer_public = if config.cap_mode.signed() {
+            let issuer = CapIssuer::from_cluster_seed(CAP_SEED);
+            let public = *issuer.public().as_bytes();
+            authz_service = authz_service.with_issuer(issuer, config.cap_mode);
+            Some(public)
+        } else {
+            None
+        };
+        let (authz_handle, authz_svc) = AuthzServer::spawn(&net_for(1001), authz_id, authz_service);
 
         // Client-extension services.
         let naming_id = ProcessId::new(1002, 0);
@@ -349,6 +383,23 @@ impl LwfsCluster {
                 }
                 server_config.replica = Some(replica);
             }
+            if let Some(public_key) = issuer_public {
+                // Each replicated member gets a group-scoped token bound
+                // to its own node id: whichever member is (or becomes)
+                // primary ships under its own identity, and a backup's
+                // token is useless anywhere but on its own sends.
+                let ship_token = (r > 1).then(|| {
+                    let issuer = CapIssuer::from_cluster_seed(CAP_SEED);
+                    let group = (i / r) as u32;
+                    bytes::Bytes::from(issuer.mint(CapClaims::repl_group(group, sid.nid.0)))
+                });
+                server_config.signed = Some(SignedCapConfig {
+                    mode: config.cap_mode,
+                    public_key,
+                    ship_token,
+                    clock_skew: config.clock_skew,
+                });
+            }
             let verifier = CachedCapVerifier::with_registry(sid, authz_id, net.obs());
             let (h, s) = StorageServer::spawn(
                 &net_for(sid.nid.0),
@@ -360,6 +411,11 @@ impl LwfsCluster {
             storage_handles.push(Some(h));
             storage_servers.push(Some(s));
             storage_configs.push(server_config);
+        }
+
+        // Revocation-epoch pushes fan out to every storage server.
+        if issuer_public.is_some() {
+            authz_svc.set_enforcement_sites(storage_addrs.clone());
         }
 
         // Group directory: spawned only under replication, so a plain

@@ -68,6 +68,14 @@ pub struct ProcessClusterConfig {
     /// Worker-pool size for each storage child (`None` keeps the storage
     /// default).
     pub workers: Option<usize>,
+    /// Capability mode for every child: `Legacy` verifies through the
+    /// authorization process; `Signed`/`Require` verify ed25519 tokens
+    /// locally at storage (see `lwfs_cap::CapMode`).
+    pub cap_mode: lwfs_cap::CapMode,
+    /// Clock-skew tolerance each storage child grants token lifetimes —
+    /// processes started seconds apart must not reject fresh tokens as
+    /// not-yet-valid.
+    pub clock_skew: std::time::Duration,
     /// Scratch directory for the manifest (default: a fresh subdirectory
     /// of the system temp dir, removed on shutdown).
     pub workdir: Option<PathBuf>,
@@ -86,6 +94,8 @@ impl Default for ProcessClusterConfig {
             users: vec![("app".into(), "secret".into(), PrincipalId(1))],
             wal_root: None,
             workers: None,
+            cap_mode: lwfs_cap::CapMode::default(),
+            clock_skew: crate::cluster::default_clock_skew(),
             workdir: None,
             monitor: false,
             rpc: RpcConfig::default(),
@@ -217,6 +227,10 @@ impl ProcessCluster {
                 .arg(r.to_string())
                 .arg("--users")
                 .arg(&users_arg)
+                .arg("--cap-mode")
+                .arg(config.cap_mode.as_str())
+                .arg("--clock-skew-ms")
+                .arg(config.clock_skew.as_millis().to_string())
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit());

@@ -146,8 +146,21 @@ impl<'a> RpcClient<'a> {
     /// Error replies from the server are surfaced as `Err`; transport-level
     /// `ServerBusy` (full request queue) triggers the back-off/re-send loop.
     pub fn call(&self, server: ProcessId, body: RequestBody) -> Result<ReplyBody> {
+        self.call_with_token(server, body, bytes::Bytes::new())
+    }
+
+    /// [`call`](Self::call) with a self-certifying capability token in the
+    /// request envelope (wire v5). An empty token encodes as absent, so
+    /// this is exactly `call` for legacy traffic.
+    pub fn call_with_token(
+        &self,
+        server: ProcessId,
+        body: RequestBody,
+        token: bytes::Bytes,
+    ) -> Result<ReplyBody> {
         let opnum = OpNum(self.next_opnum.fetch_add(1, Ordering::Relaxed));
-        let req = Request::new(opnum, self.ep.id(), body).with_trace(self.trace());
+        let req =
+            Request::new(opnum, self.ep.id(), body).with_trace(self.trace()).with_token(token);
         let wire = req.to_bytes();
 
         let mut backoff = self.backoff;
@@ -183,10 +196,20 @@ impl<'a> RpcClient<'a> {
     /// answers `ServerBusy` (its bounded request queue was full after
     /// transport acceptance). Used by clients of the storage service.
     pub fn call_retrying(&self, server: ProcessId, body: RequestBody) -> Result<ReplyBody> {
+        self.call_retrying_with_token(server, body, bytes::Bytes::new())
+    }
+
+    /// [`call_retrying`](Self::call_retrying) with an envelope token.
+    pub fn call_retrying_with_token(
+        &self,
+        server: ProcessId,
+        body: RequestBody,
+        token: bytes::Bytes,
+    ) -> Result<ReplyBody> {
         let mut backoff = self.backoff;
         let mut attempts = 0u32;
         loop {
-            match self.call(server, body.clone()) {
+            match self.call_with_token(server, body.clone(), token.clone()) {
                 Err(Error::ServerBusy) if attempts < self.max_resends => {
                     attempts += 1;
                     self.resends.fetch_add(1, Ordering::Relaxed);

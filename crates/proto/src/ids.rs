@@ -104,6 +104,16 @@ impl Lifetime {
         now >= self.not_before && now < self.not_after
     }
 
+    /// Like [`valid_at`](Lifetime::valid_at), but tolerating `skew`
+    /// nanoseconds of clock disagreement between the minting process and the
+    /// verifying process. Only the *start* of the window is widened: a
+    /// freshly minted credential must not be rejected as not-yet-valid by a
+    /// verifier whose clock runs a little behind the issuer's, but expiry is
+    /// a security boundary and is never extended.
+    pub fn valid_at_with_skew(&self, now: u64, skew: u64) -> bool {
+        now.saturating_add(skew) >= self.not_before && now < self.not_after
+    }
+
     /// The intersection of two lifetimes (empty windows report invalid for
     /// every instant, which is the safe default).
     pub fn intersect(&self, other: &Lifetime) -> Lifetime {
@@ -141,6 +151,21 @@ mod tests {
         assert!(lt.valid_at(100));
         assert!(lt.valid_at(149));
         assert!(!lt.valid_at(150));
+    }
+
+    #[test]
+    fn skew_widens_start_but_not_expiry() {
+        // Regression for cross-process clock skew: a cap minted by a process
+        // whose clock runs ahead must still be honored by a verifier a few
+        // ticks behind — but skew must never stretch the expiry.
+        let lt = Lifetime::starting_at(100, 50);
+        assert!(!lt.valid_at(95));
+        assert!(lt.valid_at_with_skew(95, 10));
+        assert!(!lt.valid_at_with_skew(95, 0));
+        assert!(!lt.valid_at_with_skew(89, 10));
+        assert!(!lt.valid_at_with_skew(150, 10));
+        assert!(!lt.valid_at_with_skew(150, u64::MAX));
+        assert!(lt.valid_at_with_skew(149, 10));
     }
 
     #[test]

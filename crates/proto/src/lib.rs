@@ -30,8 +30,8 @@ pub use codec::{Decode, Encode};
 pub use error::{Error, Result};
 pub use ids::{ContainerId, Lifetime, NodeId, ObjId, OpNum, Pid, PrincipalId, ProcessId, TxnId};
 pub use message::{
-    derive_req_id, FilterSpec, GroupMap, LockId, LockMode, LockResource, MdHandle, ObjAttr,
-    PfsLayout, ReplicaGroup, Reply, ReplyBody, Request, RequestBody, TelemetryEvent,
+    derive_req_id, EpochBump, FilterSpec, GroupMap, LockId, LockMode, LockResource, MdHandle,
+    ObjAttr, PfsLayout, ReplicaGroup, Reply, ReplyBody, Request, RequestBody, TelemetryEvent,
     TelemetryHistogram, TelemetrySnapshot, TraceContext,
 };
 pub use ops::OpMask;
@@ -42,12 +42,14 @@ pub use security::{
 /// Protocol version stamped into every encoded message.
 ///
 /// A decoder that sees a different major version must reject the message.
-/// The one exception is the v3→v4 trace extension: a v4 decoder accepts a
-/// v3 request (no `trace` field) with a zero [`TraceContext`], so a
-/// mixed-version cluster degrades to per-hop tracing instead of erroring.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// The exceptions are the additive request-envelope extensions: a v5
+/// decoder accepts a v4 request (no `token` field) with an empty token and
+/// a v3 request (no `trace` field either) with a zero [`TraceContext`], so
+/// a mixed-version cluster degrades — to per-hop tracing, and to
+/// verify-through capability checking — instead of erroring.
+pub const PROTOCOL_VERSION: u16 = 5;
 
-/// Oldest request version a v4 decoder still accepts (see
+/// Oldest request version a v5 decoder still accepts (see
 /// [`PROTOCOL_VERSION`]).
 pub const MIN_REQUEST_VERSION: u16 = 3;
 
@@ -68,8 +70,8 @@ mod tests {
     #[test]
     fn version_is_stable() {
         // v2 added the req_id trace field; v3 the group-map epoch; v4 the
-        // propagated TraceContext.
-        assert_eq!(PROTOCOL_VERSION, 4);
+        // propagated TraceContext; v5 the signed capability token.
+        assert_eq!(PROTOCOL_VERSION, 5);
         assert_eq!(MIN_REQUEST_VERSION, 3);
     }
 }

@@ -332,6 +332,16 @@ pub struct TelemetrySnapshot {
 
 impl_codec_struct!(TelemetrySnapshot { counters, gauges, histograms, events });
 
+/// One container's new revocation epoch, pushed issuer → enforcement point
+/// after a policy change or a bulk bump (v5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochBump {
+    pub container: ContainerId,
+    pub epoch: u64,
+}
+
+impl_codec_struct!(EpochBump { container, epoch });
+
 /// Request bodies for every LWFS service.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
@@ -370,6 +380,18 @@ pub enum RequestBody {
         grant: OpMask,
         revoke: OpMask,
     },
+    /// Bulk-bump the revocation epoch of many containers at once (v5): the
+    /// revocation-storm path. Every signed token minted for these
+    /// containers before the bump becomes stale at every enforcement point
+    /// as soon as the new epochs are pushed — no per-token bookkeeping.
+    /// Requires ADMIN on each container, presented as a legacy capability
+    /// (revocation is a control-plane op; it stays on the issuer).
+    BumpEpochs { cap: Capability, containers: Vec<ContainerId> },
+    /// Issuer → enforcement point (v5): the current revocation epochs for
+    /// recently bumped containers. Fire-and-forget semantics: enforcement
+    /// points apply the maximum epoch they have seen, so reordered or
+    /// re-sent pushes are harmless.
+    PushEpochs { epochs: Vec<EpochBump> },
 
     // ---- storage service (§3.2, §3.3) ----
     /// Create an object in a container. The server picks the id unless the
@@ -511,11 +533,23 @@ pub enum ReplyBody {
     CredRevoked,
     ContainerCreated(ContainerId),
     ContainerRemoved,
-    Caps(Vec<Capability>),
+    /// Minted capabilities, one per requested op bit, plus (v5, signed
+    /// modes only) one self-certifying token per cap. `tokens` is empty in
+    /// legacy mode; when present it is parallel to `caps`.
+    Caps {
+        caps: Vec<Capability>,
+        tokens: Vec<Bytes>,
+    },
     /// The subset of submitted capabilities that verified, by cache key.
     CapsVerified {
         valid: Vec<CapabilityKey>,
     },
+    /// `BumpEpochs` ack: how many containers had their epoch advanced.
+    EpochsBumped {
+        bumped: u64,
+    },
+    /// `PushEpochs` ack.
+    EpochsPushed,
     PolicyChanged {
         new_caps: Vec<Capability>,
     },
@@ -588,6 +622,13 @@ pub struct Request {
     /// belongs to and which request caused it. Decoded as zero from v3
     /// peers; `Request::new` self-roots it at `req_id`.
     pub trace: TraceContext,
+    /// Self-certifying capability token (v5): an `lwfs-cap` signed blob the
+    /// receiver can verify locally against the issuer's public key, instead
+    /// of the verify-through RPC the body's opaque `Capability` requires.
+    /// Empty for v3/v4 peers and in `cap_mode = Legacy` clusters; the
+    /// envelope (not the body) carries it so every authorized op — data
+    /// path and replication ships alike — presents authority the same way.
+    pub token: Bytes,
     pub body: RequestBody,
 }
 
@@ -595,7 +636,16 @@ impl Request {
     pub fn new(opnum: OpNum, reply_to: ProcessId, body: RequestBody) -> Self {
         let req_id = derive_req_id(reply_to, opnum);
         let trace = TraceContext { trace_id: req_id, parent_req_id: 0 };
-        Self { version: PROTOCOL_VERSION, opnum, reply_to, req_id, epoch: 0, trace, body }
+        Self {
+            version: PROTOCOL_VERSION,
+            opnum,
+            reply_to,
+            req_id,
+            epoch: 0,
+            trace,
+            token: Bytes::new(),
+            body,
+        }
     }
 
     /// Stamp the sender's group-map epoch into the header.
@@ -610,6 +660,15 @@ impl Request {
     pub fn with_trace(mut self, trace: TraceContext) -> Self {
         if trace.trace_id != 0 {
             self.trace = trace;
+        }
+        self
+    }
+
+    /// Attach a signed capability token to the envelope. An empty token is
+    /// a no-op, so callers can pass through an ambient "no token" verbatim.
+    pub fn with_token(mut self, token: Bytes) -> Self {
+        if !token.is_empty() {
+            self.token = token;
         }
         self
     }
@@ -666,10 +725,13 @@ impl Encode for Request {
         self.reply_to.encode(buf);
         self.req_id.encode(buf);
         self.epoch.encode(buf);
-        // The trace field is the v4 extension: a request re-encoded at its
-        // decoded v3 version stays byte-identical for the old wire format.
+        // Version-gated extensions: a request re-encoded at its decoded
+        // version stays byte-identical for the old wire format.
         if self.version >= 4 {
             self.trace.encode(buf);
+        }
+        if self.version >= 5 {
+            self.token.encode(buf);
         }
         self.body.encode(buf);
     }
@@ -688,6 +750,9 @@ impl Decode for Request {
         // v3 peers don't send a trace: decode a zero context, degrading the
         // cluster to per-hop tracing rather than rejecting the request.
         let trace = if version >= 4 { TraceContext::decode(buf)? } else { TraceContext::default() };
+        // Pre-v5 peers carry no signed token; they authenticate through the
+        // legacy verify-through path.
+        let token = if version >= 5 { Bytes::decode(buf)? } else { Bytes::new() };
         Ok(Request {
             version,
             opnum,
@@ -695,6 +760,7 @@ impl Decode for Request {
             req_id,
             epoch,
             trace,
+            token,
             body: RequestBody::decode(buf)?,
         })
     }
@@ -745,6 +811,8 @@ impl Encode for RequestBody {
             13 => VerifyCaps { caps, cache_site } => { caps, cache_site },
             14 => ModPolicy { cap, container, principal, grant, revoke } =>
                 { cap, container, principal, grant, revoke },
+            15 => BumpEpochs { cap, containers } => { cap, containers },
+            16 => PushEpochs { epochs } => { epochs },
             20 => CreateObj { txn, cap, obj } => { txn, cap, obj },
             21 => RemoveObj { txn, cap, obj } => { txn, cap, obj },
             22 => Write { txn, cap, obj, offset, len, md } => { txn, cap, obj, offset, len, md },
@@ -802,6 +870,8 @@ impl Decode for RequestBody {
                 grant: Decode::decode(buf)?,
                 revoke: Decode::decode(buf)?,
             },
+            15 => BumpEpochs { cap: Decode::decode(buf)?, containers: Decode::decode(buf)? },
+            16 => PushEpochs { epochs: Decode::decode(buf)? },
             20 => CreateObj {
                 txn: Decode::decode(buf)?,
                 cap: Decode::decode(buf)?,
@@ -899,9 +969,11 @@ impl Encode for ReplyBody {
             4  => CredRevoked => {},
             10 => ContainerCreated(c) => { c },
             11 => ContainerRemoved => {},
-            12 => Caps(caps) => { caps },
+            12 => Caps { caps, tokens } => { caps, tokens },
             13 => CapsVerified { valid } => { valid },
             14 => PolicyChanged { new_caps } => { new_caps },
+            15 => EpochsBumped { bumped } => { bumped },
+            16 => EpochsPushed => {},
             20 => ObjCreated(o) => { o },
             21 => ObjRemoved => {},
             22 => WriteDone { len } => { len },
@@ -942,9 +1014,11 @@ impl Decode for ReplyBody {
             4 => CredRevoked,
             10 => ContainerCreated(Decode::decode(buf)?),
             11 => ContainerRemoved,
-            12 => Caps(Decode::decode(buf)?),
+            12 => Caps { caps: Decode::decode(buf)?, tokens: Decode::decode(buf)? },
             13 => CapsVerified { valid: Decode::decode(buf)? },
             14 => PolicyChanged { new_caps: Decode::decode(buf)? },
+            15 => EpochsBumped { bumped: Decode::decode(buf)? },
+            16 => EpochsPushed,
             20 => ObjCreated(Decode::decode(buf)?),
             21 => ObjRemoved,
             22 => WriteDone { len: Decode::decode(buf)? },
@@ -1135,6 +1209,13 @@ mod tests {
             Sync { cap: sample_cap(), obj: Some(ObjId(12)) },
             ListObjs { cap: sample_cap() },
             InvalidateCaps { authz_epoch: 3, keys: vec![sample_cap().cache_key()] },
+            BumpEpochs { cap: sample_cap(), containers: vec![ContainerId(9), ContainerId(10)] },
+            PushEpochs {
+                epochs: vec![
+                    EpochBump { container: ContainerId(9), epoch: 4 },
+                    EpochBump { container: ContainerId(10), epoch: 2 },
+                ],
+            },
             NameCreate {
                 txn: None,
                 path: "/ckpt/42".into(),
@@ -1220,9 +1301,15 @@ mod tests {
             CredRevoked,
             ContainerCreated(ContainerId(9)),
             ContainerRemoved,
-            Caps(vec![sample_cap(), sample_cap()]),
+            Caps { caps: vec![sample_cap(), sample_cap()], tokens: vec![] },
+            Caps {
+                caps: vec![sample_cap()],
+                tokens: vec![Bytes::from_static(b"signed-token-blob")],
+            },
             CapsVerified { valid: vec![sample_cap().cache_key()] },
             PolicyChanged { new_caps: vec![sample_cap()] },
+            EpochsBumped { bumped: 3 },
+            EpochsPushed,
             ObjCreated(ObjId(12)),
             ObjRemoved,
             WriteDone { len: 512 },
@@ -1333,6 +1420,38 @@ mod tests {
         // Round trip: re-encoding the decoded request reproduces the v3
         // bytes exactly, so mixed-version relays are lossless.
         assert_eq!(back.to_bytes(), v3_bytes);
+    }
+
+    #[test]
+    fn v4_request_decodes_with_empty_token_and_roundtrips() {
+        // A v4 peer sends a trace but no token. Setting version=4 before
+        // encoding produces exactly the old wire format (the encoder gates
+        // the token on version >= 5).
+        let mut req =
+            Request::new(OpNum(9), ProcessId::new(1, 2), RequestBody::GetGroupMap).with_epoch(2);
+        req.version = 4;
+        let v4_bytes = req.to_bytes();
+
+        let back = Request::from_bytes(v4_bytes.clone()).expect("v4 request must decode");
+        assert_eq!(back.version, 4);
+        assert_eq!(back.trace, req.trace, "v4 still carries its trace");
+        assert!(back.token.is_empty(), "v4 decodes with an empty token");
+        assert_eq!(back.body, req.body);
+        assert_eq!(back.to_bytes(), v4_bytes, "relay is lossless");
+    }
+
+    #[test]
+    fn token_travels_in_the_envelope() {
+        let blob = Bytes::from_static(b"cap-token-blob");
+        let req = Request::new(OpNum(3), ProcessId::new(5, 0), RequestBody::Ping)
+            .with_token(blob.clone());
+        assert_eq!(req.token, blob);
+        let back = Request::from_bytes(req.to_bytes()).unwrap();
+        assert_eq!(back.token, blob);
+        // An empty token is a no-op pass-through.
+        let plain = Request::new(OpNum(4), ProcessId::new(5, 0), RequestBody::Ping)
+            .with_token(Bytes::new());
+        assert!(plain.token.is_empty());
     }
 
     #[test]

@@ -206,6 +206,54 @@ mod tests {
     }
 
     #[test]
+    fn whole_eviction_at_the_default_origin_boundary() {
+        // Full-scale version of the cap test: exactly DEFAULT_MAX_ORIGINS
+        // clients fit, and the one that tips the map over evicts the
+        // coldest origin *whole* — every entry it holds, not just one —
+        // with the O(1) length accounting staying exact.
+        let cache = ReplyCache::with_limits(2, DEFAULT_MAX_ORIGINS);
+        let last = DEFAULT_MAX_ORIGINS as u32;
+        for n in 0..last {
+            cache.put(pid(n), OpNum(1), Bytes::from_static(b"a"));
+            cache.put(pid(n), OpNum(2), Bytes::from_static(b"b"));
+        }
+        assert_eq!(cache.len(), DEFAULT_MAX_ORIGINS * 2);
+        // Refresh origin 0 so origin 1 is the coldest at the overflow.
+        cache.put(pid(0), OpNum(3), Bytes::from_static(b"c"));
+        cache.put(pid(last), OpNum(1), Bytes::from_static(b"new"));
+
+        assert!(cache.get(pid(1), OpNum(1)).is_none(), "coldest dropped whole");
+        assert!(cache.get(pid(1), OpNum(2)).is_none(), "…including its newest entry");
+        assert!(cache.get(pid(0), OpNum(3)).is_some(), "refreshed origin survives");
+        assert!(cache.get(pid(2), OpNum(1)).is_some(), "warmer origins survive");
+        assert!(cache.get(pid(last), OpNum(1)).is_some(), "the tipping insert survives");
+        assert_eq!(cache.len(), DEFAULT_MAX_ORIGINS * 2 - 1, "lost 2 (origin 1), gained 1");
+
+        // An evicted client that comes back starts a fresh FIFO: its old
+        // opnums stay misses (an origin idle that long is outside every
+        // retry window, so re-execution is the correct answer), and the
+        // revived origin's new replies are retained normally.
+        cache.put(pid(1), OpNum(3), Bytes::from_static(b"back"));
+        assert!(cache.get(pid(1), OpNum(1)).is_none());
+        assert_eq!(cache.get(pid(1), OpNum(3)).unwrap(), Bytes::from_static(b"back"));
+    }
+
+    #[test]
+    fn overflow_insert_never_evicts_its_own_fresh_reply() {
+        // The reply recorded by the very put that overflows the origin
+        // map is the one an imminent retry will ask for — evicting it
+        // would silently re-execute an acked mutation. The eviction scan
+        // must skip the inserting origin even when it is the only
+        // candidate left.
+        let cache = ReplyCache::with_limits(4, 1);
+        cache.put(pid(1), OpNum(1), Bytes::from_static(b"old"));
+        cache.put(pid(2), OpNum(9), Bytes::from_static(b"fresh"));
+        assert!(cache.get(pid(1), OpNum(1)).is_none(), "the stale origin goes instead");
+        assert_eq!(cache.get(pid(2), OpNum(9)).unwrap(), Bytes::from_static(b"fresh"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn origin_cap_evicts_the_coldest_origin_whole() {
         let cache = ReplyCache::with_limits(2, 3);
         for n in 1..=3u32 {

@@ -39,5 +39,5 @@ pub use dispatch::{AccessSummary, ConflictTracker, WorkQueue};
 pub use filter::{apply as apply_filter, decode_stats};
 pub use recovery::RecoveryOutcome;
 pub use scheduler::RequestScheduler;
-pub use server::{StorageConfig, StorageServer, StorageStats};
+pub use server::{SignedCapConfig, StorageConfig, StorageServer, StorageStats};
 pub use store::{ObjectStore, StoreConfig};

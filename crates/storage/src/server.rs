@@ -41,6 +41,7 @@ use std::time::{Duration, Instant};
 use bytes::{Bytes, BytesMut};
 use lwfs_auth::Clock;
 use lwfs_authz::CachedCapVerifier;
+use lwfs_cap::{CapMode, LocalCapVerifier, PublicKey};
 use lwfs_obs::{Counter, OpTrace, Registry};
 use lwfs_portals::{
     retry, Endpoint, Event, Network, RetryPolicy, RpcClient, RpcConfig, REQUEST_MATCH,
@@ -95,6 +96,27 @@ pub struct StorageConfig {
     /// and rejects client mutations with [`Error::NotPrimary`]. `None`
     /// (the default) is a standalone server.
     pub replica: Option<ReplicaConfig>,
+    /// Self-certifying capability enforcement (wire v5). `None` (the
+    /// default) is the legacy verify-through-only server.
+    pub signed: Option<SignedCapConfig>,
+}
+
+/// Configuration of local (signature-based) capability verification.
+#[derive(Debug, Clone)]
+pub struct SignedCapConfig {
+    /// `Signed` accepts tokens and falls back to verify-through for
+    /// unsigned requests; `Require` refuses unsigned data operations.
+    /// (`Legacy` here is equivalent to leaving the whole config `None`.)
+    pub mode: CapMode,
+    /// The issuer's ed25519 public key — the *only* secret-free state a
+    /// storage server needs to judge any capability in the cluster.
+    pub public_key: [u8; 32],
+    /// Group-scoped, holder-bound token this server presents on outbound
+    /// `ReplShip`s (primaries of replicated groups only).
+    pub ship_token: Option<Bytes>,
+    /// Tolerance for tokens minted by a process whose clock runs slightly
+    /// ahead of ours (widens `not_before` only, never expiry).
+    pub clock_skew: Duration,
 }
 
 impl Default for StorageConfig {
@@ -109,6 +131,7 @@ impl Default for StorageConfig {
             wal: None,
             rpc: RpcConfig::default(),
             replica: None,
+            signed: None,
         }
     }
 }
@@ -209,6 +232,7 @@ fn op_label(body: &RequestBody) -> &'static str {
         RequestBody::TxnCommit { .. } => "storage.txn_commit",
         RequestBody::TxnAbort { .. } => "storage.txn_abort",
         RequestBody::ReplShip { .. } => "storage.repl_ship",
+        RequestBody::PushEpochs { .. } => "storage.push_epochs",
         _ => "storage.other",
     }
 }
@@ -282,6 +306,9 @@ pub struct StorageServer {
     store: ObjectStore,
     pool: PinnedBufferPool,
     verifier: Option<CachedCapVerifier>,
+    /// Local signature-based capability enforcement (wire v5), when the
+    /// cluster runs a signed cap mode.
+    signed: Option<SignedCaps>,
     clock: Arc<dyn Clock>,
     journal: JournalStore<UndoOp>,
     /// The write-ahead log, when durability is configured.
@@ -291,6 +318,14 @@ pub struct StorageServer {
     stats: StorageStats,
     /// The fabric-wide metric registry (shared through the `Network`).
     obs: Arc<Registry>,
+}
+
+/// Runtime state for signed-capability enforcement.
+struct SignedCaps {
+    mode: CapMode,
+    verifier: LocalCapVerifier,
+    /// Token presented on outbound ships (empty = none configured).
+    ship_token: Bytes,
 }
 
 /// Handle to a running storage server thread.
@@ -381,6 +416,22 @@ impl StorageServer {
             obs.gauge("storage.repl_epoch").set(repl.epoch() as i64);
             obs.gauge("storage.repl_lag").set(0);
         }
+        let signed = config.signed.as_ref().and_then(|sc| {
+            if !sc.mode.signed() {
+                return None;
+            }
+            let public = PublicKey::from_bytes(&sc.public_key)
+                .unwrap_or_else(|| panic!("storage server {id}: invalid issuer public key"));
+            Some(SignedCaps {
+                mode: sc.mode,
+                verifier: LocalCapVerifier::with_registry(
+                    public,
+                    sc.clock_skew.as_nanos().min(u128::from(u64::MAX)) as u64,
+                    &obs,
+                ),
+                ship_token: sc.ship_token.clone().unwrap_or_default(),
+            })
+        });
         let server = Arc::new(StorageServer {
             site: id,
             store,
@@ -390,6 +441,7 @@ impl StorageServer {
                 Some(obs.gauge("storage.pool_in_use")),
             ),
             verifier,
+            signed,
             clock,
             journal,
             wal,
@@ -717,7 +769,37 @@ impl StorageServer {
     // Authorization
     // ------------------------------------------------------------------
 
-    fn authorize(&self, client: &RpcClient<'_>, cap: &Capability, need: OpMask) -> Result<()> {
+    fn authorize(
+        &self,
+        client: &RpcClient<'_>,
+        token: &Bytes,
+        cap: &Capability,
+        need: OpMask,
+        obj: u64,
+    ) -> Result<()> {
+        if let Some(signed) = &self.signed {
+            if !token.is_empty() {
+                // Self-certifying path: the local verdict is final — a
+                // forged, revoked, or expired token is refused here, never
+                // "rescued" by a verify-through round trip (that would put
+                // the authorization service back on the data path exactly
+                // when an attacker controls the traffic).
+                return signed.verifier.check(
+                    token,
+                    need,
+                    cap.container(),
+                    obj,
+                    self.clock.now(),
+                    0,
+                );
+            }
+            if signed.mode == CapMode::Require {
+                // No token, none accepted: v4-era unsigned requests are
+                // shut out once the operator requires signed caps.
+                return Err(Error::AccessDenied);
+            }
+            // `Signed` mode without a token: legacy fallback below.
+        }
         match &self.verifier {
             Some(v) => {
                 if self.config.verify_every_op {
@@ -735,6 +817,12 @@ impl StorageServer {
                 }
             }
         }
+    }
+
+    /// The local token verifier, when signed-capability enforcement is on
+    /// (benchmarks read its observed epochs and flush its verdict cache).
+    pub fn cap_verifier(&self) -> Option<&LocalCapVerifier> {
+        self.signed.as_ref().map(|s| &s.verifier)
     }
 
     // ------------------------------------------------------------------
@@ -827,10 +915,10 @@ impl StorageServer {
     ) -> ReplyBody {
         match &req.body {
             RequestBody::CreateObj { txn, cap, obj } => self
-                .do_create(client, *txn, cap, *obj, trace, recs)
+                .do_create(client, &req.token, *txn, cap, *obj, trace, recs)
                 .map_or_else(ReplyBody::Err, ReplyBody::ObjCreated),
             RequestBody::RemoveObj { txn, cap, obj } => {
-                match self.do_remove(client, *txn, cap, *obj, trace, recs) {
+                match self.do_remove(client, &req.token, *txn, cap, *obj, trace, recs) {
                     Ok(()) => ReplyBody::ObjRemoved,
                     Err(e) => ReplyBody::Err(e),
                 }
@@ -839,6 +927,7 @@ impl StorageServer {
                 match self.do_write(
                     ep,
                     client,
+                    &req.token,
                     *txn,
                     cap,
                     *obj,
@@ -854,7 +943,17 @@ impl StorageServer {
                 }
             }
             RequestBody::Read { cap, obj, offset, len, md } => {
-                match self.do_read(ep, client, cap, *obj, *offset, *len, *md, req.reply_to) {
+                match self.do_read(
+                    ep,
+                    client,
+                    &req.token,
+                    cap,
+                    *obj,
+                    *offset,
+                    *len,
+                    *md,
+                    req.reply_to,
+                ) {
                     Ok(n) => ReplyBody::ReadDone { len: n },
                     Err(e) => ReplyBody::Err(e),
                 }
@@ -863,6 +962,7 @@ impl StorageServer {
                 match self.do_read_filtered(
                     ep,
                     client,
+                    &req.token,
                     cap,
                     *obj,
                     *offset,
@@ -877,7 +977,7 @@ impl StorageServer {
             }
             RequestBody::GetAttr { cap, obj } => {
                 match self
-                    .authorize(client, cap, OpMask::GETATTR)
+                    .authorize(client, &req.token, cap, OpMask::GETATTR, obj.0)
                     .and_then(|()| self.store.getattr(cap.container(), *obj))
                 {
                     Ok(attr) => ReplyBody::Attr(attr),
@@ -886,7 +986,7 @@ impl StorageServer {
             }
             RequestBody::Sync { cap, obj } => {
                 match self
-                    .authorize(client, cap, OpMask::WRITE)
+                    .authorize(client, &req.token, cap, OpMask::WRITE, obj.map_or(0, |o| o.0))
                     .and_then(|()| self.store.sync(*obj))
                 {
                     Ok(_) => {
@@ -896,13 +996,26 @@ impl StorageServer {
                     Err(e) => ReplyBody::Err(e),
                 }
             }
-            RequestBody::ListObjs { cap } => match self.authorize(client, cap, OpMask::GETATTR) {
-                Ok(()) => ReplyBody::Objs(self.store.list(cap.container())),
-                Err(e) => ReplyBody::Err(e),
-            },
+            RequestBody::ListObjs { cap } => {
+                match self.authorize(client, &req.token, cap, OpMask::GETATTR, 0) {
+                    Ok(()) => ReplyBody::Objs(self.store.list(cap.container())),
+                    Err(e) => ReplyBody::Err(e),
+                }
+            }
             RequestBody::InvalidateCaps { authz_epoch: _, keys } => {
                 let dropped = self.verifier.as_ref().map(|v| v.invalidate(keys)).unwrap_or(0);
                 ReplyBody::CapsInvalidated { dropped }
+            }
+            RequestBody::PushEpochs { epochs } => {
+                // Epochs merge monotonically (max wins), so this needs no
+                // sender authentication — like `InvalidateCaps`, the push
+                // can only ever *narrow* what the server accepts.
+                if let Some(signed) = &self.signed {
+                    for b in epochs {
+                        signed.verifier.observe_epoch(b.container, b.epoch);
+                    }
+                }
+                ReplyBody::EpochsPushed
             }
             RequestBody::TxnPrepare { txn } => {
                 let vote = self.journal.prepare(*txn);
@@ -1039,7 +1152,9 @@ impl StorageServer {
                 |e| matches!(e, Error::Timeout | Error::ServerBusy | Error::Unreachable),
                 || {
                     attempts += 1;
-                    match ship_client.call(backup, ship_body.clone())? {
+                    let token =
+                        self.signed.as_ref().map(|s| s.ship_token.clone()).unwrap_or_default();
+                    match ship_client.call_with_token(backup, ship_body.clone(), token)? {
                         ReplyBody::ReplAck { .. } => Ok(()),
                         other => Err(Error::Internal(format!("unexpected ship reply {other:?}"))),
                     }
@@ -1171,6 +1286,25 @@ impl StorageServer {
         if repl.known_primary() != Some(req.reply_to) {
             return ReplyBody::Err(Error::AccessDenied);
         }
+        // Cryptographic sender authentication (wire v5): the ship must
+        // carry a group-scoped token bound to the sending node. The
+        // known-primary check above pins *which* process may ship; this
+        // one proves the bytes actually come from a holder the issuer
+        // authorized for the group, so a spoofed `reply_to` is not enough.
+        if let Some(signed) = &self.signed {
+            if !req.token.is_empty() {
+                if let Err(e) = signed.verifier.check_group(
+                    &req.token,
+                    *group,
+                    self.clock.now(),
+                    req.reply_to.nid.0,
+                ) {
+                    return ReplyBody::Err(e);
+                }
+            } else if signed.mode == CapMode::Require {
+                return ReplyBody::Err(Error::AccessDenied);
+            }
+        }
         repl.observe_epoch(*epoch);
         // A re-shipped batch (our earlier ack was lost) is acked from the
         // cache, never re-applied.
@@ -1234,16 +1368,18 @@ impl StorageServer {
     // Operations
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn do_create(
         &self,
         client: &RpcClient<'_>,
+        token: &Bytes,
         txn: Option<TxnId>,
         cap: &Capability,
         want: Option<ObjId>,
         mut trace: Option<&mut OpTrace<'_>>,
         recs: &mut Vec<WalRecord>,
     ) -> Result<ObjId> {
-        self.authorize(client, cap, OpMask::CREATE)?;
+        self.authorize(client, token, cap, OpMask::CREATE, want.map_or(0, |o| o.0))?;
         if let Some(t) = trace.as_deref_mut() {
             t.stage("authorize");
         }
@@ -1261,16 +1397,18 @@ impl StorageServer {
         Ok(oid)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_remove(
         &self,
         client: &RpcClient<'_>,
+        token: &Bytes,
         txn: Option<TxnId>,
         cap: &Capability,
         oid: ObjId,
         mut trace: Option<&mut OpTrace<'_>>,
         recs: &mut Vec<WalRecord>,
     ) -> Result<()> {
-        self.authorize(client, cap, OpMask::REMOVE)?;
+        self.authorize(client, token, cap, OpMask::REMOVE, oid.0)?;
         if let Some(t) = trace.as_deref_mut() {
             t.stage("authorize");
         }
@@ -1297,6 +1435,7 @@ impl StorageServer {
         &self,
         ep: &Endpoint,
         client: &RpcClient<'_>,
+        token: &Bytes,
         txn: Option<TxnId>,
         cap: &Capability,
         oid: ObjId,
@@ -1307,7 +1446,7 @@ impl StorageServer {
         mut trace: Option<&mut OpTrace<'_>>,
         recs: &mut Vec<WalRecord>,
     ) -> Result<u64> {
-        self.authorize(client, cap, OpMask::WRITE)?;
+        self.authorize(client, token, cap, OpMask::WRITE, oid.0)?;
         // Pre-flight the object so a bad id fails before moving data.
         let container = self.store.container_of(oid)?;
         if container != cap.container() {
@@ -1378,6 +1517,7 @@ impl StorageServer {
         &self,
         ep: &Endpoint,
         client: &RpcClient<'_>,
+        token: &Bytes,
         cap: &Capability,
         oid: ObjId,
         offset: u64,
@@ -1385,7 +1525,7 @@ impl StorageServer {
         md: MdHandle,
         requester: ProcessId,
     ) -> Result<u64> {
-        self.authorize(client, cap, OpMask::READ)?;
+        self.authorize(client, token, cap, OpMask::READ, oid.0)?;
         let mut moved: u64 = 0;
         while moved < len {
             let chunk = ((len - moved) as usize).min(self.config.chunk_size);
@@ -1420,6 +1560,7 @@ impl StorageServer {
         &self,
         ep: &Endpoint,
         client: &RpcClient<'_>,
+        token: &Bytes,
         cap: &Capability,
         oid: ObjId,
         offset: u64,
@@ -1428,7 +1569,7 @@ impl StorageServer {
         md: MdHandle,
         requester: ProcessId,
     ) -> Result<(u64, u64)> {
-        self.authorize(client, cap, OpMask::READ)?;
+        self.authorize(client, token, cap, OpMask::READ, oid.0)?;
         let data = self.store.read(cap.container(), oid, offset, len)?;
         let (result, scanned) = crate::filter::apply(filter, &data);
         // Push the (typically tiny) result in chunks through the pool,

@@ -25,14 +25,15 @@ use std::sync::Arc;
 
 use lwfs_auth::{AuthConfig, AuthServer, AuthService, Clock, MockKerberos, SystemClock};
 use lwfs_authz::{AuthzConfig, AuthzServer, AuthzService, CachedCapVerifier, RemoteCredVerifier};
-use lwfs_core::cluster::{KDC_REALM, KDC_SEED};
+use lwfs_cap::{CapClaims, CapIssuer, CapMode};
+use lwfs_core::cluster::{CAP_SEED, KDC_REALM, KDC_SEED};
 use lwfs_core::{ClusterMonitor, MonitorConfig};
 use lwfs_fabric::{FabricConfig, Manifest, SocketFabric};
 use lwfs_naming::NamingServer;
 use lwfs_portals::{Network, NetworkConfig};
 use lwfs_proto::{GroupMap, NodeId, PrincipalId, ProcessId};
 use lwfs_replica::ReplicaConfig;
-use lwfs_storage::{StorageConfig, StorageServer};
+use lwfs_storage::{SignedCapConfig, StorageConfig, StorageServer};
 use lwfs_txn::TxnLockServer;
 use lwfs_wal::WalConfig;
 
@@ -46,6 +47,8 @@ struct Args {
     users: Vec<(String, String, PrincipalId)>,
     wal_dir: Option<PathBuf>,
     workers: Option<usize>,
+    cap_mode: CapMode,
+    clock_skew_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +61,8 @@ fn parse_args() -> Result<Args, String> {
     let mut users = Vec::new();
     let mut wal_dir = None;
     let mut workers = None;
+    let mut cap_mode = CapMode::default();
+    let mut clock_skew_ms = 1000u64;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -73,6 +78,13 @@ fn parse_args() -> Result<Args, String> {
             "--index" => index = value()?.parse().map_err(|e| format!("--index: {e}"))?,
             "--wal-dir" => wal_dir = Some(PathBuf::from(value()?)),
             "--workers" => workers = Some(value()?.parse().map_err(|e| format!("--workers: {e}"))?),
+            "--cap-mode" => {
+                let v = value()?;
+                cap_mode = CapMode::parse(&v).ok_or(format!("--cap-mode: unknown mode {v:?}"))?;
+            }
+            "--clock-skew-ms" => {
+                clock_skew_ms = value()?.parse().map_err(|e| format!("--clock-skew-ms: {e}"))?
+            }
             "--users" => {
                 for entry in value()?.split(',').filter(|s| !s.is_empty()) {
                     let mut parts = entry.splitn(3, ':');
@@ -98,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
         users,
         wal_dir,
         workers,
+        cap_mode,
+        clock_skew_ms,
     })
 }
 
@@ -144,12 +158,21 @@ fn run(args: Args) -> Result<(), String> {
                 net.register(ProcessId::new(args.nid, 1)),
                 ProcessId::new(1000, 0),
             );
-            let svc = AuthzService::new(
+            let mut svc = AuthzService::new(
                 AuthzConfig::default(),
                 Arc::new(verifier) as Arc<dyn lwfs_authz::CredVerifier>,
                 Arc::clone(&clock),
             );
-            Box::new(AuthzServer::spawn(&net, ProcessId::new(args.nid, 0), svc))
+            if args.cap_mode.signed() {
+                // Seed-derived signing key, same determinism story as the
+                // KDC: no key distribution step between processes.
+                svc = svc.with_issuer(CapIssuer::from_cluster_seed(CAP_SEED), args.cap_mode);
+            }
+            let (handle, svc) = AuthzServer::spawn(&net, ProcessId::new(args.nid, 0), svc);
+            if args.cap_mode.signed() {
+                svc.set_enforcement_sites(storage_addrs(args.groups, r));
+            }
+            Box::new((handle, svc))
         }
         "naming" => Box::new(NamingServer::spawn(&net, ProcessId::new(args.nid, 0))),
         "txnlock" => Box::new(TxnLockServer::spawn(&net, ProcessId::new(args.nid, 0), None)),
@@ -183,6 +206,19 @@ fn run(args: Args) -> Result<(), String> {
                 }
                 .with_directory(ProcessId::new(1004, 0));
                 config.replica = Some(replica);
+            }
+            if args.cap_mode.signed() {
+                let issuer = CapIssuer::from_cluster_seed(CAP_SEED);
+                let ship_token = (r > 1).then(|| {
+                    let group = (i / r) as u32;
+                    bytes::Bytes::from(issuer.mint(CapClaims::repl_group(group, sid.nid.0)))
+                });
+                config.signed = Some(SignedCapConfig {
+                    mode: args.cap_mode,
+                    public_key: *issuer.public().as_bytes(),
+                    ship_token,
+                    clock_skew: std::time::Duration::from_millis(args.clock_skew_ms),
+                });
             }
             let verifier = CachedCapVerifier::with_registry(sid, authz_id, net.obs());
             Box::new(StorageServer::spawn(&net, sid, config, Some(verifier), Arc::clone(&clock)))
@@ -218,7 +254,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "lwfs-node: {e}\nusage: lwfs-node --role <auth|authz|naming|txnlock|directory|storage|monitor> \
                  --nid N --manifest PATH [--groups G] [--replication R] [--index I] \
-                 [--users name:pw:principal,...] [--wal-dir PATH] [--workers N]"
+                 [--users name:pw:principal,...] [--wal-dir PATH] [--workers N] \
+                 [--cap-mode legacy|signed|require] [--clock-skew-ms MS]"
             );
             return ExitCode::FAILURE;
         }

@@ -62,6 +62,7 @@
 
 pub use lwfs_auth as auth;
 pub use lwfs_authz as authz;
+pub use lwfs_cap as cap;
 pub use lwfs_checkpoint as checkpoint;
 pub use lwfs_core as core;
 pub use lwfs_iolib as iolib;
