@@ -145,6 +145,9 @@ impl Service for AuthzServer {
             RequestBody::GetTelemetry { events_from } => {
                 ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(ep.obs(), *events_from))
             }
+            RequestBody::GetFlightTraces => {
+                ReplyBody::FlightTraces(lwfs_portals::flight_traces(ep.obs()))
+            }
             other => ReplyBody::Err(lwfs_proto::Error::Malformed(format!(
                 "authorization service cannot handle {other:?}"
             ))),

@@ -498,6 +498,25 @@ fn main() {
         Ok(path) => println!("\nCSV written to {}", path.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+
+    // Headline numbers for the repo's own performance trajectory: one
+    // scalar per study, appended to results/trajectory.jsonl every run.
+    let headline = [
+        ("cap_cache_on_mb_s", collapse.0),
+        ("cap_cache_off_mb_s", collapse.1),
+        ("worker_best_speedup", best),
+        ("repl_r2_mb_s", repl_rows.iter().find(|(r, _, _)| *r == 2).map_or(0.0, |(_, m, _)| *m)),
+        ("caps_signed_mb_s", caps_rows.get(1).map_or(0.0, |r| r.mb_per_s)),
+    ];
+    if lwfs_bench::check_regression_arg() {
+        println!("\nTrajectory check (warn-only):");
+        lwfs_bench::check_regression("ablation", &headline);
+    }
+    match lwfs_bench::append_trajectory("ablation", &headline) {
+        Ok(path) => println!("trajectory appended to {}", path.display()),
+        Err(e) => eprintln!("trajectory append failed: {e}"),
+    }
+
     lwfs_bench::maybe_dump_metrics();
     std::process::exit(if ok { 0 } else { 1 });
 }

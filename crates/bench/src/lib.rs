@@ -19,9 +19,12 @@ mod metrics;
 mod telemetry;
 
 pub use metrics::{
-    bench_meta, maybe_dump_metrics, metrics_out_arg, run_metrics_probe, trace_out_arg,
+    append_trajectory, bench_meta, check_regression, check_regression_arg, maybe_dump_metrics,
+    metrics_out_arg, run_metrics_probe, trace_out_arg,
 };
-pub use telemetry::{run_telemetry_probe, telemetry_out_arg, TelemetryReport, LAG_RULE};
+pub use telemetry::{
+    run_telemetry_probe, telemetry_out_arg, TelemetryReport, LAG_RULE, WRITE_P99_RULE,
+};
 
 /// Parse `--transport <kind>` (or `--transport=<kind>`) from argv: which
 /// fabric the functional-plane runs and probes boot over. Defaults to the

@@ -73,6 +73,79 @@ pub fn bench_meta(census: &[(&str, u64)]) -> String {
     meta
 }
 
+/// Parse `--check-regression` from argv: compare this run's headline
+/// numbers against the last recorded trajectory entry (warn-only).
+pub fn check_regression_arg() -> bool {
+    std::env::args().any(|a| a == "--check-regression")
+}
+
+/// Path of the append-only headline journal.
+fn trajectory_path() -> PathBuf {
+    Path::new("results").join("trajectory.jsonl")
+}
+
+/// Append one line to `results/trajectory.jsonl` recording this run's
+/// headline numbers for `bench`:
+/// `{"meta": {…}, "bench": "…", "headline": {"key": value, …}}`.
+/// The file is an append-only journal across commits — the performance
+/// trajectory of the repo itself — so entries are never rewritten.
+pub fn append_trajectory(bench: &str, headline: &[(&str, f64)]) -> std::io::Result<PathBuf> {
+    use std::io::Write as _;
+    let path = trajectory_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut line =
+        format!("{{\"meta\": {}, \"bench\": \"{bench}\", \"headline\": {{", bench_meta(&[]));
+    for (i, (k, v)) in headline.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        line.push_str(&format!("{sep}\"{k}\": {v:.3}"));
+    }
+    line.push_str("}}\n");
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?
+        .write_all(line.as_bytes())?;
+    Ok(path)
+}
+
+/// Warn-only regression check: compare `headline` against the **last**
+/// trajectory entry for `bench` and print a `REGRESSION?` line for every
+/// key that dropped by more than 20%. Never fails the run — wall-clock
+/// benches on shared CI hosts are too noisy for a hard gate, but the
+/// warning makes a real cliff visible in the run log. Call this *before*
+/// [`append_trajectory`], or the run compares against itself.
+pub fn check_regression(bench: &str, headline: &[(&str, f64)]) {
+    let Ok(body) = std::fs::read_to_string(trajectory_path()) else {
+        println!("  (no trajectory yet at {}; nothing to compare)", trajectory_path().display());
+        return;
+    };
+    let tag = format!("\"bench\": \"{bench}\"");
+    let Some(prev) = body.lines().rev().find(|l| l.contains(&tag)) else {
+        println!("  (no prior {bench} entry in the trajectory; nothing to compare)");
+        return;
+    };
+    for (k, now) in headline {
+        let needle = format!("\"{k}\": ");
+        let Some(pos) = prev.rfind(&needle) else { continue };
+        let num: String = prev[pos + needle.len()..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-'))
+            .collect();
+        let Ok(before) = num.parse::<f64>() else { continue };
+        if *now < 0.8 * before {
+            println!(
+                "  REGRESSION? {bench}.{k}: {now:.3} vs {before:.3} last recorded \
+                 ({:.0}% drop)",
+                100.0 * (1.0 - now / before)
+            );
+        } else {
+            println!("  trajectory ok: {bench}.{k}: {now:.3} (last {before:.3})");
+        }
+    }
+}
+
 /// Boot a two-group replicated cluster, exercise every instrumented
 /// subsystem, and return the registry snapshot — written to `metrics` as
 /// registry JSON and to `trace` as Chrome `trace_event` JSON when given.
@@ -103,11 +176,16 @@ pub fn run_metrics_probe(
     // replication gauges (`storage.repl_lag`, `storage.failovers`) too.
     // The WAL makes the durability stages (`wal.append`, `wal.fsync`)
     // visible in every mutation's trace; the short ship deadline lets the
-    // probe evict a partitioned backup quickly.
+    // probe evict a partitioned backup quickly. It must still leave
+    // headroom over scheduler noise: the deadline applies to *every*
+    // ship, and with the whole test suite running in parallel a >100ms
+    // stall on a healthy backup's ship path would evict it spuriously —
+    // leaving no survivor to promote when the crash below kills the
+    // primary, and the flush reads against a lost group never succeed.
     let mut cluster = LwfsCluster::boot(ClusterConfig {
         storage_servers: SERVERS,
         replication: 2,
-        ship_deadline: Some(std::time::Duration::from_millis(100)),
+        ship_deadline: Some(std::time::Duration::from_millis(1000)),
         storage: StorageConfig { wal: Some(WalConfig::new(&wal_root)), ..Default::default() },
         transport: crate::transport_arg(),
         ..Default::default()
@@ -178,9 +256,25 @@ pub fn run_metrics_probe(
     // Flush: a storage server closes a request's trace *after* sending
     // its reply, so drive one more op through each server — its reply
     // proves every earlier trace on that server is finished. (The flush
-    // ops themselves may still be open in the sampled span log.)
+    // ops themselves may still be open in the sampled span log.) The
+    // group-0 flush races the promotion triggered by the crash above:
+    // under a loaded scheduler (the whole test suite in parallel) the
+    // client's failover deadline can expire before the backup finishes
+    // promoting, so tolerate `RetriesExhausted` for a bounded period
+    // instead of treating the first exhausted deadline as fatal.
     for server in 0..SERVERS {
-        client.list_objs(server, &caps).expect("flush list_objs");
+        let flush_deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            match client.list_objs(server, &caps) {
+                Ok(_) => break,
+                Err(lwfs_proto::Error::RetriesExhausted)
+                    if std::time::Instant::now() < flush_deadline =>
+                {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(e) => panic!("flush list_objs on group {server}: {e}"),
+            }
+        }
     }
     let snap = cluster.network().obs().snapshot();
     assert_replicated_write_traced(&snap);
@@ -272,13 +366,21 @@ pub fn maybe_dump_metrics() {
         }
     }
     if let Some(path) = crate::telemetry::telemetry_out_arg() {
-        match crate::telemetry::run_telemetry_probe(Some(&path)) {
-            Ok(report) => println!(
-                "telemetry written to {} ({} windows) and {}",
-                path.display(),
-                report.windows,
-                path.with_extension("prom").display()
-            ),
+        // When both probes run, the telemetry storm's scraped slow traces
+        // overwrite the metrics probe's trace at `--trace-out` — the storm
+        // trace is the one `lwfs-inspect` attributes offline.
+        match crate::telemetry::run_telemetry_probe(Some(&path), trace.as_deref()) {
+            Ok(report) => {
+                println!(
+                    "telemetry written to {} ({} windows) and {}",
+                    path.display(),
+                    report.windows,
+                    path.with_extension("prom").display()
+                );
+                if let Some(trace) = &trace {
+                    println!("scraped slow traces written to {}", trace.display());
+                }
+            }
             Err(e) => eprintln!("telemetry probe failed: {e}"),
         }
     }

@@ -10,11 +10,17 @@
 //!   nonzero while the primary retries ships at the dead backup,
 //! * the declarative lag rule journaled its `alert.fire` **before** the
 //!   `repl.evict_backup` event it predicts (the monitor saw the cluster
-//!   degrading before the cluster acted on it), and
+//!   degrading before the cluster acted on it),
+//! * the write-p99 SLO rule fired too, and its journaled `alert.fire`
+//!   carries a **blame** naming ship RTT as the dominant stage — the
+//!   monitor's flight scrape attributed the stalled write's critical
+//!   path to the retries against the partitioned backup, and
 //! * the Prometheus exposition of the final scrape is well-formed.
 //!
 //! With an output path the JSONL time series lands there and the
-//! Prometheus text beside it under the `.prom` extension.
+//! Prometheus text beside it under the `.prom` extension; with a trace
+//! path the scraped slow traces land as Chrome `trace_event` JSON, so
+//! `lwfs-inspect` can reproduce the attribution offline.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,10 +49,19 @@ pub struct TelemetryReport {
     pub lag_alert_seq: u64,
     /// Journal seq of the induced `repl.evict_backup`.
     pub evict_seq: u64,
+    /// Journal seq of the write-p99 rule's blame-carrying `alert.fire`.
+    pub p99_alert_seq: u64,
+    /// Full detail of that alert (contains `blame=ship_rtt`).
+    pub p99_alert_detail: String,
+    /// Chrome trace JSON of the monitor's scraped slow traces.
+    pub trace_json: String,
 }
 
 /// Name of the replication-lag rule the probe installs.
 pub const LAG_RULE: &str = "repl_lag_sustained";
+
+/// Name of the write-p99 SLO rule the probe installs.
+pub const WRITE_P99_RULE: &str = "write_p99_slo";
 
 /// Boot the replicated cluster, run the monitored write storm, and
 /// return (and optionally write) the telemetry artifacts.
@@ -55,7 +70,10 @@ pub const LAG_RULE: &str = "repl_lag_sustained";
 /// Panics when the monitoring pipeline's acceptance invariants do not
 /// hold — the probe runs entirely in-process, so a failure is a bug,
 /// not an environmental condition.
-pub fn run_telemetry_probe(out: Option<&Path>) -> std::io::Result<TelemetryReport> {
+pub fn run_telemetry_probe(
+    out: Option<&Path>,
+    trace_out: Option<&Path>,
+) -> std::io::Result<TelemetryReport> {
     const SERVERS: usize = 2;
     static PROBE_SEQ: AtomicUsize = AtomicUsize::new(0);
     let wal_root = std::env::temp_dir().join(format!(
@@ -76,11 +94,25 @@ pub fn run_telemetry_probe(out: Option<&Path>) -> std::io::Result<TelemetryRepor
         transport: crate::transport_arg(),
         ..Default::default()
     });
+    // The p99 SLO sits above warm-up jitter (64 KiB writes with WAL
+    // fsync) but far below the ~100 ms ship-retry stall; one window is
+    // enough because the stall lands in a single 10 ms window. A
+    // spurious warm-up fire self-heals: quiet windows have no histogram
+    // delta, the condition clears, and the storm re-fires with blame.
     let monitor = cluster.spawn_monitor(MonitorConfig {
         interval: Duration::from_millis(10),
         window_limit: 512,
         stale_after: 3,
-        rules: vec![HealthRule::gauge_above(LAG_RULE, "storage.repl_lag", 0, 2)],
+        rules: vec![
+            HealthRule::gauge_above(LAG_RULE, "storage.repl_lag", 0, 2),
+            HealthRule::p99_above(
+                WRITE_P99_RULE,
+                "storage.write.total_ns",
+                Duration::from_millis(25).as_nanos() as u64,
+                1,
+            ),
+        ],
+        ..Default::default()
     });
 
     let mut client = cluster.client(0, 0);
@@ -132,6 +164,31 @@ pub fn run_telemetry_probe(out: Option<&Path>) -> std::io::Result<TelemetryRepor
         .iter()
         .find(|e| e.kind == "repl.evict_backup")
         .expect("partitioned backup was never evicted");
+    // The storm's write-p99 breach must carry a blame naming ship RTT:
+    // the flight scrape pinned the stalled write, and its critical path
+    // is the retry window against the partitioned backup.
+    let p99_alert = events
+        .iter()
+        .find(|e| {
+            e.kind == "alert.fire"
+                && e.detail.contains(&format!("rule={WRITE_P99_RULE}"))
+                && e.detail.contains("blame=ship_rtt")
+        })
+        .unwrap_or_else(|| {
+            panic!("write-p99 rule never fired with ship-RTT blame; journal: {events:?}")
+        });
+    let tail = monitor.tail_report().expect("flight scrape attributed the storm");
+    let (dominant, share) = tail.dominant().expect("tail has a dominant stage");
+    assert_eq!(
+        dominant,
+        lwfs_obs::BlameStage::ShipRtt,
+        "tail dominated by {dominant} (share {share:.2}), expected ship RTT: {tail:?}"
+    );
+    let trace_json = monitor.trace_chrome_json();
+    assert!(
+        trace_json.contains("repl.ship"),
+        "scraped trace export lost the ship spans: {trace_json}"
+    );
     assert!(
         lag_alert.seq < evict.seq,
         "monitor alerted after the eviction it predicts: alert seq {} >= evict seq {}",
@@ -154,6 +211,9 @@ pub fn run_telemetry_probe(out: Option<&Path>) -> std::io::Result<TelemetryRepor
         prometheus,
         lag_alert_seq: lag_alert.seq,
         evict_seq: evict.seq,
+        p99_alert_seq: p99_alert.seq,
+        p99_alert_detail: p99_alert.detail.clone(),
+        trace_json,
     };
 
     if let Some(path) = out {
@@ -177,6 +237,14 @@ pub fn run_telemetry_probe(out: Option<&Path>) -> std::io::Result<TelemetryRepor
         );
         prom.push_str(&report.prometheus);
         std::fs::write(path.with_extension("prom"), prom)?;
+    }
+    if let Some(path) = trace_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, &report.trace_json)?;
     }
 
     monitor.shutdown();

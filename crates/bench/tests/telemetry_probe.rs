@@ -3,7 +3,7 @@
 //! Prometheus exposition-format checker (the exporter must not be the
 //! only judge of its own output).
 
-use lwfs_bench::{run_telemetry_probe, LAG_RULE};
+use lwfs_bench::{run_telemetry_probe, LAG_RULE, WRITE_P99_RULE};
 
 /// Validate Prometheus text exposition format: every `# TYPE` line names
 /// a legal metric with a legal type, every sample line is
@@ -123,7 +123,8 @@ fn check_prometheus_format(text: &str) -> Result<(), String> {
 fn telemetry_probe_monitors_degrading_cluster() {
     let dir = std::env::temp_dir().join(format!("lwfs-telemetry-test-{}", std::process::id()));
     let out = dir.join("telemetry.jsonl");
-    let report = run_telemetry_probe(Some(&out)).expect("telemetry probe");
+    let trace_out = dir.join("trace.json");
+    let report = run_telemetry_probe(Some(&out), Some(&trace_out)).expect("telemetry probe");
 
     // The probe already asserted the core invariants (nonzero lag window,
     // alert-before-eviction); re-check the ordering from the report and
@@ -173,6 +174,24 @@ fn telemetry_probe_monitors_degrading_cluster() {
     }
     let prom = std::fs::read_to_string(out.with_extension("prom")).expect("prom written");
     assert!(prom.starts_with("# meta: "), "prom file missing meta comment");
+
+    // The blame-carrying alert: the write-p99 breach must name ship RTT,
+    // and the fired alert must be in the JSONL event stream so offline
+    // tooling can reconstruct the attribution from artifacts alone.
+    assert!(
+        report.p99_alert_detail.contains("blame=ship_rtt"),
+        "p99 alert detail lost its blame: {}",
+        report.p99_alert_detail
+    );
+    assert!(
+        report.jsonl.iter().any(|l| l.contains(WRITE_P99_RULE) && l.contains("blame=ship_rtt")),
+        "blame-carrying p99 alert missing from the JSONL event stream"
+    );
+    // The trace artifact: valid-looking Chrome trace JSON carrying the
+    // storm's ship spans.
+    let trace = std::fs::read_to_string(&trace_out).expect("trace json written");
+    assert!(trace.contains("\"traceEvents\""), "trace artifact is not Chrome trace JSON");
+    assert!(trace.contains("repl.ship"), "trace artifact lost the ship spans");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -46,9 +46,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lwfs_obs::{HistogramInterval, MetricFrame, WindowDelta, WindowTracker};
+use std::collections::HashSet;
+
+use lwfs_obs::{
+    Attribution, HistogramInterval, MetricFrame, SpanRecord, TailReport, TraceCollector,
+    WindowDelta, WindowTracker,
+};
 use lwfs_portals::{Network, RpcClient};
-use lwfs_proto::{ProcessId, ReplyBody, RequestBody, TelemetrySnapshot};
+use lwfs_proto::{FlightTrace, ProcessId, ReplyBody, RequestBody, TelemetrySnapshot};
 use parking_lot::Mutex;
 
 /// The monitor's node id: in the service partition, after the directory.
@@ -156,6 +161,12 @@ pub struct MonitorConfig {
     /// Consecutive missed scrapes before a target is declared stale.
     pub stale_after: u32,
     pub rules: Vec<HealthRule>,
+    /// Per-node span-log epoch offsets `(nid, offset_ns)` applied when
+    /// assembling scraped flight traces (`TraceCollector::add_node_spans`
+    /// skew correction). Empty in-process: one fabric, one epoch. A
+    /// multi-process deployment measures each node's skew out of band
+    /// and lists it here; unlisted nids get offset 0.
+    pub node_epoch_offsets: Vec<(u32, i64)>,
 }
 
 impl Default for MonitorConfig {
@@ -165,6 +176,7 @@ impl Default for MonitorConfig {
             window_limit: 128,
             stale_after: 3,
             rules: default_rules(),
+            node_epoch_offsets: Vec::new(),
         }
     }
 }
@@ -210,6 +222,13 @@ struct MonitorState {
     jsonl: Vec<String>,
     ticks: u64,
     windows: u64,
+    /// Slow-trace spans assembled from the latest flight scrape, deduped
+    /// and skew-corrected onto the monitor's timeline.
+    flight_spans: Vec<SpanRecord>,
+    /// Critical-path attribution of each assembled trace, slowest first.
+    attributions: Vec<Attribution>,
+    /// Fleet-wide p99 decomposition over the attributions.
+    tail: Option<TailReport>,
 }
 
 struct MonitorInner {
@@ -228,6 +247,7 @@ impl MonitorInner {
     fn tick(&self, client: &RpcClient<'_>, epoch: Instant) {
         let obs = Arc::clone(self.net.obs());
         let mut cluster_view: Option<TelemetrySnapshot> = None;
+        let mut flights: Vec<(ProcessId, Vec<FlightTrace>)> = Vec::new();
         let cursor = self.state.lock().events_cursor;
         for (i, &target) in self.targets.iter().enumerate() {
             let reply = client.call(target, RequestBody::GetTelemetry { events_from: cursor });
@@ -239,6 +259,16 @@ impl MonitorInner {
                 // sweep only feeds the failure detector.
                 if cluster_view.is_none() {
                     cluster_view = Some(snap);
+                }
+                // Flight traces ride the same sweep, but only from
+                // targets that just answered — a partitioned node must
+                // cost one timeout per tick, not two.
+                if let Ok(ReplyBody::FlightTraces(traces)) =
+                    client.call(target, RequestBody::GetFlightTraces)
+                {
+                    if !traces.is_empty() {
+                        flights.push((target, traces));
+                    }
                 }
             } else {
                 obs.counter("monitor.scrape_failures").inc();
@@ -252,9 +282,13 @@ impl MonitorInner {
         let Some(snap) = cluster_view else { return };
         let ts_ns = epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         let frame = frame_from_snapshot(&snap, ts_ns);
+        let (flight_spans, attributions, tail) = self.assemble_flights(&flights);
 
         let mut state = self.state.lock();
         state.ticks += 1;
+        state.flight_spans = flight_spans;
+        state.attributions = attributions;
+        state.tail = tail;
         if let Some(last) = snap.events.last() {
             state.events_cursor = last.seq + 1;
         }
@@ -278,14 +312,67 @@ impl MonitorInner {
         };
         state.last_scrape = Some(snap);
         let latest = state.tracker.latest().cloned();
+        let tail = state.tail.clone();
         drop(state);
 
         if window_done {
             obs.counter("monitor.windows").inc();
             if let Some(w) = latest {
-                self.evaluate_rules(&w, &obs);
+                self.evaluate_rules(&w, tail.as_ref(), &obs);
             }
         }
+    }
+
+    /// Assemble the tick's scraped flight traces onto the monitor's
+    /// timeline and attribute them. Pins are cumulative on each node, so
+    /// the view is rebuilt from scratch every tick; duplicates (every
+    /// in-process target serves the same shared recorder) dedup away on
+    /// span identity.
+    fn assemble_flights(
+        &self,
+        flights: &[(ProcessId, Vec<FlightTrace>)],
+    ) -> (Vec<SpanRecord>, Vec<Attribution>, Option<TailReport>) {
+        let mut collector = TraceCollector::new();
+        let mut seen: HashSet<(u64, u64, u32, &'static str, &'static str, u64)> = HashSet::new();
+        for (target, traces) in flights {
+            let offset = self
+                .config
+                .node_epoch_offsets
+                .iter()
+                .find(|(nid, _)| *nid == target.nid.0)
+                .map(|(_, off)| *off)
+                .unwrap_or(0);
+            let mut spans: Vec<SpanRecord> = Vec::new();
+            for t in traces {
+                for s in &t.spans {
+                    // Scraped names are owned strings off the wire; the
+                    // bounded interner re-enters the record shape.
+                    let op = lwfs_obs::intern(&s.op);
+                    let stage = lwfs_obs::intern(&s.stage);
+                    if seen.insert((t.trace_id, s.req_id, s.nid, op, stage, s.start_ns)) {
+                        spans.push(SpanRecord {
+                            req_id: s.req_id,
+                            trace_id: t.trace_id,
+                            nid: s.nid,
+                            op,
+                            stage,
+                            start_ns: s.start_ns,
+                            dur_ns: s.dur_ns,
+                        });
+                    }
+                }
+            }
+            collector.add_node_spans(target.nid.0, offset, spans);
+        }
+        let traces = collector.traces();
+        let attributions: Vec<Attribution> =
+            traces.iter().filter_map(lwfs_obs::attribute).collect();
+        let tail = TailReport::from_attributions(&attributions);
+        let mut spans = Vec::new();
+        for mut t in traces {
+            spans.append(&mut t.spans);
+        }
+        (spans, attributions, tail)
     }
 
     fn update_target(&self, idx: usize, ok: bool, obs: &lwfs_obs::Registry) {
@@ -314,7 +401,15 @@ impl MonitorInner {
         }
     }
 
-    fn evaluate_rules(&self, w: &WindowDelta, obs: &lwfs_obs::Registry) {
+    fn evaluate_rules(&self, w: &WindowDelta, tail: Option<&TailReport>, obs: &lwfs_obs::Registry) {
+        // The blame suffix: when the latest flight scrape attributed the
+        // fleet's tail, every firing alert names the dominant stage and
+        // its share — "write p99 blew the SLO" becomes "…and 87% of the
+        // tail is ship RTT".
+        let blame = tail
+            .and_then(|t| t.dominant())
+            .map(|(stage, share)| format!("; blame={} share={share:.2}", stage.as_str()))
+            .unwrap_or_default();
         let mut rules = self.rule_states.lock();
         for rs in rules.iter_mut() {
             match rs.rule.condition.observe(w) {
@@ -326,8 +421,8 @@ impl MonitorInner {
                             MONITOR_NID,
                             "alert.fire",
                             format!(
-                                "rule={}: {} for {} consecutive windows",
-                                rs.rule.name, observed, rs.streak
+                                "rule={}: {} for {} consecutive windows{}",
+                                rs.rule.name, observed, rs.streak, blame
                             ),
                         );
                         obs.counter("monitor.alerts_fired").inc();
@@ -529,6 +624,32 @@ impl ClusterMonitor {
         self.inner.state.lock().tracker.latest().cloned()
     }
 
+    /// Critical-path attributions of the latest flight scrape's traces,
+    /// slowest first (empty before any pinned trace was scraped).
+    pub fn attributions(&self) -> Vec<Attribution> {
+        self.inner.state.lock().attributions.clone()
+    }
+
+    /// Fleet-wide p99 decomposition over the latest attributions.
+    pub fn tail_report(&self) -> Option<TailReport> {
+        self.inner.state.lock().tail.clone()
+    }
+
+    /// The latest scraped slow-trace spans, assembled on the monitor's
+    /// timeline.
+    pub fn flight_spans(&self) -> Vec<SpanRecord> {
+        self.inner.state.lock().flight_spans.clone()
+    }
+
+    /// Chrome `trace_event` JSON of the latest scraped slow traces — the
+    /// on-wire counterpart of the in-process trace export, ready for
+    /// `--trace-out` artifacts and `lwfs-inspect`.
+    pub fn trace_chrome_json(&self) -> String {
+        let mut collector = TraceCollector::new();
+        collector.add_spans(self.inner.state.lock().flight_spans.iter().cloned());
+        collector.to_chrome_json()
+    }
+
     /// Stop the scrape thread and unregister the monitor endpoint.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -641,6 +762,48 @@ mod tests {
         }));
         let cleared = cluster.network().obs().events().of_kind("alert.clear");
         assert!(cleared.iter().any(|e| e.detail.contains("rule=stale_target")));
+        monitor.shutdown();
+    }
+
+    #[test]
+    fn flight_scrape_attributes_traces_and_blames_alerts() {
+        let cluster = LwfsCluster::boot(ClusterConfig::default());
+        let obs = Arc::clone(cluster.network().obs());
+        let monitor = cluster.spawn_monitor(MonitorConfig {
+            interval: Duration::from_millis(10),
+            rules: vec![HealthRule::gauge_above("lag_watch", "storage.repl_lag", 0, 1)],
+            ..Default::default()
+        });
+
+        // Drive a write so the flight recorder pins a trace (default
+        // threshold 0: every completed op competes for the top-K).
+        let mut client = cluster.client(0, 0);
+        let ticket = cluster.kdc().kinit("app", "secret").unwrap();
+        client.get_cred(ticket).unwrap();
+        let cid = client.create_container().unwrap();
+        let caps = client.get_caps(cid, lwfs_proto::OpMask::ALL).unwrap();
+        let obj = client.create_obj(0, &caps, None, None).unwrap();
+        client.write(0, &caps, None, obj, 0, b"flight me").unwrap();
+
+        // The monitor scrapes the pins over the wire and attributes them.
+        assert!(wait_until(Duration::from_secs(5), || !monitor.attributions().is_empty()));
+        let attrs = monitor.attributions();
+        assert!(attrs
+            .iter()
+            .all(|a| { a.blames.iter().map(|(_, ns)| ns).sum::<u64>() == a.total_ns }));
+        let tail = monitor.tail_report().expect("attributions imply a tail report");
+        assert!(tail.dominant().is_some());
+        let json = monitor.trace_chrome_json();
+        assert!(json.contains("storage.write"), "{json}");
+
+        // A firing alert now carries the blame field.
+        obs.gauge("storage.repl_lag").set(5);
+        assert!(wait_until(Duration::from_secs(5), || {
+            obs.events()
+                .of_kind("alert.fire")
+                .iter()
+                .any(|e| e.detail.contains("rule=lag_watch") && e.detail.contains("blame="))
+        }));
         monitor.shutdown();
     }
 

@@ -83,6 +83,11 @@ pub struct ProcessClusterConfig {
     pub monitor: bool,
     /// RPC knobs for launcher-built clients.
     pub rpc: RpcConfig,
+    /// Flight-recorder pin threshold in microseconds for every child's
+    /// registry (`None` keeps the `ObsConfig` default: pin anything).
+    pub flight_threshold_us: Option<u64>,
+    /// Flight-recorder pin capacity per child (`None` keeps the default).
+    pub flight_top_k: Option<usize>,
 }
 
 impl Default for ProcessClusterConfig {
@@ -99,6 +104,8 @@ impl Default for ProcessClusterConfig {
             workdir: None,
             monitor: false,
             rpc: RpcConfig::default(),
+            flight_threshold_us: None,
+            flight_top_k: None,
         }
     }
 }
@@ -234,6 +241,14 @@ impl ProcessCluster {
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit());
+            // Flight knobs apply to every child: each process has its own
+            // registry, and the monitor scrapes pins from all of them.
+            if let Some(us) = config.flight_threshold_us {
+                cmd.arg("--flight-threshold-us").arg(us.to_string());
+            }
+            if let Some(k) = config.flight_top_k {
+                cmd.arg("--flight-top-k").arg(k.to_string());
+            }
             if role == "storage" {
                 cmd.arg("--index").arg((nid - 1100).to_string());
                 if let Some(wal_root) = &config.wal_root {

@@ -58,6 +58,9 @@ impl Service for NamingServer {
         if let RequestBody::GetTelemetry { events_from } = &req.body {
             return ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(obs, *events_from));
         }
+        if matches!(req.body, RequestBody::GetFlightTraces) {
+            return ReplyBody::FlightTraces(lwfs_portals::flight_traces(obs));
+        }
         obs.counter("naming.ops").inc();
         // The trace records a span + `naming.<op>.total_ns` latency sample
         // on drop, keyed by the request id threaded through the wire.

@@ -18,6 +18,7 @@
 //! wall-clock nanoseconds (`record_duration`) and simulated-time
 //! nanoseconds (`record` with a `SimDuration`'s nanosecond count).
 
+pub mod critpath;
 mod event;
 pub mod export;
 mod metrics;
@@ -26,10 +27,11 @@ mod span;
 mod trace;
 pub mod window;
 
+pub use critpath::{attribute, attribute_with_claims, Attribution, BlameStage, TailReport};
 pub use event::{Event, EventLog};
 pub use export::{metric_key, prometheus_escape_label, MetricKey};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{ObsConfig, OpTrace, Registry, Snapshot};
-pub use span::{SpanLog, SpanRecord, TOTAL_STAGE};
+pub use span::{intern, SpanLog, SpanRecord, TOTAL_STAGE};
 pub use trace::{FlightRecorder, PinnedTrace, Trace, TraceCollector};
 pub use window::{HistogramInterval, MetricFrame, WindowDelta, WindowTracker};

@@ -173,6 +173,38 @@ impl SpanLog {
     }
 }
 
+/// Intern a span name scraped off the wire (or parsed from an artifact)
+/// as a `&'static str`, so it can live in a [`SpanRecord`].
+///
+/// In-process span names are compile-time literals; names arriving over
+/// `GetFlightTraces` (or read back from Chrome-trace JSON) are owned
+/// `String`s that must be leaked to re-enter the record shape. The table
+/// is bounded: scraped names are remote-controlled in principle, and an
+/// unbounded leak would let a hostile peer grow the process without
+/// limit. Past [`INTERN_CAP`] distinct names, everything interns to
+/// `"other"` (which the blame taxonomy classifies as
+/// [`crate::critpath::BlameStage::Other`]).
+pub fn intern(s: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+
+    /// Bound on distinct interned names; far above any real deployment's
+    /// op/stage vocabulary.
+    const INTERN_CAP: usize = 4096;
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut t = table.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(&interned) = t.get(s) {
+        return interned;
+    }
+    if t.len() >= INTERN_CAP {
+        return "other";
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    t.insert(leaked);
+    leaked
+}
+
 impl std::fmt::Debug for SpanLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpanLog").field("len", &self.len()).finish_non_exhaustive()

@@ -41,9 +41,24 @@ impl Trace {
     }
 
     /// The longest [`TOTAL_STAGE`] span — the end-to-end latency as seen
-    /// by the outermost participant (normally the client).
+    /// by the outermost participant (normally the client). An orphan
+    /// trace (no `total` arrived — a v3 peer, or a partially scraped
+    /// node) falls back to its span extent so it still sorts and renders
+    /// meaningfully instead of reporting zero.
     pub fn total_ns(&self) -> u64 {
-        self.spans.iter().filter(|s| s.stage == TOTAL_STAGE).map(|s| s.dur_ns).max().unwrap_or(0)
+        self.spans
+            .iter()
+            .filter(|s| s.stage == TOTAL_STAGE)
+            .map(|s| s.dur_ns)
+            .max()
+            .unwrap_or_else(|| self.extent_ns())
+    }
+
+    /// Wall span covered by all spans: max end minus min start.
+    pub fn extent_ns(&self) -> u64 {
+        let start = self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let end = self.spans.iter().map(|s| s.start_ns.saturating_add(s.dur_ns)).max().unwrap_or(0);
+        end.saturating_sub(start)
     }
 }
 
@@ -71,7 +86,19 @@ impl TraceCollector {
     /// started before the reference). Skew must be measured out of band —
     /// see the module docs.
     pub fn add_node(&mut self, nid: u32, epoch_offset_ns: i64, log: &SpanLog) {
-        for mut s in log.recent(usize::MAX) {
+        self.add_node_spans(nid, epoch_offset_ns, log.recent(usize::MAX));
+    }
+
+    /// [`Self::add_node`] for spans already extracted from a node —
+    /// e.g. scraped off the wire via `GetFlightTraces` — applying the
+    /// same nid stamping and epoch-offset skew correction.
+    pub fn add_node_spans(
+        &mut self,
+        nid: u32,
+        epoch_offset_ns: i64,
+        spans: impl IntoIterator<Item = SpanRecord>,
+    ) {
+        for mut s in spans {
             if s.nid == 0 {
                 s.nid = nid;
             }
@@ -114,27 +141,55 @@ impl TraceCollector {
         let mut lanes: HashMap<(u32, u64), u64> = HashMap::new();
         let mut out = String::from("{\"traceEvents\": [");
         let mut first = true;
+        let mut emit = |out: &mut String,
+                        tid: u64,
+                        name: &str,
+                        nid: u32,
+                        trace_id: u64,
+                        req_id: u64,
+                        start_ns: u64,
+                        dur_ns: u64| {
+            let sep = if first { "" } else { "," };
+            first = false;
+            let _ = write!(
+                out,
+                "{sep}\n  {{\"name\": {}, \"cat\": \"lwfs\", \"ph\": \"X\", \
+                 \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": {}, \"tid\": {}, \
+                 \"args\": {{\"trace_id\": \"{:#x}\", \"req_id\": \"{:#x}\"}}}}",
+                json_str(name),
+                start_ns / 1000,
+                start_ns % 1000,
+                dur_ns / 1000,
+                dur_ns % 1000,
+                nid,
+                tid,
+                trace_id,
+                req_id,
+            );
+        };
         for t in self.traces() {
+            // Orphan participants (no `total` arrived) get a synthetic
+            // root covering their span extent, so viewers still nest
+            // their stages under a parent bar instead of dropping them
+            // onto a bare lane. `lwfs-inspect` skips the `orphan` stage
+            // when re-ingesting.
+            let mut rooted: HashSet<(u32, u64)> = HashSet::new();
+            for s in t.spans.iter().filter(|s| s.stage == TOTAL_STAGE) {
+                rooted.insert((s.nid, s.req_id));
+            }
             for s in &t.spans {
                 let next = lanes.len() as u64 + 1;
                 let tid = *lanes.entry((s.nid, s.req_id)).or_insert(next);
-                let sep = if first { "" } else { "," };
-                first = false;
-                let _ = write!(
-                    out,
-                    "{sep}\n  {{\"name\": {}, \"cat\": \"lwfs\", \"ph\": \"X\", \
-                     \"ts\": {}.{:03}, \"dur\": {}.{:03}, \"pid\": {}, \"tid\": {}, \
-                     \"args\": {{\"trace_id\": \"{:#x}\", \"req_id\": \"{:#x}\"}}}}",
-                    json_str(&format!("{}.{}", s.op, s.stage)),
-                    s.start_ns / 1000,
-                    s.start_ns % 1000,
-                    s.dur_ns / 1000,
-                    s.dur_ns % 1000,
-                    s.nid,
-                    tid,
-                    s.trace_id,
-                    s.req_id,
-                );
+                if rooted.insert((s.nid, s.req_id)) {
+                    let mine = t.spans.iter().filter(|o| o.nid == s.nid && o.req_id == s.req_id);
+                    let start = mine.clone().map(|o| o.start_ns).min().unwrap_or(0);
+                    let end =
+                        mine.map(|o| o.start_ns.saturating_add(o.dur_ns)).max().unwrap_or(start);
+                    let name = format!("{}.orphan", s.op);
+                    emit(&mut out, tid, &name, s.nid, s.trace_id, s.req_id, start, end - start);
+                }
+                let name = format!("{}.{}", s.op, s.stage);
+                emit(&mut out, tid, &name, s.nid, s.trace_id, s.req_id, s.start_ns, s.dur_ns);
             }
         }
         out.push_str("\n], \"displayTimeUnit\": \"ns\"}\n");
@@ -169,11 +224,31 @@ impl TraceCollector {
                 t.spans.iter().filter(|s| s.nid == nid && s.req_id == req_id).collect();
             let op = mine.first().map(|s| s.op).unwrap_or("?");
             let total = mine.iter().find(|s| s.stage == TOTAL_STAGE);
-            let _ = writeln!(
-                out,
-                "  [nid {nid}] {op} req {req_id:#x}  total {:.3} ms",
-                total.map(|s| s.dur_ns).unwrap_or(0) as f64 / 1e6
-            );
+            match total {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "  [nid {nid}] {op} req {req_id:#x}  total {:.3} ms",
+                        s.dur_ns as f64 / 1e6
+                    );
+                }
+                None => {
+                    // Orphan participant: its `total` never arrived, so
+                    // report the extent its stages cover and say so.
+                    let start = mine.iter().map(|s| s.start_ns).min().unwrap_or(0);
+                    let end = mine
+                        .iter()
+                        .map(|s| s.start_ns.saturating_add(s.dur_ns))
+                        .max()
+                        .unwrap_or(start);
+                    let _ = writeln!(
+                        out,
+                        "  [nid {nid}] {op} req {req_id:#x}  orphan (no total span; \
+                         stages cover {:.3} ms)",
+                        (end - start) as f64 / 1e6
+                    );
+                }
+            }
             for s in mine.iter().filter(|s| s.stage != TOTAL_STAGE) {
                 let _ = writeln!(
                     out,
@@ -364,6 +439,34 @@ mod tests {
         assert!(tree.contains("[nid 1100] storage.write"));
         assert!(tree.contains("storage.repl_ship.apply"));
         assert!(c.text_tree(77).contains("no spans"));
+    }
+
+    #[test]
+    fn orphan_spans_render_under_synthetic_root() {
+        // Trace 5's parent never arrived (v3 peer / partial scrape):
+        // only two stage spans on one node, no TOTAL anywhere.
+        let mut c = TraceCollector::new();
+        c.add_spans(vec![
+            span(4, 5, 1100, "storage.write", "pull", 1_000_000, 400_000),
+            span(4, 5, 1100, "storage.write", "store_write", 1_400_000, 200_000),
+            span(9, 2, 1100, "storage.read", TOTAL_STAGE, 2_000_000, 10),
+        ]);
+        // The orphan trace sorts by its span extent, not zero.
+        let t = c.trace(5).unwrap();
+        assert_eq!(t.total_ns(), 600_000);
+        assert_eq!(c.traces()[0].trace_id, 5, "extent-ranked above the 10ns read");
+        // Text tree names the orphan instead of claiming a 0ms total.
+        let tree = c.text_tree(5);
+        assert!(tree.contains("orphan"), "{tree}");
+        assert!(tree.contains("0.600 ms"), "{tree}");
+        assert!(tree.contains("storage.write.pull"), "{tree}");
+        // Chrome export nests the stages under a synthetic root span.
+        let json = c.to_chrome_json();
+        assert!(json.contains("\"name\": \"storage.write.orphan\""), "{json}");
+        assert!(json.contains("\"dur\": 600.000"), "{json}");
+        // Rooted participants get no synthetic span.
+        assert_eq!(json.matches(".orphan").count(), 1, "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

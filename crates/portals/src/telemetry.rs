@@ -6,12 +6,15 @@
 //! the reply format has exactly one producer. Histograms go out in sparse
 //! bucket form — the mergeable representation the monitor's windowed
 //! aggregation subtracts and merges exactly (see `lwfs_obs::window`).
-//! Spans are deliberately excluded: they are bulky, carry interned
-//! `&'static str` names that cannot be decoded from the wire, and already
-//! have their own export path through the trace collector.
+//! Spans are deliberately excluded from the snapshot: they are bulky,
+//! carry interned `&'static str` names that cannot be decoded from the
+//! wire, and already have their own export path through the trace
+//! collector. The *pinned* slow traces of the flight recorder travel on
+//! their own op instead — [`flight_traces`] answers `GetFlightTraces`
+//! with the node's current top-K, names re-encoded as owned strings.
 
 use lwfs_obs::Registry;
-use lwfs_proto::{TelemetryEvent, TelemetryHistogram, TelemetrySnapshot};
+use lwfs_proto::{FlightSpan, FlightTrace, TelemetryEvent, TelemetryHistogram, TelemetrySnapshot};
 
 /// Serialize `reg` for a `GetTelemetry` reply: cumulative counters and
 /// gauges, bucket-level histograms, and the event-journal tail with
@@ -52,6 +55,33 @@ pub fn telemetry_snapshot(reg: &Registry, events_from: u64) -> TelemetrySnapshot
     }
 }
 
+/// Serialize `reg`'s flight-recorder pins for a `GetFlightTraces` reply.
+/// Span timestamps stay on this node's span-log epoch; the scraper
+/// applies its per-node offset at assembly. Bounded by the recorder's
+/// configured top-K, so the reply stays scrape-sized.
+pub fn flight_traces(reg: &Registry) -> Vec<FlightTrace> {
+    reg.flight()
+        .pinned()
+        .into_iter()
+        .map(|p| FlightTrace {
+            trace_id: p.trace_id,
+            total_ns: p.total_ns,
+            spans: p
+                .spans
+                .into_iter()
+                .map(|s| FlightSpan {
+                    req_id: s.req_id,
+                    nid: s.nid,
+                    op: s.op.to_string(),
+                    stage: s.stage.to_string(),
+                    start_ns: s.start_ns,
+                    dur_ns: s.dur_ns,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +111,40 @@ mod tests {
         assert_eq!(tail.events[0].kind, "directory.republish");
         // Metrics are cumulative regardless of the cursor.
         assert_eq!(tail.counters, snap.counters);
+    }
+
+    #[test]
+    fn flight_traces_serialize_the_pins_with_owned_names() {
+        use lwfs_obs::{SpanRecord, TOTAL_STAGE};
+        let reg = Registry::new();
+        let log = reg.spans();
+        log.record(SpanRecord {
+            req_id: 7,
+            trace_id: 42,
+            nid: 1100,
+            op: "repl",
+            stage: "ship",
+            start_ns: 10,
+            dur_ns: 90,
+        });
+        log.record(SpanRecord {
+            req_id: 7,
+            trace_id: 42,
+            nid: 1100,
+            op: "storage.write",
+            stage: TOTAL_STAGE,
+            start_ns: 0,
+            dur_ns: 100,
+        });
+        reg.flight().observe(log, 7, 42, 100);
+
+        let out = flight_traces(&reg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].trace_id, 42);
+        assert_eq!(out[0].total_ns, 100);
+        assert_eq!(out[0].spans.len(), 2);
+        let ship = out[0].spans.iter().find(|s| s.stage == "ship").unwrap();
+        assert_eq!(ship.op, "repl");
+        assert_eq!(ship.start_ns, 10);
     }
 }

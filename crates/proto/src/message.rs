@@ -332,6 +332,36 @@ pub struct TelemetrySnapshot {
 
 impl_codec_struct!(TelemetrySnapshot { counters, gauges, histograms, events });
 
+/// One traced stage in on-wire form, as served by `GetFlightTraces`.
+/// Like [`TelemetryEvent`], the op/stage names are owned strings: the
+/// in-process `SpanRecord`'s static-str interning doesn't survive the
+/// wire. `start_ns` stays on the *serving node's* span-log epoch; the
+/// scraper applies its measured per-node offset at assembly
+/// (`TraceCollector::add_node_spans`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightSpan {
+    pub req_id: u64,
+    pub nid: u32,
+    pub op: String,
+    pub stage: String,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+impl_codec_struct!(FlightSpan { req_id, nid, op, stage, start_ns, dur_ns });
+
+/// One trace pinned by a node's flight recorder, in on-wire form: the
+/// answer to `GetFlightTraces` is the node's current top-K of these.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightTrace {
+    pub trace_id: u64,
+    /// Largest end-to-end duration the recorder observed for the trace.
+    pub total_ns: u64,
+    pub spans: Vec<FlightSpan>,
+}
+
+impl_codec_struct!(FlightTrace { trace_id, total_ns, spans });
+
 /// One container's new revocation epoch, pushed issuer → enforcement point
 /// after a policy change or a bulk bump (v5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -519,6 +549,15 @@ pub enum RequestBody {
         /// whole ring every interval.
         events_from: u64,
     },
+    /// Ask any node for the traces its flight recorder currently pins.
+    ///
+    /// The second scrape of the monitoring plane (protocol-additive,
+    /// v4+): a `ClusterMonitor` sweeps this each window to assemble and
+    /// attribute the fleet's slow traces live. Like `GetTelemetry` it is
+    /// an annotation op — answered before dispatch, no `total` span, so
+    /// scraping never perturbs the tail it measures. The reply is
+    /// bounded by the recorder's configured top-K.
+    GetFlightTraces,
 }
 
 /// Reply bodies. `Err` is universal; the rest pair 1:1 with requests.
@@ -597,6 +636,8 @@ pub enum ReplyBody {
     },
     /// The node's metrics snapshot and journal tail.
     Telemetry(TelemetrySnapshot),
+    /// The node's currently pinned slow traces.
+    FlightTraces(Vec<FlightTrace>),
 }
 
 /// A complete request envelope.
@@ -842,6 +883,7 @@ impl Encode for RequestBody {
                 { group, epoch, seq, origin, origin_opnum, records, reply },
             52 => ReportDroppedBackup { group, epoch, backup } => { group, epoch, backup },
             53 => GetTelemetry { events_from } => { events_from },
+            54 => GetFlightTraces => {},
         );
     }
 }
@@ -953,6 +995,7 @@ impl Decode for RequestBody {
                 backup: Decode::decode(buf)?,
             },
             53 => GetTelemetry { events_from: Decode::decode(buf)? },
+            54 => GetFlightTraces,
             t => return Err(Error::Malformed(format!("unknown request tag {t}"))),
         })
     }
@@ -998,6 +1041,7 @@ impl Encode for ReplyBody {
             50 => GroupMapReply(map) => { map },
             51 => ReplAck { seq } => { seq },
             52 => Telemetry(snap) => { snap },
+            53 => FlightTraces(traces) => { traces },
         );
     }
 }
@@ -1043,6 +1087,7 @@ impl Decode for ReplyBody {
             50 => GroupMapReply(Decode::decode(buf)?),
             51 => ReplAck { seq: Decode::decode(buf)? },
             52 => Telemetry(Decode::decode(buf)?),
+            53 => FlightTraces(Decode::decode(buf)?),
             t => {
                 return std::result::Result::Err(Error::Malformed(format!("unknown reply tag {t}")))
             }
@@ -1252,6 +1297,7 @@ mod tests {
             },
             ReportDroppedBackup { group: 1, epoch: 3, backup: ProcessId::new(1103, 0) },
             GetTelemetry { events_from: 17 },
+            GetFlightTraces,
         ]
     }
 
@@ -1276,6 +1322,31 @@ mod tests {
                 detail: "group 0 epoch 3".into(),
             }],
         }
+    }
+
+    fn sample_flight_traces() -> Vec<FlightTrace> {
+        vec![FlightTrace {
+            trace_id: 0xdead_beef,
+            total_ns: 104_000_000,
+            spans: vec![
+                FlightSpan {
+                    req_id: 7,
+                    nid: 1100,
+                    op: "storage.write".into(),
+                    stage: "total".into(),
+                    start_ns: 1_000,
+                    dur_ns: 104_000_000,
+                },
+                FlightSpan {
+                    req_id: 7,
+                    nid: 1100,
+                    op: "repl".into(),
+                    stage: "ship".into(),
+                    start_ns: 2_000,
+                    dur_ns: 100_000_000,
+                },
+            ],
+        }]
     }
 
     fn sample_group_map() -> GroupMap {
@@ -1339,6 +1410,7 @@ mod tests {
             GroupMapReply(sample_group_map()),
             ReplAck { seq: 42 },
             Telemetry(sample_telemetry()),
+            FlightTraces(sample_flight_traces()),
         ]
     }
 

@@ -33,6 +33,9 @@ impl Service for GroupDirectory {
             RequestBody::GetTelemetry { events_from } => {
                 ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(ep.obs(), *events_from))
             }
+            RequestBody::GetFlightTraces => {
+                ReplyBody::FlightTraces(lwfs_portals::flight_traces(ep.obs()))
+            }
             _ => ReplyBody::Err(Error::Malformed(
                 "group directory answers only group-map lookups".into(),
             )),

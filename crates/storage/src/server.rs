@@ -753,6 +753,16 @@ impl StorageServer {
                     );
                     return;
                 }
+                if matches!(req.body, RequestBody::GetFlightTraces) {
+                    let body = ReplyBody::FlightTraces(lwfs_portals::flight_traces(&self.obs));
+                    let rep = Reply::new(req.opnum, body);
+                    let _ = ep.send(
+                        req.reply_to,
+                        lwfs_portals::reply_match(req.opnum.0),
+                        rep.to_bytes(),
+                    );
+                    return;
+                }
                 traces.insert(
                     req.req_id,
                     self.obs
@@ -1073,6 +1083,9 @@ impl StorageServer {
             RequestBody::Ping => ReplyBody::Pong,
             RequestBody::GetTelemetry { events_from } => {
                 ReplyBody::Telemetry(lwfs_portals::telemetry_snapshot(&self.obs, *events_from))
+            }
+            RequestBody::GetFlightTraces => {
+                ReplyBody::FlightTraces(lwfs_portals::flight_traces(&self.obs))
             }
             other => {
                 ReplyBody::Err(Error::Malformed(format!("storage service cannot handle {other:?}")))

@@ -49,6 +49,8 @@ struct Args {
     workers: Option<usize>,
     cap_mode: CapMode,
     clock_skew_ms: u64,
+    flight_threshold_us: Option<u64>,
+    flight_top_k: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
     let mut workers = None;
     let mut cap_mode = CapMode::default();
     let mut clock_skew_ms = 1000u64;
+    let mut flight_threshold_us = None;
+    let mut flight_top_k = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -84,6 +88,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--clock-skew-ms" => {
                 clock_skew_ms = value()?.parse().map_err(|e| format!("--clock-skew-ms: {e}"))?
+            }
+            "--flight-threshold-us" => {
+                flight_threshold_us =
+                    Some(value()?.parse().map_err(|e| format!("--flight-threshold-us: {e}"))?)
+            }
+            "--flight-top-k" => {
+                flight_top_k = Some(value()?.parse().map_err(|e| format!("--flight-top-k: {e}"))?)
             }
             "--users" => {
                 for entry in value()?.split(',').filter(|s| !s.is_empty()) {
@@ -112,6 +123,8 @@ fn parse_args() -> Result<Args, String> {
         workers,
         cap_mode,
         clock_skew_ms,
+        flight_threshold_us,
+        flight_top_k,
     })
 }
 
@@ -123,7 +136,16 @@ fn storage_addrs(groups: usize, r: usize) -> Vec<ProcessId> {
 
 fn run(args: Args) -> Result<(), String> {
     let manifest = Manifest::load(&args.manifest).map_err(|e| format!("loading manifest: {e}"))?;
-    let net = Network::new(NetworkConfig::default());
+    // Flight-recorder knobs land on this process's registry: what the
+    // monitor's `GetFlightTraces` scrape can recover from this node.
+    let mut obs = lwfs_obs::ObsConfig::default();
+    if let Some(us) = args.flight_threshold_us {
+        obs.flight_threshold_ns = us.saturating_mul(1000);
+    }
+    if let Some(k) = args.flight_top_k {
+        obs.flight_top_k = k;
+    }
+    let net = Network::new(NetworkConfig { obs, ..Default::default() });
     let fabric = SocketFabric::attach(&net, NodeId(args.nid), manifest, FabricConfig::default())
         .map_err(|e| format!("attaching fabric: {e}"))?;
 
@@ -255,7 +277,8 @@ fn main() -> ExitCode {
                 "lwfs-node: {e}\nusage: lwfs-node --role <auth|authz|naming|txnlock|directory|storage|monitor> \
                  --nid N --manifest PATH [--groups G] [--replication R] [--index I] \
                  [--users name:pw:principal,...] [--wal-dir PATH] [--workers N] \
-                 [--cap-mode legacy|signed|require] [--clock-skew-ms MS]"
+                 [--cap-mode legacy|signed|require] [--clock-skew-ms MS] \
+                 [--flight-threshold-us US] [--flight-top-k K]"
             );
             return ExitCode::FAILURE;
         }

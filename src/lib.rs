@@ -60,6 +60,8 @@
 //! );
 //! ```
 
+pub mod inspect;
+
 pub use lwfs_auth as auth;
 pub use lwfs_authz as authz;
 pub use lwfs_cap as cap;
